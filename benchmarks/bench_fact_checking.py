@@ -1,0 +1,41 @@
+"""E6 (§3 scenario 1): fact-checking presidential claims with INSEE data.
+
+The CMQ chains the glue graph, the tweet store, the INSEE open-data
+registry and a *dynamically discovered* relational source.  The series
+reports the per-source calls, showing that bindings (the topic, the
+department) restrict what is shipped to the statistics source.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.datasets import INSEE_URI, fact_checking_query
+
+
+def test_fact_checking_query(benchmark, demo_small):
+    """Latency and call profile of the four-source fact-checking CMQ."""
+    query = fact_checking_query(demo_small, "chomage")
+    result = benchmark(lambda: demo_small.instance.execute(query))
+    assert len(result) >= 1
+    per_source = {}
+    for call in result.trace.calls:
+        per_source.setdefault(call.source_uri, {"calls": 0, "rows": 0})
+        per_source[call.source_uri]["calls"] += 1
+        per_source[call.source_uri]["rows"] += call.rows_out
+    report("E6: fact-checking call profile", [
+        {"source": uri, **counts} for uri, counts in sorted(per_source.items())
+    ])
+    assert result.trace.calls_to(INSEE_URI) >= 2  # registry + discovered statistics
+    assert query.uses_dynamic_sources()
+
+
+def test_fact_checking_plan_orders_dependencies(benchmark, demo_small):
+    """Planning cost; the plan must discover the statistics source last."""
+    query = fact_checking_query(demo_small, "chomage")
+    plan = benchmark(lambda: demo_small.instance.plan(query))
+    order = plan.atom_order()
+    report("E6: evaluation order", [{"position": i, "atom": name}
+                                    for i, name in enumerate(order)])
+    assert order.index("datasetRegistry") < order.index("statistics")
+    assert order.index("qG") < order.index("statistics")

@@ -1,0 +1,63 @@
+"""E2 (Figure 2): ingesting tweet JSON into the Solr-like store.
+
+Measures indexing throughput for Figure-2-shaped documents, the latency of
+the hashtag/author/range queries the mediator ships to the store, and the
+dataguide extraction used by the digests.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.datasets import TweetGeneratorConfig, generate_politicians, generate_tweets
+from repro.digest import JSONDataguide
+from repro.fulltext import tweet_store
+
+_POLITICIANS = generate_politicians(count=40, seed=1)
+_TWEETS = generate_tweets(_POLITICIANS, TweetGeneratorConfig(weeks=4, seed=2,
+                                                             tweets_per_politician_per_week=4.0))
+
+
+def test_index_tweets(benchmark):
+    """Indexing throughput (documents/second reported by pytest-benchmark)."""
+    def index():
+        store = tweet_store()
+        store.add_all(_TWEETS)
+        return store
+
+    store = benchmark(index)
+    assert len(store) == len(_TWEETS)
+    report("E2: corpus", [{"tweets": len(_TWEETS),
+                           "vocabulary": len(store.field_values("entities.hashtags"))}])
+
+
+def test_query_latency(benchmark):
+    """Latency of the sub-queries the mediator ships to the store."""
+    store = tweet_store()
+    store.add_all(_TWEETS)
+
+    def run_queries():
+        hashtag = store.search("entities.hashtags:etatdurgence", limit=None).total
+        author = store.search(f"user.screen_name:{_POLITICIANS[0].twitter_account}",
+                              limit=None).total
+        engaged = store.search("retweet_count:[50 TO *]", limit=None).total
+        text = store.search("text:urgence AND text:parlement", limit=None).total
+        return hashtag, author, engaged, text
+
+    hashtag, author, engaged, text = benchmark(run_queries)
+    report("E2: query selectivities", [
+        {"query": "hashtags:etatdurgence", "matches": hashtag},
+        {"query": "screen_name:<head>", "matches": author},
+        {"query": "retweet_count:[50 TO *]", "matches": engaged},
+        {"query": "text:urgence AND parlement", "matches": text},
+    ])
+    assert hashtag > 0
+
+
+def test_dataguide_extraction(benchmark):
+    """Cost of deriving the JSON dataguide (digest structural summary)."""
+    store = tweet_store()
+    store.add_all(_TWEETS)
+    guide = benchmark(lambda: JSONDataguide.build(store.documents()))
+    assert "user.screen_name" in guide.path_names()
+    report("E2: dataguide", [{"documents": guide.document_count, "paths": len(guide)}])

@@ -1,0 +1,49 @@
+"""E7 (§3 scenario 2): party vocabulary comparison and influential tweets.
+
+Measures the mixed query joining the glue graph with the tweet store on a
+user-defined topic, the PMI ranking over its result, and the
+influential-tweet ranking.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.analytics import PMIVocabularyAnalyzer, per_group_influential
+from repro.datasets import party_vocabulary_query
+
+
+def test_party_vocabulary_mixed_query(benchmark, demo_medium):
+    """The mixed query feeding scenario 2 (every tweet on the topic + group)."""
+    query = party_vocabulary_query(demo_medium, "urgence")
+    result = benchmark(lambda: demo_medium.instance.execute(query, limit=None))
+    groups = set(result.column("group"))
+    report("E7: mixed query result", [
+        {"metric": "tweets", "value": len(result)},
+        {"metric": "political groups", "value": len(groups)},
+    ])
+    assert len(groups) >= 3
+
+
+def test_pmi_and_influence_ranking(benchmark, demo_medium):
+    """PMI vocabulary comparison + per-group influential tweets."""
+    result = demo_medium.instance.execute(party_vocabulary_query(demo_medium, "urgence"),
+                                          limit=None)
+    records = [{"text": r["t"], "author": r["id"], "group": r["group"],
+                "retweet_count": r["rt"]} for r in result.rows]
+
+    def analyse():
+        analyzer = PMIVocabularyAnalyzer(min_group_count=2, min_corpus_count=3)
+        vocabularies = analyzer.analyze((r["group"], r["text"]) for r in records)
+        influential = per_group_influential(records, top_per_group=3)
+        return vocabularies, influential
+
+    vocabularies, influential = benchmark(analyse)
+    rows = []
+    for group in sorted(vocabularies):
+        terms = ", ".join(t.term for t in vocabularies[group].top(4))
+        top_tweet = influential.get(group, [])
+        rows.append({"group": group, "top PMI terms": terms,
+                     "top retweets": top_tweet[0].retweets if top_tweet else 0})
+    report("E7: per-group vocabulary and influence", rows)
+    assert len(vocabularies) >= 3

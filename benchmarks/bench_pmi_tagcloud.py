@@ -1,0 +1,54 @@
+"""E3 (Figure 3): weekly PMI tag clouds on the state-of-emergency corpus.
+
+Regenerates the content of Figure 3 — per-week, per-group PMI-ranked
+vocabularies rendered as coloured tag clouds — and prints the top terms per
+week so the discourse drift (factual → institutional → objections →
+vigilance) can be eyeballed against the paper's narrative.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.analytics import PMIVocabularyAnalyzer, vocabulary_drift, weekly_tag_clouds
+from repro.datasets import party_vocabulary_query
+
+
+def _corpus(demo):
+    result = demo.instance.execute(party_vocabulary_query(demo, "urgence"), limit=None)
+    return [(row["week"], row["group"], row["t"]) for row in result.rows]
+
+
+def test_weekly_pmi_analysis(benchmark, demo_medium):
+    """Time of the full per-week per-group PMI computation."""
+    corpus = _corpus(demo_medium)
+    analyzer = PMIVocabularyAnalyzer(min_group_count=2, min_corpus_count=3)
+    weekly = benchmark(lambda: analyzer.analyze_weekly(iter(corpus)))
+    assert len(weekly) == 4
+    rows = []
+    for week in sorted(weekly):
+        for group in sorted(weekly[week]):
+            top = ", ".join(t.term for t in weekly[week][group].top(4))
+            rows.append({"week": week, "group": group, "top PMI terms": top})
+    report("E3: weekly per-group top PMI terms (Figure 3 content)", rows)
+
+
+def test_tag_cloud_rendering(benchmark, demo_medium):
+    """Time to render the four weekly tag clouds (text + SVG)."""
+    corpus = _corpus(demo_medium)
+    analyzer = PMIVocabularyAnalyzer(min_group_count=2, min_corpus_count=3)
+    weekly = analyzer.analyze_weekly(corpus)
+
+    def render():
+        clouds = weekly_tag_clouds(weekly, terms_per_group=6)
+        return [(c.title, c.to_text(), c.to_svg()) for c in clouds]
+
+    rendered = benchmark(render)
+    assert len(rendered) == 4
+    drifts = vocabulary_drift(weekly, top_k=8)
+    average = sum(d.jaccard for d in drifts) / len(drifts)
+    report("E3: discourse drift", [
+        {"metric": "weekly tag clouds", "value": len(rendered)},
+        {"metric": "mean week-over-week Jaccard (top-8 terms)", "value": round(average, 3)},
+    ])
+    assert average < 0.8  # the vocabulary visibly moves week over week

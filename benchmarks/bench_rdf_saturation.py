@@ -1,0 +1,55 @@
+"""E10 (§2.1): RDFS saturation cost and answer completeness.
+
+Measures the cost of computing G∞ for growing glue graphs and the number of
+answers gained by querying the saturation instead of the explicit triples
+(the paper's BGP *answers* are defined over G∞).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report
+
+from repro.datasets import generate_landscape
+from repro.rdf import BGPQuery, evaluate_bgp, saturate
+
+_SIZES = [20, 60, 150]
+_LANDSCAPES = {size: generate_landscape(count=size, seed=11) for size in _SIZES}
+
+_TYPE_QUERY = BGPQuery.create(head=["x"], patterns=[("?x", "rdf:type", "ttn:person")])
+_AFFILIATION_QUERY = BGPQuery.create(head=["x", "y"],
+                                     patterns=[("?x", "ttn:affiliatedWith", "?y")])
+
+
+@pytest.mark.parametrize("size", _SIZES)
+def test_saturation_cost(benchmark, size):
+    """Saturation time and the number of implicit triples derived."""
+    graph = _LANDSCAPES[size].graph
+    saturated, stats = benchmark(lambda: saturate(graph))
+    report(f"E10: saturation of {size}-politician glue graph", [{
+        "politicians": size,
+        "explicit triples": stats.explicit_triples,
+        "implicit triples": stats.implicit_triples,
+        "rounds": stats.rounds,
+    }])
+    assert stats.implicit_triples > 0
+
+
+@pytest.mark.parametrize("size", [60])
+def test_answer_completeness(benchmark, size):
+    """Answers over G vs over G∞ for typing and sub-property queries."""
+    graph = _LANDSCAPES[size].graph
+    saturated, _ = saturate(graph)
+
+    def query_both():
+        return (evaluate_bgp(_TYPE_QUERY, graph), evaluate_bgp(_TYPE_QUERY, saturated),
+                evaluate_bgp(_AFFILIATION_QUERY, graph),
+                evaluate_bgp(_AFFILIATION_QUERY, saturated))
+
+    plain_type, full_type, plain_aff, full_aff = benchmark(query_both)
+    report("E10: answers on G vs G∞", [
+        {"query": "?x rdf:type ttn:person", "on G": len(plain_type), "on G∞": len(full_type)},
+        {"query": "?x ttn:affiliatedWith ?y", "on G": len(plain_aff), "on G∞": len(full_aff)},
+    ])
+    assert len(full_type) > len(plain_type)
+    assert len(full_aff) > len(plain_aff)

@@ -1,0 +1,56 @@
+"""Demonstration scenario 1: factual sources for claims made on Twitter.
+
+The CMQ chains four sub-queries (paper §1 & §3, scenario 1):
+
+1. glue graph: the head of state's Twitter account and birth department,
+2. tweet store: his tweets mentioning the topic (the *claims*),
+3. INSEE ``open_datasets`` registry: which source/table holds the official
+   statistics for that topic — this is *dynamic source discovery*: the
+   source URI of the next sub-query is found in the data,
+4. the discovered relational source: the unemployment rates for the
+   relevant department.
+
+Run with:  python examples/fact_checking_claims.py
+"""
+
+from __future__ import annotations
+
+from repro.analytics import rank_influential
+from repro.datasets import DemoConfig, build_demo_instance, fact_checking_query
+
+
+def main() -> None:
+    demo = build_demo_instance(DemoConfig(politicians=40, weeks=4))
+    instance = demo.instance
+    head = demo.head_of_state()
+    print(f"fact-checking claims by {head.name} (@{head.twitter_account}), "
+          f"birth department {head.birth_department}")
+    print()
+
+    query = fact_checking_query(demo, topic_keyword="chomage")
+    print("CMQ:", query)
+    print()
+    plan = instance.plan(query)
+    print(plan.explain())
+    print()
+
+    result = instance.execute(query)
+    print(f"{len(result)} (claim, statistic) pairs:")
+    print(result.to_table(max_rows=10))
+    print()
+    print(result.trace.summary())
+    print()
+
+    # Which claims were the most visible?  (retweet-ranked, scenario 2 style)
+    tweets = demo.instance.source("solr://tweets").store
+    hits = tweets.search("text:chomage", limit=None)
+    records = [{"text": h.get("text"), "author": h.get("user.screen_name"),
+                "group": h.get("group", ""), "retweet_count": h.get("retweet_count", 0),
+                "favorite_count": h.get("favorite_count", 0)} for h in hits]
+    print("most influential claims on the topic:")
+    for tweet in rank_influential(records, top=3):
+        print(f"  [{tweet.retweets} RT] @{tweet.author}: {tweet.text[:80]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Demonstration scenario 2: compare party vocabulary and influential tweets.
+
+For a user-defined topic word, a mixed query retrieves every tweet
+mentioning it together with the author's political group (joined through
+the glue graph); the vocabulary of each group is then ranked by
+exponentiated PMI and the most influential tweets per group are listed.
+
+Run with:  python examples/party_vocabulary.py [topic_word]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analytics import PMIVocabularyAnalyzer, build_tag_cloud, per_group_influential
+from repro.datasets import DemoConfig, build_demo_instance, party_vocabulary_query
+
+
+def main(topic_word: str = "agriculture") -> None:
+    demo = build_demo_instance(DemoConfig(politicians=60, weeks=4,
+                                          tweets_per_politician_per_week=3.0))
+    instance = demo.instance
+
+    query = party_vocabulary_query(demo, topic_word)
+    result = instance.execute(query, limit=None)
+    print(f"topic {topic_word!r}: {len(result)} tweets across "
+          f"{len(set(result.column('group')))} political groups")
+    print()
+
+    analyzer = PMIVocabularyAnalyzer(min_group_count=2, min_corpus_count=3)
+    vocabularies = analyzer.analyze((row["group"], row["t"]) for row in result.rows)
+    for group in sorted(vocabularies):
+        top = ", ".join(f"{t.term} ({t.pmi:.1f})" for t in vocabularies[group].top(6))
+        print(f"  {group:<14} {top}")
+    print()
+
+    cloud = build_tag_cloud(vocabularies, title=f"vocabulary on '{topic_word}'")
+    print(cloud.to_text(k=24, columns=4))
+    print()
+
+    records = [{"text": r["t"], "author": r["id"], "group": r["group"],
+                "retweet_count": r["rt"]} for r in result.rows]
+    print("most influential tweets per group:")
+    for group, tweets in sorted(per_group_influential(records, top_per_group=2).items()):
+        for tweet in tweets:
+            print(f"  {group:<14} [{tweet.retweets} RT] @{tweet.author}: {tweet.text[:70]}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "agriculture")

@@ -1,0 +1,58 @@
+"""Analytics and visualisation: PMI vocabularies, tag clouds, timelines.
+
+Reproduces the content of the paper's Figure 3 (weekly, per-party,
+PMI-ranked tag clouds) and the influential-tweet ranking of demonstration
+scenario (2).
+"""
+
+from repro.analytics.influence import (
+    InfluentialTweet,
+    influence_score,
+    per_group_influential,
+    rank_influential,
+)
+from repro.analytics.pmi import (
+    GroupVocabulary,
+    PMIVocabularyAnalyzer,
+    ScoredTerm,
+    top_terms_table,
+)
+from repro.analytics.tagcloud import (
+    DEFAULT_COLOR,
+    GROUP_COLORS,
+    TagCloud,
+    TagCloudEntry,
+    build_tag_cloud,
+    weekly_tag_clouds,
+)
+from repro.analytics.timeline import (
+    WeeklyDrift,
+    bucket_by_week,
+    vocabulary_drift,
+    week_index,
+    week_of,
+    week_starts,
+)
+
+__all__ = [
+    "InfluentialTweet",
+    "influence_score",
+    "per_group_influential",
+    "rank_influential",
+    "GroupVocabulary",
+    "PMIVocabularyAnalyzer",
+    "ScoredTerm",
+    "top_terms_table",
+    "DEFAULT_COLOR",
+    "GROUP_COLORS",
+    "TagCloud",
+    "TagCloudEntry",
+    "build_tag_cloud",
+    "weekly_tag_clouds",
+    "WeeklyDrift",
+    "bucket_by_week",
+    "vocabulary_drift",
+    "week_index",
+    "week_of",
+    "week_starts",
+]

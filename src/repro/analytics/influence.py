@@ -1,0 +1,67 @@
+"""Influential-tweet ranking (demonstration scenario 2).
+
+Scenario (2) shows "the most influential tweets on this topic"; influence
+is driven by the engagement counters the Solr instance indexes (retweets,
+favourites, author followers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class InfluentialTweet:
+    """One ranked tweet."""
+
+    text: str
+    author: str
+    group: str
+    retweets: int
+    favorites: int
+    score: float
+
+
+def influence_score(retweets: int, favorites: int, followers: int = 0,
+                    retweet_weight: float = 2.0, favorite_weight: float = 1.0,
+                    follower_weight: float = 0.001) -> float:
+    """Simple linear influence score combining engagement counters."""
+    return (retweet_weight * max(0, retweets)
+            + favorite_weight * max(0, favorites)
+            + follower_weight * max(0, followers))
+
+
+def rank_influential(tweets: Iterable[dict], top: int = 10,
+                     text_key: str = "text", author_key: str = "author",
+                     group_key: str = "group", retweet_key: str = "retweet_count",
+                     favorite_key: str = "favorite_count",
+                     followers_key: str = "followers_count") -> list[InfluentialTweet]:
+    """Rank tweet records (dictionaries) by influence score."""
+    ranked = []
+    for tweet in tweets:
+        retweets = int(tweet.get(retweet_key) or 0)
+        favorites = int(tweet.get(favorite_key) or 0)
+        followers = int(tweet.get(followers_key) or 0)
+        ranked.append(InfluentialTweet(
+            text=str(tweet.get(text_key, "")),
+            author=str(tweet.get(author_key, "")),
+            group=str(tweet.get(group_key, "")),
+            retweets=retweets,
+            favorites=favorites,
+            score=influence_score(retweets, favorites, followers),
+        ))
+    ranked.sort(key=lambda t: (-t.score, t.author, t.text))
+    return ranked[:top]
+
+
+def per_group_influential(tweets: Iterable[dict], top_per_group: int = 3,
+                          **keys) -> dict[str, list[InfluentialTweet]]:
+    """The most influential tweets of each political group."""
+    ranked = rank_influential(tweets, top=10 ** 9, **keys)
+    by_group: dict[str, list[InfluentialTweet]] = {}
+    for tweet in ranked:
+        bucket = by_group.setdefault(tweet.group, [])
+        if len(bucket) < top_per_group:
+            bucket.append(tweet)
+    return by_group

@@ -1,0 +1,107 @@
+"""Weekly timeline utilities for the Figure 3 reproduction.
+
+The paper groups the state-of-emergency tweets by week to show how the
+public discourse evolves (factual → institutional → objections →
+vigilance).  This module provides ISO-week bucketing of timestamped
+records and drift measures between consecutive weeks' vocabularies.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from datetime import date, datetime, timedelta
+from typing import Iterable, Sequence
+
+from repro.analytics.pmi import GroupVocabulary
+
+
+def week_of(timestamp: str | date | datetime) -> str:
+    """Return the ISO week label (``YYYY-Www``) of a timestamp.
+
+    String timestamps accept ``YYYY-MM-DD`` (optionally followed by a time
+    component) and the Twitter ``created_at`` style used in Figure 2.
+    """
+    moment = _coerce_date(timestamp)
+    iso = moment.isocalendar()
+    return f"{iso[0]}-W{iso[1]:02d}"
+
+
+def week_index(reference: str | date | datetime, timestamp: str | date | datetime) -> int:
+    """Zero-based week number of ``timestamp`` counted from ``reference``."""
+    start = _coerce_date(reference)
+    moment = _coerce_date(timestamp)
+    return (moment - start).days // 7
+
+
+def bucket_by_week(records: Iterable[dict], timestamp_key: str = "created_at") -> dict[str, list[dict]]:
+    """Group records by ISO week of their timestamp field."""
+    buckets: dict[str, list[dict]] = defaultdict(list)
+    for record in records:
+        timestamp = record.get(timestamp_key)
+        if timestamp is None:
+            continue
+        buckets[week_of(timestamp)].append(record)
+    return dict(sorted(buckets.items()))
+
+
+@dataclass(frozen=True)
+class WeeklyDrift:
+    """Vocabulary drift between two consecutive weeks for one group."""
+
+    group: str
+    week_from: str
+    week_to: str
+    jaccard: float
+    new_terms: tuple[str, ...]
+    dropped_terms: tuple[str, ...]
+
+
+def vocabulary_drift(weekly: dict[str, dict[str, GroupVocabulary]],
+                     top_k: int = 10) -> list[WeeklyDrift]:
+    """Measure how each group's top-k vocabulary changes week over week.
+
+    A small Jaccard similarity between consecutive weeks is the signal the
+    paper's Figure 3 narrative describes (the discourse moves from factual
+    to institutional to critical vocabulary).
+    """
+    weeks = sorted(weekly)
+    drifts: list[WeeklyDrift] = []
+    for previous, current in zip(weeks, weeks[1:]):
+        groups = set(weekly[previous]) | set(weekly[current])
+        for group in sorted(groups):
+            before = {t.term for t in weekly[previous].get(group, GroupVocabulary(group)).top(top_k)}
+            after = {t.term for t in weekly[current].get(group, GroupVocabulary(group)).top(top_k)}
+            union = before | after
+            jaccard = (len(before & after) / len(union)) if union else 1.0
+            drifts.append(WeeklyDrift(
+                group=group, week_from=previous, week_to=current, jaccard=jaccard,
+                new_terms=tuple(sorted(after - before)),
+                dropped_terms=tuple(sorted(before - after)),
+            ))
+    return drifts
+
+
+def week_starts(start: str | date | datetime, weeks: int) -> list[date]:
+    """Return the first day of ``weeks`` consecutive weeks from ``start``."""
+    first = _coerce_date(start)
+    return [first + timedelta(weeks=i) for i in range(weeks)]
+
+
+def _coerce_date(timestamp: str | date | datetime) -> date:
+    if isinstance(timestamp, datetime):
+        return timestamp.date()
+    if isinstance(timestamp, date):
+        return timestamp
+    text = str(timestamp).strip()
+    for fmt in ("%Y-%m-%d", "%Y-%m-%dT%H:%M:%S", "%Y-%m-%d %H:%M:%S",
+                "%a %b %d %H:%M:%S %z %Y"):
+        try:
+            return datetime.strptime(text, fmt).date()
+        except ValueError:
+            continue
+    # Last resort: the date part of an ISO-ish string.
+    try:
+        return datetime.strptime(text[:10], "%Y-%m-%d").date()
+    except ValueError as exc:
+        raise ValueError(f"cannot interpret timestamp {timestamp!r}") from exc

@@ -1,0 +1,29 @@
+"""Baselines used by the ablation and comparison benchmarks.
+
+* :mod:`repro.baselines.warehouse` — export every source into one RDF graph
+  (the "standard data warehouse" the paper argues journalists cannot
+  afford to maintain) and query it with BGPs;
+* :mod:`repro.baselines.naive` — degraded mediator strategies (no bind
+  joins, no selectivity ordering, no parallelism).
+"""
+
+from repro.baselines.naive import (
+    STRATEGIES,
+    naive_options,
+    no_bind_join_options,
+    no_ordering_options,
+    sequential_options,
+    tatooine_options,
+)
+from repro.baselines.warehouse import RDFWarehouse, WarehouseStats
+
+__all__ = [
+    "STRATEGIES",
+    "naive_options",
+    "no_bind_join_options",
+    "no_ordering_options",
+    "sequential_options",
+    "tatooine_options",
+    "RDFWarehouse",
+    "WarehouseStats",
+]

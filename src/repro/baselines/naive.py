@@ -1,0 +1,56 @@
+"""Naive-mediator baseline configurations.
+
+The ablation benchmark (E8/E11) compares the TATOOINE evaluation strategy
+of §2.3 against degraded strategies obtained by switching the planner's
+knobs off.  These helpers name the configurations so benchmarks and tests
+read declaratively.
+"""
+
+from __future__ import annotations
+
+from repro.core.planner import PlannerOptions
+
+
+def tatooine_options() -> PlannerOptions:
+    """The full strategy of the paper: bind joins, selectivity ordering, parallelism."""
+    return PlannerOptions(use_bind_joins=True, selectivity_ordering=True,
+                          parallel_stages=True)
+
+
+def naive_options() -> PlannerOptions:
+    """Materialise every sub-query fully, keep syntactic order, no parallelism.
+
+    Bind joins are still used where semantically required (a sub-query with
+    an unbound parameter or a dynamically discovered source cannot be
+    materialised independently).
+    """
+    return PlannerOptions(use_bind_joins=False, selectivity_ordering=False,
+                          parallel_stages=False)
+
+
+def no_bind_join_options() -> PlannerOptions:
+    """Selectivity ordering and parallelism, but no binding push-down."""
+    return PlannerOptions(use_bind_joins=False, selectivity_ordering=True,
+                          parallel_stages=True)
+
+
+def no_ordering_options() -> PlannerOptions:
+    """Bind joins but syntactic sub-query order (no selectivity ordering)."""
+    return PlannerOptions(use_bind_joins=True, selectivity_ordering=False,
+                          parallel_stages=True)
+
+
+def sequential_options() -> PlannerOptions:
+    """The full strategy minus parallel dispatch of independent sub-queries."""
+    return PlannerOptions(use_bind_joins=True, selectivity_ordering=True,
+                          parallel_stages=False)
+
+
+#: Name -> options mapping used by the ablation benchmarks.
+STRATEGIES = {
+    "tatooine": tatooine_options(),
+    "naive": naive_options(),
+    "no-bind-join": no_bind_join_options(),
+    "no-ordering": no_ordering_options(),
+    "sequential": sequential_options(),
+}

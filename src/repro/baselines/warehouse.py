@@ -1,0 +1,289 @@
+"""Warehouse baseline: export every source into one RDF graph and query it.
+
+The paper positions TATOOINE against "previous integration systems
+exporting all data sources as semistructured graphs" (TSIMMIS-style) and
+against the data-warehouse approach journalists do not have time to build
+("filling a standard data warehouse comprising all types of information").
+This baseline implements that alternative: every source is materialised as
+RDF in a single graph, and mixed queries are translated to BGPs over that
+graph.  The ablation benchmark (E8) compares it against the mediator,
+measuring both the export (refresh) cost and the per-query cost.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+
+from repro.core.cmq import ConjunctiveMixedQuery, SourceAtom
+from repro.core.instance import MixedInstance
+from repro.core.results import MixedResult
+from repro.core.sources import FullTextQuery, FullTextSource, RDFQuery, RDFSource, RelationalSource, SQLQuery
+from repro.errors import MixedQueryError
+from repro.fulltext.query import BooleanQuery, MatchAllQuery, PhraseQuery, Query, TermQuery, parse_query
+from repro.rdf.bgp import BGPQuery, evaluate_bgp
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, Term, Triple, TriplePattern, URI, Variable, literal
+
+
+@dataclass
+class WarehouseStats:
+    """Cost accounting of the warehouse baseline."""
+
+    export_seconds: float = 0.0
+    exported_triples: int = 0
+    triples_per_source: dict[str, int] = field(default_factory=dict)
+
+
+class RDFWarehouse:
+    """A single-graph materialisation of a whole mixed instance."""
+
+    def __init__(self, instance: MixedInstance):
+        self.instance = instance
+        self.graph = Graph(name="warehouse")
+        self.stats = WarehouseStats()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export(self) -> WarehouseStats:
+        """Materialise the glue graph and every registered source as RDF."""
+        start = time.perf_counter()
+        before_total = len(self.graph)
+        self.graph.add_all(self.instance.graph)
+        self.stats.triples_per_source["#glue"] = len(self.graph) - before_total
+        for source in self.instance.sources():
+            before = len(self.graph)
+            if isinstance(source, RDFSource):
+                self.graph.add_all(source.graph)
+            elif isinstance(source, RelationalSource):
+                self._export_relational(source)
+            elif isinstance(source, FullTextSource):
+                self._export_fulltext(source)
+            else:  # pragma: no cover - defensive
+                raise MixedQueryError(f"cannot export source model {source.model!r}")
+            self.stats.triples_per_source[source.uri] = len(self.graph) - before
+        self.stats.export_seconds = time.perf_counter() - start
+        self.stats.exported_triples = len(self.graph)
+        return self.stats
+
+    def _export_relational(self, source: RelationalSource) -> None:
+        for table in source.database.tables():
+            for row_id, record in enumerate(table.scan()):
+                subject = URI(f"{source.uri}/{table.name}/{row_id}")
+                for column, value in record.items():
+                    if value is None:
+                        continue
+                    predicate = self.column_predicate(source.uri, table.name, column)
+                    self.graph.add(Triple(subject, predicate, literal(value)))
+
+    def _export_fulltext(self, source: FullTextSource) -> None:
+        store = source.store
+        for doc in store.documents():
+            subject = URI(f"{source.uri}/doc/{doc.doc_id}")
+            for path, value in doc.flat_fields():
+                if value is None:
+                    continue
+                predicate = self.field_predicate(source.uri, path)
+                config = store.field_config(path)
+                if config is not None and config.field_type == "text":
+                    # Analysed field: export the raw text plus one triple per
+                    # stem so term queries become equality patterns.
+                    self.graph.add(Triple(subject, predicate, literal(value)))
+                    term_predicate = self.term_predicate(source.uri, path)
+                    for stem in store.analyzer.stems(str(value)):
+                        self.graph.add(Triple(subject, term_predicate, literal(stem)))
+                else:
+                    self.graph.add(Triple(subject, predicate, literal(_normalize_keyword(value))))
+
+    # ------------------------------------------------------------------
+    # Vocabulary of the exported graph
+    # ------------------------------------------------------------------
+    @staticmethod
+    def column_predicate(source_uri: str, table: str, column: str) -> URI:
+        return URI(f"{source_uri}#{table}.{column}")
+
+    @staticmethod
+    def field_predicate(source_uri: str, path: str) -> URI:
+        return URI(f"{source_uri}#{path}")
+
+    @staticmethod
+    def term_predicate(source_uri: str, path: str) -> URI:
+        return URI(f"{source_uri}#{path}.term")
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+    def execute(self, query: ConjunctiveMixedQuery, distinct: bool = True) -> MixedResult:
+        """Translate ``query`` to one BGP over the warehouse and evaluate it."""
+        patterns: list[TriplePattern] = []
+        for index, atom in enumerate(query.atoms):
+            patterns.extend(self._translate_atom(atom, index))
+        head = tuple(Variable(v) for v in query.output_variables())
+        bgp = BGPQuery(head=head, patterns=tuple(patterns), name=query.name)
+        bindings = evaluate_bgp(bgp, self.graph)
+        rows = [{v.name: _to_python(t) for v, t in row.items()} for row in bindings]
+        result = MixedResult(variables=list(query.output_variables()), rows=rows)
+        return result.distinct() if distinct else result
+
+    # -- per-atom translation -------------------------------------------------
+    def _translate_atom(self, atom: SourceAtom, index: int) -> list[TriplePattern]:
+        if atom.is_glue() or isinstance(atom.query, RDFQuery):
+            return self._translate_rdf(atom)
+        if isinstance(atom.query, FullTextQuery):
+            return self._translate_fulltext(atom, index)
+        if isinstance(atom.query, SQLQuery):
+            return self._translate_sql(atom, index)
+        raise MixedQueryError(
+            f"warehouse baseline cannot translate atom {atom.name!r}"
+        )
+
+    def _translate_rdf(self, atom: SourceAtom) -> list[TriplePattern]:
+        assert isinstance(atom.query, RDFQuery)
+        patterns = []
+        for pattern in atom.query.bgp.patterns:
+            patterns.append(TriplePattern(
+                self._rename_term(pattern.subject, atom),
+                self._rename_term(pattern.predicate, atom),
+                self._rename_term(pattern.obj, atom),
+            ))
+        return patterns
+
+    def _translate_fulltext(self, atom: SourceAtom, index: int) -> list[TriplePattern]:
+        assert isinstance(atom.query, FullTextQuery)
+        if atom.source is None:
+            raise MixedQueryError(
+                "warehouse baseline needs a fixed source URI for full-text atoms"
+            )
+        source_uri = atom.source
+        store = self.instance.source(source_uri).store  # type: ignore[attr-defined]
+        doc_var = Variable(f"doc{index}")
+        patterns: list[TriplePattern] = []
+
+        query_text = atom.query.query_template
+        for formal, value in atom.constants.items():
+            query_text = query_text.replace("{" + formal + "}", str(value))
+        parsed = parse_query(query_text)
+        patterns.extend(self._fulltext_condition_patterns(parsed, doc_var, source_uri, store))
+
+        for formal, path in atom.query.fields().items():
+            if formal in atom.constants:
+                continue
+            actual = atom.renames.get(formal, formal)
+            predicate = self.field_predicate(source_uri, path)
+            patterns.append(TriplePattern(doc_var, predicate, Variable(actual)))
+        return patterns
+
+    def _fulltext_condition_patterns(self, parsed: Query, doc_var: Variable,
+                                     source_uri: str, store) -> list[TriplePattern]:
+        patterns: list[TriplePattern] = []
+        if isinstance(parsed, MatchAllQuery):
+            return patterns
+        if isinstance(parsed, TermQuery):
+            field_name = parsed.field or store.default_field
+            config = store.field_config(field_name)
+            if config is not None and config.field_type == "text":
+                predicate = self.term_predicate(source_uri, field_name)
+                for stem in store.analyzer.stems(parsed.term):
+                    patterns.append(TriplePattern(doc_var, predicate, literal(stem)))
+            else:
+                predicate = self.field_predicate(source_uri, field_name)
+                patterns.append(TriplePattern(doc_var, predicate,
+                                              literal(_normalize_keyword(parsed.term))))
+            return patterns
+        if isinstance(parsed, PhraseQuery):
+            field_name = parsed.field or store.default_field
+            predicate = self.term_predicate(source_uri, field_name)
+            for term in parsed.terms:
+                for stem in store.analyzer.stems(term):
+                    patterns.append(TriplePattern(doc_var, predicate, literal(stem)))
+            return patterns
+        if isinstance(parsed, BooleanQuery) and parsed.operator == "AND":
+            for operand in parsed.operands:
+                patterns.extend(self._fulltext_condition_patterns(operand, doc_var,
+                                                                  source_uri, store))
+            return patterns
+        raise MixedQueryError(
+            "warehouse baseline only translates conjunctive full-text queries"
+        )
+
+    _SQL_RE = re.compile(
+        r"^\s*select\s+(?P<items>.+?)\s+from\s+(?P<table>[A-Za-z_][\w]*)"
+        r"(?:\s+where\s+(?P<where>.+))?\s*$",
+        re.IGNORECASE | re.DOTALL,
+    )
+
+    def _translate_sql(self, atom: SourceAtom, index: int) -> list[TriplePattern]:
+        assert isinstance(atom.query, SQLQuery)
+        if atom.source is None:
+            raise MixedQueryError(
+                "warehouse baseline needs a fixed source URI for SQL atoms"
+            )
+        match = self._SQL_RE.match(atom.query.sql)
+        if not match:
+            raise MixedQueryError(
+                f"warehouse baseline cannot translate the SQL of atom {atom.name!r}"
+            )
+        table = match.group("table")
+        row_var = Variable(f"row{index}")
+        patterns: list[TriplePattern] = []
+        for item in match.group("items").split(","):
+            parts = re.split(r"\s+as\s+", item.strip(), flags=re.IGNORECASE)
+            column = parts[0].strip().split(".")[-1]
+            alias = parts[1].strip() if len(parts) > 1 else column
+            if alias in atom.constants:
+                obj: Term | Variable = literal(atom.constants[alias])
+            else:
+                obj = Variable(atom.renames.get(alias, alias))
+            patterns.append(TriplePattern(row_var, self.column_predicate(atom.source, table, column), obj))
+        where = match.group("where")
+        if where:
+            for condition in re.split(r"\s+and\s+", where, flags=re.IGNORECASE):
+                eq = re.match(r"\s*([A-Za-z_][\w.]*)\s*=\s*(.+)\s*", condition)
+                if not eq:
+                    raise MixedQueryError(
+                        f"warehouse baseline only translates equality WHERE clauses "
+                        f"(atom {atom.name!r})"
+                    )
+                column = eq.group(1).split(".")[-1]
+                raw_value = eq.group(2).strip()
+                if raw_value.startswith("{") and raw_value.endswith("}"):
+                    obj = Variable(atom.renames.get(raw_value[1:-1], raw_value[1:-1]))
+                elif raw_value.startswith("'") and raw_value.endswith("'"):
+                    obj = literal(raw_value[1:-1])
+                else:
+                    obj = literal(_parse_number(raw_value))
+                patterns.append(TriplePattern(row_var, self.column_predicate(atom.source, table, column), obj))
+        return patterns
+
+    def _rename_term(self, term, atom: SourceAtom):
+        if isinstance(term, Variable):
+            if term.name in atom.constants:
+                return literal(atom.constants[term.name])
+            return Variable(atom.renames.get(term.name, term.name))
+        return term
+
+
+def _normalize_keyword(value: object) -> object:
+    if isinstance(value, str):
+        return value.lower()
+    return value
+
+
+def _to_python(term: object) -> object:
+    if isinstance(term, URI):
+        return term.value
+    if isinstance(term, Literal):
+        return term.to_python()
+    return term
+
+
+def _parse_number(text: str) -> object:
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text

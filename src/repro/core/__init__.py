@@ -1,0 +1,63 @@
+"""Mediator core: mixed instances, CMQs, planning and execution.
+
+This is the paper's primary contribution — the lightweight integration
+layer evaluating Conjunctive Mixed Queries across heterogeneous sources
+glued by a custom RDF graph.
+"""
+
+from repro.core.cmq import (
+    AtomTemplate,
+    AtomTemplateRegistry,
+    CMQBuilder,
+    ConjunctiveMixedQuery,
+    GLUE_SOURCE,
+    SourceAtom,
+    VariableArg,
+    parse_cmq,
+    rename_atom,
+)
+from repro.core.executor import MixedQueryExecutor
+from repro.core.instance import MixedInstance
+from repro.core.planner import PlannerOptions, PlanStep, QueryPlan, QueryPlanner
+from repro.core.results import ExecutionTrace, MixedResult, SubQueryCall
+from repro.core.sources import (
+    DataSource,
+    FullTextQuery,
+    FullTextSource,
+    RDFQuery,
+    RDFSource,
+    RelationalSource,
+    Row,
+    SourceQuery,
+    SQLQuery,
+)
+
+__all__ = [
+    "AtomTemplate",
+    "AtomTemplateRegistry",
+    "CMQBuilder",
+    "ConjunctiveMixedQuery",
+    "GLUE_SOURCE",
+    "SourceAtom",
+    "VariableArg",
+    "parse_cmq",
+    "rename_atom",
+    "MixedQueryExecutor",
+    "MixedInstance",
+    "PlannerOptions",
+    "PlanStep",
+    "QueryPlan",
+    "QueryPlanner",
+    "ExecutionTrace",
+    "MixedResult",
+    "SubQueryCall",
+    "DataSource",
+    "FullTextQuery",
+    "FullTextSource",
+    "RDFQuery",
+    "RDFSource",
+    "RelationalSource",
+    "Row",
+    "SourceQuery",
+    "SQLQuery",
+]

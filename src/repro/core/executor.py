@@ -1,0 +1,174 @@
+"""Evaluation of Conjunctive Mixed Queries over a mixed instance.
+
+The executor walks a :class:`~repro.core.planner.QueryPlan` stage by
+stage:
+
+* ``materialize`` steps of the same stage are shipped to their sources in
+  parallel (thread pool) and hash-joined with the current intermediate
+  result;
+* ``bind`` steps become bind joins: the sub-query is re-evaluated per
+  (deduplicated) binding of the current intermediate result, which is how
+  bindings reach dependent sources — including *dynamically discovered*
+  sources whose URI comes from a variable binding.
+
+The remaining processing (joins, projection, deduplication) happens inside
+the iterator engine of :mod:`repro.engine`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.core.cmq import ConjunctiveMixedQuery, SourceAtom
+from repro.core.planner import PlannerOptions, PlanStep, QueryPlan, QueryPlanner
+from repro.core.results import ExecutionTrace, MixedResult, SubQueryCall
+from repro.core.sources import DataSource, Row
+from repro.engine.iterators import (
+    BindJoin,
+    CallbackScan,
+    Distinct,
+    HashJoin,
+    MaterializedScan,
+    Operator,
+    Project,
+)
+from repro.engine.parallel import ParallelStats, run_parallel
+from repro.errors import MixedQueryError, UnknownSourceError
+
+
+class MixedQueryExecutor:
+    """Evaluates CMQs against a catalog of wrapped data sources."""
+
+    def __init__(self, sources: dict[str, DataSource], glue: DataSource,
+                 options: PlannerOptions | None = None, max_workers: int = 4):
+        self._sources = dict(sources)
+        self._glue = glue
+        self.options = options or PlannerOptions()
+        self.max_workers = max_workers
+        self.planner = QueryPlanner(self._sources, glue, self.options)
+
+    # ------------------------------------------------------------------
+    def execute(self, query: ConjunctiveMixedQuery, plan: QueryPlan | None = None,
+                distinct: bool = True, limit: int | None = None) -> MixedResult:
+        """Evaluate ``query`` and return its :class:`MixedResult`.
+
+        A pre-built ``plan`` may be supplied (the ablation benchmarks use
+        this to compare planner options on identical queries).
+        """
+        start = time.perf_counter()
+        plan = plan or self.planner.plan(query)
+        trace = ExecutionTrace(atom_order=plan.atom_order(), plan_text=plan.explain(),
+                               stages=[[plan.steps[i].atom.name for i in stage]
+                                       for stage in plan.stages])
+
+        current: Operator | None = None
+        for stage in plan.stages:
+            steps = [plan.steps[i] for i in stage]
+            if len(steps) == 1 and steps[0].mode == "bind" and current is not None:
+                current = self._bind_step(current, steps[0], trace)
+            else:
+                current = self._materialize_stage(current, steps, trace)
+
+        if current is None:
+            raise MixedQueryError(f"query {query.name!r} produced an empty plan")
+
+        output = list(query.output_variables())
+        operator: Operator = Project(current, output)
+        if distinct:
+            operator = Distinct(operator)
+        rows = operator.rows()
+        if limit is not None:
+            rows = rows[:limit]
+        trace.total_seconds = time.perf_counter() - start
+        trace.intermediate_sizes.append(len(rows))
+        return MixedResult(variables=output, rows=rows, trace=trace)
+
+    # ------------------------------------------------------------------
+    # Stage evaluation
+    # ------------------------------------------------------------------
+    def _materialize_stage(self, current: Operator | None, steps: list[PlanStep],
+                           trace: ExecutionTrace) -> Operator:
+        scans = [CallbackScan(self._fetch_callable(step, trace), name=step.atom.name)
+                 for step in steps]
+        workers = self.max_workers if self.options.parallel_stages else 1
+        stats = ParallelStats()
+        outputs = run_parallel(scans, max_workers=workers, stats=stats)
+        operator = current
+        for step, rows in zip(steps, outputs):
+            scan = MaterializedScan(rows, name=step.atom.name)
+            operator = scan if operator is None else HashJoin(operator, scan)
+        assert operator is not None
+        return operator
+
+    def _bind_step(self, current: Operator, step: PlanStep, trace: ExecutionTrace) -> Operator:
+        atom = step.atom
+
+        def fetch(row: Row):
+            return self._execute_atom(step, atom, row, trace)
+
+        relevant = sorted(atom.variables() | ({atom.source_variable} if atom.source_variable else set()))
+
+        def call_key(row: Row) -> tuple:
+            return tuple((v, _hashable(row.get(v))) for v in relevant if v in row)
+
+        return BindJoin(current, fetch, name=f"bind:{atom.name}", call_key=call_key)
+
+    def _fetch_callable(self, step: PlanStep, trace: ExecutionTrace):
+        def fetch():
+            return self._execute_atom(step, step.atom, {}, trace)
+
+        return fetch
+
+    # ------------------------------------------------------------------
+    # Atom execution (static, dynamic and free-variable sources)
+    # ------------------------------------------------------------------
+    def _execute_atom(self, step: PlanStep, atom: SourceAtom, bindings: Row,
+                      trace: ExecutionTrace) -> list[Row]:
+        sources = self._resolve_runtime_sources(step, atom, bindings)
+        rows: list[Row] = []
+        for source in sources:
+            started = time.perf_counter()
+            fetched = atom.execute_on(source, bindings)
+            elapsed = time.perf_counter() - started
+            if atom.source_variable is not None:
+                for row in fetched:
+                    row.setdefault(atom.source_variable, source.uri)
+            trace.calls.append(SubQueryCall(
+                atom=atom.name, source_uri=source.uri,
+                bindings_in=len(bindings), rows_out=len(fetched), seconds=elapsed,
+            ))
+            rows.extend(fetched)
+        return rows
+
+    def _resolve_runtime_sources(self, step: PlanStep, atom: SourceAtom,
+                                 bindings: Row) -> list[DataSource]:
+        if atom.is_glue():
+            return [self._glue]
+        if atom.source is not None:
+            return [self._source(atom.source)]
+        # Dynamic source: a bound source variable identifies one source;
+        # a free source variable fans out to every accepting source.
+        if atom.source_variable and atom.source_variable in bindings:
+            uri = bindings[atom.source_variable]
+            return [self._source(str(uri))]
+        candidates = [s for s in self._sources.values() if s.accepts(atom.query)]
+        if not candidates:
+            raise UnknownSourceError(
+                f"no registered source accepts the sub-query of atom {atom.name!r}"
+            )
+        return candidates
+
+    def _source(self, uri: str) -> DataSource:
+        source = self._sources.get(uri)
+        if source is None:
+            raise UnknownSourceError(f"no source registered under URI {uri!r}")
+        return source
+
+
+def _hashable(value: object) -> object:
+    if isinstance(value, (list, set)):
+        return tuple(value)
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value

@@ -1,0 +1,189 @@
+"""The mixed instance ``I = (G, D)`` and its query entry points.
+
+A :class:`MixedInstance` holds the custom (application-dependent) RDF
+graph ``G`` — the "glue" bridging the sources — and a registry of
+heterogeneous data sources ``D`` keyed by URI.  It is the main public
+object of the library: register sources, then evaluate CMQs, keyword
+queries, or build digests from it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.cmq import (
+    AtomTemplateRegistry,
+    CMQBuilder,
+    ConjunctiveMixedQuery,
+    GLUE_SOURCE,
+    parse_cmq,
+)
+from repro.core.executor import MixedQueryExecutor
+from repro.core.planner import PlannerOptions, QueryPlan, QueryPlanner
+from repro.core.results import MixedResult
+from repro.core.sources import (
+    DataSource,
+    FullTextSource,
+    RDFSource,
+    RelationalSource,
+    SourceQuery,
+)
+from repro.errors import UnknownSourceError
+from repro.fulltext.store import FullTextStore
+from repro.rdf.graph import Graph
+from repro.rdf.schema import RDFSchema
+from repro.relational.database import Database
+
+
+class MixedInstance:
+    """A mixed data instance: custom RDF graph + heterogeneous sources."""
+
+    def __init__(self, graph: Graph | None = None, name: str = "instance",
+                 schema: RDFSchema | None = None, entailment: bool = True):
+        self.name = name
+        self.graph = graph if graph is not None else Graph(name=f"{name}-glue")
+        self.schema = schema
+        self._sources: dict[str, DataSource] = {}
+        self._templates = AtomTemplateRegistry()
+        self._glue_source = RDFSource(GLUE_SOURCE, self.graph, name="glue",
+                                      description="custom application RDF graph",
+                                      entailment=entailment)
+
+    # ------------------------------------------------------------------
+    # Source registry
+    # ------------------------------------------------------------------
+    def register(self, source: DataSource) -> DataSource:
+        """Register a wrapped data source under its URI."""
+        self._sources[source.uri] = source
+        return source
+
+    def register_rdf(self, uri: str, graph: Graph, description: str = "",
+                     entailment: bool = False) -> RDFSource:
+        """Register an RDF data source (DBPedia-like, IGN-like, ...)."""
+        return self.register(RDFSource(uri, graph, description=description,
+                                       entailment=entailment))
+
+    def register_relational(self, uri: str, database: Database,
+                            description: str = "") -> RelationalSource:
+        """Register a relational data source (INSEE-like, elections, ...)."""
+        return self.register(RelationalSource(uri, database, description=description))
+
+    def register_fulltext(self, uri: str, store: FullTextStore,
+                          description: str = "") -> FullTextSource:
+        """Register a Solr-like full-text source (tweets, Facebook posts)."""
+        return self.register(FullTextSource(uri, store, description=description))
+
+    def source(self, uri: str) -> DataSource:
+        """Return the source registered under ``uri`` (the glue graph included)."""
+        if uri == GLUE_SOURCE:
+            return self._glue_source
+        source = self._sources.get(uri)
+        if source is None:
+            raise UnknownSourceError(f"no source registered under URI {uri!r}")
+        return source
+
+    def sources(self) -> list[DataSource]:
+        """Every registered external source, in URI order."""
+        return [self._sources[uri] for uri in sorted(self._sources)]
+
+    def source_uris(self) -> list[str]:
+        """URIs of the registered external sources."""
+        return sorted(self._sources)
+
+    def has_source(self, uri: str) -> bool:
+        """True when a source is registered under ``uri``."""
+        return uri in self._sources or uri == GLUE_SOURCE
+
+    def accepting_sources(self, query: SourceQuery) -> list[DataSource]:
+        """Sources able to evaluate ``query`` (used for free source variables)."""
+        return [s for s in self.sources() if s.accepts(query)]
+
+    @property
+    def glue_source(self) -> RDFSource:
+        """The wrapper over the instance's custom RDF graph."""
+        return self._glue_source
+
+    @property
+    def templates(self) -> AtomTemplateRegistry:
+        """The atom-template registry backing the textual CMQ syntax."""
+        return self._templates
+
+    # ------------------------------------------------------------------
+    # Glue graph helpers
+    # ------------------------------------------------------------------
+    def add_glue_triples(self, triples: Iterable) -> int:
+        """Add triples to the custom graph (invalidates cached saturation)."""
+        added = self.graph.add_all(triples)
+        self._glue_source.invalidate()
+        return added
+
+    # ------------------------------------------------------------------
+    # Query entry points
+    # ------------------------------------------------------------------
+    def executor(self, options: PlannerOptions | None = None,
+                 max_workers: int = 4) -> MixedQueryExecutor:
+        """Build an executor over the current source catalog."""
+        return MixedQueryExecutor(self._sources, self._glue_source,
+                                  options=options, max_workers=max_workers)
+
+    def planner(self, options: PlannerOptions | None = None) -> QueryPlanner:
+        """Build a planner over the current source catalog."""
+        return QueryPlanner(self._sources, self._glue_source, options)
+
+    def plan(self, query: ConjunctiveMixedQuery,
+             options: PlannerOptions | None = None) -> QueryPlan:
+        """Plan ``query`` without executing it."""
+        return self.planner(options).plan(query)
+
+    def execute(self, query: ConjunctiveMixedQuery | str,
+                options: PlannerOptions | None = None, distinct: bool = True,
+                limit: int | None = None, max_workers: int = 4) -> MixedResult:
+        """Evaluate a CMQ (object or textual syntax) and return its result."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        executor = self.executor(options=options, max_workers=max_workers)
+        return executor.execute(query, distinct=distinct, limit=limit)
+
+    def parse(self, text: str) -> ConjunctiveMixedQuery:
+        """Parse the textual CMQ syntax against the registered templates."""
+        return parse_cmq(text, self._templates)
+
+    def builder(self, name: str, head: Sequence[str] = ()) -> CMQBuilder:
+        """Start building a CMQ programmatically."""
+        return CMQBuilder(name, head=head)
+
+    # ------------------------------------------------------------------
+    # Digests and keyword querying (lazy imports to avoid cycles)
+    # ------------------------------------------------------------------
+    def build_digests(self, bloom_bits_per_value: int = 16,
+                      histogram_buckets: int = 16):
+        """Build the digest of every source plus the glue graph.
+
+        Returns a :class:`repro.digest.catalog.DigestCatalog`.
+        """
+        from repro.digest.builder import build_catalog
+
+        return build_catalog(self, bloom_bits_per_value=bloom_bits_per_value,
+                             histogram_buckets=histogram_buckets)
+
+    def keyword_query(self, keywords: Sequence[str], max_queries: int = 3,
+                      catalog=None, limit: int | None = None):
+        """Answer a keyword query: generate candidate CMQs and evaluate the best.
+
+        Returns a :class:`repro.digest.keyword.KeywordSearchOutcome`.
+        """
+        from repro.digest.keyword import KeywordQueryEngine
+
+        engine = KeywordQueryEngine(self, catalog=catalog)
+        return engine.search(keywords, max_queries=max_queries, limit=limit)
+
+    def statistics(self) -> dict[str, object]:
+        """Coarse statistics about the instance (sizes per source)."""
+        return {
+            "glue_triples": len(self.graph),
+            "sources": {uri: source.size() for uri, source in sorted(self._sources.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"MixedInstance(name={self.name!r}, glue_triples={len(self.graph)}, "
+                f"sources={len(self._sources)})")

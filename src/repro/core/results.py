@@ -1,0 +1,134 @@
+"""Result sets returned by mixed-query evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import MixedQueryError
+
+
+@dataclass
+class MixedResult:
+    """The answer of a CMQ: output variables plus binding rows.
+
+    Rows are dictionaries keyed by the query's head variables.  The result
+    also carries the evaluation trace (sub-query order, per-source calls,
+    intermediate sizes) so demos and benchmarks can display what happened.
+    """
+
+    variables: list[str]
+    rows: list[dict[str, object]] = field(default_factory=list)
+    trace: "ExecutionTrace | None" = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict[str, object]]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def column(self, variable: str) -> list[object]:
+        """Return one output variable as a list of values."""
+        if variable not in self.variables:
+            raise MixedQueryError(f"result has no variable {variable!r}")
+        return [row.get(variable) for row in self.rows]
+
+    def distinct(self) -> "MixedResult":
+        """Return a copy without duplicate rows (order preserving)."""
+        seen: set[tuple] = set()
+        rows = []
+        for row in self.rows:
+            key = tuple((v, _hashable(row.get(v))) for v in self.variables)
+            if key not in seen:
+                seen.add(key)
+                rows.append(row)
+        return MixedResult(variables=list(self.variables), rows=rows, trace=self.trace)
+
+    def sorted_by(self, variable: str, descending: bool = False) -> "MixedResult":
+        """Return a copy sorted by one output variable."""
+        rows = sorted(self.rows, key=lambda r: _sort_key(r.get(variable)), reverse=descending)
+        return MixedResult(variables=list(self.variables), rows=rows, trace=self.trace)
+
+    def to_table(self, max_rows: int | None = 20) -> str:
+        """Render the result as a fixed-width text table (for demos)."""
+        shown = self.rows if max_rows is None else self.rows[:max_rows]
+        widths = {v: len(v) for v in self.variables}
+        rendered = []
+        for row in shown:
+            cells = {v: _cell(row.get(v)) for v in self.variables}
+            for v, cell in cells.items():
+                widths[v] = max(widths[v], len(cell))
+            rendered.append(cells)
+        header = " | ".join(v.ljust(widths[v]) for v in self.variables)
+        separator = "-+-".join("-" * widths[v] for v in self.variables)
+        lines = [header, separator]
+        for cells in rendered:
+            lines.append(" | ".join(cells[v].ljust(widths[v]) for v in self.variables))
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+@dataclass
+class SubQueryCall:
+    """One call shipped to a data source during evaluation."""
+
+    atom: str
+    source_uri: str
+    bindings_in: int
+    rows_out: int
+    seconds: float
+
+
+@dataclass
+class ExecutionTrace:
+    """What the mediator did while answering a CMQ."""
+
+    atom_order: list[str] = field(default_factory=list)
+    stages: list[list[str]] = field(default_factory=list)
+    calls: list[SubQueryCall] = field(default_factory=list)
+    intermediate_sizes: list[int] = field(default_factory=list)
+    total_seconds: float = 0.0
+    plan_text: str = ""
+
+    def calls_to(self, source_uri: str) -> int:
+        """Number of sub-query calls shipped to ``source_uri``."""
+        return sum(1 for call in self.calls if call.source_uri == source_uri)
+
+    def total_rows_fetched(self) -> int:
+        """Total rows returned by every source call."""
+        return sum(call.rows_out for call in self.calls)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description of the evaluation."""
+        lines = [
+            f"evaluated {len(self.atom_order)} sub-queries in {len(self.stages)} stage(s)",
+            f"order: {' -> '.join(self.atom_order)}",
+            f"source calls: {len(self.calls)}, rows fetched: {self.total_rows_fetched()}",
+            f"total time: {self.total_seconds * 1000:.1f} ms",
+        ]
+        return "\n".join(lines)
+
+
+def _hashable(value: object) -> object:
+    if isinstance(value, (list, set)):
+        return tuple(value)
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value
+
+
+def _sort_key(value: object) -> tuple:
+    if value is None:
+        return (2, "")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (0, value)
+    return (1, str(value))
+
+
+def _cell(value: object) -> str:
+    text = "" if value is None else str(value)
+    return text if len(text) <= 40 else text[:37] + "..."

@@ -1,0 +1,456 @@
+"""Data-source wrappers and per-model sub-query descriptions.
+
+A mixed instance ``I = (G, D)`` contains sources of different data models,
+"each of which resides within a system providing some query capabilities
+over its data" (paper §1).  Each wrapper here adapts one substrate
+(RDF graph, relational database, full-text store) to the mediator's
+protocol:
+
+* :meth:`DataSource.execute` takes a :class:`SourceQuery` plus the current
+  binding tuple and returns binding rows (variable name → Python value);
+* :meth:`DataSource.estimate` returns a cardinality estimate used by the
+  planner's "most selective sub-queries first" rule.
+"""
+
+from __future__ import annotations
+
+import re
+import string
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.errors import MixedQueryError
+from repro.fulltext.store import FullTextStore
+from repro.rdf.bgp import BGPQuery, evaluate_bgp
+from repro.rdf.entailment import saturate
+from repro.rdf.graph import Graph
+from repro.rdf.sparql import parse_bgp
+from repro.rdf.terms import Literal, Term, URI, Variable, literal, uri
+from repro.relational.database import Database
+
+#: A binding row at the mediator level: variable name -> Python value.
+Row = dict[str, object]
+
+_PLACEHOLDER_RE = re.compile(r"\{([A-Za-z_][\w]*)\}")
+
+
+# ---------------------------------------------------------------------------
+# Sub-query descriptions
+# ---------------------------------------------------------------------------
+
+class SourceQuery:
+    """Base class for the per-model sub-queries embedded in a CMQ."""
+
+    def output_variables(self) -> set[str]:
+        """Variables this sub-query can bind."""
+        raise NotImplementedError
+
+    def required_parameters(self) -> set[str]:
+        """Variables that must already be bound before execution."""
+        return set()
+
+    def pushable_parameters(self) -> set[str]:
+        """Variables whose bindings the source can use to restrict results."""
+        return self.output_variables()
+
+    def compatible_models(self) -> set[str]:
+        """Data models able to evaluate this sub-query."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RDFQuery(SourceQuery):
+    """A BGP over an RDF source (or the glue graph).
+
+    Variables of the BGP become mediator variables of the same name.
+    """
+
+    bgp: BGPQuery
+
+    @classmethod
+    def from_text(cls, sparql_text: str, name: str = "q") -> "RDFQuery":
+        """Build from a SPARQL SELECT string (conjunctive subset)."""
+        return cls(bgp=parse_bgp(sparql_text, name=name))
+
+    def output_variables(self) -> set[str]:
+        return {v.name for v in self.bgp.output_variables()}
+
+    def compatible_models(self) -> set[str]:
+        return {"rdf"}
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return str(self.bgp)
+
+
+@dataclass(frozen=True)
+class SQLQuery(SourceQuery):
+    """A SQL SELECT over a relational source.
+
+    The statement's output column names (aliases) become mediator
+    variables.  ``{var}`` placeholders in the text are replaced with the
+    SQL literal of the current binding of ``var`` (these are the
+    sub-query's *required parameters*); bindings on plain output columns
+    are applied as post-filters by the wrapper.
+    """
+
+    sql: str
+    output_columns: tuple[str, ...] = ()
+
+    def output_variables(self) -> set[str]:
+        if self.output_columns:
+            return set(self.output_columns)
+        return set(_infer_sql_outputs(self.sql))
+
+    def required_parameters(self) -> set[str]:
+        return set(_PLACEHOLDER_RE.findall(self.sql))
+
+    def compatible_models(self) -> set[str]:
+        return {"relational"}
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return " ".join(self.sql.split())
+
+
+@dataclass(frozen=True)
+class FullTextQuery(SourceQuery):
+    """A Solr-like query over a full-text source.
+
+    ``query_template`` may contain ``{var}`` placeholders (required
+    parameters); ``output_fields`` maps mediator variables to dotted
+    document paths.
+    """
+
+    query_template: str
+    output_fields: tuple[tuple[str, str], ...]
+    limit: Optional[int] = None
+    sort_by: Optional[str] = None
+
+    @classmethod
+    def create(cls, query_template: str, output_fields: dict[str, str],
+               limit: int | None = None, sort_by: str | None = None) -> "FullTextQuery":
+        """Convenience constructor accepting a dict of output fields."""
+        return cls(query_template=query_template,
+                   output_fields=tuple(sorted(output_fields.items())),
+                   limit=limit, sort_by=sort_by)
+
+    def fields(self) -> dict[str, str]:
+        """Output fields as a dict (variable -> document path)."""
+        return dict(self.output_fields)
+
+    def output_variables(self) -> set[str]:
+        return {variable for variable, _ in self.output_fields}
+
+    def required_parameters(self) -> set[str]:
+        return set(_PLACEHOLDER_RE.findall(self.query_template))
+
+    def compatible_models(self) -> set[str]:
+        return {"fulltext"}
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.query_template
+
+
+# ---------------------------------------------------------------------------
+# Source wrappers
+# ---------------------------------------------------------------------------
+
+class DataSource:
+    """Base class of the mediator's source wrappers."""
+
+    model = "abstract"
+
+    def __init__(self, source_uri: str, name: str | None = None,
+                 description: str = ""):
+        self.uri = source_uri
+        self.name = name or source_uri.rsplit("/", 1)[-1]
+        self.description = description
+
+    # -- protocol -----------------------------------------------------------
+    def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
+        """Evaluate ``query`` with the given bindings and return rows."""
+        raise NotImplementedError
+
+    def estimate(self, query: SourceQuery, bound_variables: set[str] | None = None) -> float:
+        """Estimated number of rows the sub-query would return."""
+        raise NotImplementedError
+
+    def accepts(self, query: SourceQuery) -> bool:
+        """True when this source can evaluate ``query``."""
+        return self.model in query.compatible_models()
+
+    def size(self) -> int:
+        """Number of base items (triples, rows, documents) in the source."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(uri={self.uri!r}, size={self.size()})"
+
+
+class RDFSource(DataSource):
+    """Wrapper around an RDF graph source (DBPedia-like, IGN-like, glue)."""
+
+    model = "rdf"
+
+    def __init__(self, source_uri: str, graph: Graph, name: str | None = None,
+                 description: str = "", entailment: bool = False):
+        super().__init__(source_uri, name or graph.name, description)
+        self.graph = graph
+        self.entailment = entailment
+        self._saturated: Graph | None = None
+
+    def _effective_graph(self) -> Graph:
+        if not self.entailment:
+            return self.graph
+        if self._saturated is None or len(self._saturated) < len(self.graph):
+            self._saturated, _ = saturate(self.graph)
+        return self._saturated
+
+    def invalidate(self) -> None:
+        """Forget the cached saturation (call after updating the graph)."""
+        self._saturated = None
+
+    def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
+        if not isinstance(query, RDFQuery):
+            raise MixedQueryError(f"RDF source {self.uri} cannot evaluate {type(query).__name__}")
+        bindings = bindings or {}
+        graph = self._effective_graph()
+        initial: dict[Variable, Term] = {}
+        for variable in query.bgp.variables():
+            if variable.name in bindings:
+                initial[variable] = _to_rdf_term(bindings[variable.name])
+        results = evaluate_bgp(query.bgp, graph, initial_binding=initial)
+        rows: list[Row] = []
+        for result in results:
+            rows.append({v.name: _to_python(t) for v, t in result.items()})
+        return rows
+
+    def estimate(self, query: SourceQuery, bound_variables: set[str] | None = None) -> float:
+        if not isinstance(query, RDFQuery):
+            return float("inf")
+        graph = self._effective_graph()
+        bound_variables = bound_variables or set()
+        estimate = float(len(graph))
+        for p in query.bgp.patterns:
+            estimate = min(estimate, float(graph.count(p)) or 1.0)
+        for variable in query.output_variables() & bound_variables:
+            estimate = max(1.0, estimate / 10.0)
+        return estimate
+
+    def size(self) -> int:
+        return len(self.graph)
+
+
+class RelationalSource(DataSource):
+    """Wrapper around a relational database source (INSEE-like)."""
+
+    model = "relational"
+
+    def __init__(self, source_uri: str, database: Database, name: str | None = None,
+                 description: str = ""):
+        super().__init__(source_uri, name or database.name, description)
+        self.database = database
+
+    def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
+        if not isinstance(query, SQLQuery):
+            raise MixedQueryError(
+                f"relational source {self.uri} cannot evaluate {type(query).__name__}"
+            )
+        bindings = bindings or {}
+        sql = _fill_placeholders(query.sql, bindings, quote=_sql_literal)
+        result = self.database.execute(sql)
+        rows = [dict(zip(result.columns, row)) for row in result.rows]
+        # Post-filter on bindings over output columns the SQL did not consume.
+        filters = {k: v for k, v in bindings.items()
+                   if k in query.output_variables() and k not in query.required_parameters()}
+        if filters:
+            rows = [r for r in rows if all(r.get(k) == v for k, v in filters.items())]
+        return rows
+
+    def estimate(self, query: SourceQuery, bound_variables: set[str] | None = None) -> float:
+        if not isinstance(query, SQLQuery):
+            return float("inf")
+        bound_variables = bound_variables or set()
+        table_names = _referenced_tables(query.sql)
+        estimate = 1.0
+        for table_name in table_names:
+            if self.database.has_table(table_name):
+                estimate *= max(1, len(self.database.table(table_name)))
+        if " where " in query.sql.lower():
+            estimate = max(1.0, estimate / 10.0)
+        for _ in query.output_variables() & bound_variables:
+            estimate = max(1.0, estimate / 10.0)
+        for _ in query.required_parameters():
+            estimate = max(1.0, estimate / 10.0)
+        return estimate
+
+    def size(self) -> int:
+        return sum(len(t) for t in self.database.tables())
+
+
+class FullTextSource(DataSource):
+    """Wrapper around a Solr-like full-text store (tweets, Facebook posts)."""
+
+    model = "fulltext"
+
+    def __init__(self, source_uri: str, store: FullTextStore, name: str | None = None,
+                 description: str = ""):
+        super().__init__(source_uri, name or store.name, description)
+        self.store = store
+
+    def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
+        if not isinstance(query, FullTextQuery):
+            raise MixedQueryError(
+                f"full-text source {self.uri} cannot evaluate {type(query).__name__}"
+            )
+        bindings = bindings or {}
+        text = _fill_placeholders(query.query_template, bindings, quote=_fulltext_literal)
+        result = self.store.search(text, limit=query.limit, sort_by=query.sort_by)
+        fields = query.fields()
+        rows: list[Row] = []
+        for hit in result.hits:
+            row: Row = {}
+            for variable, path in fields.items():
+                if path == "_score":
+                    row[variable] = hit.score
+                else:
+                    row[variable] = _scalarize(hit.get(path))
+            rows.append(row)
+        # Post-filter on bindings over output variables (exact, lowercase-insensitive
+        # for strings, mirroring keyword-field behaviour).
+        filters = {k: v for k, v in bindings.items()
+                   if k in query.output_variables() and k not in query.required_parameters()}
+        if filters:
+            rows = [r for r in rows if all(_loose_equal(r.get(k), v) for k, v in filters.items())]
+        return rows
+
+    def estimate(self, query: SourceQuery, bound_variables: set[str] | None = None) -> float:
+        if not isinstance(query, FullTextQuery):
+            return float("inf")
+        bound_variables = bound_variables or set()
+        if query.limit is not None:
+            base = float(query.limit)
+        else:
+            base = float(len(self.store))
+        template = query.query_template
+        constants = sum(1 for part in template.split()
+                        if ":" in part and "{" not in part and part != "*:*")
+        for _ in range(constants):
+            base = max(1.0, base / 20.0)
+        for _ in query.required_parameters():
+            base = max(1.0, base / 20.0)
+        for _ in query.output_variables() & bound_variables:
+            base = max(1.0, base / 10.0)
+        return base
+
+    def size(self) -> int:
+        return len(self.store)
+
+
+# ---------------------------------------------------------------------------
+# Value conversions
+# ---------------------------------------------------------------------------
+
+def _to_rdf_term(value: object) -> Term:
+    if isinstance(value, (URI, Literal)):
+        return value
+    if isinstance(value, str) and value.startswith(("http://", "https://", "urn:")):
+        return uri(value)
+    return literal(value)
+
+
+def _to_python(term: object) -> object:
+    if isinstance(term, URI):
+        return term.value
+    if isinstance(term, Literal):
+        return term.to_python()
+    return term
+
+
+def _scalarize(value: Any) -> object:
+    if isinstance(value, list):
+        if len(value) == 1:
+            return value[0]
+        return tuple(value)
+    return value
+
+
+def _loose_equal(left: object, right: object) -> bool:
+    if left == right:
+        return True
+    if isinstance(left, str) and isinstance(right, str):
+        return left.lower() == right.lower()
+    if isinstance(left, tuple):
+        return any(_loose_equal(item, right) for item in left)
+    return False
+
+
+def _fill_placeholders(template: str, bindings: Row, quote) -> str:
+    def replace(match: re.Match) -> str:
+        name = match.group(1)
+        if name not in bindings:
+            raise MixedQueryError(
+                f"sub-query parameter {{{name}}} is not bound; required parameters "
+                "must be produced by an earlier sub-query or a constant"
+            )
+        return quote(bindings[name])
+
+    return _PLACEHOLDER_RE.sub(replace, template)
+
+
+def _sql_literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return str(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _fulltext_literal(value: object) -> str:
+    text = str(value)
+    if any(ch.isspace() for ch in text):
+        return f'"{text}"'
+    return text
+
+
+def _infer_sql_outputs(sql: str) -> list[str]:
+    """Best-effort extraction of output column names from a SELECT."""
+    match = re.search(r"select\s+(distinct\s+)?(.*?)\s+from\s", sql, re.IGNORECASE | re.DOTALL)
+    if not match:
+        return []
+    outputs = []
+    for item in _split_top_level(match.group(2)):
+        item = item.strip()
+        alias_match = re.search(r"\s+as\s+([A-Za-z_][\w]*)\s*$", item, re.IGNORECASE)
+        if alias_match:
+            outputs.append(alias_match.group(1))
+            continue
+        if item == "*":
+            continue
+        last = item.split(".")[-1].strip()
+        if all(ch in string.ascii_letters + string.digits + "_" for ch in last):
+            outputs.append(last)
+    return outputs
+
+
+def _split_top_level(text: str) -> list[str]:
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _referenced_tables(sql: str) -> list[str]:
+    return re.findall(r"\b(?:from|join)\s+([A-Za-z_][\w]*)", sql, re.IGNORECASE)

@@ -1,0 +1,94 @@
+"""Deterministic synthetic datasets standing in for the paper's corpus.
+
+The Le Monde / Les Décodeurs collection (1.6M tweets, 10K Facebook posts,
+curated political RDF, INSEE and election databases) is private; these
+generators produce a scaled-down deterministic instance with the same
+join structure and the same topical/temporal behaviour, which is what the
+demonstration scenarios exercise.
+"""
+
+from repro.datasets.insee import build_elections_database, build_insee_database
+from repro.datasets.loader import (
+    DBPEDIA_URI,
+    DemoConfig,
+    DemoInstance,
+    ELECTIONS_URI,
+    FACEBOOK_URI,
+    IGN_URI,
+    INSEE_URI,
+    TWEETS_URI,
+    build_demo_instance,
+    fact_checking_query,
+    party_vocabulary_query,
+    qsia_query,
+    register_demo_templates,
+)
+from repro.datasets.politicians import (
+    Party,
+    PoliticalLandscape,
+    Politician,
+    build_glue_graph,
+    build_schema,
+    generate_landscape,
+    generate_parties,
+    generate_politicians,
+)
+from repro.datasets.rdf_sources import build_dbpedia_graph, build_ign_graph
+from repro.datasets.tweets import (
+    TweetGeneratorConfig,
+    figure2_example_tweet,
+    generate_facebook_posts,
+    generate_tweets,
+)
+from repro.datasets.vocabulary import (
+    AGRICULTURE,
+    DEPARTMENTS,
+    PARTIES_BY_GROUP,
+    POLITICAL_GROUPS,
+    STATE_OF_EMERGENCY,
+    TOPICS,
+    Topic,
+    TopicPhase,
+    UNEMPLOYMENT,
+)
+
+__all__ = [
+    "build_elections_database",
+    "build_insee_database",
+    "DBPEDIA_URI",
+    "DemoConfig",
+    "DemoInstance",
+    "ELECTIONS_URI",
+    "FACEBOOK_URI",
+    "IGN_URI",
+    "INSEE_URI",
+    "TWEETS_URI",
+    "build_demo_instance",
+    "fact_checking_query",
+    "party_vocabulary_query",
+    "qsia_query",
+    "register_demo_templates",
+    "Party",
+    "PoliticalLandscape",
+    "Politician",
+    "build_glue_graph",
+    "build_schema",
+    "generate_landscape",
+    "generate_parties",
+    "generate_politicians",
+    "build_dbpedia_graph",
+    "build_ign_graph",
+    "TweetGeneratorConfig",
+    "figure2_example_tweet",
+    "generate_facebook_posts",
+    "generate_tweets",
+    "AGRICULTURE",
+    "DEPARTMENTS",
+    "PARTIES_BY_GROUP",
+    "POLITICAL_GROUPS",
+    "STATE_OF_EMERGENCY",
+    "TOPICS",
+    "Topic",
+    "TopicPhase",
+    "UNEMPLOYMENT",
+]

@@ -1,0 +1,159 @@
+"""Synthetic INSEE-like and Ministry-of-Interior-like relational sources.
+
+The paper's mediator ships SQL sub-queries to "relational curated
+databases, such as those provided by INSEE ... or the Ministry of
+Interior, which compiles detailed results of national and regional
+elections", and mentions the INSEE table "Production and value-added of
+the agriculture in 2015".  These generators build deterministic databases
+of that shape, keyed by the department codes that also appear in the
+IGN-like RDF source and in the glue graph (the repeated values the
+integration exploits).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.datasets.politicians import Politician
+from repro.datasets.vocabulary import AGRICULTURAL_PRODUCTS, DEPARTMENTS, POLITICAL_GROUPS
+from repro.relational.database import Database
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.types import DataType
+
+
+def build_insee_database(seed: int = 5, years: Sequence[int] = (2014, 2015)) -> Database:
+    """Build the INSEE-like database (departments, population, unemployment, agriculture)."""
+    rng = random.Random(seed)
+    database = Database(name="insee")
+
+    departments = TableSchema(
+        name="departments",
+        columns=[
+            Column("code", DataType.TEXT, nullable=False),
+            Column("name", DataType.TEXT, nullable=False),
+            Column("region", DataType.TEXT, nullable=False),
+            Column("population", DataType.INTEGER),
+        ],
+        primary_key="code",
+    )
+    table = database.create_table(departments)
+    for code, name, region in DEPARTMENTS:
+        table.insert({"code": code, "name": name, "region": region,
+                      "population": 250_000 + rng.randrange(2_000_000)})
+
+    unemployment = TableSchema(
+        name="unemployment",
+        columns=[
+            Column("dept_code", DataType.TEXT, nullable=False),
+            Column("year", DataType.INTEGER, nullable=False),
+            Column("quarter", DataType.INTEGER, nullable=False),
+            Column("rate", DataType.FLOAT, nullable=False),
+        ],
+        foreign_keys=[ForeignKey("dept_code", "departments", "code")],
+    )
+    table = database.create_table(unemployment)
+    for code, _, _ in DEPARTMENTS:
+        base_rate = 7.0 + rng.random() * 6.0
+        for year in years:
+            for quarter in range(1, 5):
+                drift = (year - years[0]) * 0.3 + (quarter - 1) * 0.05
+                table.insert({"dept_code": code, "year": year, "quarter": quarter,
+                              "rate": round(base_rate + drift + rng.uniform(-0.4, 0.4), 2)})
+
+    agriculture = TableSchema(
+        name="agriculture_production",
+        columns=[
+            Column("region", DataType.TEXT, nullable=False),
+            Column("product", DataType.TEXT, nullable=False),
+            Column("year", DataType.INTEGER, nullable=False),
+            Column("production_millions_eur", DataType.FLOAT, nullable=False),
+            Column("value_added_millions_eur", DataType.FLOAT, nullable=False),
+        ],
+    )
+    table = database.create_table(agriculture)
+    regions = sorted({region for _, _, region in DEPARTMENTS})
+    for region in regions:
+        for product in AGRICULTURAL_PRODUCTS:
+            for year in years:
+                production = round(rng.uniform(50, 900), 1)
+                table.insert({
+                    "region": region, "product": product, "year": year,
+                    "production_millions_eur": production,
+                    "value_added_millions_eur": round(production * rng.uniform(0.25, 0.5), 1),
+                })
+
+    # A small registry of thematic open-data endpoints: the fact-checking
+    # scenario discovers the source for a topic from this table at run time
+    # (dynamic source discovery, paper §1 "the address of a relational
+    # database is found in an INSEE table").
+    datasets = TableSchema(
+        name="open_datasets",
+        columns=[
+            Column("topic", DataType.TEXT, nullable=False),
+            Column("title", DataType.TEXT, nullable=False),
+            Column("source_uri", DataType.TEXT, nullable=False),
+            Column("table_name", DataType.TEXT, nullable=False),
+        ],
+        primary_key="topic",
+    )
+    table = database.create_table(datasets)
+    table.insert({"topic": "chomage", "title": "Taux de chomage localises",
+                  "source_uri": "sql://insee", "table_name": "unemployment"})
+    table.insert({"topic": "agriculture", "title": "Production agricole 2015",
+                  "source_uri": "sql://insee", "table_name": "agriculture_production"})
+    table.insert({"topic": "elections", "title": "Resultats electoraux",
+                  "source_uri": "sql://elections", "table_name": "results"})
+    return database
+
+
+def build_elections_database(politicians: Sequence[Politician], seed: int = 9,
+                             year: int = 2015) -> Database:
+    """Build the Ministry-of-Interior-like database of regional election results."""
+    rng = random.Random(seed)
+    database = Database(name="elections")
+
+    results = TableSchema(
+        name="results",
+        columns=[
+            Column("dept_code", DataType.TEXT, nullable=False),
+            Column("year", DataType.INTEGER, nullable=False),
+            Column("round", DataType.INTEGER, nullable=False),
+            Column("political_group", DataType.TEXT, nullable=False),
+            Column("votes", DataType.INTEGER, nullable=False),
+            Column("share", DataType.FLOAT, nullable=False),
+        ],
+    )
+    table = database.create_table(results)
+    for code, _, _ in DEPARTMENTS:
+        for round_number in (1, 2):
+            weights = [rng.random() + 0.2 for _ in POLITICAL_GROUPS]
+            total_votes = 100_000 + rng.randrange(400_000)
+            weight_sum = sum(weights)
+            for group, weight in zip(POLITICAL_GROUPS, weights):
+                votes = int(total_votes * weight / weight_sum)
+                table.insert({"dept_code": code, "year": year, "round": round_number,
+                              "political_group": group, "votes": votes,
+                              "share": round(100.0 * weight / weight_sum, 2)})
+
+    candidates = TableSchema(
+        name="candidates",
+        columns=[
+            Column("candidate_name", DataType.TEXT, nullable=False),
+            Column("dept_code", DataType.TEXT, nullable=False),
+            Column("political_group", DataType.TEXT, nullable=False),
+            Column("year", DataType.INTEGER, nullable=False),
+            Column("elected", DataType.BOOLEAN, nullable=False),
+        ],
+        foreign_keys=[ForeignKey("dept_code", "results", "dept_code")],
+    )
+    table = database.create_table(candidates)
+    for politician in politicians:
+        table.insert({
+            "candidate_name": politician.name,
+            "dept_code": politician.birth_department,
+            "political_group": politician.group,
+            "year": year,
+            "elected": rng.random() < 0.55,
+        })
+    return database

@@ -1,0 +1,186 @@
+"""Synthetic tweet and Facebook-post generation.
+
+Tweets follow the JSON shape of the paper's Figure 2 (``created_at``,
+``id``, ``text``, nested ``user`` object, ``retweet_count``,
+``favorite_count``, ``entities.hashtags``).  The generator is
+deterministic (seeded) and topic-aware: each tweet mixes its topic's
+shared vocabulary, the vocabulary of the week's phase, the author group's
+slant and neutral filler, so per-group weekly PMI rankings reproduce the
+discourse drift of Figure 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from datetime import date, datetime, timedelta
+from typing import Iterable, Sequence
+
+from repro.datasets.politicians import Politician
+from repro.datasets.vocabulary import FILLER_TERMS, STATE_OF_EMERGENCY, Topic
+
+#: Default start date of the synthetic collection (the paper's corpus starts
+#: in June 2015; the state-of-emergency weeks start mid-November 2015).
+DEFAULT_START = date(2015, 11, 16)
+
+
+@dataclass
+class TweetGeneratorConfig:
+    """Knobs of the synthetic tweet generator."""
+
+    topic: Topic = field(default_factory=lambda: STATE_OF_EMERGENCY)
+    weeks: int = 4
+    tweets_per_politician_per_week: float = 3.0
+    start: date = DEFAULT_START
+    hashtag_probability: float = 0.75
+    off_topic_probability: float = 0.2
+    words_per_tweet: int = 14
+    seed: int = 7
+
+
+def generate_tweets(politicians: Sequence[Politician],
+                    config: TweetGeneratorConfig | None = None) -> list[dict]:
+    """Generate Figure-2-shaped tweet documents for ``politicians``."""
+    config = config or TweetGeneratorConfig()
+    rng = random.Random(config.seed)
+    tweets: list[dict] = []
+    tweet_id = 464_244_000_000_000_000
+    for week_index in range(config.weeks):
+        phase = config.topic.phases[min(week_index, len(config.topic.phases) - 1)]
+        week_start = config.start + timedelta(weeks=week_index)
+        for politician in politicians:
+            expected = config.tweets_per_politician_per_week * politician.activity
+            count = _poisson(rng, expected)
+            for _ in range(count):
+                tweet_id += rng.randrange(1, 5000)
+                moment = datetime.combine(week_start, datetime.min.time()) + timedelta(
+                    days=rng.randrange(7), hours=rng.randrange(7, 23), minutes=rng.randrange(60)
+                )
+                off_topic = rng.random() < config.off_topic_probability
+                text, hashtags = _compose_text(rng, config, politician.group, phase.label,
+                                               week_index, off_topic)
+                tweets.append({
+                    "id": tweet_id,
+                    "created_at": moment.strftime("%Y-%m-%dT%H:%M:%S"),
+                    "week": f"{week_start.isocalendar()[0]}-W{week_start.isocalendar()[1]:02d}",
+                    "text": text,
+                    "user": {
+                        "id": int(politician.politician_id[3:]),
+                        "name": politician.name,
+                        "screen_name": politician.twitter_account,
+                        "description": f"{politician.position} - {politician.group}",
+                        "followers_count": politician.followers,
+                    },
+                    "retweet_count": _engagement(rng, politician.followers),
+                    "favorite_count": _engagement(rng, politician.followers, scale=0.6),
+                    "entities": {"hashtags": hashtags, "urls": []},
+                    "group": politician.group,
+                    "party_id": politician.party_id,
+                })
+    return tweets
+
+
+def generate_facebook_posts(politicians: Sequence[Politician], topic: Topic | None = None,
+                            posts_per_politician: int = 3, seed: int = 11,
+                            start: date = DEFAULT_START) -> list[dict]:
+    """Generate Facebook-post documents (longer texts, like/share/comment counts)."""
+    topic = topic or STATE_OF_EMERGENCY
+    rng = random.Random(seed)
+    posts: list[dict] = []
+    post_id = 900_000_000
+    for politician in politicians:
+        for index in range(posts_per_politician):
+            post_id += rng.randrange(1, 900)
+            phase = topic.phases[min(index, len(topic.phases) - 1)]
+            sentences = []
+            for _ in range(3):
+                words = _pick_words(rng, topic, politician.group, phase.label, count=12)
+                sentences.append(" ".join(words).capitalize() + ".")
+            moment = datetime.combine(start, datetime.min.time()) + timedelta(
+                weeks=index, days=rng.randrange(7), hours=rng.randrange(8, 22)
+            )
+            posts.append({
+                "id": post_id,
+                "author": politician.facebook_account,
+                "page_id": f"page_{politician.politician_id.lower()}",
+                "created_at": moment.strftime("%Y-%m-%dT%H:%M:%S"),
+                "message": " ".join(sentences),
+                "likes": _engagement(rng, politician.followers, scale=1.5),
+                "shares": _engagement(rng, politician.followers, scale=0.4),
+                "comments": _engagement(rng, politician.followers, scale=0.3),
+                "group": politician.group,
+            })
+    return posts
+
+
+def figure2_example_tweet() -> dict:
+    """The tweet of the paper's Figure 2, as a document of our store schema."""
+    return {
+        "created_at": "2016-03-01T03:42:31",
+        "id": 464244242167342513,
+        "text": ("Je suis là aujourd'hui pour montrer qu'il y a une solidarité nationale. "
+                 "En défendant l'agriculture ... #SIA2016"),
+        "user": {
+            "id": 483794260,
+            "name": "François Hollande",
+            "screen_name": "fhollande",
+            "description": "Président de la République française",
+            "followers_count": 1502835,
+        },
+        "retweet_count": 469,
+        "favorite_count": 883,
+        "entities": {"hashtags": ["SIA2016"], "urls": []},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Internal helpers
+# ---------------------------------------------------------------------------
+
+def _compose_text(rng: random.Random, config: TweetGeneratorConfig, group: str,
+                  phase_label: str, week_index: int, off_topic: bool) -> tuple[str, list[str]]:
+    topic = config.topic
+    if off_topic:
+        words = [rng.choice(FILLER_TERMS) for _ in range(config.words_per_tweet)]
+        return " ".join(words), []
+    words = _pick_words(rng, topic, group, phase_label, count=config.words_per_tweet)
+    hashtags = []
+    if rng.random() < config.hashtag_probability:
+        hashtags.append(topic.hashtag)
+        words.append(f"#{topic.hashtag}")
+    return " ".join(words), hashtags
+
+
+def _pick_words(rng: random.Random, topic: Topic, group: str, phase_label: str,
+                count: int) -> list[str]:
+    phase = next((p for p in topic.phases if p.label == phase_label), topic.phases[0])
+    group_slant = topic.group_terms.get(group, ())
+    words: list[str] = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.35 and phase.core_terms:
+            words.append(rng.choice(phase.core_terms))
+        elif roll < 0.6 and group_slant:
+            words.append(rng.choice(group_slant))
+        elif roll < 0.85:
+            words.append(rng.choice(topic.shared_terms))
+        else:
+            words.append(rng.choice(FILLER_TERMS))
+    return words
+
+
+def _engagement(rng: random.Random, followers: int, scale: float = 1.0) -> int:
+    base = max(1.0, followers / 300.0)
+    return int(rng.expovariate(1.0 / (base * scale + 1.0)))
+
+
+def _poisson(rng: random.Random, expected: float) -> int:
+    """Small-λ Poisson sampling (Knuth's algorithm)."""
+    if expected <= 0:
+        return 0
+    limit = pow(2.718281828459045, -expected)
+    count, product = 0, rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count

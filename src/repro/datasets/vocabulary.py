@@ -1,0 +1,225 @@
+"""Topic vocabularies and political taxonomy for the synthetic corpus.
+
+The paper's demonstration dataset (tweets of ~4,500 French politicians,
+Facebook posts, a glue graph of parties and currents) is private; the
+generators in :mod:`repro.datasets` replace it with a deterministic
+synthetic corpus.  This module holds the *content* driving that corpus:
+
+* the political groups (currents) used for Figure 3's colour coding and
+  their synthetic parties;
+* the state-of-emergency topic with its four weekly phases — factual,
+  institutional, objections, vigilance — so the weekly PMI tag clouds
+  reproduce the discourse drift the paper describes;
+* the #SIA2016 agriculture topic (scenario qSIA) and an unemployment
+  topic (fact-checking scenario), plus neutral filler vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Political groups (currents), matching the colour legend of Figure 3.
+POLITICAL_GROUPS = ("extreme-left", "left", "ecologists", "center", "right", "extreme-right")
+
+#: Synthetic parties per group.  Names are fictitious but French-flavoured.
+PARTIES_BY_GROUP = {
+    "extreme-left": ("Parti Ouvrier Uni", "Gauche Insoumise"),
+    "left": ("Parti Social Republicain", "Mouvement Progressiste"),
+    "ecologists": ("Europe Verte", "Alliance Ecologique"),
+    "center": ("Union du Centre",),
+    "right": ("Rassemblement Republicain", "Droite Populaire"),
+    "extreme-right": ("Front National Uni",),
+}
+
+#: European Parliament group affiliation per current (glue-graph content the
+#: paper mentions journalists curate by hand).
+EUROPEAN_GROUPS = {
+    "extreme-left": "GUE/NGL",
+    "left": "S&D",
+    "ecologists": "Greens/EFA",
+    "center": "ALDE",
+    "right": "EPP",
+    "extreme-right": "ENF",
+}
+
+
+@dataclass(frozen=True)
+class TopicPhase:
+    """One temporal phase of a topic: a week index and its core vocabulary."""
+
+    week: int
+    label: str
+    core_terms: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Topic:
+    """A discussion topic: hashtag, shared vocabulary, phases and group slants."""
+
+    name: str
+    hashtag: str
+    shared_terms: tuple[str, ...]
+    phases: tuple[TopicPhase, ...]
+    group_terms: dict[str, tuple[str, ...]]
+
+
+#: The state-of-emergency topic (Figure 3): four weekly phases.
+STATE_OF_EMERGENCY = Topic(
+    name="state_of_emergency",
+    hashtag="EtatDurgence",
+    shared_terms=(
+        "urgence", "securite", "attentats", "france", "nation", "mesures",
+        "police", "terrorisme",
+    ),
+    phases=(
+        TopicPhase(week=0, label="factual", core_terms=(
+            "attaques", "victimes", "hommage", "deuil", "solidarite", "soutien",
+            "emotion", "paris",
+        )),
+        TopicPhase(week=1, label="institutional", core_terms=(
+            "parlement", "vote", "prolongation", "constitution", "assemblee",
+            "loi", "gouvernement", "etat",
+        )),
+        TopicPhase(week=2, label="objections", core_terms=(
+            "abus", "exces", "risque", "perquisitions", "libertes", "derives",
+            "controle", "assignations",
+        )),
+        TopicPhase(week=3, label="vigilance", core_terms=(
+            "vigilance", "controle", "equilibre", "justice", "transparence",
+            "garanties", "evaluation", "sortie",
+        )),
+    ),
+    group_terms={
+        "extreme-left": ("repression", "injustice", "mobilisation", "resistance"),
+        "left": ("responsabilite", "unite", "protection", "republique"),
+        "ecologists": ("libertes", "derives", "proportionnalite", "surveillance"),
+        "center": ("equilibre", "dialogue", "pragmatisme", "efficacite"),
+        "right": ("fermete", "autorite", "frontieres", "ordre"),
+        "extreme-right": ("immigration", "frontieres", "laxisme", "expulsion"),
+    },
+)
+
+#: The agriculture fair topic (#SIA2016) behind the qSIA scenario.
+AGRICULTURE = Topic(
+    name="agriculture",
+    hashtag="SIA2016",
+    shared_terms=(
+        "agriculture", "agriculteurs", "salon", "elevage", "prix", "crise",
+        "filiere", "terroir",
+    ),
+    phases=(
+        TopicPhase(week=0, label="visit", core_terms=(
+            "solidarite", "nationale", "soutien", "eleveurs", "visite", "rencontre",
+        )),
+        TopicPhase(week=1, label="prices", core_terms=(
+            "prix", "remuneration", "grande", "distribution", "negociations", "revenu",
+        )),
+        TopicPhase(week=2, label="europe", core_terms=(
+            "europe", "pac", "aides", "bruxelles", "quotas", "concurrence",
+        )),
+        TopicPhase(week=3, label="transition", core_terms=(
+            "bio", "transition", "circuits", "courts", "environnement", "qualite",
+        )),
+    ),
+    group_terms={
+        "extreme-left": ("exploitation", "cooperatives", "speculation", "dumping"),
+        "left": ("regulation", "revenu", "protection", "solidarite"),
+        "ecologists": ("bio", "pesticides", "environnement", "circuits"),
+        "center": ("innovation", "competitivite", "exportations", "modernisation"),
+        "right": ("charges", "normes", "simplification", "entreprises"),
+        "extreme-right": ("importations", "frontieres", "patriotisme", "etiquetage"),
+    },
+)
+
+#: The unemployment topic behind the fact-checking scenario.
+UNEMPLOYMENT = Topic(
+    name="unemployment",
+    hashtag="chomage",
+    shared_terms=(
+        "chomage", "emploi", "travail", "economie", "croissance", "entreprises",
+        "formation", "jeunes",
+    ),
+    phases=(
+        TopicPhase(week=0, label="figures", core_terms=(
+            "chiffres", "baisse", "hausse", "statistiques", "insee", "courbe",
+        )),
+        TopicPhase(week=1, label="policy", core_terms=(
+            "reforme", "plan", "mesures", "apprentissage", "embauche", "aides",
+        )),
+        TopicPhase(week=2, label="debate", core_terms=(
+            "debat", "bilan", "promesses", "resultats", "verite", "factcheck",
+        )),
+        TopicPhase(week=3, label="regions", core_terms=(
+            "territoires", "regions", "departements", "inegalites", "ruralite", "metropoles",
+        )),
+    ),
+    group_terms={
+        "extreme-left": ("precarite", "salaires", "services", "publics"),
+        "left": ("formation", "securisation", "accompagnement", "dialogue"),
+        "ecologists": ("transition", "verts", "reconversion", "durable"),
+        "center": ("flexibilite", "apprentissage", "simplification", "mobilite"),
+        "right": ("charges", "competitivite", "travail", "assistanat"),
+        "extreme-right": ("priorite", "nationale", "frontieres", "delocalisations"),
+    },
+)
+
+#: All predefined topics, by name.
+TOPICS = {topic.name: topic for topic in (STATE_OF_EMERGENCY, AGRICULTURE, UNEMPLOYMENT)}
+
+#: Neutral filler words mixed into every tweet.
+FILLER_TERMS = (
+    "aujourd'hui", "direct", "reunion", "deplacement", "interview", "merci",
+    "rendez-vous", "debat", "soutien", "travail", "projet", "annonce",
+    "conference", "presse", "territoire", "citoyens",
+)
+
+#: French first names / last names used to build politician identities.
+FIRST_NAMES = (
+    "Francois", "Marine", "Nicolas", "Anne", "Jean", "Claire", "Pierre",
+    "Sophie", "Michel", "Julie", "Alain", "Camille", "Bruno", "Elise",
+    "Laurent", "Nadia", "Olivier", "Manon", "Philippe", "Lea",
+)
+
+LAST_NAMES = (
+    "Hollier", "Lepen", "Sarkon", "Duval", "Moreau", "Petit", "Lambert",
+    "Rousseau", "Garnier", "Chevalier", "Fontaine", "Dupont", "Leroy",
+    "Marchand", "Gauthier", "Perrin", "Renard", "Colin", "Bertrand", "Masson",
+)
+
+#: Department codes and names (a representative subset of the French ones),
+#: reused as join keys across the IGN-like RDF source and the INSEE tables
+#: ("common naming for machines", paper §1).
+DEPARTMENTS = (
+    ("01", "Ain", "Auvergne-Rhone-Alpes"),
+    ("06", "Alpes-Maritimes", "Provence-Alpes-Cote d'Azur"),
+    ("13", "Bouches-du-Rhone", "Provence-Alpes-Cote d'Azur"),
+    ("29", "Finistere", "Bretagne"),
+    ("31", "Haute-Garonne", "Occitanie"),
+    ("33", "Gironde", "Nouvelle-Aquitaine"),
+    ("34", "Herault", "Occitanie"),
+    ("35", "Ille-et-Vilaine", "Bretagne"),
+    ("38", "Isere", "Auvergne-Rhone-Alpes"),
+    ("44", "Loire-Atlantique", "Pays de la Loire"),
+    ("59", "Nord", "Hauts-de-France"),
+    ("62", "Pas-de-Calais", "Hauts-de-France"),
+    ("67", "Bas-Rhin", "Grand Est"),
+    ("69", "Rhone", "Auvergne-Rhone-Alpes"),
+    ("75", "Paris", "Ile-de-France"),
+    ("76", "Seine-Maritime", "Normandie"),
+    ("77", "Seine-et-Marne", "Ile-de-France"),
+    ("92", "Hauts-de-Seine", "Ile-de-France"),
+    ("93", "Seine-Saint-Denis", "Ile-de-France"),
+    ("94", "Val-de-Marne", "Ile-de-France"),
+)
+
+#: Agricultural products for the INSEE "production of agriculture" table.
+AGRICULTURAL_PRODUCTS = (
+    "cereales", "vins", "lait", "bovins", "porcins", "volailles", "fruits",
+    "legumes", "betteraves", "oleagineux",
+)
+
+#: Positions politicians may hold (the glue graph's ``position`` property).
+POSITIONS = (
+    "headOfState", "primeMinister", "minister", "deputy", "senator", "mayor",
+    "regionalCouncillor", "partyLeader", "europeanDeputy",
+)

@@ -1,0 +1,216 @@
+"""Digest graphs: the structural + value-set summaries of sources.
+
+The paper views all digests "as directed graphs (e.g., for a relational
+database, there is one node per attribute, one edge per key-foreign key
+constraint, etc.), and to each node we attach the representation of the
+set of data values corresponding to it" (§2.2).
+
+A :class:`SourceDigest` is the digest of one source; a
+:class:`DigestCatalog` gathers the digests of every source of a mixed
+instance plus the *cross-source join edges* discovered by probing value
+sets against each other — those edges are what the keyword engine's
+shortest join paths traverse to bridge sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+import networkx as nx
+
+from repro.digest.valueset import ValueSetSummary
+from repro.errors import DigestError
+
+
+@dataclass(frozen=True)
+class DigestNode:
+    """One value position of a source digest.
+
+    ``container`` identifies the record/entity the position belongs to
+    (table name, document collection, RDF summary class), ``position`` the
+    attribute / field path / property within that container.
+    """
+
+    source_uri: str
+    container: str
+    position: str
+    kind: str  # "column" | "field" | "rdf-property" | "rdf-class"
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.source_uri, self.container, self.position)
+
+    def label(self) -> str:
+        """Short human-readable label."""
+        return f"{self.container}.{self.position}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.source_uri}::{self.container}.{self.position}"
+
+
+@dataclass(frozen=True)
+class DigestEdge:
+    """A directed edge of a digest graph."""
+
+    source: DigestNode
+    target: DigestNode
+    kind: str  # "same-container" | "foreign-key" | "reference" | "join-candidate"
+    weight: float = 1.0
+
+
+@dataclass
+class SourceDigest:
+    """The digest of one data source."""
+
+    source_uri: str
+    model: str
+    nodes: list[DigestNode] = field(default_factory=list)
+    edges: list[DigestEdge] = field(default_factory=list)
+    value_sets: dict[tuple[str, str, str], ValueSetSummary] = field(default_factory=dict)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add_node(self, node: DigestNode, values: ValueSetSummary | None = None) -> DigestNode:
+        """Register a node and (optionally) its value-set summary."""
+        self.nodes.append(node)
+        if values is not None:
+            self.value_sets[node.key] = values
+        return node
+
+    def add_edge(self, source: DigestNode, target: DigestNode, kind: str,
+                 weight: float = 1.0) -> DigestEdge:
+        """Register an intra-source edge."""
+        edge = DigestEdge(source=source, target=target, kind=kind, weight=weight)
+        self.edges.append(edge)
+        return edge
+
+    def node(self, container: str, position: str) -> DigestNode:
+        """Return the node for ``container.position``."""
+        for candidate in self.nodes:
+            if candidate.container == container and candidate.position == position:
+                return candidate
+        raise DigestError(
+            f"digest of {self.source_uri!r} has no node {container}.{position}"
+        )
+
+    def values_of(self, node: DigestNode) -> ValueSetSummary | None:
+        """Return the value-set summary attached to ``node`` (if any)."""
+        return self.value_sets.get(node.key)
+
+    def lookup_keyword(self, keyword: str) -> list[DigestNode]:
+        """Nodes whose value set or whose name matches ``keyword``."""
+        matches = []
+        needle = keyword.strip().lower()
+        for node in self.nodes:
+            values = self.value_sets.get(node.key)
+            if values is not None and values.matches_keyword(keyword):
+                matches.append(node)
+                continue
+            if needle and (needle in node.position.lower() or needle in node.container.lower()):
+                matches.append(node)
+        return matches
+
+    def size_in_bytes(self) -> int:
+        """Approximate memory footprint of all value-set summaries."""
+        return sum(summary.stats().bytes_used for summary in self.value_sets.values())
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class DigestCatalog:
+    """All source digests of a mixed instance plus cross-source join edges."""
+
+    def __init__(self) -> None:
+        self.digests: dict[str, SourceDigest] = {}
+        self.join_edges: list[DigestEdge] = []
+
+    # ------------------------------------------------------------------
+    def add(self, digest: SourceDigest) -> SourceDigest:
+        """Register the digest of one source."""
+        self.digests[digest.source_uri] = digest
+        return digest
+
+    def digest(self, source_uri: str) -> SourceDigest:
+        """Return the digest of ``source_uri``."""
+        if source_uri not in self.digests:
+            raise DigestError(f"no digest built for source {source_uri!r}")
+        return self.digests[source_uri]
+
+    def all_nodes(self) -> Iterator[DigestNode]:
+        """Every node of every digest."""
+        for digest in self.digests.values():
+            yield from digest.nodes
+
+    def values_of(self, node: DigestNode) -> ValueSetSummary | None:
+        """Value-set summary of ``node`` wherever it lives."""
+        digest = self.digests.get(node.source_uri)
+        return digest.values_of(node) if digest else None
+
+    # ------------------------------------------------------------------
+    # Cross-source join discovery
+    # ------------------------------------------------------------------
+    def discover_join_edges(self, min_overlap: float = 0.05,
+                            max_pairs: int | None = None) -> list[DigestEdge]:
+        """Probe value sets across sources and record join-candidate edges.
+
+        Two positions from *different* sources are connected when a sample
+        of one side's values hits the other side's value summary with
+        frequency at least ``min_overlap``.  The edge weight is
+        ``1 - overlap`` so that stronger joins yield shorter paths.
+        """
+        self.join_edges = []
+        nodes = [n for n in self.all_nodes() if self.values_of(n) is not None]
+        pairs_checked = 0
+        for i, left in enumerate(nodes):
+            for right in nodes[i + 1:]:
+                if left.source_uri == right.source_uri:
+                    continue
+                if max_pairs is not None and pairs_checked >= max_pairs:
+                    return self.join_edges
+                pairs_checked += 1
+                left_values = self.values_of(left)
+                right_values = self.values_of(right)
+                if left_values is None or right_values is None:
+                    continue
+                overlap = max(left_values.overlap_estimate(right_values),
+                              right_values.overlap_estimate(left_values))
+                if overlap >= min_overlap:
+                    # Stronger overlap and more identifier-like positions
+                    # (many distinct values) make better join keys, hence
+                    # shorter path weights.
+                    distinct = min(left_values.distinct_values, right_values.distinct_values)
+                    weight = max(0.05, 1.0 - overlap) + 1.0 / (1.0 + distinct)
+                    self.join_edges.append(DigestEdge(source=left, target=right,
+                                                      kind="join-candidate", weight=weight))
+        return self.join_edges
+
+    # ------------------------------------------------------------------
+    # Graph view
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> "nx.Graph":
+        """Build the combined (undirected) digest graph for path search."""
+        graph = nx.Graph()
+        for digest in self.digests.values():
+            for node in digest.nodes:
+                graph.add_node(node)
+            for edge in digest.edges:
+                graph.add_edge(edge.source, edge.target, weight=edge.weight, kind=edge.kind)
+        for edge in self.join_edges:
+            graph.add_edge(edge.source, edge.target, weight=edge.weight, kind=edge.kind)
+        return graph
+
+    def lookup_keyword(self, keyword: str) -> list[DigestNode]:
+        """Nodes of any digest matching ``keyword``."""
+        matches: list[DigestNode] = []
+        for digest in self.digests.values():
+            matches.extend(digest.lookup_keyword(keyword))
+        return matches
+
+    def total_size_in_bytes(self) -> int:
+        """Total footprint of every digest's value summaries."""
+        return sum(d.size_in_bytes() for d in self.digests.values())
+
+    def __len__(self) -> int:
+        return len(self.digests)

@@ -1,0 +1,117 @@
+"""Histograms for digest value sets (numeric and categorical)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass
+class Bucket:
+    """One equi-width histogram bucket ``[low, high)`` (last bucket closed)."""
+
+    low: float
+    high: float
+    count: int = 0
+
+
+class EquiWidthHistogram:
+    """Equi-width histogram over numeric values."""
+
+    def __init__(self, values: Sequence[float], buckets: int = 16):
+        cleaned = [float(v) for v in values if v is not None]
+        self.total = len(cleaned)
+        self.buckets: list[Bucket] = []
+        if not cleaned:
+            self.low = 0.0
+            self.high = 0.0
+            return
+        self.low = min(cleaned)
+        self.high = max(cleaned)
+        buckets = max(1, buckets)
+        width = (self.high - self.low) / buckets or 1.0
+        self.buckets = [Bucket(self.low + i * width, self.low + (i + 1) * width)
+                        for i in range(buckets)]
+        for value in cleaned:
+            index = min(int((value - self.low) / width), buckets - 1)
+            self.buckets[index].count += 1
+
+    def estimate_range(self, low: float | None, high: float | None) -> float:
+        """Estimated number of values in ``[low, high]`` (linear interpolation)."""
+        if not self.buckets or self.total == 0:
+            return 0.0
+        low = self.low if low is None else low
+        high = self.high if high is None else high
+        if high < low:
+            return 0.0
+        if high == low:
+            # Point estimate: the count of the bucket containing the value.
+            for bucket in self.buckets:
+                if bucket.low <= low < bucket.high or (low == self.high and bucket is self.buckets[-1]):
+                    return float(bucket.count)
+            return 0.0
+        estimate = 0.0
+        for bucket in self.buckets:
+            overlap_low = max(low, bucket.low)
+            overlap_high = min(high, bucket.high)
+            if overlap_high <= overlap_low:
+                continue
+            width = bucket.high - bucket.low or 1.0
+            estimate += bucket.count * (overlap_high - overlap_low) / width
+        return min(estimate, float(self.total))
+
+    def estimate_selectivity(self, low: float | None, high: float | None) -> float:
+        """Estimated fraction of values falling in ``[low, high]``."""
+        if self.total == 0:
+            return 0.0
+        return self.estimate_range(low, high) / self.total
+
+    def might_contain(self, value: float) -> bool:
+        """True when ``value`` falls in a non-empty bucket."""
+        if not self.buckets:
+            return False
+        if value < self.low or value > self.high:
+            return False
+        for bucket in self.buckets:
+            if bucket.low <= value < bucket.high or (value == self.high and bucket is self.buckets[-1]):
+                return bucket.count > 0
+        return False
+
+    def size_in_bytes(self) -> int:
+        """Approximate memory footprint (3 floats per bucket)."""
+        return 24 * len(self.buckets) + 24
+
+
+class TopKSummary:
+    """Most frequent values of a categorical position, with their counts."""
+
+    def __init__(self, values: Iterable[object], k: int = 20):
+        counter = Counter(str(v).strip().lower() for v in values if v is not None)
+        self.total = sum(counter.values())
+        self.k = k
+        self.entries: list[tuple[str, int]] = counter.most_common(k)
+        self.distinct = len(counter)
+
+    def frequency(self, value: object) -> int:
+        """Observed count of ``value`` if it is among the top-k, else 0."""
+        needle = str(value).strip().lower()
+        for entry, count in self.entries:
+            if entry == needle:
+                return count
+        return 0
+
+    def contains(self, value: object) -> bool:
+        """True when ``value`` is one of the recorded top-k values."""
+        return self.frequency(value) > 0
+
+    def estimate_equality_selectivity(self, value: object) -> float:
+        """Selectivity estimate of an equality predicate on ``value``."""
+        if self.total == 0:
+            return 0.0
+        frequency = self.frequency(value)
+        if frequency:
+            return frequency / self.total
+        remaining = max(self.distinct - len(self.entries), 1)
+        covered = sum(count for _, count in self.entries)
+        return max(0.0, (self.total - covered) / remaining / self.total)

@@ -1,0 +1,200 @@
+"""Value-set representations attached to digest positions.
+
+Every position of a source digest (an attribute, a document field path, an
+RDF property) carries "a representation of the set of atomic values ...
+associated to each position in the schema" (paper §2.2).  A
+:class:`ValueSetSummary` combines:
+
+* an exact sample (kept whole when the value set is small),
+* a Bloom filter over normalised values and over their individual tokens,
+* an equi-width histogram when the values are numeric,
+* a top-k frequency summary for categorical selectivity estimation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.digest.bloom import BloomFilter
+from repro.digest.histogram import EquiWidthHistogram, TopKSummary
+
+_WORD_RE = re.compile(r"[\w]+", re.UNICODE)
+
+#: Value sets at most this large are also kept exactly.
+EXACT_SET_LIMIT = 512
+
+
+@dataclass
+class ValueSetStats:
+    """Size/precision bookkeeping for a value-set summary."""
+
+    total_values: int
+    distinct_values: int
+    numeric: bool
+    exact_kept: bool
+    bytes_used: int
+
+
+class ValueSetSummary:
+    """Compact representation of the values observed at one digest position.
+
+    ``values`` are the *joinable* values — exactly what the source wrapper
+    would return at query time, so overlap probing between two summaries
+    predicts real join opportunities.  ``keyword_aliases`` are additional
+    display strings (e.g. the local name of a URI) indexed only for keyword
+    matching, never for membership or overlap tests.
+    """
+
+    def __init__(self, values: Sequence[object], bloom_bits_per_value: int = 16,
+                 histogram_buckets: int = 16, exact_limit: int = EXACT_SET_LIMIT,
+                 top_k: int = 20, keyword_aliases: Sequence[object] | None = None):
+        cleaned = [v for v in values if v is not None]
+        normalized = [_normalize(v) for v in cleaned]
+        self.total_values = len(cleaned)
+        distinct = sorted(set(normalized))
+        self.distinct_values = len(distinct)
+        self.exact: set[str] | None = set(distinct) if len(distinct) <= exact_limit else None
+
+        self.bloom = BloomFilter(max(1, self.distinct_values), bits_per_value=bloom_bits_per_value)
+        self.bloom.add_all(distinct)
+
+        alias_values = [_normalize(v) for v in (keyword_aliases or ()) if v is not None]
+        alias_distinct = sorted(set(alias_values))
+        self.alias_exact: set[str] | None = (
+            set(alias_distinct) if len(alias_distinct) <= exact_limit else None
+        )
+        searchable = distinct + alias_distinct
+        self.token_bloom = BloomFilter(max(1, len(searchable) * 2),
+                                       bits_per_value=bloom_bits_per_value)
+        tokens: set[str] = set()
+        for value in searchable:
+            tokens.update(_tokens(value))
+        self.token_bloom.add_all(tokens)
+        self.alias_bloom = BloomFilter(max(1, len(alias_distinct)),
+                                       bits_per_value=bloom_bits_per_value)
+        self.alias_bloom.add_all(alias_distinct)
+
+        numeric_values = [v for v in cleaned if isinstance(v, (int, float)) and not isinstance(v, bool)]
+        self.numeric = bool(numeric_values) and len(numeric_values) == len(cleaned)
+        self.histogram = EquiWidthHistogram(numeric_values, buckets=histogram_buckets) if self.numeric else None
+        self.top_k = TopKSummary(normalized, k=top_k)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def might_contain(self, value: object) -> bool:
+        """Value-level membership test (exact when the exact set is kept)."""
+        needle = _normalize(value)
+        if self.exact is not None:
+            return needle in self.exact
+        return self.bloom.might_contain(needle)
+
+    def matches_keyword(self, keyword: str) -> bool:
+        """Keyword-level membership: the keyword matches a full value or a token.
+
+        The normalisation removes case, accents are left to the caller, and
+        non-alphanumeric characters are dropped, so the keyword
+        ``"head of state"`` matches the stored value ``headOfState``.
+        """
+        needle = _normalize(keyword)
+        squeezed = _squeeze(needle)
+        for exact_set in (self.exact, self.alias_exact):
+            if exact_set is None:
+                continue
+            for value in exact_set:
+                if needle == value or squeezed == _squeeze(value):
+                    return True
+                if needle in _tokens(value) or squeezed in _tokens(value):
+                    return True
+        if self.exact is not None and self.alias_exact is not None:
+            return False
+        if (self.bloom.might_contain(needle) or self.bloom.might_contain(squeezed)
+                or self.alias_bloom.might_contain(needle)
+                or self.alias_bloom.might_contain(squeezed)):
+            return True
+        return (self.token_bloom.might_contain(needle)
+                or self.token_bloom.might_contain(squeezed))
+
+    def matching_values(self, keyword: str, limit: int = 5) -> list[str]:
+        """Concrete stored values matching ``keyword`` (exact sets only)."""
+        if self.exact is None:
+            return []
+        needle = _normalize(keyword)
+        squeezed = _squeeze(needle)
+        matches = []
+        for value in sorted(self.exact):
+            if needle == value or squeezed == _squeeze(value) or needle in _tokens(value):
+                matches.append(value)
+                if len(matches) >= limit:
+                    break
+        return matches
+
+    def overlap_estimate(self, other: "ValueSetSummary", sample_limit: int = 200) -> float:
+        """Estimated fraction of this set's values present in ``other``.
+
+        Uses the exact sample when available (probing the other side's
+        Bloom filter), which is how cross-source join candidates are
+        detected when building the combined digest graph.
+        """
+        if self.exact:
+            sample = list(self.exact)[:sample_limit]
+            if not sample:
+                return 0.0
+            hits = sum(1 for value in sample if other.might_contain(value))
+            return hits / len(sample)
+        # Without an exact sample, fall back to a coarse histogram overlap.
+        if self.numeric and other.numeric and self.histogram and other.histogram:
+            if self.histogram.total == 0:
+                return 0.0
+            overlap = self.histogram.estimate_range(other.histogram.low, other.histogram.high)
+            return overlap / self.histogram.total
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def selectivity(self, value: object) -> float:
+        """Selectivity estimate of an equality predicate on ``value``."""
+        if self.total_values == 0:
+            return 0.0
+        if not self.might_contain(value):
+            return 0.0
+        return max(self.top_k.estimate_equality_selectivity(value), 1.0 / self.total_values)
+
+    def stats(self) -> ValueSetStats:
+        """Size and precision statistics of the summary."""
+        bytes_used = (self.bloom.size_in_bytes() + self.token_bloom.size_in_bytes()
+                      + self.alias_bloom.size_in_bytes())
+        if self.histogram is not None:
+            bytes_used += self.histogram.size_in_bytes()
+        if self.exact is not None:
+            bytes_used += sum(len(v) for v in self.exact)
+        return ValueSetStats(
+            total_values=self.total_values,
+            distinct_values=self.distinct_values,
+            numeric=self.numeric,
+            exact_kept=self.exact is not None,
+            bytes_used=bytes_used,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"ValueSetSummary(distinct={self.distinct_values}, "
+                f"numeric={self.numeric}, exact={self.exact is not None})")
+
+
+def _normalize(value: object) -> str:
+    return str(value).strip().lower()
+
+
+def _squeeze(value: str) -> str:
+    return "".join(_WORD_RE.findall(value)).lower()
+
+
+def _tokens(value: str) -> set[str]:
+    out: set[str] = set()
+    for token in _WORD_RE.findall(value):
+        out.add(token.lower())
+    # camelCase / PascalCase splitting so "headOfState" yields head/of/state.
+    for token in re.findall(r"[A-Za-z][a-z]+|[A-Z]+(?![a-z])|\d+", str(value)):
+        out.add(token.lower())
+    return out

@@ -1,0 +1,50 @@
+"""Iterator-based execution engine of the mediator.
+
+The Python counterpart of the paper's "in-house iterator-based execution
+engine (Java, approx. 10K lines)": Volcano-style operators over binding
+tuples plus a parallel dispatcher for independent sub-plans.
+"""
+
+from repro.engine.iterators import (
+    Aggregate,
+    AggregateSpec,
+    BindJoin,
+    CallbackScan,
+    Distinct,
+    Extend,
+    HashJoin,
+    Limit,
+    MaterializedScan,
+    NestedLoopJoin,
+    Operator,
+    OperatorStats,
+    Project,
+    Row,
+    Select,
+    Sort,
+    Union,
+)
+from repro.engine.parallel import ParallelStats, run_parallel, run_tasks
+
+__all__ = [
+    "Aggregate",
+    "AggregateSpec",
+    "BindJoin",
+    "CallbackScan",
+    "Distinct",
+    "Extend",
+    "HashJoin",
+    "Limit",
+    "MaterializedScan",
+    "NestedLoopJoin",
+    "Operator",
+    "OperatorStats",
+    "Project",
+    "Row",
+    "Select",
+    "Sort",
+    "Union",
+    "ParallelStats",
+    "run_parallel",
+    "run_tasks",
+]

@@ -1,0 +1,433 @@
+"""Volcano-style iterator operators over binding tuples.
+
+The paper's mediator performs "the remaining processing (joins etc.) on
+subquery results ... within our in-house iterator-based execution engine".
+This module is that engine: every operator consumes and produces *binding
+tuples* (dictionaries mapping variable names to values), so the same
+operators serve RDF bindings, relational rows and full-text hits once the
+source wrappers have normalised them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import MixedQueryError
+
+#: A binding tuple: variable name -> value.
+Row = dict[str, object]
+
+
+@dataclass
+class OperatorStats:
+    """Per-operator row counters, collected when tracing is enabled."""
+
+    produced: int = 0
+    consumed: int = 0
+
+
+class Operator:
+    """Base class of every iterator operator."""
+
+    def __init__(self, name: str | None = None):
+        self.name = name or type(self).__name__
+        self.stats = OperatorStats()
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self._produce():
+            self.stats.produced += 1
+            yield row
+
+    def _produce(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def rows(self) -> list[Row]:
+        """Fully evaluate the operator and return its output as a list."""
+        return list(self)
+
+    def explain(self, indent: int = 0) -> str:
+        """Return an indented textual plan rooted at this operator."""
+        lines = [("  " * indent) + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """One line description used by :meth:`explain`."""
+        return self.name
+
+    def children(self) -> Sequence["Operator"]:
+        """Child operators (empty for leaves)."""
+        return ()
+
+
+class MaterializedScan(Operator):
+    """Leaf operator over an already materialised list of rows."""
+
+    def __init__(self, rows: Iterable[Row], name: str = "scan"):
+        super().__init__(name)
+        self._rows = list(rows)
+
+    def _produce(self) -> Iterator[Row]:
+        for row in self._rows:
+            yield dict(row)
+
+    def describe(self) -> str:
+        return f"{self.name}({len(self._rows)} rows)"
+
+
+class CallbackScan(Operator):
+    """Leaf operator that pulls rows from a callable at iteration time.
+
+    Used by the mediator to defer a source sub-query until the plan
+    actually needs its rows.
+    """
+
+    def __init__(self, fetch: Callable[[], Iterable[Row]], name: str = "fetch"):
+        super().__init__(name)
+        self._fetch = fetch
+
+    def _produce(self) -> Iterator[Row]:
+        for row in self._fetch():
+            yield dict(row)
+
+
+class Select(Operator):
+    """Filter rows by a predicate."""
+
+    def __init__(self, child: Operator, predicate: Callable[[Row], bool], name: str = "select"):
+        super().__init__(name)
+        self.child = child
+        self.predicate = predicate
+
+    def _produce(self) -> Iterator[Row]:
+        for row in self.child:
+            self.stats.consumed += 1
+            if self.predicate(row):
+                yield row
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+class Project(Operator):
+    """Keep (and optionally rename) a subset of the variables."""
+
+    def __init__(self, child: Operator, columns: Sequence[str],
+                 renames: dict[str, str] | None = None, name: str = "project"):
+        super().__init__(name)
+        self.child = child
+        self.columns = list(columns)
+        self.renames = renames or {}
+
+    def _produce(self) -> Iterator[Row]:
+        for row in self.child:
+            self.stats.consumed += 1
+            out: Row = {}
+            for column in self.columns:
+                out[self.renames.get(column, column)] = row.get(column)
+            yield out
+
+    def describe(self) -> str:
+        return f"{self.name}({', '.join(self.columns)})"
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+class Extend(Operator):
+    """Add a computed variable to every row."""
+
+    def __init__(self, child: Operator, variable: str, compute: Callable[[Row], object],
+                 name: str = "extend"):
+        super().__init__(name)
+        self.child = child
+        self.variable = variable
+        self.compute = compute
+
+    def _produce(self) -> Iterator[Row]:
+        for row in self.child:
+            self.stats.consumed += 1
+            row = dict(row)
+            row[self.variable] = self.compute(row)
+            yield row
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+class NestedLoopJoin(Operator):
+    """Join two inputs with an arbitrary condition (inner join)."""
+
+    def __init__(self, left: Operator, right: Operator,
+                 condition: Callable[[Row, Row], bool] | None = None, name: str = "nljoin"):
+        super().__init__(name)
+        self.left = left
+        self.right = right
+        self.condition = condition
+
+    def _produce(self) -> Iterator[Row]:
+        right_rows = self.right.rows()
+        for left_row in self.left:
+            self.stats.consumed += 1
+            for right_row in right_rows:
+                if self.condition is None or self.condition(left_row, right_row):
+                    if _compatible(left_row, right_row):
+                        yield {**left_row, **right_row}
+
+    def children(self) -> Sequence[Operator]:
+        return (self.left, self.right)
+
+
+class HashJoin(Operator):
+    """Equi-join on the variables shared by both inputs (natural join)."""
+
+    def __init__(self, left: Operator, right: Operator, keys: Sequence[str] | None = None,
+                 name: str = "hashjoin"):
+        super().__init__(name)
+        self.left = left
+        self.right = right
+        self.keys = list(keys) if keys is not None else None
+
+    def _produce(self) -> Iterator[Row]:
+        right_rows = self.right.rows()
+        left_rows = self.left.rows()
+        keys = self.keys
+        if keys is None:
+            left_vars = set().union(*(set(r) for r in left_rows)) if left_rows else set()
+            right_vars = set().union(*(set(r) for r in right_rows)) if right_rows else set()
+            keys = sorted(left_vars & right_vars)
+        if not keys:
+            # Degenerate to a cross product.
+            for left_row in left_rows:
+                for right_row in right_rows:
+                    yield {**left_row, **right_row}
+            return
+        buckets: dict[tuple, list[Row]] = defaultdict(list)
+        for right_row in right_rows:
+            buckets[tuple(right_row.get(k) for k in keys)].append(right_row)
+        for left_row in left_rows:
+            self.stats.consumed += 1
+            for right_row in buckets.get(tuple(left_row.get(k) for k in keys), ()):
+                yield {**left_row, **right_row}
+
+    def describe(self) -> str:
+        keys = self.keys if self.keys is not None else "natural"
+        return f"{self.name}(keys={keys})"
+
+    def children(self) -> Sequence[Operator]:
+        return (self.left, self.right)
+
+
+class BindJoin(Operator):
+    """Dependent join: re-evaluate the right side once per left binding.
+
+    This is the operator behind the mediator's "bindings for data sources
+    must be obtained before the source can be queried" rule — the ``fetch``
+    callable receives the current left-hand bindings (typically to fill in
+    sub-query parameters or even the identity of the target source) and
+    returns matching rows from the source.
+    """
+
+    def __init__(self, left: Operator, fetch: Callable[[Row], Iterable[Row]],
+                 name: str = "bindjoin", deduplicate_calls: bool = True,
+                 call_key: Callable[[Row], tuple] | None = None):
+        super().__init__(name)
+        self.left = left
+        self.fetch = fetch
+        self.deduplicate_calls = deduplicate_calls
+        self.call_key = call_key
+        self.calls = 0
+
+    def _produce(self) -> Iterator[Row]:
+        cache: dict[tuple, list[Row]] = {}
+        for left_row in self.left:
+            self.stats.consumed += 1
+            key = self.call_key(left_row) if self.call_key else tuple(sorted(
+                (k, _hashable(v)) for k, v in left_row.items()
+            ))
+            if self.deduplicate_calls and key in cache:
+                fetched = cache[key]
+            else:
+                self.calls += 1
+                fetched = [dict(r) for r in self.fetch(left_row)]
+                if self.deduplicate_calls:
+                    cache[key] = fetched
+            for right_row in fetched:
+                if _compatible(left_row, right_row):
+                    yield {**left_row, **right_row}
+
+    def children(self) -> Sequence[Operator]:
+        return (self.left,)
+
+
+class Distinct(Operator):
+    """Remove duplicate rows (order-preserving)."""
+
+    def __init__(self, child: Operator, name: str = "distinct"):
+        super().__init__(name)
+        self.child = child
+
+    def _produce(self) -> Iterator[Row]:
+        seen: set[tuple] = set()
+        for row in self.child:
+            self.stats.consumed += 1
+            key = tuple(sorted((k, _hashable(v)) for k, v in row.items()))
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+class Sort(Operator):
+    """Sort rows by one or more variables."""
+
+    def __init__(self, child: Operator, keys: Sequence[tuple[str, bool]], name: str = "sort"):
+        super().__init__(name)
+        self.child = child
+        self.keys = list(keys)
+
+    def _produce(self) -> Iterator[Row]:
+        rows = self.child.rows()
+        self.stats.consumed += len(rows)
+        for variable, descending in reversed(self.keys):
+            rows.sort(key=lambda r: _sort_key(r.get(variable)), reverse=descending)
+        yield from rows
+
+    def describe(self) -> str:
+        return f"{self.name}({self.keys})"
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+class Limit(Operator):
+    """Pass through at most ``count`` rows."""
+
+    def __init__(self, child: Operator, count: int, name: str = "limit"):
+        super().__init__(name)
+        self.child = child
+        self.count = count
+
+    def _produce(self) -> Iterator[Row]:
+        if self.count <= 0:
+            return
+        produced = 0
+        for row in self.child:
+            self.stats.consumed += 1
+            yield row
+            produced += 1
+            if produced >= self.count:
+                return
+
+    def describe(self) -> str:
+        return f"{self.name}({self.count})"
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+class Union(Operator):
+    """Concatenate the outputs of several children."""
+
+    def __init__(self, operands: Sequence[Operator], name: str = "union"):
+        super().__init__(name)
+        self.operands = list(operands)
+
+    def _produce(self) -> Iterator[Row]:
+        for operand in self.operands:
+            for row in operand:
+                self.stats.consumed += 1
+                yield row
+
+    def children(self) -> Sequence[Operator]:
+        return tuple(self.operands)
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate to compute per group."""
+
+    function: str  # count | sum | avg | min | max | collect
+    variable: str | None
+    output: str
+
+
+class Aggregate(Operator):
+    """Group rows by key variables and compute aggregates per group."""
+
+    def __init__(self, child: Operator, group_by: Sequence[str],
+                 aggregates: Sequence[AggregateSpec], name: str = "aggregate"):
+        super().__init__(name)
+        self.child = child
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+
+    def _produce(self) -> Iterator[Row]:
+        groups: dict[tuple, list[Row]] = defaultdict(list)
+        for row in self.child:
+            self.stats.consumed += 1
+            key = tuple(_hashable(row.get(k)) for k in self.group_by)
+            groups[key].append(row)
+        for key, rows in groups.items():
+            out: Row = dict(zip(self.group_by, (rows[0].get(k) for k in self.group_by)))
+            for spec in self.aggregates:
+                out[spec.output] = _compute(spec, rows)
+            yield out
+
+    def describe(self) -> str:
+        functions = ", ".join(f"{a.function}({a.variable or '*'})" for a in self.aggregates)
+        return f"{self.name}(by={self.group_by}, {functions})"
+
+    def children(self) -> Sequence[Operator]:
+        return (self.child,)
+
+
+def _compute(spec: AggregateSpec, rows: list[Row]) -> object:
+    function = spec.function.lower()
+    if function == "count" and spec.variable is None:
+        return len(rows)
+    values = [row.get(spec.variable) for row in rows if row.get(spec.variable) is not None]
+    if function == "count":
+        return len(values)
+    if function == "collect":
+        return list(values)
+    if not values:
+        return None
+    if function == "sum":
+        return sum(values)
+    if function == "avg":
+        return sum(values) / len(values)
+    if function == "min":
+        return min(values)
+    if function == "max":
+        return max(values)
+    raise MixedQueryError(f"unsupported aggregate function {spec.function!r}")
+
+
+def _compatible(left: Row, right: Row) -> bool:
+    """True when the two rows agree on every shared variable."""
+    for key, value in right.items():
+        if key in left and left[key] != value:
+            return False
+    return True
+
+
+def _hashable(value: object) -> object:
+    if isinstance(value, (list, set)):
+        return tuple(value)
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value
+
+
+def _sort_key(value: object) -> tuple:
+    if value is None:
+        return (2, "")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (0, value)
+    return (1, str(value))

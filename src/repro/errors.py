@@ -1,0 +1,81 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the mediator can catch a single exception type.  More
+specific subclasses exist per subsystem (RDF, relational, full-text,
+mediator, digest) so tests and applications can distinguish failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """A query or data document could not be parsed.
+
+    Attributes
+    ----------
+    message:
+        Human readable description of the problem.
+    position:
+        Optional character offset (or line number, depending on the parser)
+        where the problem was detected.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        self.message = message
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class RDFError(ReproError):
+    """Error raised by the RDF substrate (graph, entailment, BGP engine)."""
+
+
+class RelationalError(ReproError):
+    """Error raised by the relational substrate (schema, SQL engine)."""
+
+
+class SQLParseError(ParseError, RelationalError):
+    """A SQL statement could not be parsed."""
+
+
+class SchemaError(RelationalError):
+    """A table or column definition is invalid or violated."""
+
+
+class FullTextError(ReproError):
+    """Error raised by the Solr-like full-text substrate."""
+
+
+class MixedQueryError(ReproError):
+    """Error raised while parsing, planning or evaluating a CMQ."""
+
+
+class PlanningError(MixedQueryError):
+    """The planner could not produce a valid evaluation order.
+
+    Typical cause: a sub-query targets a source variable that no other
+    sub-query can ever bind.
+    """
+
+
+class UnknownSourceError(MixedQueryError):
+    """A CMQ referenced a source URI that is not registered in the instance."""
+
+
+class DigestError(ReproError):
+    """Error raised while building or searching source digests."""
+
+
+class KeywordSearchError(DigestError):
+    """Keyword search could not produce a candidate mixed query."""
+
+
+class DatasetError(ReproError):
+    """Error raised by the synthetic dataset generators."""

@@ -1,0 +1,79 @@
+"""Documents stored in the Solr-like full-text substrate.
+
+A document is a flat or nested JSON object (Figure 2 of the paper shows
+the tweet structure).  Nested fields are addressed with dotted paths
+(``user.screen_name``), exactly the notation the digests use for value-set
+positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import FullTextError
+
+
+@dataclass
+class Document:
+    """One indexed document: an id plus its JSON-like field tree."""
+
+    doc_id: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, path: str, default: Any = None) -> Any:
+        """Return the value at a dotted ``path`` (``user.screen_name``)."""
+        current: Any = self.fields
+        for part in path.split("."):
+            if isinstance(current, dict) and part in current:
+                current = current[part]
+            else:
+                return default
+        return current
+
+    def flat_fields(self) -> Iterator[tuple[str, Any]]:
+        """Yield ``(dotted_path, scalar_value)`` pairs for every leaf."""
+        yield from _flatten("", self.fields)
+
+    def text_of(self, paths: list[str]) -> str:
+        """Concatenate the string values found at ``paths``."""
+        parts = []
+        for path in paths:
+            value = self.get(path)
+            if isinstance(value, str):
+                parts.append(value)
+            elif isinstance(value, list):
+                parts.extend(str(v) for v in value)
+            elif value is not None:
+                parts.append(str(value))
+        return " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Document(id={self.doc_id!r}, fields={sorted(self.fields)})"
+
+
+def make_document(source: dict[str, Any], id_field: str = "id") -> Document:
+    """Build a :class:`Document` from a raw JSON object.
+
+    The document id is taken from ``id_field`` (dotted paths allowed); a
+    missing id raises :class:`FullTextError` because the store needs a
+    stable identity for updates and joins.
+    """
+    doc = Document(doc_id="", fields=dict(source))
+    raw_id = doc.get(id_field)
+    if raw_id is None:
+        raise FullTextError(f"document is missing its id field {id_field!r}: {source}")
+    doc.doc_id = str(raw_id)
+    return doc
+
+
+def _flatten(prefix: str, value: Any) -> Iterator[tuple[str, Any]]:
+    if isinstance(value, dict):
+        for key, child in value.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from _flatten(path, child)
+    elif isinstance(value, list):
+        for child in value:
+            yield from _flatten(prefix, child)
+    else:
+        yield prefix, value

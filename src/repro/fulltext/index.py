@@ -1,0 +1,89 @@
+"""Inverted index and postings for the full-text substrate."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+
+@dataclass
+class Posting:
+    """One document entry in a term's postings list."""
+
+    doc_id: str
+    term_frequency: int
+    positions: tuple[int, ...] = ()
+
+
+class InvertedIndex:
+    """Term → postings map for one indexed text field."""
+
+    def __init__(self, field_name: str):
+        self.field_name = field_name
+        self._postings: dict[str, dict[str, Posting]] = defaultdict(dict)
+        self._doc_lengths: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, doc_id: str, terms: list[str]) -> None:
+        """Index ``terms`` (already analysed) for ``doc_id``."""
+        counts = Counter(terms)
+        positions: dict[str, list[int]] = defaultdict(list)
+        for position, term in enumerate(terms):
+            positions[term].append(position)
+        for term, count in counts.items():
+            self._postings[term][doc_id] = Posting(
+                doc_id=doc_id, term_frequency=count, positions=tuple(positions[term])
+            )
+        self._doc_lengths[doc_id] = len(terms)
+
+    def remove(self, doc_id: str) -> None:
+        """Remove every posting of ``doc_id``."""
+        for postings in self._postings.values():
+            postings.pop(doc_id, None)
+        self._doc_lengths.pop(doc_id, None)
+
+    # ------------------------------------------------------------------
+    def postings(self, term: str) -> list[Posting]:
+        """Return the postings list of ``term`` (empty if unseen)."""
+        return list(self._postings.get(term, {}).values())
+
+    def documents_with(self, term: str) -> set[str]:
+        """Return the doc ids containing ``term``."""
+        return set(self._postings.get(term, {}))
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term, {}))
+
+    def document_count(self) -> int:
+        """Number of indexed documents."""
+        return len(self._doc_lengths)
+
+    def document_length(self, doc_id: str) -> int:
+        """Number of terms indexed for ``doc_id``."""
+        return self._doc_lengths.get(doc_id, 0)
+
+    def average_document_length(self) -> float:
+        """Mean document length (used by BM25)."""
+        if not self._doc_lengths:
+            return 0.0
+        return sum(self._doc_lengths.values()) / len(self._doc_lengths)
+
+    def vocabulary(self) -> set[str]:
+        """Every indexed term."""
+        return set(self._postings)
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency of ``term``."""
+        n = self.document_count()
+        df = self.document_frequency(term)
+        return math.log((n + 1) / (df + 1)) + 1.0
+
+    def term_frequency(self, term: str, doc_id: str) -> int:
+        """Occurrences of ``term`` in ``doc_id``."""
+        posting = self._postings.get(term, {}).get(doc_id)
+        return posting.term_frequency if posting else 0
+
+    def __len__(self) -> int:
+        return len(self._postings)

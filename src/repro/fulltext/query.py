@@ -1,0 +1,261 @@
+"""The query language of the Solr-like store.
+
+The mediator ships sub-queries such as "tweets with hashtag SIA2016"
+(``tweetContains`` in the paper's qSIA) to the full-text source in *its*
+query language.  We support a Solr/Lucene-flavoured subset:
+
+* ``text:emergency`` — term match on an analysed field,
+* ``hashtags:SIA2016`` — exact match on a keyword field,
+* ``user.screen_name:fhollande`` — dotted paths for nested fields,
+* ``retweet_count:[100 TO *]`` — numeric/date range queries,
+* ``a AND b``, ``a OR b``, ``NOT a``, parentheses,
+* ``"state of emergency"`` — phrase queries on analysed fields,
+* a bare term searches the store's default field.
+
+Queries parse to a small AST evaluated by :class:`~repro.fulltext.store.FullTextStore`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParseError
+
+
+class Query:
+    """Base class of full-text query nodes."""
+
+
+@dataclass(frozen=True)
+class TermQuery(Query):
+    """Match documents whose ``field`` contains ``term``."""
+
+    field: Optional[str]
+    term: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.field or '_default'}:{self.term}"
+
+
+@dataclass(frozen=True)
+class PhraseQuery(Query):
+    """Match documents whose ``field`` contains the terms consecutively."""
+
+    field: Optional[str]
+    terms: tuple[str, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f'{self.field or "_default"}:"{" ".join(self.terms)}"'
+
+
+@dataclass(frozen=True)
+class RangeQuery(Query):
+    """Match documents whose ``field`` value lies within [low, high]."""
+
+    field: str
+    low: Optional[object]
+    high: Optional[object]
+    include_low: bool = True
+    include_high: bool = True
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        low = "*" if self.low is None else self.low
+        high = "*" if self.high is None else self.high
+        return f"{self.field}:[{low} TO {high}]"
+
+
+@dataclass(frozen=True)
+class BooleanQuery(Query):
+    """AND / OR combination of sub-queries."""
+
+    operator: str  # AND | OR
+    operands: tuple[Query, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        inner = f" {self.operator} ".join(str(o) for o in self.operands)
+        return f"({inner})"
+
+
+@dataclass(frozen=True)
+class NotQuery(Query):
+    """Negation of a sub-query."""
+
+    operand: Query
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"NOT {self.operand}"
+
+
+@dataclass(frozen=True)
+class MatchAllQuery(Query):
+    """Matches every document (``*:*``)."""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "*:*"
+
+
+_QUERY_TOKEN_RE = re.compile(
+    r"""
+      (?P<phrase>"[^"]*")
+    | (?P<range>\[[^\]]*\])
+    | (?P<lparen>\()
+    | (?P<rparen>\))
+    | (?P<colon>:)
+    | (?P<matchall>\*:\*|\*)
+    | (?P<word>[^\s():]+)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORD_OPERATORS = {"AND", "OR", "NOT"}
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query string into a :class:`Query` tree."""
+    tokens = _tokenize(text)
+    if not tokens:
+        return MatchAllQuery()
+    parser = _QueryParser(tokens)
+    query = parser.parse_or()
+    parser.expect_end()
+    return query
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _QUERY_TOKEN_RE.match(text, position)
+        if not match:
+            raise ParseError(f"cannot tokenise query near {text[position:position + 15]!r}",
+                             position=position)
+        kind = match.lastgroup or ""
+        tokens.append((kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+class _QueryParser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> tuple[str, str] | None:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _next(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def expect_end(self) -> None:
+        if self._peek() is not None:
+            raise ParseError(f"unexpected trailing token {self._peek()[1]!r}")
+
+    # precedence: OR < AND < NOT < primary
+    def parse_or(self) -> Query:
+        operands = [self.parse_and()]
+        while True:
+            token = self._peek()
+            if token and token[0] == "word" and token[1].upper() == "OR":
+                self._next()
+                operands.append(self.parse_and())
+            else:
+                break
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanQuery("OR", tuple(operands))
+
+    def parse_and(self) -> Query:
+        operands = [self.parse_not()]
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token[0] == "word" and token[1].upper() == "AND":
+                self._next()
+                operands.append(self.parse_not())
+            elif token[0] == "word" and token[1].upper() == "OR":
+                break
+            elif token[0] in ("word", "phrase", "lparen", "matchall"):
+                # Implicit AND between adjacent clauses (Lucene default is OR,
+                # but AND matches the conjunctive spirit of CMQs).
+                operands.append(self.parse_not())
+            else:
+                break
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanQuery("AND", tuple(operands))
+
+    def parse_not(self) -> Query:
+        token = self._peek()
+        if token and token[0] == "word" and token[1].upper() == "NOT":
+            self._next()
+            return NotQuery(self.parse_not())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Query:
+        token = self._next()
+        kind, text = token
+        if kind == "lparen":
+            query = self.parse_or()
+            closing = self._next()
+            if closing[0] != "rparen":
+                raise ParseError("expected )")
+            return query
+        if kind == "matchall":
+            return MatchAllQuery()
+        if kind == "phrase":
+            return PhraseQuery(field=None, terms=tuple(text[1:-1].split()))
+        if kind == "word":
+            next_token = self._peek()
+            if next_token and next_token[0] == "colon":
+                self._next()
+                return self._parse_field_clause(field=text)
+            return TermQuery(field=None, term=text)
+        raise ParseError(f"unexpected token {text!r}")
+
+    def _parse_field_clause(self, field: str) -> Query:
+        token = self._next()
+        kind, text = token
+        if kind == "phrase":
+            return PhraseQuery(field=field, terms=tuple(text[1:-1].split()))
+        if kind == "range":
+            return _parse_range(field, text)
+        if kind == "matchall":
+            return TermQuery(field=field, term="*")
+        if kind == "word":
+            return TermQuery(field=field, term=text)
+        raise ParseError(f"unexpected token {text!r} after {field}:")
+
+
+def _parse_range(field: str, text: str) -> RangeQuery:
+    inner = text[1:-1].strip()
+    parts = re.split(r"\s+TO\s+", inner, flags=re.IGNORECASE)
+    if len(parts) != 2:
+        raise ParseError(f"malformed range query {text!r}")
+    low = _range_bound(parts[0])
+    high = _range_bound(parts[1])
+    return RangeQuery(field=field, low=low, high=high)
+
+
+def _range_bound(text: str) -> object | None:
+    text = text.strip()
+    if text == "*" or not text:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text

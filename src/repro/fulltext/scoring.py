@@ -1,0 +1,47 @@
+"""Relevance scoring (TF-IDF and BM25) for full-text search results."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fulltext.index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class BM25Parameters:
+    """The two free parameters of Okapi BM25."""
+
+    k1: float = 1.2
+    b: float = 0.75
+
+
+def tf_idf_score(index: InvertedIndex, terms: list[str], doc_id: str) -> float:
+    """Cosine-less TF-IDF score of ``doc_id`` for a bag of query terms."""
+    score = 0.0
+    for term in terms:
+        tf = index.term_frequency(term, doc_id)
+        if tf == 0:
+            continue
+        score += (1.0 + math.log(tf)) * index.idf(term)
+    return score
+
+
+def bm25_score(index: InvertedIndex, terms: list[str], doc_id: str,
+               parameters: BM25Parameters | None = None) -> float:
+    """Okapi BM25 score of ``doc_id`` for a bag of query terms."""
+    parameters = parameters or BM25Parameters()
+    average_length = index.average_document_length() or 1.0
+    doc_length = index.document_length(doc_id)
+    score = 0.0
+    for term in terms:
+        tf = index.term_frequency(term, doc_id)
+        if tf == 0:
+            continue
+        idf = index.idf(term)
+        numerator = tf * (parameters.k1 + 1.0)
+        denominator = tf + parameters.k1 * (
+            1.0 - parameters.b + parameters.b * doc_length / average_length
+        )
+        score += idf * numerator / denominator
+    return score

@@ -1,0 +1,434 @@
+"""The Solr-like full-text store.
+
+Plays the role of the paper's Apache Solr instances: tweets and Facebook
+posts are continuously indexed with their author, timestamps, counters and
+stemmed text, and the mediator ships keyword/hashtag sub-queries to it.
+
+A store declares *field types*:
+
+``text``
+    analysed (tokenised, stop-worded, stemmed) and searched by term or
+    phrase;
+``keyword``
+    indexed verbatim (lowercased) for exact matching — hashtags, screen
+    names, ids;
+``numeric`` / ``date``
+    stored for range queries, sorting and faceting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import FullTextError
+from repro.fulltext.analysis import Analyzer
+from repro.fulltext.document import Document, make_document
+from repro.fulltext.index import InvertedIndex
+from repro.fulltext.query import (
+    BooleanQuery,
+    MatchAllQuery,
+    NotQuery,
+    PhraseQuery,
+    Query,
+    RangeQuery,
+    TermQuery,
+    parse_query,
+)
+from repro.fulltext.scoring import BM25Parameters, bm25_score
+
+
+@dataclass(frozen=True)
+class FieldConfig:
+    """Declaration of one indexed field."""
+
+    name: str
+    field_type: str  # text | keyword | numeric | date
+    multi_valued: bool = False
+
+    def __post_init__(self) -> None:
+        if self.field_type not in ("text", "keyword", "numeric", "date"):
+            raise FullTextError(f"unknown field type {self.field_type!r} for {self.name!r}")
+
+
+@dataclass
+class SearchHit:
+    """One search result: the document plus its relevance score."""
+
+    document: Document
+    score: float
+
+    def get(self, path: str, default: Any = None) -> Any:
+        """Shortcut to the underlying document's field access."""
+        return self.document.get(path, default)
+
+
+@dataclass
+class SearchResult:
+    """The outcome of a search: hits, total count and optional facets."""
+
+    hits: list[SearchHit]
+    total: int
+    facets: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
+
+    def documents(self) -> list[Document]:
+        """The matched documents in score order."""
+        return [hit.document for hit in self.hits]
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def __iter__(self):
+        return iter(self.hits)
+
+
+class FullTextStore:
+    """An in-memory document store with Lucene-flavoured querying."""
+
+    def __init__(self, name: str, fields: Sequence[FieldConfig],
+                 default_field: str | None = None, id_field: str = "id",
+                 analyzer: Analyzer | None = None):
+        self.name = name
+        self.id_field = id_field
+        self.analyzer = analyzer or Analyzer()
+        self._fields = {f.name: f for f in fields}
+        text_fields = [f.name for f in fields if f.field_type == "text"]
+        self.default_field = default_field or (text_fields[0] if text_fields else None)
+        self._documents: dict[str, Document] = {}
+        self._text_indexes: dict[str, InvertedIndex] = {
+            f.name: InvertedIndex(f.name) for f in fields if f.field_type == "text"
+        }
+        self._keyword_indexes: dict[str, dict[str, set[str]]] = {
+            f.name: defaultdict(set) for f in fields if f.field_type == "keyword"
+        }
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def add(self, source: dict[str, Any] | Document) -> Document:
+        """Index one document (raw JSON object or :class:`Document`)."""
+        doc = source if isinstance(source, Document) else make_document(source, self.id_field)
+        if doc.doc_id in self._documents:
+            self.remove(doc.doc_id)
+        self._documents[doc.doc_id] = doc
+        for field_name, config in self._fields.items():
+            value = doc.get(field_name)
+            if value is None:
+                continue
+            if config.field_type == "text":
+                terms = self.analyzer.stems(self._stringify(value))
+                self._text_indexes[field_name].add(doc.doc_id, terms)
+            elif config.field_type == "keyword":
+                for keyword in self._keyword_values(value):
+                    self._keyword_indexes[field_name][keyword].add(doc.doc_id)
+        return doc
+
+    def add_all(self, sources: Iterable[dict[str, Any] | Document]) -> int:
+        """Index every document of ``sources``; return how many were added."""
+        return sum(1 for _ in map(self.add, sources))
+
+    def remove(self, doc_id: str) -> bool:
+        """Remove a document from the store and all its indexes."""
+        doc = self._documents.pop(doc_id, None)
+        if doc is None:
+            return False
+        for index in self._text_indexes.values():
+            index.remove(doc_id)
+        for keyword_index in self._keyword_indexes.values():
+            for doc_ids in keyword_index.values():
+                doc_ids.discard(doc_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def get(self, doc_id: str) -> Document | None:
+        """Return one document by id."""
+        return self._documents.get(doc_id)
+
+    def documents(self) -> list[Document]:
+        """Every stored document (unordered)."""
+        return list(self._documents.values())
+
+    def field_names(self) -> list[str]:
+        """The declared field names."""
+        return list(self._fields)
+
+    def field_config(self, name: str) -> FieldConfig | None:
+        """Return the configuration of field ``name`` if declared."""
+        return self._fields.get(name)
+
+    def field_values(self, name: str) -> list[Any]:
+        """Every value observed for field ``name`` (digest support)."""
+        values = []
+        for doc in self._documents.values():
+            value = doc.get(name)
+            if value is None:
+                continue
+            if isinstance(value, list):
+                values.extend(value)
+            else:
+                values.append(value)
+        return values
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, query: str | Query, limit: int | None = 10,
+               sort_by: str | None = None, descending: bool = True,
+               facet_fields: Sequence[str] = ()) -> SearchResult:
+        """Run a query and return scored hits.
+
+        ``sort_by`` replaces relevance ordering with a stored field
+        (e.g. ``retweet_count``); ``facet_fields`` adds value counts over
+        the matched documents (used for the tag clouds and digests).
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        matches = self._evaluate(parsed)
+        scoring_terms = self._scoring_terms(parsed)
+        hits = []
+        for doc_id in matches:
+            doc = self._documents[doc_id]
+            score = self._score(doc_id, scoring_terms)
+            hits.append(SearchHit(document=doc, score=score))
+        if sort_by:
+            hits.sort(key=lambda h: (h.get(sort_by) is None, h.get(sort_by)), reverse=descending)
+        else:
+            hits.sort(key=lambda h: (-h.score, h.document.doc_id))
+        total = len(hits)
+        facets = {f: self.facet(matches, f) for f in facet_fields}
+        if limit is not None:
+            hits = hits[:limit]
+        return SearchResult(hits=hits, total=total, facets=facets)
+
+    def count(self, query: str | Query) -> int:
+        """Number of documents matching ``query``."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        return len(self._evaluate(parsed))
+
+    def facet(self, doc_ids: Iterable[str], field_name: str, top: int | None = None) -> list[tuple[str, int]]:
+        """Value counts of ``field_name`` over ``doc_ids`` (most frequent first)."""
+        counter: Counter[str] = Counter()
+        for doc_id in doc_ids:
+            doc = self._documents.get(doc_id)
+            if doc is None:
+                continue
+            value = doc.get(field_name)
+            if value is None:
+                continue
+            if isinstance(value, list):
+                counter.update(str(v).lower() for v in value)
+            else:
+                counter[str(value).lower()] += 1
+        ranked = counter.most_common(top)
+        return ranked
+
+    # ------------------------------------------------------------------
+    # Query evaluation
+    # ------------------------------------------------------------------
+    def _evaluate(self, query: Query) -> set[str]:
+        if isinstance(query, MatchAllQuery):
+            return set(self._documents)
+        if isinstance(query, TermQuery):
+            return self._evaluate_term(query)
+        if isinstance(query, PhraseQuery):
+            return self._evaluate_phrase(query)
+        if isinstance(query, RangeQuery):
+            return self._evaluate_range(query)
+        if isinstance(query, NotQuery):
+            return set(self._documents) - self._evaluate(query.operand)
+        if isinstance(query, BooleanQuery):
+            sets = [self._evaluate(operand) for operand in query.operands]
+            if not sets:
+                return set()
+            if query.operator == "AND":
+                result = sets[0]
+                for s in sets[1:]:
+                    result = result & s
+                return result
+            result = set()
+            for s in sets:
+                result |= s
+            return result
+        raise FullTextError(f"unsupported query node {type(query).__name__}")
+
+    def _evaluate_term(self, query: TermQuery) -> set[str]:
+        field_name = query.field or self.default_field
+        if field_name is None:
+            raise FullTextError("store has no default text field for bare term queries")
+        if query.term == "*":
+            return {doc_id for doc_id, doc in self._documents.items()
+                    if doc.get(field_name) is not None}
+        config = self._fields.get(field_name)
+        if config is None:
+            # Unknown field: fall back to a stored-value comparison.
+            return self._match_stored(field_name, query.term)
+        if config.field_type == "text":
+            stems = self.analyzer.stems(query.term)
+            if not stems:
+                return set()
+            result: set[str] | None = None
+            for stem_term in stems:
+                docs = self._text_indexes[field_name].documents_with(stem_term)
+                result = docs if result is None else result & docs
+            return result or set()
+        if config.field_type == "keyword":
+            return set(self._keyword_indexes[field_name].get(query.term.lower(), set()))
+        return self._match_stored(field_name, query.term)
+
+    def _evaluate_phrase(self, query: PhraseQuery) -> set[str]:
+        field_name = query.field or self.default_field
+        if field_name is None or field_name not in self._text_indexes:
+            raise FullTextError(f"phrase queries need an analysed text field, got {field_name!r}")
+        index = self._text_indexes[field_name]
+        stems = [s for term in query.terms for s in self.analyzer.stems(term)]
+        if not stems:
+            return set()
+        candidates: set[str] | None = None
+        for stem_term in stems:
+            docs = index.documents_with(stem_term)
+            candidates = docs if candidates is None else candidates & docs
+        if not candidates:
+            return set()
+        matches = set()
+        for doc_id in candidates:
+            positions = [dict.fromkeys(p.positions) for p in
+                         (next((pp for pp in index.postings(s) if pp.doc_id == doc_id), None)
+                          for s in stems) if p is not None]
+            if len(positions) != len(stems):
+                continue
+            first_positions = positions[0]
+            for start in first_positions:
+                if all((start + offset) in positions[offset] for offset in range(1, len(stems))):
+                    matches.add(doc_id)
+                    break
+        return matches
+
+    def _evaluate_range(self, query: RangeQuery) -> set[str]:
+        matches = set()
+        for doc_id, doc in self._documents.items():
+            value = doc.get(query.field)
+            if value is None:
+                continue
+            if not _within(value, query.low, query.high, query.include_low, query.include_high):
+                continue
+            matches.add(doc_id)
+        return matches
+
+    def _match_stored(self, field_name: str, term: str) -> set[str]:
+        lowered = term.lower()
+        out = set()
+        for doc_id, doc in self._documents.items():
+            value = doc.get(field_name)
+            if value is None:
+                continue
+            if isinstance(value, list):
+                if any(str(v).lower() == lowered for v in value):
+                    out.add(doc_id)
+            elif str(value).lower() == lowered:
+                out.add(doc_id)
+        return out
+
+    def _scoring_terms(self, query: Query) -> dict[str, list[str]]:
+        """Collect, per text field, the stems contributing to relevance."""
+        terms: dict[str, list[str]] = defaultdict(list)
+
+        def walk(node: Query) -> None:
+            if isinstance(node, TermQuery):
+                field_name = node.field or self.default_field
+                if field_name in self._text_indexes and node.term != "*":
+                    terms[field_name].extend(self.analyzer.stems(node.term))
+            elif isinstance(node, PhraseQuery):
+                field_name = node.field or self.default_field
+                if field_name in self._text_indexes:
+                    for term in node.terms:
+                        terms[field_name].extend(self.analyzer.stems(term))
+            elif isinstance(node, BooleanQuery):
+                for operand in node.operands:
+                    walk(operand)
+            elif isinstance(node, NotQuery):
+                pass
+
+        walk(query)
+        return terms
+
+    def _score(self, doc_id: str, scoring_terms: dict[str, list[str]],
+               parameters: BM25Parameters | None = None) -> float:
+        score = 0.0
+        for field_name, terms in scoring_terms.items():
+            if terms:
+                score += bm25_score(self._text_indexes[field_name], terms, doc_id, parameters)
+        return score if score else 1.0
+
+    def _keyword_values(self, value: Any) -> list[str]:
+        if isinstance(value, list):
+            return [str(v).lower() for v in value]
+        return [str(value).lower()]
+
+    @staticmethod
+    def _stringify(value: Any) -> str:
+        if isinstance(value, list):
+            return " ".join(str(v) for v in value)
+        return str(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FullTextStore(name={self.name!r}, documents={len(self)})"
+
+
+def _within(value: Any, low: Any, high: Any, include_low: bool, include_high: bool) -> bool:
+    try:
+        if low is not None:
+            if include_low and value < low:
+                return False
+            if not include_low and value <= low:
+                return False
+        if high is not None:
+            if include_high and value > high:
+                return False
+            if not include_high and value >= high:
+                return False
+    except TypeError:
+        value_str, low_str, high_str = str(value), None if low is None else str(low), None if high is None else str(high)
+        if low_str is not None and value_str < low_str:
+            return False
+        if high_str is not None and value_str > high_str:
+            return False
+    return True
+
+
+def tweet_store(name: str = "solr_tweets") -> FullTextStore:
+    """A store pre-configured with the tweet fields of Figure 2."""
+    fields = [
+        FieldConfig("text", "text"),
+        FieldConfig("entities.hashtags", "keyword", multi_valued=True),
+        FieldConfig("user.screen_name", "keyword"),
+        FieldConfig("user.name", "keyword"),
+        FieldConfig("user.id", "keyword"),
+        FieldConfig("created_at", "date"),
+        FieldConfig("week", "keyword"),
+        FieldConfig("retweet_count", "numeric"),
+        FieldConfig("favorite_count", "numeric"),
+        FieldConfig("user.followers_count", "numeric"),
+    ]
+    return FullTextStore(name=name, fields=fields, default_field="text")
+
+
+def facebook_store(name: str = "solr_facebook") -> FullTextStore:
+    """A store pre-configured for the Facebook-post collection of the demo."""
+    fields = [
+        FieldConfig("message", "text"),
+        FieldConfig("author", "keyword"),
+        FieldConfig("page_id", "keyword"),
+        FieldConfig("created_at", "date"),
+        FieldConfig("likes", "numeric"),
+        FieldConfig("shares", "numeric"),
+        FieldConfig("comments", "numeric"),
+    ]
+    return FullTextStore(name=name, fields=fields, default_field="message")

@@ -1,0 +1,89 @@
+"""RDF substrate: terms, triple store, RDFS entailment, BGP/SPARQL queries.
+
+This package implements the RDF machinery the paper's mixed instance is
+built around: the custom "glue" graph, independent RDF data sources
+(DBPedia-like, IGN-like), RDFS saturation and the conjunctive SPARQL
+fragment (BGPs) used by mixed queries.
+"""
+
+from repro.rdf.bgp import BGPQuery, EvaluationTrace, answer_bgp, evaluate_ask, evaluate_bgp
+from repro.rdf.entailment import SaturationStats, implicit_triples, saturate
+from repro.rdf.graph import Graph
+from repro.rdf.ntriples import iter_triples, parse_ntriples, serialize_ntriples
+from repro.rdf.schema import RDFSchema
+from repro.rdf.sparql import ParsedSelect, parse_bgp, parse_sparql
+from repro.rdf.summary import RDFSummary, SummaryEdge, SummaryNode
+from repro.rdf.terms import (
+    DEFAULT_PREFIXES,
+    FOAF_NS,
+    RDF_NS,
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_LABEL,
+    RDFS_NS,
+    RDFS_RANGE,
+    RDFS_SUBCLASS,
+    RDFS_SUBPROPERTY,
+    TATOOINE_NS,
+    XSD_NS,
+    BlankNode,
+    Literal,
+    Term,
+    Triple,
+    TriplePattern,
+    URI,
+    Variable,
+    expand_qname,
+    literal,
+    pattern,
+    triple,
+    uri,
+    var,
+)
+
+__all__ = [
+    "BGPQuery",
+    "EvaluationTrace",
+    "answer_bgp",
+    "evaluate_ask",
+    "evaluate_bgp",
+    "SaturationStats",
+    "implicit_triples",
+    "saturate",
+    "Graph",
+    "iter_triples",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "RDFSchema",
+    "ParsedSelect",
+    "parse_bgp",
+    "parse_sparql",
+    "RDFSummary",
+    "SummaryEdge",
+    "SummaryNode",
+    "DEFAULT_PREFIXES",
+    "FOAF_NS",
+    "RDF_NS",
+    "RDF_TYPE",
+    "RDFS_DOMAIN",
+    "RDFS_LABEL",
+    "RDFS_NS",
+    "RDFS_RANGE",
+    "RDFS_SUBCLASS",
+    "RDFS_SUBPROPERTY",
+    "TATOOINE_NS",
+    "XSD_NS",
+    "BlankNode",
+    "Literal",
+    "Term",
+    "Triple",
+    "TriplePattern",
+    "URI",
+    "Variable",
+    "expand_qname",
+    "literal",
+    "pattern",
+    "triple",
+    "uri",
+    "var",
+]

@@ -1,0 +1,228 @@
+"""Basic Graph Pattern (BGP) queries — the conjunctive SPARQL subset.
+
+A BGP is ``q(x̄) :- t1, ..., tn`` where each ``ti`` is a triple pattern.
+Evaluation returns every embedding of the body into the graph, projected
+on the head variables; the *answer* is the evaluation against the
+saturated graph G∞ (see :mod:`repro.rdf.entailment`).
+
+The evaluator orders patterns greedily by estimated selectivity (bound
+positions first, then smallest match count), which mirrors the
+"most selective sub-queries first" strategy of the paper's mediator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import RDFError
+from repro.rdf.entailment import saturate
+from repro.rdf.graph import Graph
+from repro.rdf.schema import RDFSchema
+from repro.rdf.terms import (
+    PatternTerm,
+    Term,
+    Triple,
+    TriplePattern,
+    Variable,
+    pattern as make_pattern,
+    var,
+)
+
+#: A solution mapping from variables to terms.
+Binding = dict[Variable, Term]
+
+
+@dataclass(frozen=True)
+class BGPQuery:
+    """A conjunctive query over a single RDF graph.
+
+    Parameters
+    ----------
+    head:
+        The projected (output) variables; empty means "project everything".
+    patterns:
+        The triple patterns of the body.
+    name:
+        Optional query name (used when the BGP is embedded in a CMQ).
+    """
+
+    head: tuple[Variable, ...]
+    patterns: tuple[TriplePattern, ...]
+    name: str = "q"
+
+    def __post_init__(self) -> None:
+        if not self.patterns:
+            raise RDFError("a BGP query needs at least one triple pattern")
+        body_vars = self.variables()
+        for v in self.head:
+            if v not in body_vars:
+                raise RDFError(f"head variable {v} does not occur in the body")
+
+    @classmethod
+    def create(cls, head: Sequence[object], patterns: Iterable[Sequence[object]],
+               name: str = "q") -> "BGPQuery":
+        """Convenience constructor coercing plain strings/tuples."""
+        head_vars = tuple(var(h) if isinstance(h, str) else h for h in head)
+        body = tuple(
+            p if isinstance(p, TriplePattern) else make_pattern(*p) for p in patterns
+        )
+        return cls(head=head_vars, patterns=body, name=name)
+
+    def variables(self) -> set[Variable]:
+        """Return every variable of the body."""
+        out: set[Variable] = set()
+        for p in self.patterns:
+            out.update(p.variables())
+        return out
+
+    def output_variables(self) -> tuple[Variable, ...]:
+        """Head variables, or all body variables (sorted) if the head is empty."""
+        if self.head:
+            return self.head
+        return tuple(sorted(self.variables(), key=lambda v: v.name))
+
+    def bind(self, bindings: Binding) -> "BGPQuery":
+        """Return a copy of the query with ``bindings`` substituted in the body."""
+        new_patterns = tuple(p.bind(bindings) for p in self.patterns)
+        new_head = tuple(v for v in self.head if v not in bindings)
+        if not new_head and self.head:
+            # Fully bound head: keep a dummy projection over remaining vars.
+            remaining = set()
+            for p in new_patterns:
+                remaining.update(p.variables())
+            new_head = tuple(sorted(remaining, key=lambda v: v.name))
+            if not new_head:
+                # Boolean query: keep the original head semantics by
+                # projecting nothing; evaluation yields empty bindings.
+                return BGPQuery(head=(), patterns=new_patterns, name=self.name)
+        return BGPQuery(head=new_head, patterns=new_patterns, name=self.name)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        head = ", ".join(str(v) for v in self.output_variables())
+        body = ", ".join(str(p) for p in self.patterns)
+        return f"{self.name}({head}) :- {body}"
+
+
+@dataclass
+class EvaluationTrace:
+    """Optional statistics collected during BGP evaluation."""
+
+    pattern_order: list[TriplePattern] = field(default_factory=list)
+    intermediate_sizes: list[int] = field(default_factory=list)
+    matched_triples: int = 0
+
+
+def evaluate_bgp(query: BGPQuery, graph: Graph, initial_binding: Binding | None = None,
+                 trace: EvaluationTrace | None = None) -> list[Binding]:
+    """Evaluate ``query`` on ``graph`` (no entailment) and return projected bindings.
+
+    ``initial_binding`` pre-binds variables (used by the mediator's bind
+    joins); the returned bindings contain only the query's output
+    variables.
+    """
+    order = _order_patterns(query.patterns, graph, initial_binding or {})
+    if trace is not None:
+        trace.pattern_order = list(order)
+
+    solutions: list[Binding] = [dict(initial_binding or {})]
+    for p in order:
+        next_solutions: list[Binding] = []
+        for solution in solutions:
+            bound = p.bind(solution)
+            for t in graph.match(bound):
+                if trace is not None:
+                    trace.matched_triples += 1
+                extended = _extend(solution, bound, t)
+                if extended is not None:
+                    next_solutions.append(extended)
+        solutions = next_solutions
+        if trace is not None:
+            trace.intermediate_sizes.append(len(solutions))
+        if not solutions:
+            break
+
+    output = query.output_variables()
+    projected: list[Binding] = []
+    seen: set[tuple] = set()
+    for solution in solutions:
+        row = {v: solution[v] for v in output if v in solution}
+        key = tuple(row.get(v) for v in output)
+        if key not in seen:
+            seen.add(key)
+            projected.append(row)
+    return projected
+
+
+def answer_bgp(query: BGPQuery, graph: Graph, schema: RDFSchema | None = None) -> list[Binding]:
+    """Return the *answer* of ``query``: its evaluation against G∞."""
+    saturated, _ = saturate(graph, schema)
+    return evaluate_bgp(query, saturated)
+
+
+def evaluate_ask(patterns: Iterable[TriplePattern], graph: Graph) -> bool:
+    """Boolean (ASK) evaluation: does at least one embedding exist?"""
+    patterns = tuple(patterns)
+    query = BGPQuery(head=(), patterns=patterns)
+    return bool(evaluate_bgp(query, graph))
+
+
+def _order_patterns(patterns: Sequence[TriplePattern], graph: Graph,
+                    initial: Binding) -> list[TriplePattern]:
+    """Greedy selectivity ordering of the body patterns.
+
+    At each step pick the pattern with the lowest estimated cardinality
+    given the variables already bound, preferring patterns connected to
+    the current set of bound variables (to avoid Cartesian products).
+    """
+    remaining = list(patterns)
+    bound_vars: set[Variable] = set(initial)
+    ordered: list[TriplePattern] = []
+    while remaining:
+        def score(p: TriplePattern) -> tuple[int, int]:
+            connected = 0 if (not ordered or p.variables() & bound_vars or not p.variables()) else 1
+            # Estimate cardinality treating bound variables as constants.
+            estimate_pattern = TriplePattern(
+                *(Variable("__any__") if isinstance(term, Variable) and term not in bound_vars
+                  else (term if not isinstance(term, Variable) else _BOUND_MARKER)
+                  for term in p)
+            )
+            return connected, _estimate(estimate_pattern, graph)
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound_vars.update(best.variables())
+    return ordered
+
+
+#: Marker used during ordering for variables already bound: we do not know
+#: their value yet, but they behave like constants, so estimate them as a
+#: single bound position by reusing a fresh variable and dividing.
+_BOUND_MARKER = Variable("__bound__")
+
+
+def _estimate(p: TriplePattern, graph: Graph) -> int:
+    """Cardinality estimate for ordering purposes."""
+    concrete = TriplePattern(
+        *(Variable(f"v{i}") if isinstance(term, Variable) else term
+          for i, term in enumerate(p))
+    )
+    count = graph.count(concrete)
+    bound_positions = sum(1 for term in p if term is _BOUND_MARKER)
+    # Each already-bound variable behaves like an equality selection.
+    for _ in range(bound_positions):
+        count = max(1, count // 10)
+    return count
+
+
+def _extend(solution: Binding, bound_pattern: TriplePattern, t: Triple) -> Binding | None:
+    """Extend ``solution`` with the bindings induced by matching ``t``."""
+    extended = dict(solution)
+    for term, value in zip(bound_pattern, t):
+        if isinstance(term, Variable):
+            existing = extended.get(term)
+            if existing is not None and existing != value:
+                return None
+            extended[term] = value
+    return extended

@@ -1,0 +1,159 @@
+"""RDFS entailment: computing the saturation G∞ of an RDF graph.
+
+The paper answers BGP queries against the *saturation* of the custom graph
+(all explicit plus derivable implicit triples).  We implement the standard
+RDFS entailment rules the paper cites:
+
+==========  ================================================================
+rule        derivation
+==========  ================================================================
+rdfs2       ``p rdfs:domain c`` and ``s p o``        ⇒ ``s rdf:type c``
+rdfs3       ``p rdfs:range c`` and ``s p o``         ⇒ ``o rdf:type c``
+rdfs5       ``p rdfs:subPropertyOf q`` and ``q rdfs:subPropertyOf r``
+            ⇒ ``p rdfs:subPropertyOf r``
+rdfs7       ``p rdfs:subPropertyOf q`` and ``s p o`` ⇒ ``s q o``
+rdfs9       ``c rdfs:subClassOf d`` and ``s rdf:type c`` ⇒ ``s rdf:type d``
+rdfs11      ``c rdfs:subClassOf d`` and ``d rdfs:subClassOf e``
+            ⇒ ``c rdfs:subClassOf e``
+==========  ================================================================
+
+Saturation is computed by a semi-naive fixpoint: only the triples derived
+at the previous round are re-examined at the next one, so the cost is
+proportional to the number of derived triples rather than to the square of
+the graph size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.rdf.graph import Graph
+from repro.rdf.schema import RDFSchema
+from repro.rdf.terms import (
+    RDF_TYPE,
+    RDFS_SUBCLASS,
+    RDFS_SUBPROPERTY,
+    Literal,
+    Term,
+    Triple,
+)
+
+
+@dataclass
+class SaturationStats:
+    """Bookkeeping returned together with a saturated graph."""
+
+    explicit_triples: int = 0
+    implicit_triples: int = 0
+    rounds: int = 0
+    rule_applications: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_triples(self) -> int:
+        return self.explicit_triples + self.implicit_triples
+
+    def record(self, rule: str, count: int = 1) -> None:
+        """Increment the application counter of ``rule``."""
+        if count:
+            self.rule_applications[rule] = self.rule_applications.get(rule, 0) + count
+
+
+def saturate(graph: Graph, schema: RDFSchema | None = None) -> tuple[Graph, SaturationStats]:
+    """Return ``(G∞, stats)`` for ``graph``.
+
+    ``schema`` may be provided when the schema triples live outside the
+    data graph (e.g. a shared ontology); it is merged with the schema
+    statements found in ``graph`` itself.
+    """
+    stats = SaturationStats(explicit_triples=len(graph))
+    saturated = graph.copy(name=f"{graph.name}∞")
+
+    merged_schema = RDFSchema.from_graph(graph)
+    if schema is not None:
+        _merge_schema(merged_schema, schema)
+        saturated.add_all(schema.triples())
+
+    # rdfs5 / rdfs11: close the schema hierarchies first, they are small.
+    _close_hierarchy(saturated, merged_schema.subclasses, RDFS_SUBCLASS, "rdfs11", stats)
+    _close_hierarchy(saturated, merged_schema.subproperties, RDFS_SUBPROPERTY, "rdfs5", stats)
+    # Re-extract so that the closures below see the transitive edges.
+    merged_schema = RDFSchema.from_graph(saturated)
+
+    frontier: list[Triple] = list(saturated)
+    rounds = 0
+    while frontier:
+        rounds += 1
+        derived: list[Triple] = []
+        for t in frontier:
+            derived.extend(_apply_instance_rules(t, merged_schema, stats))
+        frontier = [t for t in derived if saturated.add(t)]
+    stats.rounds = rounds
+    stats.implicit_triples = len(saturated) - stats.explicit_triples
+    return saturated, stats
+
+
+def implicit_triples(graph: Graph, schema: RDFSchema | None = None) -> set[Triple]:
+    """Return only the implicit triples of ``graph`` (G∞ minus G)."""
+    saturated, _ = saturate(graph, schema)
+    return {t for t in saturated if t not in graph}
+
+
+def _apply_instance_rules(t: Triple, schema: RDFSchema, stats: SaturationStats) -> Iterable[Triple]:
+    """Yield the triples directly derivable from ``t`` under ``schema``."""
+    out: list[Triple] = []
+    # rdfs7: propagate along super-properties.
+    superproperties = schema.superproperties(t.predicate)
+    for parent in superproperties:
+        out.append(Triple(t.subject, parent, t.obj))
+    stats.record("rdfs7", len(superproperties))
+
+    # rdfs2 / rdfs3: typing from domain and range, for the predicate and
+    # every super-property (the closure above will re-derive types anyway,
+    # doing it here shortens the fixpoint).
+    predicates = {t.predicate} | superproperties
+    domain_types: set[Term] = set()
+    range_types: set[Term] = set()
+    for predicate in predicates:
+        domain_types.update(schema.domains.get(predicate, ()))
+        range_types.update(schema.ranges.get(predicate, ()))
+    for rdf_class in domain_types:
+        out.append(Triple(t.subject, RDF_TYPE, rdf_class))
+    stats.record("rdfs2", len(domain_types))
+    if not isinstance(t.obj, Literal):
+        for rdf_class in range_types:
+            out.append(Triple(t.obj, RDF_TYPE, rdf_class))
+        stats.record("rdfs3", len(range_types))
+
+    # rdfs9: propagate rdf:type along the subclass hierarchy.
+    if t.predicate == RDF_TYPE:
+        superclasses = schema.superclasses(t.obj)
+        for parent in superclasses:
+            out.append(Triple(t.subject, RDF_TYPE, parent))
+        stats.record("rdfs9", len(superclasses))
+    return out
+
+
+def _close_hierarchy(graph: Graph, edges: dict[Term, set[Term]], predicate, rule: str,
+                     stats: SaturationStats) -> None:
+    """Add the transitive closure of ``edges`` to ``graph`` as ``predicate`` triples."""
+    schema = RDFSchema()
+    target = schema.subclasses if predicate == RDFS_SUBCLASS else schema.subproperties
+    for child, parents in edges.items():
+        target[child].update(parents)
+    for child in list(edges):
+        closure = (schema.superclasses(child) if predicate == RDFS_SUBCLASS
+                   else schema.superproperties(child))
+        added = sum(1 for parent in closure if graph.add(Triple(child, predicate, parent)))
+        stats.record(rule, added)
+
+
+def _merge_schema(target: RDFSchema, extra: RDFSchema) -> None:
+    for child, parents in extra.subclasses.items():
+        target.subclasses[child].update(parents)
+    for child, parents in extra.subproperties.items():
+        target.subproperties[child].update(parents)
+    for prop, classes in extra.domains.items():
+        target.domains[prop].update(classes)
+    for prop, classes in extra.ranges.items():
+        target.ranges[prop].update(classes)

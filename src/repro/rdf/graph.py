@@ -1,0 +1,245 @@
+"""In-memory RDF triple store with SPO/POS/OSP indexes.
+
+The glue graph of a mixed instance, as well as every RDF data source
+(DBPedia-like, IGN-like), is stored in a :class:`Graph`.  The store keeps
+three permutation indexes so that any triple pattern with at least one
+constant is answered by dictionary lookups rather than a full scan.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.errors import RDFError
+from repro.rdf.terms import (
+    RDF_TYPE,
+    BlankNode,
+    Literal,
+    PatternTerm,
+    Term,
+    Triple,
+    TriplePattern,
+    URI,
+    Variable,
+    triple as make_triple,
+)
+
+
+class Graph:
+    """A set of RDF triples with pattern-matching access paths.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable name (used by digests and the catalog).
+    triples:
+        Optional initial triples.
+    """
+
+    def __init__(self, name: str = "graph", triples: Iterable[Triple] | None = None):
+        self.name = name
+        self._triples: set[Triple] = set()
+        self._spo: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
+        if triples:
+            self.add_all(triples)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, subject: object, predicate: object = None, obj: object = None) -> bool:
+        """Add a triple; returns True if it was not already present.
+
+        Accepts either a single :class:`Triple` or three coercible terms.
+        """
+        if isinstance(subject, Triple) and predicate is None and obj is None:
+            t = subject
+        else:
+            t = make_triple(subject, predicate, obj)
+        if t in self._triples:
+            return False
+        self._triples.add(t)
+        s, p, o = t.subject, t.predicate, t.obj
+        self._spo[s][p].add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add every triple of ``triples``; return how many were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, t: Triple) -> bool:
+        """Remove a triple; returns True if it was present."""
+        if t not in self._triples:
+            return False
+        self._triples.discard(t)
+        s, p, o = t.subject, t.predicate, t.obj
+        self._spo[s][p].discard(o)
+        self._pos[p][o].discard(s)
+        self._osp[o][s].discard(p)
+        return True
+
+    def clear(self) -> None:
+        """Remove every triple."""
+        self._triples.clear()
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, t: Triple) -> bool:
+        return t in self._triples
+
+    def copy(self, name: str | None = None) -> "Graph":
+        """Return an independent copy of the graph."""
+        return Graph(name or self.name, self._triples)
+
+    def subjects(self, predicate: Term | None = None, obj: Term | None = None) -> set[Term]:
+        """Return the distinct subjects matching optional predicate/object."""
+        return {t.subject for t in self.match(TriplePattern(Variable("s"), predicate or Variable("p"), obj or Variable("o")))}
+
+    def predicates(self) -> set[Term]:
+        """Return every distinct predicate in the graph."""
+        return set(self._pos.keys())
+
+    def objects(self, subject: Term | None = None, predicate: Term | None = None) -> set[Term]:
+        """Return the distinct objects matching optional subject/predicate."""
+        return {t.obj for t in self.match(TriplePattern(subject or Variable("s"), predicate or Variable("p"), Variable("o")))}
+
+    def value(self, subject: Term, predicate: Term) -> Term | None:
+        """Return one object of ``subject predicate ?o`` or None."""
+        objects = self._spo.get(subject, {}).get(predicate)
+        if not objects:
+            return None
+        return next(iter(objects))
+
+    def resources_of_type(self, rdf_class: URI) -> set[Term]:
+        """Return every subject declared of type ``rdf_class`` (no entailment)."""
+        return set(self._pos.get(RDF_TYPE, {}).get(rdf_class, set()))
+
+    def predicate_counts(self) -> dict[Term, int]:
+        """Return, for every predicate, the number of triples using it."""
+        return {
+            predicate: sum(len(subjects) for subjects in by_object.values())
+            for predicate, by_object in self._pos.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Pattern matching
+    # ------------------------------------------------------------------
+    def match(self, pattern: TriplePattern) -> Iterator[Triple]:
+        """Yield every triple matching ``pattern``.
+
+        Equal variables in two positions of the pattern constrain the
+        matched triple to repeat the same term in those positions.
+        """
+        s, p, o = pattern.subject, pattern.predicate, pattern.obj
+        s_fixed = not isinstance(s, Variable)
+        p_fixed = not isinstance(p, Variable)
+        o_fixed = not isinstance(o, Variable)
+
+        if s_fixed and p_fixed and o_fixed:
+            t = Triple(s, p, o)
+            candidates: Iterable[Triple] = [t] if t in self._triples else []
+        elif s_fixed and p_fixed:
+            candidates = (Triple(s, p, obj) for obj in self._spo.get(s, {}).get(p, ()))
+        elif p_fixed and o_fixed:
+            candidates = (Triple(subj, p, o) for subj in self._pos.get(p, {}).get(o, ()))
+        elif s_fixed and o_fixed:
+            candidates = (Triple(s, pred, o) for pred in self._osp.get(o, {}).get(s, ()))
+        elif s_fixed:
+            candidates = (
+                Triple(s, pred, obj)
+                for pred, objs in self._spo.get(s, {}).items()
+                for obj in objs
+            )
+        elif p_fixed:
+            candidates = (
+                Triple(subj, p, obj)
+                for obj, subjs in self._pos.get(p, {}).items()
+                for subj in subjs
+            )
+        elif o_fixed:
+            candidates = (
+                Triple(subj, pred, o)
+                for subj, preds in self._osp.get(o, {}).items()
+                for pred in preds
+            )
+        else:
+            candidates = iter(self._triples)
+
+        repeated = _repeated_variable_positions(pattern)
+        if not repeated:
+            yield from candidates
+            return
+        for candidate in candidates:
+            values = (candidate.subject, candidate.predicate, candidate.obj)
+            if all(values[i] == values[j] for i, j in repeated):
+                yield candidate
+
+    def count(self, pattern: TriplePattern) -> int:
+        """Return the number of triples matching ``pattern``.
+
+        Fast paths avoid materialising matches for the common shapes used
+        by the planner's selectivity estimation.
+        """
+        s, p, o = pattern.subject, pattern.predicate, pattern.obj
+        if _repeated_variable_positions(pattern):
+            return sum(1 for _ in self.match(pattern))
+        s_fixed = not isinstance(s, Variable)
+        p_fixed = not isinstance(p, Variable)
+        o_fixed = not isinstance(o, Variable)
+        if not (s_fixed or p_fixed or o_fixed):
+            return len(self._triples)
+        if s_fixed and p_fixed and not o_fixed:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p_fixed and o_fixed and not s_fixed:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if p_fixed and not s_fixed and not o_fixed:
+            return sum(len(v) for v in self._pos.get(p, {}).values())
+        return sum(1 for _ in self.match(pattern))
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+    def union(self, other: "Graph", name: str | None = None) -> "Graph":
+        """Return a new graph holding the triples of both graphs."""
+        result = self.copy(name or f"{self.name}+{other.name}")
+        result.add_all(other)
+        return result
+
+    def terms(self) -> set[Term]:
+        """Return every term (subject, predicate or object) in the graph."""
+        out: set[Term] = set()
+        for t in self._triples:
+            out.update((t.subject, t.predicate, t.obj))
+        return out
+
+    def literals(self) -> set[Literal]:
+        """Return every literal appearing in the object position."""
+        return {t.obj for t in self._triples if isinstance(t.obj, Literal)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Graph(name={self.name!r}, triples={len(self)})"
+
+
+def _repeated_variable_positions(pattern: TriplePattern) -> list[tuple[int, int]]:
+    """Return index pairs of positions that hold the same variable."""
+    terms: list[PatternTerm] = [pattern.subject, pattern.predicate, pattern.obj]
+    pairs = []
+    for i in range(3):
+        for j in range(i + 1, 3):
+            if isinstance(terms[i], Variable) and terms[i] == terms[j]:
+                pairs.append((i, j))
+    return pairs

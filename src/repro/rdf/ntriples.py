@@ -1,0 +1,272 @@
+"""A small N-Triples / Turtle-subset parser and serializer.
+
+Journalists' hand-curated glue data (party classifications, elected
+representatives scraped into tabular files) is "easily exported into RDF"
+(paper, §1).  This module provides the textual round-trip: parsing
+N-Triples and a pragmatic Turtle subset (``@prefix``, qualified names,
+``;`` and ``,`` abbreviations, ``a`` for ``rdf:type``), and serialising a
+graph back to N-Triples.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+from repro.errors import ParseError
+from repro.rdf.graph import Graph
+from repro.rdf.terms import (
+    DEFAULT_PREFIXES,
+    RDF_TYPE,
+    BlankNode,
+    Literal,
+    Term,
+    Triple,
+    URI,
+    XSD_NS,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<uri><[^>]*>)
+    | (?P<literal>"(?:[^"\\]|\\.)*"(?:@[A-Za-z-]+|\^\^<[^>]*>|\^\^[A-Za-z_][\w.-]*:[A-Za-z_][\w.-]*)?)
+    | (?P<bnode>_:[A-Za-z_][\w-]*)
+    | (?P<prefix_decl>@prefix)
+    | (?P<qname>[A-Za-z_][\w.-]*?:[A-Za-z_][\w.-]*)
+    | (?P<prefix_name>[A-Za-z_][\w.-]*:)
+    | (?P<a>\ba\b)
+    | (?P<number>[+-]?\d+(?:\.\d+)?)
+    | (?P<punct>[;,.])
+    """,
+    re.VERBOSE,
+)
+
+
+def parse_ntriples(text: str, graph_name: str = "parsed") -> Graph:
+    """Parse N-Triples / Turtle-subset ``text`` into a new :class:`Graph`."""
+    graph = Graph(name=graph_name)
+    graph.add_all(iter_triples(text))
+    return graph
+
+
+def iter_triples(text: str) -> Iterator[Triple]:
+    """Yield the triples of a N-Triples / Turtle-subset document."""
+    prefixes = dict(DEFAULT_PREFIXES)
+    statements = _split_statements(text)
+    for line_no, statement in statements:
+        tokens = _tokenize(statement, line_no)
+        if not tokens:
+            continue
+        if tokens[0][0] == "prefix_decl":
+            _handle_prefix(tokens, prefixes, line_no)
+            continue
+        yield from _parse_statement(tokens, prefixes, line_no)
+
+
+def serialize_ntriples(graph: Graph | Iterable[Triple]) -> str:
+    """Serialise ``graph`` as sorted N-Triples text."""
+    lines = sorted(_serialize_triple(t) for t in graph)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Internal helpers
+# ---------------------------------------------------------------------------
+
+def _split_statements(text: str) -> list[tuple[int, str]]:
+    """Split the document into ``.``-terminated statements, tracking lines."""
+    statements: list[tuple[int, str]] = []
+    current: list[str] = []
+    start_line = 1
+    in_string = False
+    in_uri = False
+    in_comment = False
+    escaped = False
+    line = 1
+    for index, ch in enumerate(text):
+        if ch == "\n":
+            line += 1
+            in_comment = False
+        if in_comment:
+            continue
+        if in_string:
+            current.append(ch)
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_string = False
+            continue
+        if in_uri:
+            current.append(ch)
+            if ch == ">":
+                in_uri = False
+            continue
+        if ch == '"':
+            in_string = True
+            current.append(ch)
+            continue
+        if ch == "<":
+            in_uri = True
+            current.append(ch)
+            continue
+        if ch == "#":
+            # Comment until end of line (URIs with fragments are handled above).
+            in_comment = True
+            continue
+        if ch == ".":
+            following = text[index + 1] if index + 1 < len(text) else " "
+            if following.isspace() or following == "#":
+                statement = "".join(current).strip()
+                if statement:
+                    statements.append((start_line, statement))
+                current = []
+                start_line = line
+                continue
+        current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        statements.append((start_line, tail))
+    return statements
+
+
+def _tokenize(statement: str, line_no: int) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(statement):
+        if statement[position].isspace():
+            position += 1
+            continue
+        match = _TOKEN_RE.match(statement, position)
+        if not match:
+            raise ParseError(
+                f"cannot tokenise {statement[position:position + 20]!r}", position=line_no
+            )
+        kind = match.lastgroup or ""
+        tokens.append((kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+def _handle_prefix(tokens: list[tuple[str, str]], prefixes: dict[str, str], line_no: int) -> None:
+    if len(tokens) != 3 or tokens[2][0] != "uri" or tokens[1][0] not in ("prefix_name", "qname"):
+        raise ParseError("malformed @prefix declaration", position=line_no)
+    declared = tokens[1][1]
+    if not declared.endswith(":"):
+        declared += ":"
+    prefix = declared.split(":", 1)[0]
+    prefixes[prefix] = tokens[2][1][1:-1]
+
+
+def _parse_statement(tokens: list[tuple[str, str]], prefixes: dict[str, str],
+                     line_no: int) -> Iterator[Triple]:
+    """Parse one Turtle statement (with ``;`` and ``,`` abbreviations)."""
+    index = 0
+
+    def next_term() -> Term:
+        nonlocal index
+        if index >= len(tokens):
+            raise ParseError("unexpected end of statement", position=line_no)
+        kind, text = tokens[index]
+        index += 1
+        return _token_to_term(kind, text, prefixes, line_no)
+
+    subject = next_term()
+    while index < len(tokens):
+        predicate = next_term()
+        if not isinstance(predicate, URI):
+            raise ParseError(f"predicate must be a URI, got {predicate}", position=line_no)
+        while True:
+            obj = next_term()
+            yield Triple(subject, predicate, obj)
+            if index < len(tokens) and tokens[index] == ("punct", ","):
+                index += 1
+                continue
+            break
+        if index < len(tokens) and tokens[index] == ("punct", ";"):
+            index += 1
+            if index >= len(tokens):
+                break
+            continue
+        break
+    if index < len(tokens):
+        raise ParseError(
+            f"unexpected trailing tokens: {tokens[index:]}", position=line_no
+        )
+
+
+def _token_to_term(kind: str, text: str, prefixes: dict[str, str], line_no: int) -> Term:
+    if kind == "uri":
+        return URI(text[1:-1])
+    if kind == "bnode":
+        return BlankNode(text[2:])
+    if kind == "a":
+        return RDF_TYPE
+    if kind == "qname":
+        prefix, local = text.split(":", 1)
+        if prefix not in prefixes:
+            raise ParseError(f"unknown prefix {prefix!r}", position=line_no)
+        return URI(prefixes[prefix] + local)
+    if kind == "number":
+        datatype = XSD_NS + ("integer" if re.match(r"^[+-]?\d+$", text) else "decimal")
+        return Literal(text, datatype=datatype)
+    if kind == "literal":
+        return _parse_literal(text, prefixes, line_no)
+    raise ParseError(f"unexpected token {text!r}", position=line_no)
+
+
+def _parse_literal(text: str, prefixes: dict[str, str], line_no: int) -> Literal:
+    match = re.match(
+        r'^"(?P<value>(?:[^"\\]|\\.)*)"'
+        r'(?:@(?P<lang>[A-Za-z-]+)|\^\^<(?P<dtype>[^>]*)>|\^\^(?P<dtq>[A-Za-z_][\w.-]*:[A-Za-z_][\w.-]*))?$',
+        text,
+    )
+    if not match:
+        raise ParseError(f"malformed literal {text!r}", position=line_no)
+    value = _unescape(match.group("value"))
+    datatype = match.group("dtype")
+    if match.group("dtq"):
+        prefix, local = match.group("dtq").split(":", 1)
+        if prefix not in prefixes:
+            raise ParseError(f"unknown prefix {prefix!r}", position=line_no)
+        datatype = prefixes[prefix] + local
+    return Literal(value, datatype=datatype, language=match.group("lang"))
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\\\", "\x00")
+        .replace('\\"', '"')
+        .replace("\\n", "\n")
+        .replace("\\t", "\t")
+        .replace("\x00", "\\")
+    )
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+    )
+
+
+def _serialize_term(term: Term) -> str:
+    if isinstance(term, URI):
+        return f"<{term.value}>"
+    if isinstance(term, BlankNode):
+        return f"_:{term.label}"
+    if isinstance(term, Literal):
+        base = f'"{_escape(term.value)}"'
+        if term.language:
+            return f"{base}@{term.language}"
+        if term.datatype:
+            return f"{base}^^<{term.datatype}>"
+        return base
+    raise ParseError(f"cannot serialise {term!r}")
+
+
+def _serialize_triple(t: Triple) -> str:
+    return f"{_serialize_term(t.subject)} {_serialize_term(t.predicate)} {_serialize_term(t.obj)} ."

@@ -1,0 +1,295 @@
+"""RDF terms: URIs, literals, blank nodes, variables and triples.
+
+The paper's mixed instance glues heterogeneous sources with an RDF graph,
+so the RDF substrate is the foundation of everything else.  Terms are
+small immutable value objects; triples are 3-tuples of terms; triple
+*patterns* additionally allow :class:`Variable` in any position.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import RDFError
+
+#: Well known namespaces, used throughout the library and the datasets.
+RDF_NS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+RDFS_NS = "http://www.w3.org/2000/01/rdf-schema#"
+XSD_NS = "http://www.w3.org/2001/XMLSchema#"
+FOAF_NS = "http://xmlns.com/foaf/0.1/"
+TATOOINE_NS = "http://tatooine.inria.fr/ns#"
+
+_QNAME_RE = re.compile(r"^([A-Za-z_][\w.-]*)?:([A-Za-z_][\w.-]*)$")
+
+#: Prefix table used by :func:`expand_qname` and the Turtle parser.
+DEFAULT_PREFIXES = {
+    "rdf": RDF_NS,
+    "rdfs": RDFS_NS,
+    "xsd": XSD_NS,
+    "foaf": FOAF_NS,
+    "ttn": TATOOINE_NS,
+}
+
+
+@dataclass(frozen=True, order=True)
+class URI:
+    """A Uniform Resource Identifier, RDF's global identifier.
+
+    URIs are the main join keys of the mixed instance: the paper relies on
+    URI reuse (and on literal reuse) across sources to establish bridges.
+    """
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise RDFError("URI value must be a non-empty string")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"<{self.value}>"
+
+    @property
+    def local_name(self) -> str:
+        """Return the fragment/last path segment, useful for display."""
+        for separator in ("#", "/", ":"):
+            if separator in self.value:
+                candidate = self.value.rsplit(separator, 1)[1]
+                if candidate:
+                    return candidate
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """An RDF literal: a constant value with optional datatype or language."""
+
+    value: str
+    datatype: str | None = None
+    language: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.datatype is not None and self.language is not None:
+            raise RDFError("a literal cannot have both a datatype and a language")
+        object.__setattr__(self, "value", str(self.value))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if self.language:
+            return f'"{self.value}"@{self.language}'
+        if self.datatype:
+            return f'"{self.value}"^^<{self.datatype}>'
+        return f'"{self.value}"'
+
+    def to_python(self) -> object:
+        """Best-effort conversion to a native Python value."""
+        if self.datatype in (XSD_NS + "integer", XSD_NS + "int", XSD_NS + "long"):
+            return int(self.value)
+        if self.datatype in (XSD_NS + "decimal", XSD_NS + "double", XSD_NS + "float"):
+            return float(self.value)
+        if self.datatype == XSD_NS + "boolean":
+            return self.value.lower() in ("true", "1")
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class BlankNode:
+    """An existential (unnamed) RDF node, identified only within a graph."""
+
+    label: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"_:{self.label}"
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, allowed in triple patterns and CMQ heads."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not re.match(r"^[A-Za-z_][\w]*$", self.name):
+            raise RDFError(f"invalid variable name: {self.name!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"?{self.name}"
+
+
+#: A term that may appear in RDF *data*.
+Term = Union[URI, Literal, BlankNode]
+#: A term that may appear in a triple *pattern*.
+PatternTerm = Union[URI, Literal, BlankNode, Variable]
+
+
+@dataclass(frozen=True, order=True)
+class Triple:
+    """A data triple ``subject property object``."""
+
+    subject: Term
+    predicate: Term
+    obj: Term
+
+    def __post_init__(self) -> None:
+        for position, term in (("subject", self.subject),
+                               ("predicate", self.predicate),
+                               ("object", self.obj)):
+            if isinstance(term, Variable):
+                raise RDFError(f"data triple cannot contain a variable in {position}")
+        if isinstance(self.predicate, (Literal, BlankNode)):
+            raise RDFError("triple predicate must be a URI")
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.obj))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.subject} {self.predicate} {self.obj} ."
+
+
+@dataclass(frozen=True, order=True)
+class TriplePattern:
+    """A triple whose subject, predicate and object may be variables."""
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    obj: PatternTerm
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.obj))
+
+    def variables(self) -> set[Variable]:
+        """Return every variable appearing in the pattern."""
+        return {t for t in self if isinstance(t, Variable)}
+
+    def is_ground(self) -> bool:
+        """True when the pattern contains no variable (it is a triple)."""
+        return not self.variables()
+
+    def to_triple(self) -> Triple:
+        """Convert a ground pattern into a data triple."""
+        if not self.is_ground():
+            raise RDFError(f"pattern {self} is not ground")
+        return Triple(self.subject, self.predicate, self.obj)
+
+    def bind(self, bindings: dict[Variable, Term]) -> "TriplePattern":
+        """Substitute variables according to ``bindings`` (missing ones stay)."""
+        def subst(term: PatternTerm) -> PatternTerm:
+            if isinstance(term, Variable):
+                return bindings.get(term, term)
+            return term
+
+        return TriplePattern(subst(self.subject), subst(self.predicate), subst(self.obj))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.subject} {self.predicate} {self.obj}"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+#: rdf:type, the single most used property of the glue graph.
+RDF_TYPE = URI(RDF_NS + "type")
+RDFS_SUBCLASS = URI(RDFS_NS + "subClassOf")
+RDFS_SUBPROPERTY = URI(RDFS_NS + "subPropertyOf")
+RDFS_DOMAIN = URI(RDFS_NS + "domain")
+RDFS_RANGE = URI(RDFS_NS + "range")
+RDFS_LABEL = URI(RDFS_NS + "label")
+
+#: The four RDFS schema properties the paper's entailment rules build on.
+SCHEMA_PROPERTIES = frozenset(
+    {RDFS_SUBCLASS, RDFS_SUBPROPERTY, RDFS_DOMAIN, RDFS_RANGE}
+)
+
+
+def expand_qname(qname: str, prefixes: dict[str, str] | None = None) -> URI:
+    """Expand a ``prefix:local`` qualified name into a full :class:`URI`.
+
+    ``prefixes`` defaults to :data:`DEFAULT_PREFIXES`; an unknown prefix
+    raises :class:`RDFError`.
+    """
+    prefixes = dict(DEFAULT_PREFIXES, **(prefixes or {}))
+    match = _QNAME_RE.match(qname)
+    if not match:
+        raise RDFError(f"not a qualified name: {qname!r}")
+    prefix, local = match.group(1) or "", match.group(2)
+    if prefix not in prefixes:
+        raise RDFError(f"unknown prefix {prefix!r} in {qname!r}")
+    return URI(prefixes[prefix] + local)
+
+
+def uri(value: str) -> URI:
+    """Build a URI from a full IRI string or a known ``prefix:local`` name."""
+    if _QNAME_RE.match(value) and not value.startswith(("http:", "https:", "urn:")):
+        try:
+            return expand_qname(value)
+        except RDFError:
+            pass
+    return URI(value)
+
+
+def literal(value: object, datatype: str | None = None,
+            language: str | None = None) -> Literal:
+    """Build a literal, inferring an XSD datatype from Python numbers/bools."""
+    if datatype is None and language is None:
+        if isinstance(value, bool):
+            datatype = XSD_NS + "boolean"
+            value = "true" if value else "false"
+        elif isinstance(value, int):
+            datatype = XSD_NS + "integer"
+        elif isinstance(value, float):
+            datatype = XSD_NS + "double"
+    return Literal(str(value), datatype=datatype, language=language)
+
+
+def var(name: str) -> Variable:
+    """Build a variable; accepts a leading ``?`` for convenience."""
+    return Variable(name.lstrip("?"))
+
+
+def triple(subject: object, predicate: object, obj: object) -> Triple:
+    """Build a data triple, coercing strings to URIs and scalars to literals."""
+    return Triple(_coerce_node(subject), _coerce_node(predicate), _coerce_node(obj, literal_ok=True))
+
+
+def pattern(subject: object, predicate: object, obj: object) -> TriplePattern:
+    """Build a triple pattern, coercing ``?x`` strings to variables."""
+    return TriplePattern(
+        _coerce_pattern_term(subject),
+        _coerce_pattern_term(predicate),
+        _coerce_pattern_term(obj, literal_ok=True),
+    )
+
+
+def _coerce_node(value: object, literal_ok: bool = False) -> Term:
+    if isinstance(value, (URI, Literal, BlankNode)):
+        return value
+    if isinstance(value, Variable):
+        raise RDFError("variables are not allowed in data triples")
+    if isinstance(value, str):
+        if value.startswith("_:"):
+            return BlankNode(value[2:])
+        if value.startswith('"') and value.endswith('"') and len(value) >= 2:
+            return Literal(value[1:-1])
+        if literal_ok and not _looks_like_uri(value):
+            return Literal(value)
+        return uri(value)
+    if isinstance(value, (int, float, bool)):
+        if not literal_ok:
+            raise RDFError(f"cannot use {value!r} outside the object position")
+        return literal(value)
+    raise RDFError(f"cannot interpret {value!r} as an RDF term")
+
+
+def _coerce_pattern_term(value: object, literal_ok: bool = False) -> PatternTerm:
+    if isinstance(value, Variable):
+        return value
+    if isinstance(value, str) and value.startswith("?"):
+        return var(value)
+    return _coerce_node(value, literal_ok=literal_ok)
+
+
+def _looks_like_uri(value: str) -> bool:
+    if value.startswith(("http://", "https://", "urn:")):
+        return True
+    return bool(_QNAME_RE.match(value)) and value.split(":", 1)[0] in DEFAULT_PREFIXES

@@ -1,0 +1,64 @@
+"""Relational substrate: an in-memory SQL-subset engine.
+
+Plays the role of the INSEE / Ministry-of-Interior databases the paper's
+mediator ships sub-queries to.
+"""
+
+from repro.relational.ast import (
+    BinaryOp,
+    ColumnRef,
+    CreateTableStatement,
+    Expression,
+    FunctionCall,
+    InList,
+    InsertStatement,
+    IsNull,
+    Join,
+    LiteralValue,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+    UnaryOp,
+)
+from repro.relational.csv_io import dump_csv, load_csv
+from repro.relational.database import Database
+from repro.relational.executor import ResultSet, SelectExecutor
+from repro.relational.parser import parse_sql, tokenize
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.table import Index, Table
+from repro.relational.types import DataType, coerce, infer_type, parse_type
+
+__all__ = [
+    "BinaryOp",
+    "ColumnRef",
+    "CreateTableStatement",
+    "Expression",
+    "FunctionCall",
+    "InList",
+    "InsertStatement",
+    "IsNull",
+    "Join",
+    "LiteralValue",
+    "OrderItem",
+    "SelectItem",
+    "SelectStatement",
+    "TableRef",
+    "UnaryOp",
+    "dump_csv",
+    "load_csv",
+    "Database",
+    "ResultSet",
+    "SelectExecutor",
+    "parse_sql",
+    "tokenize",
+    "Column",
+    "ForeignKey",
+    "TableSchema",
+    "Index",
+    "Table",
+    "DataType",
+    "coerce",
+    "infer_type",
+    "parse_type",
+]

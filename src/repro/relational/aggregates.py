@@ -1,0 +1,50 @@
+"""Aggregate function evaluation for GROUP BY queries."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import RelationalError
+from repro.relational.ast import FunctionCall
+
+
+def compute_aggregate(call: FunctionCall, scopes: Iterable[dict[str, object]]) -> object:
+    """Compute one aggregate over a group of row scopes.
+
+    ``COUNT(*)`` counts rows; other aggregates skip NULL inputs, matching
+    SQL semantics.  ``DISTINCT`` is honoured for every aggregate.
+    """
+    name = call.name.upper()
+    scopes = list(scopes)
+    if call.star:
+        if name != "COUNT":
+            raise RelationalError(f"{name}(*) is not a valid aggregate")
+        return len(scopes)
+    if not call.arguments:
+        raise RelationalError(f"aggregate {name} needs an argument")
+    argument = call.arguments[0]
+    values = [argument.evaluate(scope) for scope in scopes]
+    values = [v for v in values if v is not None]
+    if call.distinct:
+        values = list(_stable_distinct(values))
+    if name == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if name == "SUM":
+        return sum(values)
+    if name == "AVG":
+        return sum(values) / len(values)
+    if name == "MIN":
+        return min(values)
+    if name == "MAX":
+        return max(values)
+    raise RelationalError(f"unsupported aggregate {name}")
+
+
+def _stable_distinct(values: list[object]) -> Iterable[object]:
+    seen: set[object] = set()
+    for value in values:
+        if value not in seen:
+            seen.add(value)
+            yield value

@@ -1,0 +1,82 @@
+"""CSV import/export for relational sources.
+
+Les Décodeurs scraped elected-representative lists into "a simple tabular
+file" (paper §1); this module loads such files into :class:`Database`
+tables and writes query results back out.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import RelationalError
+from repro.relational.database import Database
+from repro.relational.executor import ResultSet
+from repro.relational.table import Table
+
+
+def load_csv(database: Database, name: str, source: str | Path | io.TextIOBase,
+             delimiter: str = ",", primary_key: str | None = None) -> Table:
+    """Load a CSV file (or file-like object / literal text) into a new table.
+
+    Column types are inferred per column: integer if every non-empty value
+    parses as an int, float if every value parses as a number, text
+    otherwise.
+    """
+    rows = _read_rows(source, delimiter)
+    if not rows:
+        raise RelationalError(f"CSV source for table {name!r} is empty")
+    typed = [_coerce_record(record) for record in rows]
+    return database.create_table_from_rows(name, typed, primary_key=primary_key)
+
+
+def dump_csv(result: ResultSet, destination: str | Path | io.TextIOBase | None = None,
+             delimiter: str = ",") -> str:
+    """Serialise a result set as CSV text, optionally writing it to a file."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(result.columns)
+    for row in result.rows:
+        writer.writerow(["" if v is None else v for v in row])
+    text = buffer.getvalue()
+    if destination is None:
+        return text
+    if isinstance(destination, (str, Path)):
+        Path(destination).write_text(text, encoding="utf-8")
+    else:
+        destination.write(text)
+    return text
+
+
+def _read_rows(source: str | Path | io.TextIOBase, delimiter: str) -> list[dict[str, str]]:
+    if isinstance(source, io.TextIOBase):
+        reader = csv.DictReader(source, delimiter=delimiter)
+        return [dict(r) for r in reader]
+    if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source and Path(source).exists()):
+        with open(source, newline="", encoding="utf-8") as handle:
+            reader = csv.DictReader(handle, delimiter=delimiter)
+            return [dict(r) for r in reader]
+    reader = csv.DictReader(io.StringIO(str(source)), delimiter=delimiter)
+    return [dict(r) for r in reader]
+
+
+def _coerce_record(record: dict[str, str]) -> dict[str, object]:
+    return {key: _coerce_value(value) for key, value in record.items()}
+
+
+def _coerce_value(value: str | None) -> object:
+    if value is None or value == "":
+        return None
+    text = value.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text

@@ -1,0 +1,146 @@
+"""Row storage and secondary indexes for the relational substrate."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.relational.schema import TableSchema
+
+
+class Index:
+    """A hash index from one column's values to row positions."""
+
+    def __init__(self, column: str):
+        self.column = column
+        self._entries: dict[object, list[int]] = defaultdict(list)
+
+    def add(self, value: object, row_id: int) -> None:
+        """Record that ``value`` appears at ``row_id``."""
+        self._entries[value].append(row_id)
+
+    def lookup(self, value: object) -> list[int]:
+        """Return the row positions holding ``value``."""
+        return list(self._entries.get(value, ()))
+
+    def distinct_count(self) -> int:
+        """Number of distinct indexed values (used by selectivity estimates)."""
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._entries.values())
+
+
+class Table:
+    """An in-memory table: a schema plus a list of tuples.
+
+    Rows are stored as tuples in insertion order; hash indexes can be added
+    on any column (the primary key is indexed automatically).
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.rows: list[tuple] = []
+        self._indexes: dict[str, Index] = {}
+        if schema.primary_key:
+            self.create_index(schema.primary_key)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, values: dict[str, object] | list[object] | tuple) -> tuple:
+        """Insert a row (dict or positional) and return the stored tuple."""
+        row = self.schema.coerce_row(values)
+        if self.schema.primary_key:
+            pk_index = self.schema.column_index(self.schema.primary_key)
+            pk_value = row[pk_index]
+            if pk_value is None:
+                raise SchemaError(
+                    f"primary key {self.schema.primary_key!r} of {self.name!r} cannot be NULL"
+                )
+            if self._indexes[self.schema.primary_key.lower()].lookup(pk_value):
+                raise SchemaError(
+                    f"duplicate primary key {pk_value!r} in table {self.name!r}"
+                )
+        row_id = len(self.rows)
+        self.rows.append(row)
+        for column, index in self._indexes.items():
+            index.add(row[self.schema.column_index(column)], row_id)
+        return row
+
+    def insert_many(self, rows: Iterable[dict[str, object] | list[object] | tuple]) -> int:
+        """Insert every row of ``rows``; return how many were inserted."""
+        return sum(1 for _ in map(self.insert, rows))
+
+    def create_index(self, column: str) -> Index:
+        """Create (or return the existing) hash index on ``column``."""
+        key = column.lower()
+        if key in self._indexes:
+            return self._indexes[key]
+        if not self.schema.has_column(column):
+            raise SchemaError(f"cannot index unknown column {column!r} of {self.name!r}")
+        index = Index(column)
+        position = self.schema.column_index(column)
+        for row_id, row in enumerate(self.rows):
+            index.add(row[position], row_id)
+        self._indexes[key] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def scan(self, predicate: Callable[[dict[str, object]], bool] | None = None) -> Iterator[dict[str, object]]:
+        """Yield rows as dictionaries, optionally filtered by ``predicate``."""
+        names = self.schema.column_names()
+        for row in self.rows:
+            record = dict(zip(names, row))
+            if predicate is None or predicate(record):
+                yield record
+
+    def lookup(self, column: str, value: object) -> list[dict[str, object]]:
+        """Return the rows where ``column == value``, via index when available."""
+        names = self.schema.column_names()
+        key = column.lower()
+        if key in self._indexes:
+            return [dict(zip(names, self.rows[row_id]))
+                    for row_id in self._indexes[key].lookup(value)]
+        position = self.schema.column_index(column)
+        return [dict(zip(names, row)) for row in self.rows if row[position] == value]
+
+    def has_index(self, column: str) -> bool:
+        """True when a hash index exists on ``column``."""
+        return column.lower() in self._indexes
+
+    def distinct_values(self, column: str) -> set[object]:
+        """Return the distinct non-NULL values of ``column``."""
+        position = self.schema.column_index(column)
+        return {row[position] for row in self.rows if row[position] is not None}
+
+    def column_values(self, column: str) -> list[object]:
+        """Return every value (including duplicates) of ``column``."""
+        position = self.schema.column_index(column)
+        return [row[position] for row in self.rows]
+
+    def statistics(self) -> dict[str, object]:
+        """Basic per-table statistics used by the mediator's planner."""
+        return {
+            "rows": len(self.rows),
+            "columns": len(self.schema.columns),
+            "distinct": {
+                c.name: len(self.distinct_values(c.name)) for c in self.schema.columns
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Table({self.name!r}, rows={len(self.rows)})"

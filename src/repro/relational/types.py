@@ -1,0 +1,115 @@
+"""Column data types of the relational substrate.
+
+The INSEE-like and election sources the paper queries are plain SQL
+tables; we support the small set of scalar types those need, with explicit
+coercion rules so CSV imports and expression evaluation are deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from datetime import date, datetime
+
+from repro.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Scalar column types supported by the engine."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    DATE = "DATE"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_TYPE_ALIASES = {
+    "INT": DataType.INTEGER,
+    "INTEGER": DataType.INTEGER,
+    "BIGINT": DataType.INTEGER,
+    "SMALLINT": DataType.INTEGER,
+    "FLOAT": DataType.FLOAT,
+    "REAL": DataType.FLOAT,
+    "DOUBLE": DataType.FLOAT,
+    "DECIMAL": DataType.FLOAT,
+    "NUMERIC": DataType.FLOAT,
+    "TEXT": DataType.TEXT,
+    "VARCHAR": DataType.TEXT,
+    "CHAR": DataType.TEXT,
+    "STRING": DataType.TEXT,
+    "BOOLEAN": DataType.BOOLEAN,
+    "BOOL": DataType.BOOLEAN,
+    "DATE": DataType.DATE,
+    "DATETIME": DataType.DATE,
+    "TIMESTAMP": DataType.DATE,
+}
+
+
+def parse_type(name: str) -> DataType:
+    """Parse a SQL type name (``VARCHAR(30)`` style sizes are ignored)."""
+    base = name.strip().upper().split("(", 1)[0].strip()
+    if base not in _TYPE_ALIASES:
+        raise SchemaError(f"unsupported column type: {name!r}")
+    return _TYPE_ALIASES[base]
+
+
+def coerce(value: object, data_type: DataType) -> object:
+    """Coerce ``value`` to ``data_type``; ``None`` passes through as NULL."""
+    if value is None:
+        return None
+    try:
+        if data_type is DataType.INTEGER:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, str) and value.strip() == "":
+                return None
+            return int(float(value)) if isinstance(value, str) else int(value)
+        if data_type is DataType.FLOAT:
+            if isinstance(value, str) and value.strip() == "":
+                return None
+            return float(value)
+        if data_type is DataType.BOOLEAN:
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("true", "1", "t", "yes", "oui"):
+                    return True
+                if lowered in ("false", "0", "f", "no", "non", ""):
+                    return False
+                raise ValueError(value)
+            return bool(value)
+        if data_type is DataType.DATE:
+            return _coerce_date(value)
+        return str(value)
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(f"cannot coerce {value!r} to {data_type}") from exc
+
+
+def infer_type(value: object) -> DataType:
+    """Infer the narrowest :class:`DataType` describing ``value``."""
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, (date, datetime)):
+        return DataType.DATE
+    return DataType.TEXT
+
+
+def _coerce_date(value: object) -> date:
+    if isinstance(value, datetime):
+        return value.date()
+    if isinstance(value, date):
+        return value
+    if isinstance(value, str):
+        text = value.strip()
+        for fmt in ("%Y-%m-%d", "%d/%m/%Y", "%Y-%m-%dT%H:%M:%S", "%Y-%m-%d %H:%M:%S"):
+            try:
+                return datetime.strptime(text, fmt).date()
+            except ValueError:
+                continue
+    raise ValueError(f"not a date: {value!r}")

@@ -1,0 +1,148 @@
+"""Unit tests for the warehouse baseline and the planner-strategy presets."""
+
+import pytest
+
+from repro.baselines import RDFWarehouse, STRATEGIES, naive_options, tatooine_options
+from repro.core import MixedInstance
+from repro.errors import MixedQueryError
+
+
+@pytest.fixture
+def instance(politics_graph, small_database, small_tweet_store):
+    inst = MixedInstance(graph=politics_graph, name="mini")
+    inst.register_relational("sql://insee", small_database)
+    inst.register_fulltext("solr://tweets", small_tweet_store)
+    return inst
+
+
+@pytest.fixture
+def qsia(instance):
+    return (instance.builder("qSIA", head=["t", "id"])
+            .graph("SELECT ?id WHERE { ?x ttn:position ttn:headOfState . "
+                   "?x ttn:twitterAccount ?id }")
+            .fulltext("tweetContains", source="solr://tweets",
+                      query="entities.hashtags:sia2016",
+                      fields={"t": "text", "id": "user.screen_name"})
+            .build())
+
+
+class TestWarehouseExport:
+    def test_export_counts_every_source(self, instance):
+        warehouse = RDFWarehouse(instance)
+        stats = warehouse.export()
+        assert stats.exported_triples == len(warehouse.graph)
+        assert set(stats.triples_per_source) == {"#glue", "sql://insee", "solr://tweets"}
+        assert stats.export_seconds > 0
+
+    def test_relational_rows_become_triples(self, instance):
+        warehouse = RDFWarehouse(instance)
+        warehouse.export()
+        predicate = warehouse.column_predicate("sql://insee", "departments", "name")
+        names = {t.obj.value for t in warehouse.graph if t.predicate == predicate}
+        assert "Paris" in names
+
+    def test_fulltext_documents_become_triples(self, instance):
+        warehouse = RDFWarehouse(instance)
+        warehouse.export()
+        predicate = warehouse.field_predicate("solr://tweets", "entities.hashtags")
+        hashtags = {t.obj.value for t in warehouse.graph if t.predicate == predicate}
+        assert "sia2016" in hashtags
+
+    def test_text_fields_exported_as_stems_too(self, instance):
+        warehouse = RDFWarehouse(instance)
+        warehouse.export()
+        predicate = warehouse.term_predicate("solr://tweets", "text")
+        stems = {t.obj.value for t in warehouse.graph if t.predicate == predicate}
+        assert any(s.startswith("solidarit") for s in stems)
+
+    def test_warehouse_is_larger_than_mediator_metadata(self, instance):
+        warehouse = RDFWarehouse(instance)
+        stats = warehouse.export()
+        assert stats.exported_triples > len(instance.graph)
+
+
+class TestWarehouseQueries:
+    def test_qsia_same_answers_as_mediator(self, instance, qsia):
+        mediator_rows = {tuple(sorted(r.items())) for r in instance.execute(qsia).rows}
+        warehouse = RDFWarehouse(instance)
+        warehouse.export()
+        warehouse_rows = {tuple(sorted(r.items())) for r in warehouse.execute(qsia).rows}
+        assert mediator_rows == warehouse_rows
+
+    def test_sql_atom_translation(self, instance):
+        cmq = (instance.builder("q", head=["dept", "rate"])
+               .sql("stats", source="sql://insee",
+                    sql="SELECT dept_code AS dept, rate AS rate FROM unemployment WHERE year = 2015")
+               .build())
+        warehouse = RDFWarehouse(instance)
+        warehouse.export()
+        rows = warehouse.execute(cmq).rows
+        mediator_rows = instance.execute(cmq).rows
+        assert {r["dept"] for r in rows} == {r["dept"] for r in mediator_rows}
+
+    def test_join_across_models_in_warehouse(self, instance):
+        cmq = (instance.builder("q", head=["id", "t"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .fulltext("tweets", source="solr://tweets", query="*:*",
+                         fields={"t": "text", "id": "user.screen_name"})
+               .build())
+        warehouse = RDFWarehouse(instance)
+        warehouse.export()
+        assert len(warehouse.execute(cmq)) == len(instance.execute(cmq))
+
+    def test_dynamic_source_atoms_unsupported(self, instance):
+        cmq = (instance.builder("q", head=["rate"])
+               .graph("SELECT ?src WHERE { ?x ttn:twitterAccount ?src }")
+               .sql("stats", source_variable="src",
+                    sql="SELECT rate AS rate FROM unemployment")
+               .build())
+        warehouse = RDFWarehouse(instance)
+        warehouse.export()
+        with pytest.raises(MixedQueryError):
+            warehouse.execute(cmq)
+
+    def test_non_equality_sql_where_unsupported(self, instance):
+        cmq = (instance.builder("q", head=["rate"])
+               .sql("stats", source="sql://insee",
+                    sql="SELECT rate AS rate FROM unemployment WHERE rate > 8")
+               .build())
+        warehouse = RDFWarehouse(instance)
+        warehouse.export()
+        with pytest.raises(MixedQueryError):
+            warehouse.execute(cmq)
+
+
+class TestStrategyPresets:
+    def test_tatooine_options_enable_everything(self):
+        options = tatooine_options()
+        assert options.use_bind_joins and options.selectivity_ordering and options.parallel_stages
+
+    def test_naive_options_disable_everything(self):
+        options = naive_options()
+        assert not (options.use_bind_joins or options.selectivity_ordering
+                    or options.parallel_stages)
+
+    def test_strategies_registry_complete(self):
+        assert set(STRATEGIES) == {"tatooine", "naive", "no-bind-join", "no-ordering",
+                                   "sequential"}
+
+    def test_all_strategies_answer_identically(self, instance, qsia):
+        reference = None
+        for name, options in STRATEGIES.items():
+            rows = {tuple(sorted(r.items())) for r in instance.execute(qsia, options=options).rows}
+            if reference is None:
+                reference = rows
+            assert rows == reference, name
+
+    def test_bind_join_strategy_fetches_fewer_rows(self, instance):
+        cmq = (instance.builder("q", head=["id", "t"])
+               .graph("SELECT ?id WHERE { ?x ttn:position ttn:headOfState . "
+                      "?x ttn:twitterAccount ?id }")
+               .fulltext("tweets", source="solr://tweets", query="*:*",
+                         fields={"t": "text", "id": "user.screen_name"})
+               .build())
+        fast = instance.execute(cmq, options=tatooine_options())
+        naive = instance.execute(cmq, options=naive_options())
+        assert fast.trace.total_rows_fetched() <= naive.trace.total_rows_fetched()
+        assert {tuple(sorted(r.items())) for r in fast.rows} == \
+               {tuple(sorted(r.items())) for r in naive.rows}

@@ -1,0 +1,218 @@
+"""Unit tests for the mixed-query planner and executor over a small instance."""
+
+import pytest
+
+from repro.core import CMQBuilder, MixedInstance, PlannerOptions
+from repro.errors import PlanningError, UnknownSourceError
+
+
+@pytest.fixture
+def instance(politics_graph, small_database, small_tweet_store):
+    inst = MixedInstance(graph=politics_graph, name="mini")
+    inst.register_relational("sql://insee", small_database)
+    inst.register_fulltext("solr://tweets", small_tweet_store)
+    return inst
+
+
+@pytest.fixture
+def qsia(instance):
+    return (instance.builder("qSIA", head=["t", "id"])
+            .graph("SELECT ?id WHERE { ?x ttn:position ttn:headOfState . "
+                   "?x ttn:twitterAccount ?id }")
+            .fulltext("tweetContains", source="solr://tweets",
+                      query="entities.hashtags:sia2016",
+                      fields={"t": "text", "id": "user.screen_name"})
+            .build())
+
+
+class TestPlanner:
+    def test_plan_orders_selective_glue_first(self, instance, qsia):
+        plan = instance.plan(qsia)
+        assert plan.atom_order() == ["qG", "tweetContains"]
+        assert plan.steps[0].mode == "materialize"
+        assert plan.steps[1].mode == "bind"
+
+    def test_plan_without_bind_joins_materialises_everything(self, instance, qsia):
+        plan = instance.plan(qsia, PlannerOptions(use_bind_joins=False))
+        assert all(step.mode == "materialize" for step in plan.steps)
+
+    def test_syntactic_order_preserved_when_requested(self, instance):
+        cmq = (instance.builder("q", head=["t"])
+               .fulltext("tweets", source="solr://tweets", query="*:*",
+                         fields={"t": "text", "id": "user.screen_name"})
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .build())
+        plan = instance.plan(cmq, PlannerOptions(selectivity_ordering=False))
+        assert plan.atom_order() == ["tweets", "qG"]
+        reordered = instance.plan(cmq, PlannerOptions(selectivity_ordering=True))
+        assert reordered.atom_order() == ["qG", "tweets"]
+
+    def test_dependency_forces_order(self, instance):
+        cmq = (instance.builder("q", head=["rate"])
+               .sql("stats", source="sql://insee",
+                    sql="SELECT rate AS rate FROM unemployment WHERE dept_code = {dept}")
+               .graph("SELECT ?dept WHERE { ?x ttn:memberOf ?party . "
+                      "?x ttn:twitterAccount ?dept }")
+               .build())
+        plan = instance.plan(cmq)
+        assert plan.atom_order()[0] == "qG"
+        assert plan.steps[1].mode == "bind"
+
+    def test_unsatisfiable_dependency_raises(self, instance):
+        cmq = (instance.builder("q", head=["rate"])
+               .sql("stats", source="sql://insee",
+                    sql="SELECT rate AS rate FROM unemployment WHERE dept_code = {nowhere}")
+               .build())
+        with pytest.raises(PlanningError):
+            instance.plan(cmq)
+
+    def test_unknown_source_uri_raises(self, instance):
+        cmq = (instance.builder("q", head=["t"])
+               .fulltext("tweets", source="solr://unknown", query="*:*", fields={"t": "text"})
+               .build())
+        with pytest.raises(PlanningError):
+            instance.plan(cmq)
+
+    def test_model_mismatch_raises(self, instance):
+        cmq = (instance.builder("q", head=["t"])
+               .fulltext("tweets", source="sql://insee", query="*:*", fields={"t": "text"})
+               .build())
+        with pytest.raises(PlanningError):
+            instance.plan(cmq)
+
+    def test_parallel_stage_groups_independent_atoms(self, instance):
+        cmq = (instance.builder("q", head=["name", "t"])
+               .sql("depts", source="sql://insee",
+                    sql="SELECT name AS name FROM departments")
+               .fulltext("tweets", source="solr://tweets", query="entities.hashtags:sia2016",
+                         fields={"t": "text"})
+               .build())
+        plan = instance.plan(cmq, PlannerOptions(use_bind_joins=False, parallel_stages=True))
+        assert len(plan.stages) == 1 and len(plan.stages[0]) == 2
+        sequential = instance.plan(cmq, PlannerOptions(use_bind_joins=False,
+                                                       parallel_stages=False))
+        assert len(sequential.stages) == 2
+
+    def test_explain_mentions_every_atom(self, instance, qsia):
+        text = instance.plan(qsia).explain()
+        assert "qG" in text and "tweetContains" in text
+
+
+class TestExecutor:
+    def test_qsia_end_to_end(self, instance, qsia):
+        result = instance.execute(qsia)
+        assert result.variables == ["t", "id"]
+        assert len(result) == 1
+        assert result.rows[0]["id"] == "fhollande"
+
+    def test_trace_records_calls_and_order(self, instance, qsia):
+        result = instance.execute(qsia)
+        trace = result.trace
+        assert trace.atom_order == ["qG", "tweetContains"]
+        assert trace.calls_to("solr://tweets") == 1
+        assert trace.calls_to("#glue") == 1
+        assert trace.total_seconds > 0
+
+    def test_same_answers_with_and_without_bind_joins(self, instance, qsia):
+        fast = instance.execute(qsia)
+        naive = instance.execute(qsia, options=PlannerOptions(use_bind_joins=False,
+                                                              selectivity_ordering=False,
+                                                              parallel_stages=False))
+        assert sorted(map(str, fast.rows)) == sorted(map(str, naive.rows))
+
+    def test_unrelated_atoms_cross_product(self, instance):
+        cmq = (instance.builder("q", head=["id", "rate"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id . "
+                      "?x ttn:position ttn:headOfState . ?x ttn:memberOf ?party }")
+               .sql("stats", source="sql://insee",
+                    sql="SELECT dept_code AS dept2, rate AS rate FROM unemployment")
+               .build())
+        # No shared variable here: the SQL atom materialises fully.
+        result = instance.execute(cmq)
+        assert len(result) == 4  # cross product of 1 politician x 4 rates
+
+    def test_join_on_shared_variable(self, instance):
+        cmq = (instance.builder("q", head=["id", "t"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .fulltext("tweets", source="solr://tweets", query="*:*",
+                         fields={"t": "text", "id": "user.screen_name"})
+               .build())
+        result = instance.execute(cmq)
+        assert len(result) == 3
+        assert {row["id"] for row in result} == {"fhollande", "mlepen"}
+
+    def test_limit_and_distinct(self, instance):
+        cmq = (instance.builder("q", head=["id"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .fulltext("tweets", source="solr://tweets", query="*:*",
+                         fields={"t": "text", "id": "user.screen_name"})
+               .build())
+        assert len(instance.execute(cmq)) == 2  # distinct accounts
+        assert len(instance.execute(cmq, limit=1)) == 1
+        assert len(instance.execute(cmq, distinct=False)) == 3
+
+    def test_dynamic_source_from_binding(self, instance, politics_graph):
+        from repro.rdf import triple
+
+        politics_graph.add(triple("ttn:POL1", "ttn:statsEndpoint", "sql://insee"))
+        instance.add_glue_triples([])
+        cmq = (instance.builder("q", head=["rate", "src"])
+               .graph("SELECT ?src WHERE { ?x ttn:position ttn:headOfState . "
+                      "?x ttn:statsEndpoint ?src }")
+               .sql("stats", source_variable="src",
+                    sql="SELECT rate AS rate FROM unemployment WHERE year = 2015")
+               .build())
+        result = instance.execute(cmq)
+        assert len(result) == 3
+        assert set(result.column("src")) == {"sql://insee"}
+
+    def test_dynamic_source_unknown_uri_raises(self, instance, politics_graph):
+        from repro.rdf import triple
+
+        politics_graph.add(triple("ttn:POL1", "ttn:statsEndpoint", "sql://missing"))
+        instance.add_glue_triples([])
+        cmq = (instance.builder("q", head=["rate"])
+               .graph("SELECT ?src WHERE { ?x ttn:statsEndpoint ?src }")
+               .sql("stats", source_variable="src",
+                    sql="SELECT rate AS rate FROM unemployment")
+               .build())
+        with pytest.raises(UnknownSourceError):
+            instance.execute(cmq)
+
+    def test_free_source_variable_fans_out_to_accepting_sources(self, instance):
+        cmq = (instance.builder("q", head=["t", "d"])
+               .fulltext("anytweets", source_variable="d", query="entities.hashtags:sia2016",
+                         fields={"t": "text"})
+               .build())
+        result = instance.execute(cmq)
+        assert len(result) == 1
+        assert result.rows[0]["d"] == "solr://tweets"
+
+    def test_result_helpers(self, instance, qsia):
+        result = instance.execute(qsia)
+        assert result.column("id") == ["fhollande"]
+        assert "fhollande" in result.to_table()
+        assert len(result.sorted_by("id").rows) == len(result.rows)
+
+
+class TestInstanceRegistry:
+    def test_statistics(self, instance):
+        stats = instance.statistics()
+        assert stats["glue_triples"] > 0
+        assert set(stats["sources"]) == {"sql://insee", "solr://tweets"}
+
+    def test_source_lookup(self, instance):
+        assert instance.source("sql://insee").model == "relational"
+        assert instance.source("#glue").model == "rdf"
+        with pytest.raises(UnknownSourceError):
+            instance.source("sql://absent")
+
+    def test_accepting_sources(self, instance):
+        from repro.core.sources import FullTextQuery
+
+        q = FullTextQuery.create("*:*", {"t": "text"})
+        assert [s.uri for s in instance.accepting_sources(q)] == ["solr://tweets"]
+
+    def test_has_source(self, instance):
+        assert instance.has_source("solr://tweets")
+        assert not instance.has_source("solr://facebook")

@@ -1,0 +1,150 @@
+"""Unit tests for the per-model source wrappers and sub-query descriptions."""
+
+import pytest
+
+from repro.core import FullTextQuery, FullTextSource, RDFQuery, RDFSource, RelationalSource, SQLQuery
+from repro.errors import MixedQueryError
+
+
+class TestRDFQueryAndSource:
+    def test_output_variables(self):
+        q = RDFQuery.from_text("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+        assert q.output_variables() == {"id"}
+        assert q.required_parameters() == set()
+
+    def test_execute_returns_python_values(self, politics_graph):
+        source = RDFSource("rdf://glue", politics_graph)
+        q = RDFQuery.from_text("SELECT ?id WHERE { ?x ttn:position ttn:headOfState . "
+                               "?x ttn:twitterAccount ?id }")
+        rows = source.execute(q)
+        assert rows == [{"id": "fhollande"}]
+
+    def test_execute_with_bindings_filters(self, politics_graph):
+        source = RDFSource("rdf://glue", politics_graph)
+        q = RDFQuery.from_text("SELECT ?x ?id WHERE { ?x ttn:twitterAccount ?id }")
+        rows = source.execute(q, {"id": "mlepen"})
+        assert len(rows) == 1 and rows[0]["x"].endswith("POL2")
+
+    def test_entailment_option_exposes_implicit_triples(self, politics_graph, politics_schema):
+        politics_graph.add_all(politics_schema.triples())
+        source = RDFSource("rdf://glue", politics_graph, entailment=True)
+        q = RDFQuery.from_text("SELECT ?x WHERE { ?x rdf:type ttn:person }")
+        assert len(source.execute(q)) == 2
+
+    def test_estimate_more_selective_with_bound_vars(self, politics_graph):
+        source = RDFSource("rdf://glue", politics_graph)
+        q = RDFQuery.from_text("SELECT ?x ?id WHERE { ?x ttn:twitterAccount ?id }")
+        assert source.estimate(q, {"id"}) <= source.estimate(q, set())
+
+    def test_wrong_query_type_rejected(self, politics_graph):
+        source = RDFSource("rdf://glue", politics_graph)
+        with pytest.raises(MixedQueryError):
+            source.execute(SQLQuery(sql="SELECT 1 AS one"))
+
+    def test_accepts(self, politics_graph):
+        source = RDFSource("rdf://glue", politics_graph)
+        assert source.accepts(RDFQuery.from_text("SELECT ?x WHERE { ?x ?p ?o }"))
+        assert not source.accepts(SQLQuery(sql="SELECT 1 AS one"))
+
+
+class TestSQLQueryAndSource:
+    def test_output_columns_inferred_from_aliases(self):
+        q = SQLQuery(sql="SELECT code AS dept, name, population AS pop FROM departments")
+        assert q.output_variables() == {"dept", "name", "pop"}
+
+    def test_placeholders_are_required_parameters(self):
+        q = SQLQuery(sql="SELECT rate AS rate FROM unemployment WHERE dept_code = {dept}")
+        assert q.required_parameters() == {"dept"}
+
+    def test_execute_plain(self, small_database):
+        source = RelationalSource("sql://insee", small_database)
+        q = SQLQuery(sql="SELECT code AS dept, name AS name FROM departments")
+        rows = source.execute(q)
+        assert {"dept": "75", "name": "Paris"} in rows
+
+    def test_execute_with_placeholder_binding(self, small_database):
+        source = RelationalSource("sql://insee", small_database)
+        q = SQLQuery(sql="SELECT rate AS rate FROM unemployment WHERE dept_code = {dept} "
+                         "AND year = 2015")
+        assert source.execute(q, {"dept": "75"}) == [{"rate": 8.2}]
+
+    def test_missing_placeholder_raises(self, small_database):
+        source = RelationalSource("sql://insee", small_database)
+        q = SQLQuery(sql="SELECT rate AS rate FROM unemployment WHERE dept_code = {dept}")
+        with pytest.raises(MixedQueryError):
+            source.execute(q)
+
+    def test_post_filter_on_output_bindings(self, small_database):
+        source = RelationalSource("sql://insee", small_database)
+        q = SQLQuery(sql="SELECT code AS dept, name AS name FROM departments")
+        rows = source.execute(q, {"dept": "33"})
+        assert rows == [{"dept": "33", "name": "Gironde"}]
+
+    def test_sql_injection_of_quotes_is_escaped(self, small_database):
+        source = RelationalSource("sql://insee", small_database)
+        q = SQLQuery(sql="SELECT name AS name FROM departments WHERE name = {n}")
+        assert source.execute(q, {"n": "O'Brien"}) == []
+
+    def test_estimate_reflects_table_sizes(self, small_database):
+        source = RelationalSource("sql://insee", small_database)
+        big = SQLQuery(sql="SELECT rate AS rate FROM unemployment")
+        small = SQLQuery(sql="SELECT rate AS rate FROM unemployment WHERE dept_code = {dept}")
+        assert source.estimate(small) < source.estimate(big)
+
+    def test_size(self, small_database):
+        assert RelationalSource("sql://insee", small_database).size() == 7
+
+
+class TestFullTextQueryAndSource:
+    def test_output_and_required(self):
+        q = FullTextQuery.create("entities.hashtags:{tag}",
+                                 {"t": "text", "id": "user.screen_name"})
+        assert q.output_variables() == {"t", "id"}
+        assert q.required_parameters() == {"tag"}
+
+    def test_execute_maps_fields(self, small_tweet_store):
+        source = FullTextSource("solr://tweets", small_tweet_store)
+        q = FullTextQuery.create("entities.hashtags:sia2016",
+                                 {"t": "text", "id": "user.screen_name"})
+        rows = source.execute(q)
+        assert rows[0]["id"] == "fhollande"
+
+    def test_execute_with_placeholder(self, small_tweet_store):
+        source = FullTextSource("solr://tweets", small_tweet_store)
+        q = FullTextQuery.create("user.screen_name:{id}", {"t": "text"})
+        assert len(source.execute(q, {"id": "mlepen"})) == 1
+
+    def test_multi_word_binding_is_quoted(self, small_tweet_store):
+        source = FullTextSource("solr://tweets", small_tweet_store)
+        q = FullTextQuery.create("text:{phrase}", {"id": "user.screen_name"})
+        rows = source.execute(q, {"phrase": "solidarite nationale"})
+        assert rows and rows[0]["id"] == "fhollande"
+
+    def test_post_filter_on_output_bindings(self, small_tweet_store):
+        source = FullTextSource("solr://tweets", small_tweet_store)
+        q = FullTextQuery.create("*:*", {"t": "text", "id": "user.screen_name"})
+        rows = source.execute(q, {"id": "fhollande"})
+        assert len(rows) == 2
+
+    def test_score_pseudo_field(self, small_tweet_store):
+        source = FullTextSource("solr://tweets", small_tweet_store)
+        q = FullTextQuery.create("text:solidarite", {"score": "_score", "id": "user.screen_name"})
+        rows = source.execute(q)
+        assert rows[0]["score"] > 0
+
+    def test_limit_and_sort(self, small_tweet_store):
+        source = FullTextSource("solr://tweets", small_tweet_store)
+        q = FullTextQuery.create("user.screen_name:fhollande", {"rt": "retweet_count"},
+                                 limit=1, sort_by="retweet_count")
+        assert source.execute(q) == [{"rt": 469}]
+
+    def test_estimate_shrinks_with_constants_and_limit(self, small_tweet_store):
+        source = FullTextSource("solr://tweets", small_tweet_store)
+        everything = FullTextQuery.create("*:*", {"t": "text"})
+        constrained = FullTextQuery.create("entities.hashtags:sia2016", {"t": "text"}, limit=5)
+        assert source.estimate(constrained) < source.estimate(everything)
+
+    def test_wrong_query_type_rejected(self, small_tweet_store):
+        source = FullTextSource("solr://tweets", small_tweet_store)
+        with pytest.raises(MixedQueryError):
+            source.execute(RDFQuery.from_text("SELECT ?x WHERE { ?x ?p ?o }"))

@@ -1,0 +1,156 @@
+"""Unit tests for digest building, join discovery and keyword querying."""
+
+import pytest
+
+from repro.core import MixedInstance
+from repro.digest import DigestBuilder, KeywordQueryEngine, build_catalog
+from repro.errors import KeywordSearchError
+
+
+@pytest.fixture
+def instance(politics_graph, small_database, small_tweet_store):
+    inst = MixedInstance(graph=politics_graph, name="mini")
+    inst.register_relational("sql://insee", small_database)
+    inst.register_fulltext("solr://tweets", small_tweet_store)
+    return inst
+
+
+@pytest.fixture
+def catalog(instance):
+    return build_catalog(instance)
+
+
+class TestDigestBuilding:
+    def test_relational_digest_has_node_per_attribute(self, instance):
+        digest = DigestBuilder().build(instance.source("sql://insee"))
+        labels = {n.label() for n in digest.nodes}
+        assert "departments.code" in labels and "unemployment.rate" in labels
+
+    def test_relational_digest_foreign_key_edge(self, instance):
+        digest = DigestBuilder().build(instance.source("sql://insee"))
+        assert any(e.kind == "foreign-key" for e in digest.edges)
+
+    def test_relational_value_sets(self, instance):
+        digest = DigestBuilder().build(instance.source("sql://insee"))
+        node = digest.node("departments", "code")
+        assert digest.values_of(node).might_contain("75")
+
+    def test_fulltext_digest_uses_dataguide_paths(self, instance):
+        digest = DigestBuilder().build(instance.source("solr://tweets"))
+        positions = {n.position for n in digest.nodes}
+        assert "user.screen_name" in positions and "entities.hashtags" in positions
+
+    def test_fulltext_text_field_indexes_tokens(self, instance):
+        digest = DigestBuilder().build(instance.source("solr://tweets"))
+        node = digest.node("mini_tweets", "text")
+        assert digest.values_of(node).matches_keyword("solidarite")
+
+    def test_rdf_digest_positions_are_properties(self, instance):
+        digest = DigestBuilder().build(instance.glue_source)
+        positions = {n.position for n in digest.nodes}
+        assert "twitterAccount" in positions and "position" in positions
+
+    def test_rdf_digest_keyword_alias_on_uri_values(self, instance):
+        digest = DigestBuilder().build(instance.glue_source)
+        hits = digest.lookup_keyword("head of state")
+        assert any(n.position == "position" for n in hits)
+
+    def test_lookup_by_position_name(self, instance):
+        digest = DigestBuilder().build(instance.source("sql://insee"))
+        assert any(n.position == "rate" for n in digest.lookup_keyword("rate"))
+
+    def test_size_in_bytes_positive(self, instance):
+        digest = DigestBuilder().build(instance.source("sql://insee"))
+        assert digest.size_in_bytes() > 0
+
+
+class TestCatalog:
+    def test_catalog_contains_all_sources_plus_glue(self, catalog):
+        assert len(catalog) == 3
+        assert "#glue" in catalog.digests
+
+    def test_join_edges_cross_sources_only(self, catalog):
+        assert catalog.join_edges
+        assert all(e.source.source_uri != e.target.source_uri for e in catalog.join_edges)
+
+    def test_twitter_account_join_discovered(self, catalog):
+        pairs = {frozenset((e.source.position, e.target.position)) for e in catalog.join_edges}
+        assert frozenset(("twitterAccount", "user.screen_name")) in pairs
+
+    def test_intra_source_joins_use_schema_edges_not_probing(self, catalog):
+        # departments.code -> unemployment.dept_code is a foreign key, so it is
+        # an intra-source digest edge, never a probed join candidate.
+        digest = catalog.digest("sql://insee")
+        fk_pairs = {frozenset((e.source.label(), e.target.label()))
+                    for e in digest.edges if e.kind == "foreign-key"}
+        assert frozenset(("departments.code", "unemployment.dept_code")) in fk_pairs
+
+    def test_networkx_graph_connects_sources(self, catalog):
+        import networkx as nx
+
+        graph = catalog.to_networkx()
+        sources = {n.source_uri for n in graph.nodes}
+        assert len(sources) == 3
+        assert nx.number_connected_components(graph) < len(graph.nodes)
+
+    def test_total_size(self, catalog):
+        assert catalog.total_size_in_bytes() > 0
+
+    def test_bloom_budget_changes_size(self, instance):
+        small = build_catalog(instance, bloom_bits_per_value=4)
+        large = build_catalog(instance, bloom_bits_per_value=32)
+        assert large.total_size_in_bytes() > small.total_size_in_bytes()
+
+
+class TestKeywordEngine:
+    def test_lookup_hits_per_keyword(self, instance, catalog):
+        engine = KeywordQueryEngine(instance, catalog=catalog)
+        hits = engine.lookup(["head of state", "SIA2016"])
+        assert len(hits) == 2 and all(hits)
+
+    def test_unknown_keyword_raises(self, instance, catalog):
+        engine = KeywordQueryEngine(instance, catalog=catalog)
+        with pytest.raises(KeywordSearchError):
+            engine.lookup(["zzz-not-anywhere-zzz"])
+
+    def test_empty_keywords_raise(self, instance, catalog):
+        engine = KeywordQueryEngine(instance, catalog=catalog)
+        with pytest.raises(KeywordSearchError):
+            engine.search([])
+
+    def test_paper_example_generates_qsia_like_query(self, instance, catalog):
+        engine = KeywordQueryEngine(instance, catalog=catalog)
+        outcome = engine.search(["head of state", "SIA2016"])
+        assert outcome.candidates
+        assert outcome.result is not None and len(outcome.result) >= 1
+        answer = outcome.result.rows[0]
+        assert any("SIA2016" in str(v) or "sia2016" in str(v).lower() for v in answer.values())
+
+    def test_generated_query_is_a_cmq_over_two_sources(self, instance, catalog):
+        engine = KeywordQueryEngine(instance, catalog=catalog)
+        outcome = engine.search(["head of state", "SIA2016"])
+        best = outcome.best
+        sources = {a.source for a in best.query.atoms}
+        assert len(sources) == 2
+
+    def test_relational_keyword_search(self, instance, catalog):
+        engine = KeywordQueryEngine(instance, catalog=catalog)
+        outcome = engine.search(["Gironde"])
+        assert outcome.result is not None
+        assert any("Gironde" in str(v) for row in outcome.result.rows for v in row.values())
+
+    def test_single_keyword_single_node_path(self, instance, catalog):
+        engine = KeywordQueryEngine(instance, catalog=catalog)
+        outcome = engine.search(["parlement"])
+        assert outcome.candidates and len(outcome.candidates[0].path) == 1
+
+    def test_max_queries_limits_candidates(self, instance, catalog):
+        engine = KeywordQueryEngine(instance, catalog=catalog)
+        outcome = engine.search(["head of state", "SIA2016"], max_queries=1)
+        assert len(outcome.candidates) == 1
+
+    def test_outcome_summary_text(self, instance, catalog):
+        engine = KeywordQueryEngine(instance, catalog=catalog)
+        outcome = engine.search(["head of state", "SIA2016"])
+        summary = outcome.summary()
+        assert "keywords" in summary and "candidate" in summary

@@ -1,0 +1,207 @@
+"""Unit tests for the Volcano-style iterator operators."""
+
+import pytest
+
+from repro.engine import (
+    Aggregate,
+    AggregateSpec,
+    BindJoin,
+    CallbackScan,
+    Distinct,
+    Extend,
+    HashJoin,
+    Limit,
+    MaterializedScan,
+    NestedLoopJoin,
+    ParallelStats,
+    Project,
+    Select,
+    Sort,
+    Union,
+    run_parallel,
+    run_tasks,
+)
+
+PEOPLE = [
+    {"id": "p1", "group": "left", "retweets": 10},
+    {"id": "p2", "group": "right", "retweets": 40},
+    {"id": "p3", "group": "left", "retweets": 25},
+]
+
+ACCOUNTS = [
+    {"id": "p1", "handle": "alice"},
+    {"id": "p2", "handle": "bob"},
+    {"id": "p4", "handle": "dora"},
+]
+
+
+class TestLeafAndUnary:
+    def test_materialized_scan_copies_rows(self):
+        scan = MaterializedScan(PEOPLE)
+        rows = scan.rows()
+        rows[0]["id"] = "mutated"
+        assert PEOPLE[0]["id"] == "p1"
+        assert scan.stats.produced == 3
+
+    def test_callback_scan_defers_evaluation(self):
+        calls = []
+
+        def fetch():
+            calls.append(1)
+            return PEOPLE
+
+        scan = CallbackScan(fetch)
+        assert calls == []
+        assert len(scan.rows()) == 3
+        assert calls == [1]
+
+    def test_select(self):
+        op = Select(MaterializedScan(PEOPLE), lambda r: r["group"] == "left")
+        assert {r["id"] for r in op} == {"p1", "p3"}
+
+    def test_project_with_renames(self):
+        op = Project(MaterializedScan(PEOPLE), ["id", "group"], renames={"group": "current"})
+        row = op.rows()[0]
+        assert set(row) == {"id", "current"}
+
+    def test_project_missing_column_yields_none(self):
+        op = Project(MaterializedScan(PEOPLE), ["id", "missing"])
+        assert op.rows()[0]["missing"] is None
+
+    def test_extend_adds_computed_column(self):
+        op = Extend(MaterializedScan(PEOPLE), "double", lambda r: r["retweets"] * 2)
+        assert op.rows()[1]["double"] == 80
+
+    def test_distinct(self):
+        op = Distinct(MaterializedScan([{"a": 1}, {"a": 1}, {"a": 2}]))
+        assert op.rows() == [{"a": 1}, {"a": 2}]
+
+    def test_sort_multiple_keys(self):
+        op = Sort(MaterializedScan(PEOPLE), [("group", False), ("retweets", True)])
+        assert [r["id"] for r in op] == ["p3", "p1", "p2"]
+
+    def test_sort_handles_none(self):
+        rows = [{"x": None}, {"x": 2}, {"x": 1}]
+        op = Sort(MaterializedScan(rows), [("x", False)])
+        assert [r["x"] for r in op] == [1, 2, None]
+
+    def test_limit(self):
+        assert len(Limit(MaterializedScan(PEOPLE), 2).rows()) == 2
+        assert Limit(MaterializedScan(PEOPLE), 0).rows() == []
+
+    def test_union(self):
+        op = Union([MaterializedScan(PEOPLE), MaterializedScan(ACCOUNTS)])
+        assert len(op.rows()) == 6
+
+    def test_explain_mentions_children(self):
+        plan = Limit(Select(MaterializedScan(PEOPLE, name="people"), lambda r: True), 1)
+        text = plan.explain()
+        assert "limit" in text and "people" in text
+
+
+class TestJoins:
+    def test_hash_join_natural(self):
+        join = HashJoin(MaterializedScan(PEOPLE), MaterializedScan(ACCOUNTS))
+        rows = join.rows()
+        assert {r["id"] for r in rows} == {"p1", "p2"}
+        assert rows[0].keys() >= {"id", "group", "handle"}
+
+    def test_hash_join_explicit_keys(self):
+        join = HashJoin(MaterializedScan(PEOPLE), MaterializedScan(ACCOUNTS), keys=["id"])
+        assert len(join.rows()) == 2
+
+    def test_hash_join_without_shared_keys_is_cross_product(self):
+        join = HashJoin(MaterializedScan([{"a": 1}, {"a": 2}]), MaterializedScan([{"b": 3}]))
+        assert len(join.rows()) == 2
+
+    def test_nested_loop_join_with_condition(self):
+        join = NestedLoopJoin(MaterializedScan(PEOPLE), MaterializedScan([{"threshold": 20}]),
+                              condition=lambda l, r: l["retweets"] > r["threshold"])
+        assert {r["id"] for r in join.rows()} == {"p2", "p3"}
+
+    def test_nested_loop_join_checks_shared_variable_compatibility(self):
+        join = NestedLoopJoin(MaterializedScan(PEOPLE), MaterializedScan(ACCOUNTS))
+        assert {r["id"] for r in join.rows()} == {"p1", "p2"}
+
+    def test_bind_join_passes_bindings(self):
+        seen = []
+
+        def fetch(row):
+            seen.append(row["id"])
+            return [a for a in ACCOUNTS if a["id"] == row["id"]]
+
+        join = BindJoin(MaterializedScan(PEOPLE), fetch)
+        rows = join.rows()
+        assert {r["handle"] for r in rows} == {"alice", "bob"}
+        assert len(seen) == 3
+
+    def test_bind_join_deduplicates_identical_calls(self):
+        calls = []
+
+        def fetch(row):
+            calls.append(row["group"])
+            return [{"group": row["group"], "label": row["group"].upper()}]
+
+        left = MaterializedScan([{"group": "left"}, {"group": "left"}, {"group": "right"}])
+        join = BindJoin(left, fetch, call_key=lambda r: (r["group"],))
+        assert len(join.rows()) == 3
+        assert join.calls == 2
+
+    def test_bind_join_discards_incompatible_rows(self):
+        def fetch(row):
+            return [{"id": "different", "extra": 1}]
+
+        join = BindJoin(MaterializedScan(PEOPLE), fetch)
+        assert join.rows() == []
+
+
+class TestAggregate:
+    def test_group_by_count_and_sum(self):
+        op = Aggregate(MaterializedScan(PEOPLE), ["group"], [
+            AggregateSpec("count", None, "n"),
+            AggregateSpec("sum", "retweets", "total"),
+        ])
+        by_group = {r["group"]: r for r in op}
+        assert by_group["left"]["n"] == 2 and by_group["left"]["total"] == 35
+        assert by_group["right"]["total"] == 40
+
+    def test_global_aggregate_without_group(self):
+        op = Aggregate(MaterializedScan(PEOPLE), [], [AggregateSpec("avg", "retweets", "avg")])
+        assert op.rows()[0]["avg"] == pytest.approx(25.0)
+
+    def test_min_max_collect(self):
+        op = Aggregate(MaterializedScan(PEOPLE), [], [
+            AggregateSpec("min", "retweets", "lo"),
+            AggregateSpec("max", "retweets", "hi"),
+            AggregateSpec("collect", "id", "ids"),
+        ])
+        row = op.rows()[0]
+        assert (row["lo"], row["hi"]) == (10, 40)
+        assert sorted(row["ids"]) == ["p1", "p2", "p3"]
+
+    def test_nulls_ignored(self):
+        rows = PEOPLE + [{"id": "p9", "group": "left", "retweets": None}]
+        op = Aggregate(MaterializedScan(rows), ["group"], [AggregateSpec("count", "retweets", "n")])
+        assert {r["group"]: r["n"] for r in op}["left"] == 2
+
+
+class TestParallel:
+    def test_results_preserve_order(self):
+        operators = [MaterializedScan([{"i": i}]) for i in range(6)]
+        outputs = run_parallel(operators, max_workers=3)
+        assert [o[0]["i"] for o in outputs] == list(range(6))
+
+    def test_stats_collected(self):
+        stats = ParallelStats()
+        run_parallel([MaterializedScan(PEOPLE), MaterializedScan(ACCOUNTS)],
+                     max_workers=2, stats=stats)
+        assert stats.tasks == 2
+        assert len(stats.per_task_seconds) == 2
+        assert stats.speedup >= 1.0
+
+    def test_sequential_mode(self):
+        outputs = run_parallel([MaterializedScan(PEOPLE)], max_workers=1)
+        assert len(outputs) == 1
+
+    def test_run_tasks(self):
+        assert run_tasks([lambda: 1, lambda: 2], max_workers=2) == [1, 2]

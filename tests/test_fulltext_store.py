@@ -1,0 +1,186 @@
+"""Unit tests for documents, the inverted index and the Solr-like store."""
+
+import pytest
+
+from repro.errors import FullTextError
+from repro.fulltext import (
+    Document,
+    FieldConfig,
+    FullTextStore,
+    InvertedIndex,
+    bm25_score,
+    make_document,
+    parse_query,
+    tf_idf_score,
+)
+from repro.fulltext.query import BooleanQuery, PhraseQuery, RangeQuery, TermQuery
+
+
+class TestDocument:
+    def test_nested_field_access(self):
+        doc = Document("1", {"user": {"screen_name": "fhollande"}, "retweet_count": 4})
+        assert doc.get("user.screen_name") == "fhollande"
+        assert doc.get("missing.path", "default") == "default"
+
+    def test_flat_fields_include_list_members(self):
+        doc = Document("1", {"entities": {"hashtags": ["SIA2016", "Agriculture"]}})
+        paths = [p for p, _ in doc.flat_fields()]
+        assert paths.count("entities.hashtags") == 2
+
+    def test_make_document_requires_id(self):
+        with pytest.raises(FullTextError):
+            make_document({"text": "no id"})
+
+    def test_make_document_nested_id_field(self):
+        doc = make_document({"user": {"id": 42}, "text": "x"}, id_field="user.id")
+        assert doc.doc_id == "42"
+
+    def test_text_of_concatenates(self):
+        doc = Document("1", {"a": "hello", "b": ["x", "y"], "c": 3})
+        assert doc.text_of(["a", "b", "c"]) == "hello x y 3"
+
+
+class TestInvertedIndex:
+    def test_postings_and_frequencies(self):
+        index = InvertedIndex("text")
+        index.add("d1", ["urgence", "etat", "urgence"])
+        index.add("d2", ["parlement", "etat"])
+        assert index.document_frequency("etat") == 2
+        assert index.term_frequency("urgence", "d1") == 2
+        assert index.documents_with("parlement") == {"d2"}
+
+    def test_document_lengths_and_average(self):
+        index = InvertedIndex("text")
+        index.add("d1", ["a", "b", "c"])
+        index.add("d2", ["a"])
+        assert index.document_length("d1") == 3
+        assert index.average_document_length() == 2.0
+
+    def test_remove_document(self):
+        index = InvertedIndex("text")
+        index.add("d1", ["a"])
+        index.remove("d1")
+        assert index.document_frequency("a") == 0
+        assert index.document_count() == 0
+
+    def test_idf_decreases_with_frequency(self):
+        index = InvertedIndex("text")
+        for i in range(10):
+            index.add(f"d{i}", ["common"] + (["rare"] if i == 0 else []))
+        assert index.idf("rare") > index.idf("common")
+
+    def test_scoring_prefers_matching_documents(self):
+        index = InvertedIndex("text")
+        index.add("d1", ["urgence", "urgence", "etat"])
+        index.add("d2", ["agriculture", "salon"])
+        assert bm25_score(index, ["urgence"], "d1") > bm25_score(index, ["urgence"], "d2")
+        assert tf_idf_score(index, ["urgence"], "d1") > 0.0
+
+
+class TestQueryParser:
+    def test_bare_term(self):
+        q = parse_query("urgence")
+        assert isinstance(q, TermQuery) and q.field is None
+
+    def test_field_term(self):
+        q = parse_query("entities.hashtags:SIA2016")
+        assert q.field == "entities.hashtags" and q.term == "SIA2016"
+
+    def test_phrase(self):
+        q = parse_query('text:"etat d urgence"')
+        assert isinstance(q, PhraseQuery) and len(q.terms) == 3
+
+    def test_boolean_and_or_not(self):
+        q = parse_query("text:urgence AND (user.screen_name:fhollande OR NOT text:agriculture)")
+        assert isinstance(q, BooleanQuery) and q.operator == "AND"
+
+    def test_implicit_and(self):
+        q = parse_query("text:urgence text:parlement")
+        assert isinstance(q, BooleanQuery) and q.operator == "AND"
+
+    def test_range(self):
+        q = parse_query("retweet_count:[100 TO *]")
+        assert isinstance(q, RangeQuery) and q.low == 100 and q.high is None
+
+    def test_match_all(self):
+        assert parse_query("*:*").__class__.__name__ == "MatchAllQuery"
+        assert parse_query("").__class__.__name__ == "MatchAllQuery"
+
+
+class TestStoreSearch:
+    def test_add_and_len(self, small_tweet_store):
+        assert len(small_tweet_store) == 3
+        assert "1" in small_tweet_store
+
+    def test_hashtag_keyword_search(self, small_tweet_store):
+        result = small_tweet_store.search("entities.hashtags:sia2016")
+        assert result.total == 1
+        assert result.hits[0].get("user.screen_name") == "fhollande"
+
+    def test_text_search_is_stemmed_and_accent_insensitive(self, small_tweet_store):
+        result = small_tweet_store.search("text:solidarite")
+        assert result.total == 1
+
+    def test_keyword_field_exact_match(self, small_tweet_store):
+        assert small_tweet_store.search("user.screen_name:fhollande").total == 2
+
+    def test_boolean_combination(self, small_tweet_store):
+        result = small_tweet_store.search("user.screen_name:fhollande AND text:chomage")
+        assert result.total == 1
+
+    def test_not_query(self, small_tweet_store):
+        result = small_tweet_store.search("NOT user.screen_name:fhollande", limit=None)
+        assert result.total == 1
+
+    def test_range_query_on_counts(self, small_tweet_store):
+        assert small_tweet_store.search("retweet_count:[300 TO *]").total == 2
+
+    def test_phrase_query(self, small_tweet_store):
+        assert small_tweet_store.search('text:"solidarite nationale"').total == 1
+        assert small_tweet_store.search('text:"nationale solidarite"').total == 0
+
+    def test_sort_by_stored_field(self, small_tweet_store):
+        result = small_tweet_store.search("user.screen_name:fhollande", sort_by="retweet_count")
+        assert [h.get("retweet_count") for h in result.hits] == [469, 300]
+
+    def test_limit(self, small_tweet_store):
+        result = small_tweet_store.search("*:*", limit=2)
+        assert len(result.hits) == 2 and result.total == 3
+
+    def test_facets(self, small_tweet_store):
+        result = small_tweet_store.search("*:*", facet_fields=["user.screen_name"], limit=None)
+        facets = dict(result.facets["user.screen_name"])
+        assert facets == {"fhollande": 2, "mlepen": 1}
+
+    def test_count(self, small_tweet_store):
+        assert small_tweet_store.count("text:urgence") == 1
+
+    def test_reindex_replaces_document(self, small_tweet_store):
+        small_tweet_store.add({"id": 1, "text": "nouveau texte sans hashtag",
+                               "user": {"screen_name": "fhollande"}, "entities": {"hashtags": []}})
+        assert len(small_tweet_store) == 3
+        assert small_tweet_store.search("entities.hashtags:sia2016").total == 0
+
+    def test_remove_document(self, small_tweet_store):
+        assert small_tweet_store.remove("2") is True
+        assert small_tweet_store.search("text:parlement").total == 0
+        assert small_tweet_store.remove("2") is False
+
+    def test_unknown_field_falls_back_to_stored_comparison(self, small_tweet_store):
+        assert small_tweet_store.search("favorite_count:883").total == 1
+
+    def test_field_values_for_digests(self, small_tweet_store):
+        values = small_tweet_store.field_values("user.screen_name")
+        assert sorted(values) == ["fhollande", "fhollande", "mlepen"]
+
+    def test_relevance_ranking_prefers_more_matching_terms(self):
+        store = FullTextStore("mini", [FieldConfig("text", "text")], id_field="id")
+        store.add({"id": 1, "text": "urgence urgence parlement"})
+        store.add({"id": 2, "text": "urgence seulement ici"})
+        hits = store.search("text:urgence").hits
+        assert hits[0].document.doc_id == "1"
+        assert hits[0].score >= hits[1].score
+
+    def test_invalid_field_type_rejected(self):
+        with pytest.raises(FullTextError):
+            FieldConfig("text", "vector")

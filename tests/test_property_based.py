@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.digest import BloomFilter, EquiWidthHistogram, ValueSetSummary
+from repro.engine import Aggregate, AggregateSpec, BindJoin, Distinct, HashJoin, MaterializedScan
+from repro.fulltext import Analyzer, FieldConfig, FullTextStore
+from repro.rdf import BGPQuery, Graph, Literal, Triple, URI, evaluate_bgp, pattern, var
+from repro.rdf.entailment import saturate
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.relational import Database
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+_local_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+_uris = _local_names.map(lambda s: URI("http://ex.org/" + s))
+_literals = st.text(alphabet=string.ascii_letters + " éàç", min_size=0, max_size=12).map(Literal)
+_subjects = _uris
+_predicates = st.sampled_from([URI("http://ex.org/p"), URI("http://ex.org/q"),
+                               URI("http://ex.org/r")])
+_objects = st.one_of(_uris, _literals)
+_triples = st.builds(Triple, _subjects, _predicates, _objects)
+_triple_sets = st.lists(_triples, min_size=0, max_size=40)
+
+_rows = st.lists(
+    st.fixed_dictionaries({
+        "a": st.integers(min_value=0, max_value=5),
+        "b": st.text(alphabet="xyz", min_size=1, max_size=2),
+        "c": st.one_of(st.none(), st.integers(min_value=-10, max_value=10)),
+    }),
+    min_size=0, max_size=30,
+)
+
+
+def _row_key(row: dict) -> list[tuple[str, str]]:
+    """Order-stable, type-safe comparison key for binding rows."""
+    return sorted((k, f"{type(v).__name__}:{v}") for k, v in row.items())
+
+
+# ---------------------------------------------------------------------------
+# RDF invariants
+# ---------------------------------------------------------------------------
+
+class TestRDFProperties:
+    @given(_triple_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_graph_add_is_idempotent_set_semantics(self, triples):
+        graph = Graph()
+        graph.add_all(triples)
+        graph.add_all(triples)
+        assert len(graph) == len(set(triples))
+
+    @given(_triple_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_match_by_predicate_partitions_graph(self, triples):
+        graph = Graph(triples=triples)
+        total = sum(graph.count(pattern("?s", predicate, "?o"))
+                    for predicate in graph.predicates())
+        assert total == len(graph)
+
+    @given(_triple_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_ntriples_round_trip(self, triples):
+        graph = Graph(triples=triples)
+        reparsed = parse_ntriples(serialize_ntriples(graph))
+        assert set(reparsed) == set(graph)
+
+    @given(_triple_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_saturation_is_monotone_and_idempotent(self, triples):
+        graph = Graph(triples=triples)
+        saturated, _ = saturate(graph)
+        assert set(graph) <= set(saturated)
+        twice, stats = saturate(saturated)
+        assert len(twice) == len(saturated)
+        assert stats.implicit_triples == 0
+
+    @given(_triple_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_bgp_single_pattern_matches_graph_scan(self, triples):
+        graph = Graph(triples=triples)
+        query = BGPQuery(head=(), patterns=(pattern("?s", "?p", "?o"),))
+        rows = evaluate_bgp(query, graph)
+        assert len(rows) == len(graph)
+
+
+# ---------------------------------------------------------------------------
+# Engine invariants
+# ---------------------------------------------------------------------------
+
+class TestEngineProperties:
+    @given(_rows, _rows)
+    @settings(max_examples=50, deadline=None)
+    def test_hash_join_equals_nested_loop_semantics(self, left, right):
+        hash_rows = HashJoin(MaterializedScan(left), MaterializedScan(right), keys=["a"]).rows()
+        reference = [{**l, **r} for l in left for r in right if l["a"] == r["a"]]
+        assert sorted(map(_row_key, hash_rows)) == sorted(map(_row_key, reference))
+
+    @given(_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_is_idempotent_and_preserves_membership(self, rows):
+        once = Distinct(MaterializedScan(rows)).rows()
+        twice = Distinct(MaterializedScan(once)).rows()
+        assert once == twice
+        assert all(row in rows for row in once)
+
+    @given(_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_aggregate_counts_sum_to_input_size(self, rows):
+        groups = Aggregate(MaterializedScan(rows), ["b"],
+                           [AggregateSpec("count", None, "n")]).rows()
+        assert sum(g["n"] for g in groups) == len(rows)
+
+    @given(_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_bind_join_equivalent_to_hash_join(self, rows):
+        right = [{"a": i, "label": f"L{i}"} for i in range(6)]
+
+        def fetch(binding):
+            return [r for r in right if r["a"] == binding.get("a")]
+
+        bind_rows = BindJoin(MaterializedScan(rows), fetch).rows()
+        hash_rows = HashJoin(MaterializedScan(rows), MaterializedScan(right), keys=["a"]).rows()
+        assert sorted(map(_row_key, bind_rows)) == sorted(map(_row_key, hash_rows))
+
+
+# ---------------------------------------------------------------------------
+# Digest invariants
+# ---------------------------------------------------------------------------
+
+class TestDigestProperties:
+    @given(st.lists(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10),
+                    min_size=1, max_size=200),
+           st.integers(min_value=2, max_value=32))
+    @settings(max_examples=40, deadline=None)
+    def test_bloom_filter_has_no_false_negatives(self, values, bits):
+        bloom = BloomFilter(expected_items=len(values), bits_per_value=bits)
+        bloom.add_all(values)
+        assert all(bloom.might_contain(v) for v in values)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=0, max_size=200),
+           st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_total_range_estimate_matches_count(self, values, buckets):
+        histogram = EquiWidthHistogram(values, buckets=buckets)
+        assert histogram.estimate_range(None, None) <= len(values) + 1e-6
+        if values:
+            assert histogram.estimate_range(None, None) >= len(values) * 0.99
+
+    @given(st.lists(st.text(alphabet=string.ascii_lowercase + string.digits,
+                            min_size=1, max_size=8), min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_value_set_summary_membership_complete(self, values):
+        summary = ValueSetSummary(values, exact_limit=10)
+        assert all(summary.might_contain(v) for v in values)
+        assert all(summary.matches_keyword(v) for v in values)
+
+    @given(st.lists(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8),
+                    min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_overlap_with_self_is_total(self, values):
+        summary = ValueSetSummary(values)
+        assert summary.overlap_estimate(summary) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Relational and full-text invariants
+# ---------------------------------------------------------------------------
+
+class TestSubstrateProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=1000),
+                              st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)),
+                    min_size=0, max_size=50))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_sql_count_and_filter_consistent(self, pairs):
+        db = Database("prop")
+        db.execute("CREATE TABLE t (id INTEGER, label TEXT)")
+        for index, (value, label) in enumerate(pairs):
+            db.execute(f"INSERT INTO t (id, label) VALUES ({value}, '{label}')")
+        total = db.query("SELECT COUNT(*) AS n FROM t")[0]["n"]
+        assert total == len(pairs)
+        threshold = 500
+        below = db.query(f"SELECT COUNT(*) AS n FROM t WHERE id < {threshold}")[0]["n"]
+        above = db.query(f"SELECT COUNT(*) AS n FROM t WHERE id >= {threshold}")[0]["n"]
+        assert below + above == total
+
+    @given(st.lists(st.text(alphabet=string.ascii_lowercase + " ", min_size=1, max_size=40),
+                    min_size=0, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_fulltext_store_indexes_every_document(self, texts):
+        store = FullTextStore("prop", [FieldConfig("text", "text")], id_field="id")
+        store.add_all({"id": i, "text": text} for i, text in enumerate(texts))
+        assert len(store) == len(texts)
+        assert store.search("*:*", limit=None).total == len(texts)
+
+    @given(st.text(alphabet=string.ascii_letters + " éèàç'#-", min_size=0, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_analyzer_output_is_normalised(self, text):
+        analyzer = Analyzer()
+        for token in analyzer.stems(text):
+            assert token == token.lower()
+            assert len(token) >= 2 or token.startswith("#")

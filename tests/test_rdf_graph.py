@@ -1,0 +1,142 @@
+"""Unit tests for the triple store and its pattern-matching access paths."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, pattern, triple, uri, var
+from repro.rdf.terms import Variable
+
+
+@pytest.fixture
+def graph():
+    g = Graph("test")
+    g.add(triple("ttn:a", "ttn:knows", "ttn:b"))
+    g.add(triple("ttn:a", "ttn:knows", "ttn:c"))
+    g.add(triple("ttn:b", "ttn:knows", "ttn:c"))
+    g.add(triple("ttn:a", "foaf:name", "Alice"))
+    g.add(triple("ttn:b", "foaf:name", "Bob"))
+    g.add(triple("ttn:a", "rdf:type", "ttn:person"))
+    return g
+
+
+class TestMutation:
+    def test_add_returns_true_for_new_triple(self):
+        g = Graph()
+        assert g.add(triple("ttn:x", "ttn:p", "ttn:y")) is True
+
+    def test_add_duplicate_returns_false(self, graph):
+        assert graph.add(triple("ttn:a", "ttn:knows", "ttn:b")) is False
+        assert len(graph) == 6
+
+    def test_add_all_counts_new_triples(self, graph):
+        added = graph.add_all([triple("ttn:a", "ttn:knows", "ttn:b"),
+                               triple("ttn:c", "ttn:knows", "ttn:a")])
+        assert added == 1
+
+    def test_remove_existing(self, graph):
+        t = triple("ttn:a", "ttn:knows", "ttn:b")
+        assert graph.remove(t) is True
+        assert t not in graph
+        assert len(graph) == 5
+
+    def test_remove_missing_returns_false(self, graph):
+        assert graph.remove(triple("ttn:z", "ttn:p", "ttn:z")) is False
+
+    def test_clear(self, graph):
+        graph.clear()
+        assert len(graph) == 0
+
+    def test_removed_triple_not_matched(self, graph):
+        t = triple("ttn:a", "foaf:name", "Alice")
+        graph.remove(t)
+        assert list(graph.match(pattern("ttn:a", "foaf:name", "?n"))) == []
+
+
+class TestMatching:
+    def test_match_fully_bound(self, graph):
+        matches = list(graph.match(pattern("ttn:a", "ttn:knows", "ttn:b")))
+        assert len(matches) == 1
+
+    def test_match_by_subject_predicate(self, graph):
+        matches = list(graph.match(pattern("ttn:a", "ttn:knows", "?o")))
+        assert {m.obj for m in matches} == {uri("ttn:b"), uri("ttn:c")}
+
+    def test_match_by_predicate_object(self, graph):
+        matches = list(graph.match(pattern("?s", "ttn:knows", "ttn:c")))
+        assert {m.subject for m in matches} == {uri("ttn:a"), uri("ttn:b")}
+
+    def test_match_by_predicate_only(self, graph):
+        assert len(list(graph.match(pattern("?s", "ttn:knows", "?o")))) == 3
+
+    def test_match_by_subject_only(self, graph):
+        assert len(list(graph.match(pattern("ttn:a", "?p", "?o")))) == 4
+
+    def test_match_by_object_only(self, graph):
+        matches = list(graph.match(pattern("?s", "?p", "ttn:c")))
+        assert len(matches) == 2
+
+    def test_match_all_variables(self, graph):
+        assert len(list(graph.match(pattern("?s", "?p", "?o")))) == len(graph)
+
+    def test_match_literal_object(self, graph):
+        matches = list(graph.match(pattern("?s", "foaf:name", Literal("Alice"))))
+        assert [m.subject for m in matches] == [uri("ttn:a")]
+
+    def test_repeated_variable_constrains_match(self):
+        g = Graph()
+        g.add(triple("ttn:a", "ttn:knows", "ttn:a"))
+        g.add(triple("ttn:a", "ttn:knows", "ttn:b"))
+        same = Variable("x")
+        matches = list(g.match(pattern(same, "ttn:knows", same)))
+        assert len(matches) == 1
+        assert matches[0].subject == matches[0].obj
+
+
+class TestCounting:
+    def test_count_by_predicate(self, graph):
+        assert graph.count(pattern("?s", "ttn:knows", "?o")) == 3
+
+    def test_count_subject_predicate(self, graph):
+        assert graph.count(pattern("ttn:a", "ttn:knows", "?o")) == 2
+
+    def test_count_all(self, graph):
+        assert graph.count(pattern("?s", "?p", "?o")) == 6
+
+    def test_count_missing(self, graph):
+        assert graph.count(pattern("ttn:z", "ttn:knows", "?o")) == 0
+
+
+class TestIntrospection:
+    def test_predicates(self, graph):
+        assert uri("ttn:knows") in graph.predicates()
+
+    def test_value_returns_one_object(self, graph):
+        assert graph.value(uri("ttn:a"), uri("foaf:name")) == Literal("Alice")
+
+    def test_value_missing_returns_none(self, graph):
+        assert graph.value(uri("ttn:z"), uri("foaf:name")) is None
+
+    def test_resources_of_type(self, graph):
+        assert graph.resources_of_type(uri("ttn:person")) == {uri("ttn:a")}
+
+    def test_predicate_counts(self, graph):
+        counts = graph.predicate_counts()
+        assert counts[uri("ttn:knows")] == 3
+        assert counts[uri("foaf:name")] == 2
+
+    def test_literals(self, graph):
+        assert Literal("Alice") in graph.literals()
+
+    def test_union_is_new_graph(self, graph):
+        other = Graph("other", [triple("ttn:z", "foaf:name", "Zoe")])
+        merged = graph.union(other)
+        assert len(merged) == len(graph) + 1
+        assert len(graph) == 6
+
+    def test_copy_is_independent(self, graph):
+        clone = graph.copy()
+        clone.add(triple("ttn:new", "foaf:name", "New"))
+        assert len(clone) == len(graph) + 1
+
+    def test_terms_contains_all_positions(self, graph):
+        terms = graph.terms()
+        assert uri("ttn:a") in terms and uri("ttn:knows") in terms

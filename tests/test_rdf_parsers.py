@@ -1,0 +1,153 @@
+"""Unit tests for the N-Triples/Turtle parser, serializer and SPARQL subset."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf import (
+    Literal,
+    RDF_TYPE,
+    URI,
+    Variable,
+    parse_bgp,
+    parse_ntriples,
+    parse_sparql,
+    pattern,
+    serialize_ntriples,
+    triple,
+    uri,
+)
+
+
+class TestNTriplesParsing:
+    def test_simple_ntriples(self):
+        text = ('<http://ex.org/a> <http://ex.org/p> <http://ex.org/b> .\n'
+                '<http://ex.org/a> <http://ex.org/name> "Alice" .\n')
+        g = parse_ntriples(text)
+        assert len(g) == 2
+        assert triple("http://ex.org/a", "http://ex.org/name", "Alice") in g
+
+    def test_prefixed_turtle(self):
+        text = """
+        @prefix ex: <http://ex.org/> .
+        ex:a a ex:Person ;
+             ex:name "Alice" ;
+             ex:knows ex:b , ex:c .
+        """
+        g = parse_ntriples(text)
+        assert len(g) == 4
+        assert triple("http://ex.org/a", RDF_TYPE, "http://ex.org/Person") in g
+        knows = pattern("http://ex.org/a", "http://ex.org/knows", "?x")
+        assert len(list(g.match(knows))) == 2
+
+    def test_default_prefixes_available(self):
+        g = parse_ntriples("ttn:a rdf:type ttn:politician .")
+        assert len(g) == 1
+
+    def test_typed_and_language_literals(self):
+        text = ('<http://ex.org/a> <http://ex.org/age> "61"^^<http://www.w3.org/2001/XMLSchema#integer> .\n'
+                '<http://ex.org/a> <http://ex.org/bio> "journaliste"@fr .\n')
+        g = parse_ntriples(text)
+        literals = {t.obj for t in g}
+        assert Literal("61", datatype="http://www.w3.org/2001/XMLSchema#integer") in literals
+        assert Literal("journaliste", language="fr") in literals
+
+    def test_numbers_become_typed_literals(self):
+        g = parse_ntriples("ttn:a ttn:age 61 .")
+        assert next(iter(g)).obj.to_python() == 61
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+        # a comment line
+        ttn:a ttn:p ttn:b .
+        """
+        assert len(parse_ntriples(text)) == 1
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples("unknown:a ttn:p ttn:b .")
+
+    def test_malformed_statement_raises(self):
+        with pytest.raises(ParseError):
+            parse_ntriples("ttn:a ttn:p .")
+
+    def test_escaped_quotes_in_literal(self):
+        g = parse_ntriples('ttn:a ttn:says "il a dit \\"oui\\"" .')
+        assert next(iter(g)).obj.value == 'il a dit "oui"'
+
+
+class TestSerialization:
+    def test_round_trip(self, politics_graph):
+        text = serialize_ntriples(politics_graph)
+        reparsed = parse_ntriples(text)
+        assert {t for t in reparsed} == {t for t in politics_graph}
+
+    def test_empty_graph_serialises_to_empty_string(self):
+        from repro.rdf import Graph
+
+        assert serialize_ntriples(Graph()) == ""
+
+    def test_output_is_sorted_and_terminated(self, politics_graph):
+        text = serialize_ntriples(politics_graph)
+        lines = text.strip().split("\n")
+        assert lines == sorted(lines)
+        assert all(line.endswith(" .") for line in lines)
+
+
+class TestSPARQLSubset:
+    def test_simple_select(self):
+        q = parse_bgp("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+        assert [v.name for v in q.head] == ["id"]
+        assert len(q.patterns) == 1
+
+    def test_multiple_patterns_and_dots(self):
+        q = parse_bgp(
+            "SELECT ?id WHERE { ?x ttn:position ttn:headOfState . ?x ttn:twitterAccount ?id . }"
+        )
+        assert len(q.patterns) == 2
+
+    def test_a_keyword_is_rdf_type(self):
+        q = parse_bgp("SELECT ?x WHERE { ?x a ttn:politician }")
+        assert q.patterns[0].predicate == RDF_TYPE
+
+    def test_prefix_declaration(self):
+        q = parse_bgp(
+            "PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:p ?y }"
+        )
+        assert q.patterns[0].predicate == URI("http://ex.org/p")
+
+    def test_full_iri_and_literal_terms(self):
+        q = parse_bgp('SELECT ?x WHERE { ?x <http://ex.org/name> "Alice" }')
+        assert q.patterns[0].obj == Literal("Alice")
+
+    def test_select_star(self):
+        q = parse_bgp("SELECT * WHERE { ?x ttn:p ?y }")
+        assert {v.name for v in q.output_variables()} == {"x", "y"}
+
+    def test_distinct_and_limit_modifiers(self):
+        parsed = parse_sparql("SELECT DISTINCT ?x WHERE { ?x ttn:p ?y } LIMIT 5")
+        assert parsed.distinct is True
+        assert parsed.limit == 5
+
+    def test_numeric_literal(self):
+        q = parse_bgp("SELECT ?x WHERE { ?x ttn:age 61 }")
+        assert q.patterns[0].obj.to_python() == 61
+
+    def test_missing_where_raises(self):
+        with pytest.raises(ParseError):
+            parse_bgp("SELECT ?x { ?x ttn:p ?y }")
+
+    def test_unterminated_group_raises(self):
+        with pytest.raises(ParseError):
+            parse_bgp("SELECT ?x WHERE { ?x ttn:p ?y")
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(ParseError):
+            parse_bgp("SELECT ?x WHERE { ?x nope:p ?y }")
+
+    def test_evaluates_against_graph(self, politics_graph):
+        from repro.rdf import evaluate_bgp, var
+
+        q = parse_bgp("SELECT ?id WHERE { ?x ttn:position ttn:headOfState . "
+                      "?x ttn:twitterAccount ?id }")
+        rows = evaluate_bgp(q, politics_graph)
+        assert rows[0][var("id")].value == "fhollande"

@@ -1,0 +1,143 @@
+"""Unit tests for RDFS schema extraction and saturation (G∞)."""
+
+import pytest
+
+from repro.rdf import (
+    Graph,
+    RDF_TYPE,
+    RDFSchema,
+    implicit_triples,
+    saturate,
+    triple,
+    uri,
+)
+from repro.rdf.terms import Triple
+
+
+class TestSchemaExtraction:
+    def test_observe_subclass(self, politics_graph):
+        schema = RDFSchema()
+        assert schema.observe(triple("ttn:politician", "rdfs:subClassOf", "ttn:person"))
+        assert uri("ttn:person") in schema.subclasses[uri("ttn:politician")]
+
+    def test_observe_non_schema_triple_returns_false(self):
+        schema = RDFSchema()
+        assert not schema.observe(triple("ttn:a", "foaf:name", "Alice"))
+
+    def test_from_graph_extracts_all_four_statement_kinds(self):
+        g = Graph()
+        g.add(triple("ttn:politician", "rdfs:subClassOf", "ttn:person"))
+        g.add(triple("ttn:worksFor", "rdfs:subPropertyOf", "ttn:paidBy"))
+        g.add(triple("ttn:foundedIn", "rdfs:domain", "ttn:organization"))
+        g.add(triple("ttn:worksFor", "rdfs:range", "ttn:organization"))
+        schema = RDFSchema.from_graph(g)
+        assert not schema.is_empty()
+        assert len(schema.classes()) >= 2
+        assert len(schema.properties()) >= 2
+
+    def test_transitive_superclasses(self):
+        schema = RDFSchema()
+        schema.add_subclass(uri("ttn:deputy"), uri("ttn:politician"))
+        schema.add_subclass(uri("ttn:politician"), uri("ttn:person"))
+        supers = schema.superclasses(uri("ttn:deputy"))
+        assert supers == {uri("ttn:politician"), uri("ttn:person")}
+
+    def test_subclasses_of_inverse_closure(self):
+        schema = RDFSchema()
+        schema.add_subclass(uri("ttn:deputy"), uri("ttn:politician"))
+        schema.add_subclass(uri("ttn:politician"), uri("ttn:person"))
+        subs = schema.subclasses_of(uri("ttn:person"))
+        assert uri("ttn:deputy") in subs and uri("ttn:politician") in subs
+
+    def test_triples_round_trip(self, politics_schema):
+        triples = politics_schema.triples()
+        rebuilt = RDFSchema.from_triples(triples)
+        assert rebuilt.subclasses == politics_schema.subclasses
+        assert rebuilt.domains == politics_schema.domains
+
+
+class TestSaturation:
+    def setup_method(self):
+        # The running example of the paper's §2.1.
+        self.graph = Graph("lemonde")
+        self.graph.add(triple("ttn:LeMonde", "ttn:foundedIn", "1944"))
+        self.graph.add(triple("ttn:Samuel", "ttn:worksFor", "ttn:LeMonde"))
+        self.graph.add(triple("ttn:Samuel", "rdf:type", "ttn:Journalist"))
+        self.graph.add(triple("ttn:Journalist", "rdfs:subClassOf", "ttn:Employee"))
+        self.graph.add(triple("ttn:worksFor", "rdfs:subPropertyOf", "ttn:paidBy"))
+        self.graph.add(triple("ttn:foundedIn", "rdfs:domain", "ttn:Organization"))
+        self.graph.add(triple("ttn:worksFor", "rdfs:range", "ttn:Organization"))
+
+    def test_rdfs7_subproperty_propagation(self):
+        saturated, _ = saturate(self.graph)
+        assert triple("ttn:Samuel", "ttn:paidBy", "ttn:LeMonde") in saturated
+
+    def test_rdfs9_type_propagation(self):
+        saturated, _ = saturate(self.graph)
+        assert triple("ttn:Samuel", "rdf:type", "ttn:Employee") in saturated
+
+    def test_rdfs2_domain_typing(self):
+        saturated, _ = saturate(self.graph)
+        assert triple("ttn:LeMonde", "rdf:type", "ttn:Organization") in saturated
+
+    def test_rdfs3_range_typing(self):
+        saturated, _ = saturate(self.graph)
+        # LeMonde is the object of worksFor whose range is Organization.
+        assert triple("ttn:LeMonde", "rdf:type", "ttn:Organization") in saturated
+
+    def test_explicit_triples_preserved(self):
+        saturated, stats = saturate(self.graph)
+        for t in self.graph:
+            assert t in saturated
+        assert stats.explicit_triples == len(self.graph)
+
+    def test_stats_count_implicit_triples(self):
+        saturated, stats = saturate(self.graph)
+        assert stats.implicit_triples == len(saturated) - len(self.graph)
+        assert stats.implicit_triples > 0
+        assert stats.total_triples == len(saturated)
+
+    def test_original_graph_unchanged(self):
+        before = len(self.graph)
+        saturate(self.graph)
+        assert len(self.graph) == before
+
+    def test_implicit_triples_helper(self):
+        implicit = implicit_triples(self.graph)
+        assert triple("ttn:Samuel", "ttn:paidBy", "ttn:LeMonde") in implicit
+        assert all(t not in self.graph for t in implicit)
+
+    def test_saturation_is_idempotent(self):
+        saturated, _ = saturate(self.graph)
+        twice, stats = saturate(saturated)
+        assert len(twice) == len(saturated)
+        assert stats.implicit_triples == 0
+
+    def test_subclass_transitivity_rdfs11(self):
+        self.graph.add(triple("ttn:Employee", "rdfs:subClassOf", "ttn:Person"))
+        saturated, _ = saturate(self.graph)
+        assert triple("ttn:Journalist", "rdfs:subClassOf", "ttn:Person") in saturated
+        assert triple("ttn:Samuel", "rdf:type", "ttn:Person") in saturated
+
+    def test_external_schema_merged(self):
+        schema = RDFSchema()
+        schema.add_subclass(uri("ttn:Employee"), uri("ttn:Person"))
+        saturated, _ = saturate(self.graph, schema)
+        assert triple("ttn:Samuel", "rdf:type", "ttn:Person") in saturated
+
+    def test_literal_objects_not_typed_by_range(self):
+        from repro.rdf import Literal
+
+        g = Graph()
+        g.add(triple("ttn:p", "rdfs:range", "ttn:Organization"))
+        g.add(triple("ttn:x", "ttn:p", "a literal value"))
+        saturated, _ = saturate(g)
+        assert not any(isinstance(t.subject, Literal) for t in saturated)
+        # rdfs3 must not fire for a literal object, and no domain is declared,
+        # so saturation derives no rdf:type triple at all.
+        assert [t for t in saturated if t.predicate == RDF_TYPE] == []
+
+    def test_empty_graph_saturation(self):
+        saturated, stats = saturate(Graph())
+        assert len(saturated) == 0
+        assert stats.implicit_triples == 0

@@ -1,0 +1,69 @@
+"""Unit tests for query-oriented RDF graph summaries."""
+
+from repro.rdf import Graph, RDFSummary, triple, uri
+
+
+class TestRDFSummary:
+    def test_resources_grouped_by_property_signature(self, politics_graph):
+        summary = RDFSummary.build(politics_graph)
+        node1 = summary.node_of(uri("ttn:POL1"))
+        node2 = summary.node_of(uri("ttn:POL2"))
+        assert node1 is not None and node2 is not None
+        assert node1.node_id == node2.node_id  # same outgoing properties
+
+    def test_parties_form_a_distinct_node(self, politics_graph):
+        summary = RDFSummary.build(politics_graph)
+        politician_node = summary.node_of(uri("ttn:POL1"))
+        party_node = summary.node_of(uri("ttn:PARTY1"))
+        assert politician_node.node_id != party_node.node_id
+
+    def test_member_counts(self, politics_graph):
+        summary = RDFSummary.build(politics_graph)
+        node = summary.node_of(uri("ttn:POL1"))
+        assert node.member_count == 2
+
+    def test_classes_recorded(self, politics_graph):
+        summary = RDFSummary.build(politics_graph)
+        node = summary.node_of(uri("ttn:POL1"))
+        assert uri("ttn:politician") in node.classes
+
+    def test_values_collected_per_property(self, politics_graph):
+        summary = RDFSummary.build(politics_graph)
+        node = summary.node_of(uri("ttn:POL1"))
+        values = summary.values[(node.node_id, uri("ttn:twitterAccount"))]
+        assert {v.value for v in values} == {"fhollande", "mlepen"}
+
+    def test_edges_between_summary_nodes(self, politics_graph):
+        summary = RDFSummary.build(politics_graph)
+        kinds = {(e.prop, e.source != e.target) for e in summary.edges}
+        assert any(prop == uri("ttn:memberOf") and cross for prop, cross in kinds)
+
+    def test_properties_cover_graph_predicates(self, politics_graph):
+        summary = RDFSummary.build(politics_graph)
+        assert politics_graph.predicates() <= summary.properties()
+
+    def test_compression_ratio_below_one(self, politics_graph):
+        summary = RDFSummary.build(politics_graph)
+        assert 0 < summary.compression_ratio(politics_graph) < 1
+
+    def test_literal_values_helper(self, politics_graph):
+        summary = RDFSummary.build(politics_graph)
+        assert "fhollande" in summary.literal_values(uri("ttn:twitterAccount"))
+
+    def test_empty_graph_summary(self):
+        summary = RDFSummary.build(Graph())
+        assert len(summary.nodes) == 0
+        assert summary.compression_ratio(Graph()) == 0.0
+
+    def test_node_of_unknown_resource_is_none(self, politics_graph):
+        summary = RDFSummary.build(politics_graph)
+        assert summary.node_of(uri("ttn:unknown")) is None
+
+    def test_summary_scales_with_structure_not_size(self):
+        g = Graph()
+        for i in range(200):
+            g.add(triple(f"ttn:r{i}", "ttn:p", f"value {i}"))
+            g.add(triple(f"ttn:r{i}", "ttn:q", f"other {i}"))
+        summary = RDFSummary.build(g)
+        assert len(summary.nodes) == 1
+        assert summary.nodes[list(summary.nodes)[0]].member_count == 200

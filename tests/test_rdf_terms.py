@@ -1,0 +1,138 @@
+"""Unit tests for RDF terms, coercion helpers and triple patterns."""
+
+import pytest
+
+from repro.errors import RDFError
+from repro.rdf import (
+    Literal,
+    RDF_TYPE,
+    TriplePattern,
+    URI,
+    Variable,
+    XSD_NS,
+    expand_qname,
+    literal,
+    pattern,
+    triple,
+    uri,
+    var,
+)
+from repro.rdf.terms import BlankNode, Triple
+
+
+class TestURI:
+    def test_local_name_from_fragment(self):
+        assert URI("http://example.org/ns#Person").local_name == "Person"
+
+    def test_local_name_from_path(self):
+        assert URI("http://example.org/resource/Paris").local_name == "Paris"
+
+    def test_empty_uri_rejected(self):
+        with pytest.raises(RDFError):
+            URI("")
+
+    def test_uris_are_hashable_and_equal_by_value(self):
+        assert URI("http://a") == URI("http://a")
+        assert len({URI("http://a"), URI("http://a")}) == 1
+
+
+class TestLiteral:
+    def test_plain_literal(self):
+        lit = Literal("hello")
+        assert lit.value == "hello"
+        assert lit.datatype is None
+
+    def test_datatype_and_language_are_exclusive(self):
+        with pytest.raises(RDFError):
+            Literal("x", datatype=XSD_NS + "integer", language="fr")
+
+    def test_to_python_integer(self):
+        assert literal(42).to_python() == 42
+
+    def test_to_python_float(self):
+        assert literal(3.5).to_python() == pytest.approx(3.5)
+
+    def test_to_python_boolean(self):
+        assert literal(True).to_python() is True
+
+    def test_to_python_plain_string(self):
+        assert Literal("abc").to_python() == "abc"
+
+
+class TestVariable:
+    def test_valid_name(self):
+        assert Variable("x").name == "x"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(RDFError):
+            Variable("not valid")
+
+    def test_var_helper_strips_question_mark(self):
+        assert var("?id") == Variable("id")
+
+
+class TestTriple:
+    def test_variables_rejected_in_data_triples(self):
+        with pytest.raises(RDFError):
+            Triple(Variable("s"), RDF_TYPE, URI("http://x"))
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(RDFError):
+            Triple(URI("http://s"), Literal("p"), URI("http://o"))
+
+    def test_triple_helper_coerces_strings(self):
+        t = triple("ttn:POL1", "ttn:position", "ttn:headOfState")
+        assert isinstance(t.subject, URI)
+        assert t.subject.local_name == "POL1"
+
+    def test_triple_helper_coerces_object_literal(self):
+        t = triple("ttn:POL1", "foaf:name", "François Hollande")
+        assert isinstance(t.obj, Literal)
+
+    def test_triple_helper_numbers_become_typed_literals(self):
+        t = triple("ttn:POL1", "ttn:age", 61)
+        assert t.obj.datatype == XSD_NS + "integer"
+
+    def test_blank_node_string(self):
+        t = triple("_:b0", "ttn:position", "ttn:deputy")
+        assert isinstance(t.subject, BlankNode)
+
+
+class TestTriplePattern:
+    def test_variables_extraction(self):
+        p = pattern("?x", "ttn:position", "?pos")
+        assert p.variables() == {Variable("x"), Variable("pos")}
+
+    def test_ground_pattern(self):
+        p = pattern("ttn:POL1", "ttn:position", "ttn:headOfState")
+        assert p.is_ground()
+        assert isinstance(p.to_triple(), Triple)
+
+    def test_non_ground_to_triple_raises(self):
+        with pytest.raises(RDFError):
+            pattern("?x", "ttn:position", "ttn:headOfState").to_triple()
+
+    def test_bind_replaces_variables(self):
+        p = pattern("?x", "ttn:position", "?pos")
+        bound = p.bind({Variable("pos"): uri("ttn:headOfState")})
+        assert bound.obj == uri("ttn:headOfState")
+        assert bound.subject == Variable("x")
+
+    def test_pattern_iteration_order(self):
+        p = pattern("?s", "?p", "?o")
+        assert [t.name for t in p] == ["s", "p", "o"]
+
+
+class TestQNames:
+    def test_expand_known_prefix(self):
+        assert expand_qname("rdf:type") == RDF_TYPE
+
+    def test_expand_unknown_prefix_raises(self):
+        with pytest.raises(RDFError):
+            expand_qname("nope:thing")
+
+    def test_uri_helper_passes_through_full_iris(self):
+        assert uri("http://example.org/x").value == "http://example.org/x"
+
+    def test_uri_helper_expands_qnames(self):
+        assert uri("foaf:name").value.endswith("foaf/0.1/name")

@@ -1,0 +1,77 @@
+"""Unit tests for CSV import/export of relational sources."""
+
+import io
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational import Database, dump_csv, load_csv
+
+CSV_TEXT = """code,name,population
+75,Paris,2165423
+33,Gironde,1601845
+29,Finistere,
+"""
+
+
+class TestLoadCSV:
+    def test_load_from_literal_text(self):
+        db = Database("csv")
+        table = load_csv(db, "departments", CSV_TEXT)
+        assert len(table) == 3
+        assert table.schema.column("population").data_type.name == "INTEGER"
+
+    def test_types_inferred_per_column(self):
+        db = Database("csv")
+        load_csv(db, "departments", CSV_TEXT)
+        rows = db.query("SELECT population FROM departments WHERE code = 75")
+        assert rows == [{"population": 2165423}]
+
+    def test_empty_values_become_null(self):
+        db = Database("csv")
+        load_csv(db, "departments", CSV_TEXT)
+        rows = db.query("SELECT name FROM departments WHERE population IS NULL")
+        assert [r["name"] for r in rows] == ["Finistere"]
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "departments.csv"
+        path.write_text(CSV_TEXT, encoding="utf-8")
+        db = Database("csv")
+        table = load_csv(db, "departments", path, primary_key="code")
+        assert table.schema.primary_key == "code"
+
+    def test_load_with_custom_delimiter(self):
+        db = Database("csv")
+        table = load_csv(db, "t", "a;b\n1;x\n2;y\n", delimiter=";")
+        assert len(table) == 2
+
+    def test_empty_csv_raises(self):
+        db = Database("csv")
+        with pytest.raises(RelationalError):
+            load_csv(db, "empty", "a,b\n")
+
+
+class TestDumpCSV:
+    def test_round_trip(self, small_database):
+        result = small_database.execute("SELECT code, name FROM departments ORDER BY code")
+        text = dump_csv(result)
+        lines = text.strip().split("\n")
+        assert lines[0] == "code,name"
+        assert lines[1].startswith("29,")
+
+    def test_nulls_serialised_as_empty(self, small_database):
+        small_database.execute("INSERT INTO departments (code, name) VALUES ('99', 'X')")
+        result = small_database.execute("SELECT code, population FROM departments WHERE code = '99'")
+        assert dump_csv(result).strip().split("\n")[1] == "99,"
+
+    def test_write_to_file(self, small_database, tmp_path):
+        result = small_database.execute("SELECT code FROM departments")
+        path = tmp_path / "out.csv"
+        dump_csv(result, path)
+        assert path.read_text(encoding="utf-8").startswith("code\n")
+
+    def test_write_to_buffer(self, small_database):
+        result = small_database.execute("SELECT code FROM departments")
+        buffer = io.StringIO()
+        dump_csv(result, buffer)
+        assert buffer.getvalue().startswith("code")

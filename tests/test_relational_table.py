@@ -1,0 +1,88 @@
+"""Unit tests for row storage, primary keys and secondary indexes."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Column, DataType, Table, TableSchema
+
+
+@pytest.fixture
+def table():
+    schema = TableSchema(
+        name="departments",
+        columns=[Column("code", DataType.TEXT, nullable=False),
+                 Column("name", DataType.TEXT),
+                 Column("population", DataType.INTEGER)],
+        primary_key="code",
+    )
+    t = Table(schema)
+    t.insert({"code": "75", "name": "Paris", "population": 2_165_423})
+    t.insert({"code": "33", "name": "Gironde", "population": 1_601_845})
+    t.insert({"code": "29", "name": "Finistere", "population": 915_090})
+    return t
+
+
+class TestInsertion:
+    def test_insert_returns_coerced_tuple(self, table):
+        row = table.insert({"code": "59", "name": "Nord", "population": "2604000"})
+        assert row == ("59", "Nord", 2_604_000)
+        assert len(table) == 4
+
+    def test_duplicate_primary_key_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"code": "75", "name": "Paris bis", "population": 1})
+
+    def test_null_primary_key_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"name": "Nowhere", "population": 0})
+
+    def test_insert_many(self, table):
+        inserted = table.insert_many([
+            {"code": "01", "name": "Ain", "population": 650_000},
+            {"code": "06", "name": "Alpes-Maritimes", "population": 1_080_000},
+        ])
+        assert inserted == 2
+
+
+class TestAccess:
+    def test_scan_returns_dicts(self, table):
+        rows = list(table.scan())
+        assert len(rows) == 3
+        assert rows[0]["code"] == "75"
+
+    def test_scan_with_predicate(self, table):
+        rows = list(table.scan(lambda r: r["population"] > 1_000_000))
+        assert {r["code"] for r in rows} == {"75", "33"}
+
+    def test_lookup_uses_primary_key_index(self, table):
+        assert table.has_index("code")
+        assert table.lookup("code", "33")[0]["name"] == "Gironde"
+
+    def test_lookup_without_index_scans(self, table):
+        assert not table.has_index("name")
+        assert table.lookup("name", "Paris")[0]["code"] == "75"
+
+    def test_lookup_missing_value_returns_empty(self, table):
+        assert table.lookup("code", "99") == []
+
+    def test_create_index_backfills_existing_rows(self, table):
+        index = table.create_index("name")
+        assert len(index) == 3
+        assert table.lookup("name", "Finistere")[0]["code"] == "29"
+
+    def test_create_index_on_unknown_column_raises(self, table):
+        with pytest.raises(SchemaError):
+            table.create_index("region")
+
+    def test_distinct_and_column_values(self, table):
+        assert table.distinct_values("code") == {"75", "33", "29"}
+        assert len(table.column_values("population")) == 3
+
+    def test_statistics(self, table):
+        stats = table.statistics()
+        assert stats["rows"] == 3
+        assert stats["distinct"]["code"] == 3
+
+    def test_index_distinct_count(self, table):
+        index = table.create_index("population")
+        assert index.distinct_count() == 3

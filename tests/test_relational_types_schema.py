@@ -1,0 +1,135 @@
+"""Unit tests for relational data types, coercion and table schemas."""
+
+from datetime import date
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Column, DataType, ForeignKey, TableSchema, coerce, infer_type, parse_type
+
+
+class TestTypeParsing:
+    @pytest.mark.parametrize("name,expected", [
+        ("INTEGER", DataType.INTEGER),
+        ("int", DataType.INTEGER),
+        ("BIGINT", DataType.INTEGER),
+        ("VARCHAR(30)", DataType.TEXT),
+        ("text", DataType.TEXT),
+        ("FLOAT", DataType.FLOAT),
+        ("DECIMAL(10,2)", DataType.FLOAT),
+        ("BOOLEAN", DataType.BOOLEAN),
+        ("DATE", DataType.DATE),
+    ])
+    def test_aliases(self, name, expected):
+        assert parse_type(name) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SchemaError):
+            parse_type("GEOMETRY")
+
+
+class TestCoercion:
+    def test_none_passes_through(self):
+        assert coerce(None, DataType.INTEGER) is None
+
+    def test_string_to_integer(self):
+        assert coerce("42", DataType.INTEGER) == 42
+
+    def test_float_string_to_integer(self):
+        assert coerce("42.0", DataType.INTEGER) == 42
+
+    def test_empty_string_to_null_number(self):
+        assert coerce("", DataType.INTEGER) is None
+        assert coerce("", DataType.FLOAT) is None
+
+    def test_string_to_float(self):
+        assert coerce("8.25", DataType.FLOAT) == pytest.approx(8.25)
+
+    def test_boolean_strings(self):
+        assert coerce("oui", DataType.BOOLEAN) is True
+        assert coerce("non", DataType.BOOLEAN) is False
+        assert coerce("1", DataType.BOOLEAN) is True
+
+    def test_invalid_boolean_raises(self):
+        with pytest.raises(SchemaError):
+            coerce("peut-etre", DataType.BOOLEAN)
+
+    def test_date_formats(self):
+        assert coerce("2015-11-16", DataType.DATE) == date(2015, 11, 16)
+        assert coerce("16/11/2015", DataType.DATE) == date(2015, 11, 16)
+
+    def test_invalid_number_raises(self):
+        with pytest.raises(SchemaError):
+            coerce("abc", DataType.INTEGER)
+
+    def test_anything_to_text(self):
+        assert coerce(75, DataType.TEXT) == "75"
+
+    def test_infer_type(self):
+        assert infer_type(3) is DataType.INTEGER
+        assert infer_type(3.5) is DataType.FLOAT
+        assert infer_type(True) is DataType.BOOLEAN
+        assert infer_type("x") is DataType.TEXT
+        assert infer_type(date(2015, 1, 1)) is DataType.DATE
+
+
+class TestTableSchema:
+    def make_schema(self):
+        return TableSchema(
+            name="departments",
+            columns=[Column("code", DataType.TEXT, nullable=False),
+                     Column("name", DataType.TEXT),
+                     Column("population", DataType.INTEGER)],
+            primary_key="code",
+            foreign_keys=[],
+        )
+
+    def test_column_lookup_case_insensitive(self):
+        schema = self.make_schema()
+        assert schema.column("CODE").name == "code"
+        assert schema.column_index("Population") == 2
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            self.make_schema().column("region")
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(name="t", columns=[Column("a", DataType.TEXT),
+                                           Column("A", DataType.TEXT)])
+
+    def test_primary_key_must_be_a_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema(name="t", columns=[Column("a", DataType.TEXT)], primary_key="b")
+
+    def test_foreign_key_must_reference_existing_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema(name="t", columns=[Column("a", DataType.TEXT)],
+                        foreign_keys=[ForeignKey("b", "other", "id")])
+
+    def test_coerce_row_from_dict(self):
+        row = self.make_schema().coerce_row({"code": 75, "name": "Paris", "population": "100"})
+        assert row == ("75", "Paris", 100)
+
+    def test_coerce_row_missing_nullable_column(self):
+        row = self.make_schema().coerce_row({"code": "75", "name": "Paris"})
+        assert row == ("75", "Paris", None)
+
+    def test_coerce_row_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            self.make_schema().coerce_row({"code": "75", "region": "IDF"})
+
+    def test_coerce_row_positional(self):
+        assert self.make_schema().coerce_row(["75", "Paris", 100]) == ("75", "Paris", 100)
+
+    def test_coerce_row_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            self.make_schema().coerce_row(["75", "Paris"])
+
+    def test_not_null_enforced(self):
+        with pytest.raises(SchemaError):
+            self.make_schema().coerce_row({"name": "Paris"})
+
+    def test_invalid_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("not valid", DataType.TEXT)

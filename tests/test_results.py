@@ -1,0 +1,71 @@
+"""Unit tests for MixedResult and execution traces."""
+
+import pytest
+
+from repro.core import ExecutionTrace, MixedResult, SubQueryCall
+from repro.errors import MixedQueryError
+
+
+@pytest.fixture
+def result():
+    return MixedResult(
+        variables=["group", "retweets"],
+        rows=[{"group": "left", "retweets": 10},
+              {"group": "right", "retweets": 40},
+              {"group": "left", "retweets": 10}],
+    )
+
+
+class TestMixedResult:
+    def test_len_iter_bool(self, result):
+        assert len(result) == 3
+        assert bool(result)
+        assert len(list(result)) == 3
+        assert not MixedResult(variables=["x"])
+
+    def test_column(self, result):
+        assert result.column("group") == ["left", "right", "left"]
+
+    def test_unknown_column_raises(self, result):
+        with pytest.raises(MixedQueryError):
+            result.column("missing")
+
+    def test_distinct(self, result):
+        assert len(result.distinct()) == 2
+
+    def test_sorted_by(self, result):
+        ordered = result.sorted_by("retweets", descending=True)
+        assert ordered.rows[0]["retweets"] == 40
+
+    def test_sorted_handles_none(self):
+        r = MixedResult(variables=["x"], rows=[{"x": None}, {"x": 1}])
+        assert r.sorted_by("x").rows[0]["x"] == 1
+
+    def test_to_table_renders_all_columns(self, result):
+        table = result.to_table()
+        assert "group" in table and "retweets" in table and "right" in table
+
+    def test_to_table_truncates(self, result):
+        table = result.to_table(max_rows=1)
+        assert "more rows" in table
+
+    def test_to_table_truncates_long_values(self):
+        r = MixedResult(variables=["t"], rows=[{"t": "x" * 100}])
+        assert "..." in r.to_table()
+
+
+class TestExecutionTrace:
+    def test_calls_accounting(self):
+        trace = ExecutionTrace(atom_order=["qG", "tw"])
+        trace.calls.append(SubQueryCall("qG", "#glue", 0, 5, 0.01))
+        trace.calls.append(SubQueryCall("tw", "solr://tweets", 1, 2, 0.02))
+        trace.calls.append(SubQueryCall("tw", "solr://tweets", 1, 3, 0.02))
+        assert trace.calls_to("solr://tweets") == 2
+        assert trace.total_rows_fetched() == 10
+
+    def test_summary_mentions_order_and_calls(self):
+        trace = ExecutionTrace(atom_order=["qG", "tw"], stages=[["qG"], ["tw"]],
+                               total_seconds=0.1)
+        trace.calls.append(SubQueryCall("qG", "#glue", 0, 5, 0.01))
+        summary = trace.summary()
+        assert "qG -> tw" in summary and "source calls: 1" in summary

@@ -1,0 +1,177 @@
+"""Unit tests for SELECT execution: filters, joins, aggregates, ordering."""
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational import Database
+
+
+class TestBasicSelect:
+    def test_select_all(self, small_database):
+        result = small_database.execute("SELECT * FROM departments")
+        assert len(result) == 3
+        assert set(result.columns) == {"code", "name", "population"}
+
+    def test_projection_and_alias(self, small_database):
+        result = small_database.execute("SELECT name AS dept_name FROM departments")
+        assert result.columns == ["dept_name"]
+        assert "Paris" in result.column("dept_name")
+
+    def test_where_comparison(self, small_database):
+        rows = small_database.query("SELECT name FROM departments WHERE population > 1000000")
+        assert {r["name"] for r in rows} == {"Paris", "Gironde"}
+
+    def test_where_equality_on_text(self, small_database):
+        rows = small_database.query("SELECT population FROM departments WHERE code = '29'")
+        assert rows == [{"population": 915090}]
+
+    def test_where_like(self, small_database):
+        rows = small_database.query("SELECT name FROM departments WHERE name LIKE 'g%'")
+        assert [r["name"] for r in rows] == ["Gironde"]
+
+    def test_where_in_list(self, small_database):
+        rows = small_database.query("SELECT name FROM departments WHERE code IN ('75', '29')")
+        assert {r["name"] for r in rows} == {"Paris", "Finistere"}
+
+    def test_arithmetic_in_projection(self, small_database):
+        rows = small_database.query("SELECT population / 1000 AS thousands FROM departments "
+                                    "WHERE code = '75'")
+        assert rows[0]["thousands"] == pytest.approx(2165.423)
+
+    def test_scalar_functions(self, small_database):
+        rows = small_database.query("SELECT UPPER(name) AS up FROM departments WHERE code = '75'")
+        assert rows[0]["up"] == "PARIS"
+
+    def test_order_by_desc_and_limit(self, small_database):
+        rows = small_database.query(
+            "SELECT name FROM departments ORDER BY population DESC LIMIT 2")
+        assert [r["name"] for r in rows] == ["Paris", "Gironde"]
+
+    def test_distinct(self, small_database):
+        rows = small_database.query("SELECT DISTINCT year FROM unemployment ORDER BY year")
+        assert [r["year"] for r in rows] == [2014, 2015]
+
+    def test_constant_select_without_from(self, small_database):
+        rows = small_database.query("SELECT 1 + 1 AS two")
+        assert rows == [{"two": 2}]
+
+
+class TestJoins:
+    def test_inner_join(self, small_database):
+        rows = small_database.query(
+            "SELECT d.name, u.rate FROM departments d "
+            "JOIN unemployment u ON d.code = u.dept_code WHERE u.year = 2015"
+        )
+        assert len(rows) == 3
+        assert {r["name"] for r in rows} == {"Paris", "Gironde", "Finistere"}
+
+    def test_join_row_multiplicity(self, small_database):
+        rows = small_database.query(
+            "SELECT u.rate FROM departments d JOIN unemployment u ON d.code = u.dept_code "
+            "WHERE d.code = '75'"
+        )
+        assert len(rows) == 2  # 2014 and 2015
+
+    def test_left_join_keeps_unmatched(self, small_database):
+        small_database.execute("INSERT INTO departments (code, name, population) "
+                               "VALUES ('99', 'Nowhere', 1)")
+        rows = small_database.query(
+            "SELECT d.code, u.rate FROM departments d "
+            "LEFT JOIN unemployment u ON d.code = u.dept_code WHERE d.code = '99'"
+        )
+        assert rows == [{"code": "99", "rate": None}]
+
+    def test_join_with_non_equi_condition_falls_back_to_nested_loop(self, small_database):
+        rows = small_database.query(
+            "SELECT d.name FROM departments d JOIN unemployment u ON d.population > u.rate "
+            "WHERE u.year = 2014"
+        )
+        assert len(rows) == 3  # every department's population beats the single 2014 rate
+
+
+class TestAggregation:
+    def test_count_star(self, small_database):
+        rows = small_database.query("SELECT COUNT(*) AS n FROM unemployment")
+        assert rows == [{"n": 4}]
+
+    def test_group_by_with_avg(self, small_database):
+        rows = small_database.query(
+            "SELECT dept_code, AVG(rate) AS avg_rate FROM unemployment GROUP BY dept_code "
+            "ORDER BY dept_code"
+        )
+        by_code = {r["dept_code"]: r["avg_rate"] for r in rows}
+        assert by_code["75"] == pytest.approx(8.4)
+        assert by_code["33"] == pytest.approx(9.4)
+
+    def test_min_max_sum(self, small_database):
+        rows = small_database.query(
+            "SELECT MIN(rate) AS lo, MAX(rate) AS hi, SUM(rate) AS total FROM unemployment")
+        assert rows[0]["lo"] == pytest.approx(7.9)
+        assert rows[0]["hi"] == pytest.approx(9.4)
+        assert rows[0]["total"] == pytest.approx(8.2 + 8.6 + 9.4 + 7.9)
+
+    def test_having_filters_groups(self, small_database):
+        rows = small_database.query(
+            "SELECT dept_code FROM unemployment GROUP BY dept_code HAVING AVG(rate) > 9")
+        assert [r["dept_code"] for r in rows] == ["33"]
+
+    def test_count_distinct(self, small_database):
+        rows = small_database.query(
+            "SELECT COUNT(DISTINCT dept_code) AS n FROM unemployment")
+        assert rows == [{"n": 3}]
+
+    def test_aggregate_ignores_nulls(self, small_database):
+        small_database.execute("INSERT INTO unemployment (dept_code, year, rate) "
+                               "VALUES ('75', 2016, NULL)")
+        rows = small_database.query("SELECT COUNT(rate) AS n, COUNT(*) AS total FROM unemployment")
+        assert rows[0]["n"] == 4
+        assert rows[0]["total"] == 5
+
+
+class TestDatabaseCatalog:
+    def test_create_and_insert_via_sql(self):
+        db = Database("scratch")
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, label TEXT)")
+        result = db.execute("INSERT INTO t (id, label) VALUES (1, 'a'), (2, 'b')")
+        assert result.rows == [(2,)]
+        assert len(db.table("t")) == 2
+
+    def test_duplicate_table_rejected(self, small_database):
+        with pytest.raises(Exception):
+            small_database.execute("CREATE TABLE departments (code TEXT)")
+
+    def test_unknown_table_raises(self, small_database):
+        with pytest.raises(RelationalError):
+            small_database.query("SELECT * FROM nowhere")
+
+    def test_unknown_column_raises(self, small_database):
+        with pytest.raises(RelationalError):
+            small_database.query("SELECT nonexistent FROM departments")
+
+    def test_create_table_from_rows_infers_types(self):
+        db = Database("scratch")
+        table = db.create_table_from_rows("people", [
+            {"name": "Alice", "age": 31}, {"name": "Bob", "age": 28},
+        ])
+        assert table.schema.column("age").data_type.name == "INTEGER"
+        assert db.query("SELECT COUNT(*) AS n FROM people") == [{"n": 2}]
+
+    def test_statistics(self, small_database):
+        stats = small_database.statistics()
+        assert stats["departments"]["rows"] == 3
+
+    def test_drop_table(self, small_database):
+        small_database.drop_table("unemployment")
+        assert not small_database.has_table("unemployment")
+
+    def test_table_names_sorted(self, small_database):
+        assert small_database.table_names() == ["departments", "unemployment"]
+
+
+class TestParameterBindings:
+    def test_bindings_visible_in_where(self, small_database):
+        from repro.relational import parse_sql
+
+        statement = parse_sql("SELECT name FROM departments WHERE code = wanted_code")
+        result = small_database.execute_select(statement, bindings={"wanted_code": "75"})
+        assert result.column("name") == ["Paris"]

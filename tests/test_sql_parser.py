@@ -1,0 +1,170 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SQLParseError
+from repro.relational import (
+    BinaryOp,
+    ColumnRef,
+    CreateTableStatement,
+    FunctionCall,
+    InsertStatement,
+    LiteralValue,
+    SelectStatement,
+    parse_sql,
+    tokenize,
+)
+
+
+class TestTokenizer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("SELECT name FROM departments")
+        assert [t.kind for t in tokens] == ["keyword", "identifier", "keyword", "identifier"]
+
+    def test_strings_keep_quotes(self):
+        tokens = tokenize("WHERE name = 'Paris'")
+        assert tokens[-1].kind == "string"
+
+    def test_comments_ignored(self):
+        tokens = tokenize("SELECT 1 -- a comment\n FROM t")
+        assert all("comment" not in t.text for t in tokens)
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLParseError):
+            tokenize("SELECT @name FROM t")
+
+    def test_operators(self):
+        tokens = tokenize("a <= 3 AND b <> 4")
+        assert ("operator", "<=") in [(t.kind, t.text) for t in tokens]
+        assert ("operator", "<>") in [(t.kind, t.text) for t in tokens]
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        stmt = parse_sql("SELECT name, population FROM departments")
+        assert isinstance(stmt, SelectStatement)
+        assert [i.output_name() for i in stmt.items] == ["name", "population"]
+        assert stmt.table.name == "departments"
+
+    def test_select_star(self):
+        stmt = parse_sql("SELECT * FROM departments")
+        assert stmt.items[0].star
+
+    def test_where_clause_tree(self):
+        stmt = parse_sql("SELECT name FROM d WHERE population > 100 AND code = '75'")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.operator == "AND"
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT code AS dept, population pop FROM departments d")
+        assert [i.output_name() for i in stmt.items] == ["dept", "pop"]
+        assert stmt.table.effective_alias == "d"
+
+    def test_join_with_on(self):
+        stmt = parse_sql(
+            "SELECT d.name, u.rate FROM departments d JOIN unemployment u ON d.code = u.dept_code"
+        )
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].kind == "INNER"
+
+    def test_left_join(self):
+        stmt = parse_sql("SELECT * FROM a LEFT JOIN b ON a.x = b.y")
+        assert stmt.joins[0].kind == "LEFT"
+
+    def test_group_by_having(self):
+        stmt = parse_sql(
+            "SELECT dept_code, AVG(rate) AS avg_rate FROM unemployment "
+            "GROUP BY dept_code HAVING AVG(rate) > 9"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.items[1].expression.is_aggregate
+
+    def test_order_by_and_limit(self):
+        stmt = parse_sql("SELECT name FROM d ORDER BY population DESC, name ASC LIMIT 3")
+        assert stmt.order_by[0].descending is True
+        assert stmt.order_by[1].descending is False
+        assert stmt.limit == 3
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT region FROM departments").distinct
+
+    def test_in_list_and_like(self):
+        stmt = parse_sql("SELECT * FROM d WHERE code IN ('75', '33') AND name LIKE 'P%'")
+        assert stmt.where is not None
+
+    def test_is_null(self):
+        stmt = parse_sql("SELECT * FROM d WHERE population IS NOT NULL")
+        assert stmt.where is not None
+
+    def test_function_calls(self):
+        stmt = parse_sql("SELECT UPPER(name), COUNT(*) FROM d")
+        assert isinstance(stmt.items[0].expression, FunctionCall)
+        assert stmt.items[1].expression.star
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_sql("SELECT 1 + 2 * 3 AS x FROM d")
+        expression = stmt.items[0].expression
+        assert expression.operator == "+"
+        assert expression.right.operator == "*"
+
+    def test_parenthesised_expression(self):
+        stmt = parse_sql("SELECT (1 + 2) * 3 AS x FROM d")
+        assert stmt.items[0].expression.operator == "*"
+
+    def test_qualified_column_refs(self):
+        stmt = parse_sql("SELECT d.name FROM departments d")
+        ref = stmt.items[0].expression
+        assert isinstance(ref, ColumnRef) and ref.table == "d"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("SELECT name FROM d garbage garbage garbage '")
+
+    def test_missing_from_is_allowed_for_constant_select(self):
+        stmt = parse_sql("SELECT 1 AS one")
+        assert stmt.table is None
+
+
+class TestOtherStatements:
+    def test_create_table(self):
+        stmt = parse_sql(
+            "CREATE TABLE departments (code TEXT PRIMARY KEY, name VARCHAR(40) NOT NULL, "
+            "region TEXT, population INTEGER)"
+        )
+        assert isinstance(stmt, CreateTableStatement)
+        assert stmt.columns[0] == ("code", "TEXT", False, True)
+        assert stmt.columns[1][2] is True  # NOT NULL
+
+    def test_create_table_with_references(self):
+        stmt = parse_sql(
+            "CREATE TABLE unemployment (dept_code TEXT REFERENCES departments(code), rate FLOAT)"
+        )
+        assert stmt.foreign_keys == [("dept_code", "departments", "code")]
+
+    def test_insert_with_columns(self):
+        stmt = parse_sql("INSERT INTO d (code, name) VALUES ('75', 'Paris'), ('33', 'Gironde')")
+        assert isinstance(stmt, InsertStatement)
+        assert stmt.columns == ["code", "name"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_without_columns(self):
+        stmt = parse_sql("INSERT INTO d VALUES ('75', 'Paris', 100)")
+        assert stmt.columns == []
+        assert stmt.rows[0] == ["75", "Paris", 100]
+
+    def test_insert_with_null_and_boolean(self):
+        stmt = parse_sql("INSERT INTO d (a, b) VALUES (NULL, TRUE)")
+        assert stmt.rows[0] == [None, True]
+
+    def test_quoted_quote_in_string(self):
+        stmt = parse_sql("INSERT INTO d (name) VALUES ('Côte d''Or')")
+        assert stmt.rows[0] == ["Côte d'Or"]
+
+    def test_unsupported_statement_raises(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("DELETE FROM departments")
+
+    def test_empty_statement_raises(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("   ")
