@@ -23,7 +23,7 @@ def test_digest_construction(benchmark, demo_small):
     rows.append({"source": "(join candidates)", "positions": len(catalog.join_edges),
                  "KiB": round(catalog.total_size_in_bytes() / 1024, 1)})
     report("E5: digest catalog", rows)
-    assert len(catalog) == 7
+    assert len(catalog) == 8  # glue + seven sources (incl. the JSON store)
 
 
 def test_keyword_query_head_of_state_sia2016(benchmark, demo_small, catalog_small):

@@ -20,7 +20,7 @@ def test_build_mixed_instance(benchmark):
         {"component": "glue graph (triples)", "size": stats["glue_triples"]},
         *[{"component": uri, "size": size} for uri, size in stats["sources"].items()],
     ])
-    assert len(demo.instance.sources()) == 6
+    assert len(demo.instance.sources()) == 7
 
 
 def test_end_to_end_qsia(benchmark, demo_small):

@@ -11,7 +11,7 @@ subsystems live in dedicated sub-packages:
 
 ``repro.core``
     mixed instances, CMQs, planner and executor (the paper's contribution);
-``repro.rdf`` / ``repro.relational`` / ``repro.fulltext``
+``repro.rdf`` / ``repro.relational`` / ``repro.fulltext`` / ``repro.json``
     the data-source substrates;
 ``repro.engine``
     the iterator-based execution engine;
@@ -33,6 +33,8 @@ from repro.core.results import MixedResult
 from repro.core.sources import (
     FullTextQuery,
     FullTextSource,
+    JSONQuery,
+    JSONSource,
     RDFQuery,
     RDFSource,
     RelationalSource,
@@ -52,6 +54,8 @@ __all__ = [
     "MixedResult",
     "FullTextQuery",
     "FullTextSource",
+    "JSONQuery",
+    "JSONSource",
     "RDFQuery",
     "RDFSource",
     "RelationalSource",

@@ -19,9 +19,20 @@ from dataclasses import dataclass, field
 from repro.core.cmq import ConjunctiveMixedQuery, SourceAtom
 from repro.core.instance import MixedInstance
 from repro.core.results import MixedResult
-from repro.core.sources import FullTextQuery, FullTextSource, RDFQuery, RDFSource, RelationalSource, SQLQuery
+from repro.core.sources import (
+    FullTextQuery,
+    FullTextSource,
+    JSONQuery,
+    JSONSource,
+    RDFQuery,
+    RDFSource,
+    RelationalSource,
+    SQLQuery,
+)
 from repro.errors import MixedQueryError
+from repro.fulltext.document import Document
 from repro.fulltext.query import BooleanQuery, MatchAllQuery, PhraseQuery, Query, TermQuery, parse_query
+from repro.json.pattern import Parameter as JSONParameter
 from repro.rdf.bgp import BGPQuery, evaluate_bgp
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Literal, Term, Triple, TriplePattern, URI, Variable, literal
@@ -61,6 +72,8 @@ class RDFWarehouse:
                 self._export_relational(source)
             elif isinstance(source, FullTextSource):
                 self._export_fulltext(source)
+            elif isinstance(source, JSONSource):
+                self._export_json(source)
             else:  # pragma: no cover - defensive
                 raise MixedQueryError(f"cannot export source model {source.model!r}")
             self.stats.triples_per_source[source.uri] = len(self.graph) - before
@@ -96,6 +109,18 @@ class RDFWarehouse:
                         self.graph.add(Triple(subject, term_predicate, literal(stem)))
                 else:
                     self.graph.add(Triple(subject, predicate, literal(_normalize_keyword(value))))
+
+    def _export_json(self, source: JSONSource) -> None:
+        store = source.store
+        for doc_id, fields in store.items():
+            subject = URI(f"{source.uri}/doc/{doc_id}")
+            for path, value in Document(doc_id=doc_id, fields=fields).flat_fields():
+                if value is None:
+                    continue
+                predicate = self.field_predicate(source.uri, path)
+                # Tree-pattern equality is keyword-style (case-insensitive),
+                # so export the normalised form equality patterns match.
+                self.graph.add(Triple(subject, predicate, literal(_normalize_keyword(value))))
 
     # ------------------------------------------------------------------
     # Vocabulary of the exported graph
@@ -135,6 +160,8 @@ class RDFWarehouse:
             return self._translate_fulltext(atom, index)
         if isinstance(atom.query, SQLQuery):
             return self._translate_sql(atom, index)
+        if isinstance(atom.query, JSONQuery):
+            return self._translate_json(atom, index)
         raise MixedQueryError(
             f"warehouse baseline cannot translate atom {atom.name!r}"
         )
@@ -255,6 +282,43 @@ class RDFWarehouse:
                 else:
                     obj = literal(_parse_number(raw_value))
                 patterns.append(TriplePattern(row_var, self.column_predicate(atom.source, table, column), obj))
+        return patterns
+
+    def _translate_json(self, atom: SourceAtom, index: int) -> list[TriplePattern]:
+        assert isinstance(atom.query, JSONQuery)
+        if atom.source is None:
+            raise MixedQueryError(
+                "warehouse baseline needs a fixed source URI for JSON atoms"
+            )
+        doc_var = Variable(f"jdoc{index}")
+        patterns: list[TriplePattern] = []
+        for leaf in atom.query.pattern.leaves:
+            predicate = self.field_predicate(atom.source, leaf.path)
+            for condition in leaf.predicates:
+                if condition.op != "=":
+                    raise MixedQueryError(
+                        "warehouse baseline only translates equality tree-pattern "
+                        f"predicates (atom {atom.name!r})"
+                    )
+                value = condition.value
+                if isinstance(value, JSONParameter):
+                    if value.name in atom.constants:
+                        obj: Term | Variable = literal(
+                            _normalize_keyword(atom.constants[value.name]))
+                    else:
+                        obj = Variable(atom.renames.get(value.name, value.name))
+                else:
+                    obj = literal(_normalize_keyword(value))
+                patterns.append(TriplePattern(doc_var, predicate, obj))
+            if leaf.variable is not None:
+                if leaf.variable in atom.constants:
+                    obj = literal(_normalize_keyword(atom.constants[leaf.variable]))
+                else:
+                    obj = Variable(atom.renames.get(leaf.variable, leaf.variable))
+                patterns.append(TriplePattern(doc_var, predicate, obj))
+            if leaf.is_existence():
+                patterns.append(TriplePattern(doc_var, predicate,
+                                              Variable(f"jx{index}_{len(patterns)}")))
         return patterns
 
     def _rename_term(self, term, atom: SourceAtom):

@@ -24,6 +24,8 @@ from repro.core.sources import (
     DataSource,
     FullTextQuery,
     FullTextSource,
+    JSONQuery,
+    JSONSource,
     RDFQuery,
     RDFSource,
     RelationalSource,
@@ -54,6 +56,8 @@ __all__ = [
     "DataSource",
     "FullTextQuery",
     "FullTextSource",
+    "JSONQuery",
+    "JSONSource",
     "RDFQuery",
     "RDFSource",
     "RelationalSource",

@@ -28,6 +28,7 @@ from typing import Iterable, Optional, Sequence
 from repro.core.sources import (
     DataSource,
     FullTextQuery,
+    JSONQuery,
     RDFQuery,
     Row,
     SourceQuery,
@@ -268,6 +269,17 @@ class CMQBuilder:
                                       renames=renames or {}, constants=constants or {}))
         return self
 
+    def json(self, name: str, pattern: str, source: str | None = None,
+             source_variable: str | None = None, limit: int | None = None,
+             renames: dict[str, str] | None = None,
+             constants: dict[str, object] | None = None) -> "CMQBuilder":
+        """Add a tree-pattern sub-query shipped to a JSON document source."""
+        query = JSONQuery.from_text(pattern, limit=limit)
+        self._atoms.append(SourceAtom(name=name, query=query, source=source,
+                                      source_variable=source_variable,
+                                      renames=renames or {}, constants=constants or {}))
+        return self
+
     def atom(self, atom: SourceAtom) -> "CMQBuilder":
         """Add an already-built atom."""
         self._atoms.append(atom)
@@ -366,6 +378,14 @@ class AtomTemplateRegistry:
         ft_query = FullTextQuery.create(query, fields, limit=limit, sort_by=sort_by)
         return self.register(AtomTemplate(name=name, parameters=tuple(parameters),
                                           query=ft_query, default_source=default_source))
+
+    def register_json(self, name: str, pattern: str, parameters: Sequence[str],
+                      default_source: str | None = None,
+                      limit: int | None = None) -> AtomTemplate:
+        """Register a tree-pattern template over a JSON document source."""
+        query = JSONQuery.from_text(pattern, limit=limit)
+        return self.register(AtomTemplate(name=name, parameters=tuple(parameters),
+                                          query=query, default_source=default_source))
 
     def get(self, name: str) -> AtomTemplate:
         """Return a template by name."""

@@ -33,7 +33,7 @@ from repro.engine.iterators import (
     Operator,
     Project,
 )
-from repro.engine.parallel import ParallelStats, run_parallel
+from repro.engine.parallel import ParallelStats, run_parallel, run_tasks
 from repro.errors import MixedQueryError, UnknownSourceError
 
 
@@ -126,11 +126,19 @@ class MixedQueryExecutor:
     def _execute_atom(self, step: PlanStep, atom: SourceAtom, bindings: Row,
                       trace: ExecutionTrace) -> list[Row]:
         sources = self._resolve_runtime_sources(step, atom, bindings)
-        rows: list[Row] = []
-        for source in sources:
+
+        def call(source: DataSource) -> tuple[DataSource, list[Row], float]:
             started = time.perf_counter()
             fetched = atom.execute_on(source, bindings)
-            elapsed = time.perf_counter() - started
+            return source, fetched, time.perf_counter() - started
+
+        # A free source variable fans out to every accepting source; those
+        # calls are independent, so dispatch them like a parallel stage.
+        workers = self.max_workers if self.options.parallel_stages else 1
+        outcomes = run_tasks([lambda s=source: call(s) for source in sources],
+                             max_workers=workers)
+        rows: list[Row] = []
+        for source, fetched, elapsed in outcomes:
             if atom.source_variable is not None:
                 for row in fetched:
                     row.setdefault(atom.source_variable, source.uri)

@@ -24,12 +24,14 @@ from repro.core.results import MixedResult
 from repro.core.sources import (
     DataSource,
     FullTextSource,
+    JSONSource,
     RDFSource,
     RelationalSource,
     SourceQuery,
 )
 from repro.errors import UnknownSourceError
 from repro.fulltext.store import FullTextStore
+from repro.json.store import JSONDocumentStore
 from repro.rdf.graph import Graph
 from repro.rdf.schema import RDFSchema
 from repro.relational.database import Database
@@ -72,6 +74,11 @@ class MixedInstance:
                           description: str = "") -> FullTextSource:
         """Register a Solr-like full-text source (tweets, Facebook posts)."""
         return self.register(FullTextSource(uri, store, description=description))
+
+    def register_json(self, uri: str, store: JSONDocumentStore,
+                      description: str = "") -> JSONSource:
+        """Register a JSON document source queried with tree patterns."""
+        return self.register(JSONSource(uri, store, description=description))
 
     def source(self, uri: str) -> DataSource:
         """Return the source registered under ``uri`` (the glue graph included)."""

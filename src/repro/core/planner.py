@@ -51,7 +51,13 @@ class PlanStep:
 
     def describe(self) -> str:
         """One-line description used in EXPLAIN output."""
-        targets = ",".join(s.uri for s in self.sources) if self.sources else "?dynamic"
+        if self.dynamic:
+            # Dynamic steps resolve their target at run time: show the
+            # source *variable* rather than the candidate URIs (or the old
+            # bare "?dynamic" placeholder).
+            targets = f"?{self.atom.source_variable or 'dynamic'}"
+        else:
+            targets = ",".join(s.uri for s in self.sources) if self.sources else "?dynamic"
         return (f"{self.mode:<11} {self.atom.describe():<50} -> {targets} "
                 f"(est. {self.estimate:.0f})")
 

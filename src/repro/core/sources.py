@@ -3,8 +3,8 @@
 A mixed instance ``I = (G, D)`` contains sources of different data models,
 "each of which resides within a system providing some query capabilities
 over its data" (paper §1).  Each wrapper here adapts one substrate
-(RDF graph, relational database, full-text store) to the mediator's
-protocol:
+(RDF graph, relational database, full-text store, JSON document store)
+to the mediator's protocol:
 
 * :meth:`DataSource.execute` takes a :class:`SourceQuery` plus the current
   binding tuple and returns binding rows (variable name → Python value);
@@ -21,6 +21,10 @@ from typing import Any, Iterable, Optional
 
 from repro.errors import MixedQueryError
 from repro.fulltext.store import FullTextStore
+from repro.json.matcher import TreePatternMatcher
+from repro.json.parser import parse_pattern
+from repro.json.pattern import Parameter as JSONParameter, TreePattern
+from repro.json.store import JSONDocumentStore
 from repro.rdf.bgp import BGPQuery, evaluate_bgp
 from repro.rdf.entailment import saturate
 from repro.rdf.graph import Graph
@@ -148,6 +152,39 @@ class FullTextQuery(SourceQuery):
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.query_template
+
+
+@dataclass(frozen=True)
+class JSONQuery(SourceQuery):
+    """A tree pattern over a JSON document source.
+
+    The pattern's ``?variables`` become mediator variables of the same
+    name; its ``{parameters}`` are required parameters, filled with the
+    current binding before evaluation (like ``{var}`` placeholders in SQL
+    and full-text sub-queries).  Bindings on plain output variables are
+    *pushed down* to the source's path indexes instead of being
+    post-filtered.
+    """
+
+    pattern: TreePattern
+    limit: Optional[int] = None
+
+    @classmethod
+    def from_text(cls, pattern_text: str, limit: int | None = None) -> "JSONQuery":
+        """Build from the textual tree-pattern syntax."""
+        return cls(pattern=parse_pattern(pattern_text), limit=limit)
+
+    def output_variables(self) -> set[str]:
+        return self.pattern.variables()
+
+    def required_parameters(self) -> set[str]:
+        return self.pattern.parameters()
+
+    def compatible_models(self) -> set[str]:
+        return {"json"}
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.pattern.to_text()
 
 
 # ---------------------------------------------------------------------------
@@ -341,6 +378,86 @@ class FullTextSource(DataSource):
         for _ in query.output_variables() & bound_variables:
             base = max(1.0, base / 10.0)
         return base
+
+    def size(self) -> int:
+        return len(self.store)
+
+
+class JSONSource(DataSource):
+    """Wrapper around a JSON document store queried with tree patterns."""
+
+    model = "json"
+
+    def __init__(self, source_uri: str, store: JSONDocumentStore,
+                 name: str | None = None, description: str = ""):
+        super().__init__(source_uri, name or store.name, description)
+        self.store = store
+        self.matcher = TreePatternMatcher(store)
+
+    def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
+        if not isinstance(query, JSONQuery):
+            raise MixedQueryError(
+                f"JSON source {self.uri} cannot evaluate {type(query).__name__}"
+            )
+        bindings = bindings or {}
+        parameters: Row = {}
+        for name in query.required_parameters():
+            if name not in bindings:
+                raise MixedQueryError(
+                    f"sub-query parameter {{{name}}} is not bound; required parameters "
+                    "must be produced by an earlier sub-query or a constant"
+                )
+            parameters[name] = bindings[name]
+        # Bindings on plain output variables become index-backed equality
+        # pushdowns (matching rows are aligned to the incoming value, so
+        # the mediator's exact-equality joins accept them).
+        pushdown = {variable: value for variable, value in bindings.items()
+                    if variable in query.output_variables()
+                    and variable not in parameters}
+        return self.matcher.match(query.pattern, parameters=parameters,
+                                  pushdown=pushdown, limit=query.limit)
+
+    def estimate(self, query: SourceQuery, bound_variables: set[str] | None = None) -> float:
+        if not isinstance(query, JSONQuery):
+            return float("inf")
+        bound_variables = bound_variables or set()
+        guide = self.store.dataguide()
+        estimate = float(len(self.store))
+        for leaf in query.pattern.leaves:
+            index = self.store.index_for(leaf.path)
+            if index is None:
+                # Interior (non-leaf) path: only presence statistics exist.
+                present = len(self.store.doc_ids_with_path(leaf.path))
+                if present == 0:
+                    # Never observed anywhere: nothing can match.
+                    return 0.0
+                estimate = min(estimate, float(present))
+                continue
+            # Structural selectivity from the dataguide (path coverage),
+            # refined by value-level index statistics below.
+            leaf_estimate = guide.coverage(leaf.path) * guide.document_count
+            leaf_estimate = min(leaf_estimate, float(index.document_count))
+            for predicate in leaf.predicates:
+                if isinstance(predicate.value, JSONParameter):
+                    leaf_estimate = min(leaf_estimate, index.average_postings())
+                elif predicate.op == "=":
+                    leaf_estimate = min(leaf_estimate,
+                                        float(len(index.lookup_eq(predicate.value))))
+                elif predicate.op != "!=":
+                    leaf_estimate = min(leaf_estimate,
+                                        float(len(index.lookup_cmp(predicate.op,
+                                                                   predicate.value))))
+            if leaf.variable is not None and leaf.variable in bound_variables:
+                leaf_estimate = min(leaf_estimate, index.average_postings())
+            estimate = min(estimate, leaf_estimate)
+        if any(leaf.constant_equality() is not None for leaf in query.pattern.leaves):
+            # The per-path indexes can answer the conjunction of constant
+            # predicates exactly (candidate-set intersection), which beats
+            # the independent per-leaf minima above.
+            estimate = min(estimate, float(len(self.matcher.candidates(query.pattern))))
+        if query.limit is not None:
+            estimate = min(estimate, float(query.limit))
+        return estimate
 
     def size(self) -> int:
         return len(self.store)

@@ -16,10 +16,12 @@ from repro.datasets.loader import (
     FACEBOOK_URI,
     IGN_URI,
     INSEE_URI,
+    TWEETS_JSON_URI,
     TWEETS_URI,
     build_demo_instance,
     fact_checking_query,
     party_vocabulary_query,
+    qsia_json_query,
     qsia_query,
     register_demo_templates,
 )
@@ -35,9 +37,11 @@ from repro.datasets.politicians import (
 )
 from repro.datasets.rdf_sources import build_dbpedia_graph, build_ign_graph
 from repro.datasets.tweets import (
+    Tweet,
     TweetGeneratorConfig,
     figure2_example_tweet,
     generate_facebook_posts,
+    generate_tweet_objects,
     generate_tweets,
 )
 from repro.datasets.vocabulary import (
@@ -62,10 +66,12 @@ __all__ = [
     "FACEBOOK_URI",
     "IGN_URI",
     "INSEE_URI",
+    "TWEETS_JSON_URI",
     "TWEETS_URI",
     "build_demo_instance",
     "fact_checking_query",
     "party_vocabulary_query",
+    "qsia_json_query",
     "qsia_query",
     "register_demo_templates",
     "Party",
@@ -78,9 +84,11 @@ __all__ = [
     "generate_politicians",
     "build_dbpedia_graph",
     "build_ign_graph",
+    "Tweet",
     "TweetGeneratorConfig",
     "figure2_example_tweet",
     "generate_facebook_posts",
+    "generate_tweet_objects",
     "generate_tweets",
     "AGRICULTURE",
     "DEPARTMENTS",

@@ -2,9 +2,10 @@
 
 :func:`build_demo_instance` builds the synthetic counterpart of the
 paper's demonstration dataset (§3): a glue RDF graph about French
-politicians, two Solr-like stores (tweets and Facebook posts), the
-INSEE-like and elections relational databases and two external RDF sources
-(DBPedia-like and IGN-like), all registered in one
+politicians, two Solr-like stores (tweets and Facebook posts), a native
+JSON document store (the same tweets in Figure 2 shape, queried with tree
+patterns), the INSEE-like and elections relational databases and two
+external RDF sources (DBPedia-like and IGN-like), all registered in one
 :class:`~repro.core.instance.MixedInstance` together with the atom
 templates used by the textual CMQ syntax.
 """
@@ -19,17 +20,20 @@ from repro.datasets.insee import build_elections_database, build_insee_database
 from repro.datasets.politicians import PoliticalLandscape, generate_landscape
 from repro.datasets.rdf_sources import build_dbpedia_graph, build_ign_graph
 from repro.datasets.tweets import (
+    Tweet,
     TweetGeneratorConfig,
     figure2_example_tweet,
     generate_facebook_posts,
-    generate_tweets,
+    generate_tweet_objects,
 )
 from repro.datasets.vocabulary import AGRICULTURE, STATE_OF_EMERGENCY, TOPICS, Topic
 from repro.fulltext.store import facebook_store, tweet_store
+from repro.json.store import JSONDocumentStore
 from repro.relational.database import Database
 
 #: Canonical source URIs of the demonstration instance.
 TWEETS_URI = "solr://tweets"
+TWEETS_JSON_URI = "json://tweets"
 FACEBOOK_URI = "solr://facebook"
 INSEE_URI = "sql://insee"
 ELECTIONS_URI = "sql://elections"
@@ -79,7 +83,7 @@ def build_demo_instance(config: DemoConfig | None = None) -> DemoInstance:
     landscape = generate_landscape(count=config.politicians, seed=config.seed)
 
     # -- full-text sources -------------------------------------------------
-    tweets = generate_tweets(
+    tweet_objects = generate_tweet_objects(
         landscape.politicians,
         TweetGeneratorConfig(topic=config.topic, weeks=config.weeks,
                              tweets_per_politician_per_week=config.tweets_per_politician_per_week,
@@ -87,7 +91,7 @@ def build_demo_instance(config: DemoConfig | None = None) -> DemoInstance:
     )
     for extra in config.extra_topics:
         topic = TOPICS[extra] if isinstance(extra, str) else extra
-        tweets.extend(generate_tweets(
+        tweet_objects.extend(generate_tweet_objects(
             landscape.politicians,
             TweetGeneratorConfig(topic=topic, weeks=min(2, config.weeks),
                                  tweets_per_politician_per_week=max(
@@ -102,32 +106,38 @@ def build_demo_instance(config: DemoConfig | None = None) -> DemoInstance:
         figure2["user"]["screen_name"] = head.twitter_account
         figure2["user"]["name"] = head.name
         figure2["group"] = head.group
-        tweets.append(figure2)
+        tweet_objects.append(Tweet.from_record(figure2))
     if config.include_claim_tweet:
         # A guaranteed presidential claim about unemployment so the
         # fact-checking scenario (E6) always has something to check.
         head = landscape.head_of_state()
-        tweets.append({
-            "id": 464_244_999_000_000_001,
-            "created_at": "2015-12-03T09:15:00",
-            "week": "2015-W49",
-            "text": ("Le chomage baisse dans tous les departements depuis trois "
-                     "trimestres, les chiffres le prouvent #chomage"),
-            "user": {
-                "id": int(head.politician_id[3:]),
-                "name": head.name,
-                "screen_name": head.twitter_account,
-                "description": f"{head.position} - {head.group}",
-                "followers_count": head.followers,
-            },
-            "retweet_count": 1250,
-            "favorite_count": 2100,
-            "entities": {"hashtags": ["chomage"], "urls": []},
-            "group": head.group,
-            "party_id": head.party_id,
-        })
+        tweet_objects.append(Tweet(
+            tweet_id=464_244_999_000_000_001,
+            created_at="2015-12-03T09:15:00",
+            week="2015-W49",
+            text=("Le chomage baisse dans tous les departements depuis trois "
+                  "trimestres, les chiffres le prouvent #chomage"),
+            user_id=int(head.politician_id[3:]),
+            user_name=head.name,
+            screen_name=head.twitter_account,
+            user_description=f"{head.position} - {head.group}",
+            followers_count=head.followers,
+            retweet_count=1250,
+            favorite_count=2100,
+            hashtags=("chomage",),
+            group=head.group,
+            party_id=head.party_id,
+        ))
+    tweets = [tweet.record() for tweet in tweet_objects]
     store = tweet_store()
     store.add_all(tweets)
+
+    # -- JSON source -------------------------------------------------------
+    # The same tweets as *native* JSON documents (the exact Figure 2 shape
+    # produced by Tweet.to_json), queried with tree patterns rather than
+    # through the flattened full-text index.
+    json_store = JSONDocumentStore(name="tweets_json", id_field="id", text_path="text")
+    json_store.add_all(tweet.to_json() for tweet in tweet_objects)
 
     posts = generate_facebook_posts(landscape.politicians, topic=config.topic,
                                     posts_per_politician=config.facebook_posts_per_politician,
@@ -150,6 +160,8 @@ def build_demo_instance(config: DemoConfig | None = None) -> DemoInstance:
                                description="tweets of French politicians (Solr-like)")
     instance.register_fulltext(FACEBOOK_URI, fb_store,
                                description="Facebook posts of French politicians (Solr-like)")
+    instance.register_json(TWEETS_JSON_URI, json_store,
+                           description="tweets as native JSON documents (tree patterns)")
     instance.register_relational(INSEE_URI, insee,
                                  description="INSEE statistics (SQL)")
     instance.register_relational(ELECTIONS_URI, elections,
@@ -203,6 +215,18 @@ def register_demo_templates(instance: MixedInstance) -> None:
         parameters=("dept", "dept_name", "population"),
         default_source=INSEE_URI,
     )
+    templates.register_json(
+        "tweetJson",
+        pattern="{ text: ?t, user.screen_name: ?id, entities.hashtags: {tag} }",
+        parameters=("t", "id", "tag"),
+        default_source=TWEETS_JSON_URI,
+    )
+    templates.register_json(
+        "tweetEngagement",
+        pattern="{ text: ?t, user.screen_name: ?id, retweet_count: ?rt }",
+        parameters=("t", "id", "rt"),
+        default_source=TWEETS_JSON_URI,
+    )
     templates.register_rdf(
         "departmentGeo",
         "SELECT ?dept ?dept_uri WHERE { ?dept_uri "
@@ -224,6 +248,27 @@ def qsia_query(demo: DemoInstance, hashtag: str = "SIA2016"):
             .fulltext("tweetContains", source=TWEETS_URI,
                       query=f"entities.hashtags:{hashtag.lower()}",
                       fields={"t": "text", "id": "user.screen_name"})
+            .build())
+
+
+def qsia_json_query(demo: DemoInstance, hashtag: str = "SIA2016"):
+    """qSIA over the native JSON store, joined with INSEE statistics.
+
+    A three-model mix (RDF glue + JSON tree pattern + SQL): head-of-state
+    tweets carrying ``hashtag``, fetched as native JSON documents, joined
+    with the unemployment statistics of the author's birth department.
+    The JSON atom runs as a bind join (it shares ``id`` with the glue
+    BGP); with ``use_bind_joins=False`` it materialises instead.
+    """
+    return (demo.instance.builder("qSIAJson", head=["t", "id", "dept", "rate"])
+            .graph("SELECT ?id ?dept WHERE { ?x ttn:position ttn:headOfState . "
+                   "?x ttn:twitterAccount ?id . ?x ttn:birthDepartment ?dept }")
+            .json("tweetJson", source=TWEETS_JSON_URI,
+                  pattern='{ text: ?t, user.screen_name: ?id, '
+                          f'entities.hashtags: "{hashtag.lower()}" }}')
+            .sql("unemployment", source=INSEE_URI,
+                 sql=("SELECT dept_code AS dept, year AS year, rate AS rate "
+                      "FROM unemployment WHERE dept_code = {dept}"))
             .build())
 
 

@@ -24,6 +24,84 @@ from repro.datasets.vocabulary import FILLER_TERMS, STATE_OF_EMERGENCY, Topic
 DEFAULT_START = date(2015, 11, 16)
 
 
+@dataclass(frozen=True)
+class Tweet:
+    """One synthetic tweet, one :meth:`to_json` call away from Figure 2.
+
+    ``week``, ``group`` and ``party_id`` are generator-side metadata used
+    by the flattened full-text/analytics path; they are *not* part of the
+    tweet's JSON shape and are therefore excluded from :meth:`to_json`.
+    """
+
+    tweet_id: int
+    created_at: str
+    text: str
+    user_id: int
+    user_name: str
+    screen_name: str
+    user_description: str
+    followers_count: int
+    retweet_count: int
+    favorite_count: int
+    hashtags: tuple[str, ...] = ()
+    urls: tuple[str, ...] = ()
+    week: str = ""
+    group: str = ""
+    party_id: str = ""
+
+    def to_json(self) -> dict:
+        """The tweet as a native JSON document, exactly Figure 2's shape."""
+        return {
+            "created_at": self.created_at,
+            "id": self.tweet_id,
+            "text": self.text,
+            "user": {
+                "id": self.user_id,
+                "name": self.user_name,
+                "screen_name": self.screen_name,
+                "description": self.user_description,
+                "followers_count": self.followers_count,
+            },
+            "retweet_count": self.retweet_count,
+            "favorite_count": self.favorite_count,
+            "entities": {"hashtags": list(self.hashtags), "urls": list(self.urls)},
+        }
+
+    def record(self) -> dict:
+        """Figure 2 JSON plus the flattened-path metadata fields."""
+        out = self.to_json()
+        if self.week:
+            out["week"] = self.week
+        if self.group:
+            out["group"] = self.group
+        if self.party_id:
+            out["party_id"] = self.party_id
+        return out
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Tweet":
+        """Rebuild a :class:`Tweet` from a Figure-2-shaped document."""
+        user = record.get("user", {})
+        entities = record.get("entities", {})
+        return cls(
+            tweet_id=record["id"],
+            created_at=record.get("created_at", ""),
+            text=record.get("text", ""),
+            user_id=user.get("id", 0),
+            user_name=user.get("name", ""),
+            screen_name=user.get("screen_name", ""),
+            user_description=user.get("description", ""),
+            followers_count=user.get("followers_count", 0),
+            retweet_count=record.get("retweet_count", 0),
+            favorite_count=record.get("favorite_count", 0),
+            hashtags=tuple(entities.get("hashtags", ())),
+            urls=tuple(entities.get("urls", ())),
+            week=record.get("week", ""),
+            group=record.get("group", ""),
+            party_id=record.get("party_id", ""),
+        )
+
+
 @dataclass
 class TweetGeneratorConfig:
     """Knobs of the synthetic tweet generator."""
@@ -38,12 +116,12 @@ class TweetGeneratorConfig:
     seed: int = 7
 
 
-def generate_tweets(politicians: Sequence[Politician],
-                    config: TweetGeneratorConfig | None = None) -> list[dict]:
-    """Generate Figure-2-shaped tweet documents for ``politicians``."""
+def generate_tweet_objects(politicians: Sequence[Politician],
+                           config: TweetGeneratorConfig | None = None) -> list[Tweet]:
+    """Generate :class:`Tweet` objects for ``politicians``."""
     config = config or TweetGeneratorConfig()
     rng = random.Random(config.seed)
-    tweets: list[dict] = []
+    tweets: list[Tweet] = []
     tweet_id = 464_244_000_000_000_000
     for week_index in range(config.weeks):
         phase = config.topic.phases[min(week_index, len(config.topic.phases) - 1)]
@@ -59,25 +137,29 @@ def generate_tweets(politicians: Sequence[Politician],
                 off_topic = rng.random() < config.off_topic_probability
                 text, hashtags = _compose_text(rng, config, politician.group, phase.label,
                                                week_index, off_topic)
-                tweets.append({
-                    "id": tweet_id,
-                    "created_at": moment.strftime("%Y-%m-%dT%H:%M:%S"),
-                    "week": f"{week_start.isocalendar()[0]}-W{week_start.isocalendar()[1]:02d}",
-                    "text": text,
-                    "user": {
-                        "id": int(politician.politician_id[3:]),
-                        "name": politician.name,
-                        "screen_name": politician.twitter_account,
-                        "description": f"{politician.position} - {politician.group}",
-                        "followers_count": politician.followers,
-                    },
-                    "retweet_count": _engagement(rng, politician.followers),
-                    "favorite_count": _engagement(rng, politician.followers, scale=0.6),
-                    "entities": {"hashtags": hashtags, "urls": []},
-                    "group": politician.group,
-                    "party_id": politician.party_id,
-                })
+                tweets.append(Tweet(
+                    tweet_id=tweet_id,
+                    created_at=moment.strftime("%Y-%m-%dT%H:%M:%S"),
+                    week=f"{week_start.isocalendar()[0]}-W{week_start.isocalendar()[1]:02d}",
+                    text=text,
+                    user_id=int(politician.politician_id[3:]),
+                    user_name=politician.name,
+                    screen_name=politician.twitter_account,
+                    user_description=f"{politician.position} - {politician.group}",
+                    followers_count=politician.followers,
+                    retweet_count=_engagement(rng, politician.followers),
+                    favorite_count=_engagement(rng, politician.followers, scale=0.6),
+                    hashtags=tuple(hashtags),
+                    group=politician.group,
+                    party_id=politician.party_id,
+                ))
     return tweets
+
+
+def generate_tweets(politicians: Sequence[Politician],
+                    config: TweetGeneratorConfig | None = None) -> list[dict]:
+    """Generate Figure-2-shaped tweet documents for ``politicians``."""
+    return [tweet.record() for tweet in generate_tweet_objects(politicians, config)]
 
 
 def generate_facebook_posts(politicians: Sequence[Politician], topic: Topic | None = None,

@@ -10,7 +10,9 @@ position.  One builder per data model:
   (one node per property of each property-clique class), reference edges
   following summary edges;
 * full-text sources: nodes from the JSON dataguide paths; analysed text
-  fields contribute their token sets as values.
+  fields contribute their token sets as values;
+* JSON document sources: nodes from the dataguide paths, values from the
+  store's per-path indexes.
 """
 
 from __future__ import annotations
@@ -18,7 +20,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.cmq import GLUE_SOURCE
-from repro.core.sources import DataSource, FullTextSource, RDFSource, RelationalSource
+from repro.core.sources import (
+    DataSource,
+    FullTextSource,
+    JSONSource,
+    RDFSource,
+    RelationalSource,
+)
 from repro.digest.dataguide import JSONDataguide
 from repro.digest.graph import DigestCatalog, DigestNode, SourceDigest
 from repro.digest.valueset import ValueSetSummary
@@ -46,6 +54,8 @@ class DigestBuilder:
             return self.build_relational(source)
         if isinstance(source, FullTextSource):
             return self.build_fulltext(source)
+        if isinstance(source, JSONSource):
+            return self.build_json(source)
         if isinstance(source, RDFSource):
             return self.build_rdf(source)
         raise DigestError(f"cannot build a digest for source model {source.model!r}")
@@ -133,6 +143,27 @@ class DigestBuilder:
             node = DigestNode(source_uri=source.uri, container=container,
                               position=path, kind="field")
             digest.add_node(node, self._summary(values))
+            nodes.append(node)
+        for i, left in enumerate(nodes):
+            for right in nodes[i + 1:]:
+                digest.add_edge(left, right, kind="same-container")
+        digest.metadata["dataguide_paths"] = len(dataguide)
+        digest.metadata["documents"] = len(store)
+        return digest
+
+    # ------------------------------------------------------------------
+    def build_json(self, source: JSONSource) -> SourceDigest:
+        """Digest of a JSON document source from its dataguide and indexes."""
+        digest = SourceDigest(source_uri=source.uri, model=source.model)
+        store = source.store
+        dataguide = store.dataguide()
+        container = store.name
+        values_by_path = store.values_by_path()
+        nodes = []
+        for path in dataguide.path_names():
+            node = DigestNode(source_uri=source.uri, container=container,
+                              position=path, kind="field")
+            digest.add_node(node, self._summary(values_by_path.get(path, [])))
             nodes.append(node)
         for i, left in enumerate(nodes):
             for right in nodes[i + 1:]:

@@ -26,6 +26,8 @@ from repro.core.sources import (
     DataSource,
     FullTextQuery,
     FullTextSource,
+    JSONQuery,
+    JSONSource,
     RDFQuery,
     RDFSource,
     RelationalSource,
@@ -33,6 +35,7 @@ from repro.core.sources import (
 )
 from repro.digest.graph import DigestCatalog, DigestNode
 from repro.errors import KeywordSearchError
+from repro.json.pattern import PatternLeaf, Predicate, TreePattern
 from repro.rdf.bgp import BGPQuery
 from repro.rdf.terms import Literal, Term, TriplePattern, URI, Variable
 from repro.relational.database import Database
@@ -92,10 +95,11 @@ class KeywordQueryEngine:
     """Generates and evaluates CMQs from keyword queries."""
 
     def __init__(self, instance: "MixedInstance", catalog: DigestCatalog | None = None,
-                 max_hits_per_keyword: int = 5):
+                 max_hits_per_keyword: int = 5, max_evaluated_candidates: int = 12):
         self.instance = instance
         self.catalog = catalog if catalog is not None else instance.build_digests()
         self.max_hits_per_keyword = max_hits_per_keyword
+        self.max_evaluated_candidates = max_evaluated_candidates
         self._graph = self.catalog.to_networkx()
 
     # ------------------------------------------------------------------
@@ -109,11 +113,15 @@ class KeywordQueryEngine:
             raise KeywordSearchError("keyword query needs at least one keyword")
         hits_per_keyword = self.lookup(keywords)
         all_hits = [hit for hits in hits_per_keyword for hit in hits]
-        candidates = self.generate_queries(hits_per_keyword, max_queries=max_queries)
+        ranked = self.generate_queries(hits_per_keyword, max_queries=None)
+        candidates = ranked[:max_queries]
         outcome = KeywordSearchOutcome(keywords=list(keywords), hits=all_hits,
                                        candidates=candidates)
         if evaluate:
-            for candidate in candidates:
+            # Walk beyond the displayed top-k when the cheapest join paths
+            # all come back empty (frequent in instances where one source
+            # offers many cheap same-container paths).
+            for candidate in ranked[:max(max_queries, self.max_evaluated_candidates)]:
                 try:
                     result = self.instance.execute(candidate.query, limit=limit)
                 except Exception:  # noqa: BLE001 - a failed candidate is skipped
@@ -122,6 +130,8 @@ class KeywordQueryEngine:
                     outcome.best, outcome.result = candidate, result
                 if result:
                     outcome.best, outcome.result = candidate, result
+                    if candidate not in candidates:
+                        outcome.candidates.append(candidate)
                     break
         return outcome
 
@@ -148,7 +158,7 @@ class KeywordQueryEngine:
     # Step 2 + 3: join paths and query generation
     # ------------------------------------------------------------------
     def generate_queries(self, hits_per_keyword: list[list[KeywordHit]],
-                         max_queries: int = 3) -> list[GeneratedQuery]:
+                         max_queries: int | None = 3) -> list[GeneratedQuery]:
         """Enumerate join paths between keyword hits and build CMQs."""
         candidates: list[GeneratedQuery] = []
         seen_paths: set[tuple] = set()
@@ -164,10 +174,34 @@ class KeywordQueryEngine:
                 query = self._build_query(path, list(combination))
             except KeywordSearchError:
                 continue
+            if self._provably_empty(query):
+                continue
             candidates.append(GeneratedQuery(query=query, path=path,
                                              hits=list(combination), cost=cost))
         candidates.sort(key=lambda c: c.cost)
+        if max_queries is None:
+            return candidates
         return candidates[:max_queries]
+
+    def _provably_empty(self, query: ConjunctiveMixedQuery) -> bool:
+        """True when source statistics prove an atom returns nothing.
+
+        Cheap same-container join paths (frequent in document sources,
+        where every dotted path is a digest position) often pair keyword
+        constants that never co-occur; the per-path indexes answer that
+        conjunction exactly, so such candidates are dropped before they
+        are ranked or evaluated.
+        """
+        for atom in query.atoms:
+            if atom.source is None:
+                continue
+            try:
+                source = self.instance.source(atom.source)
+            except Exception:  # noqa: BLE001 - unresolvable sources fail later
+                continue
+            if source.estimate(atom.query) == 0.0:
+                return True
+        return False
 
     def _connect(self, nodes: list[DigestNode]) -> tuple[Optional[list[DigestNode]], float]:
         """Connect hit nodes with shortest paths (greedy Steiner heuristic)."""
@@ -221,6 +255,8 @@ class KeywordQueryEngine:
                 atom = self._fulltext_atom(source, source_uri, nodes, variables, hit_by_node)
             elif isinstance(source, RelationalSource):
                 atom = self._sql_atom(source, source_uri, nodes, variables, hit_by_node)
+            elif isinstance(source, JSONSource):
+                atom = self._json_atom(source, source_uri, nodes, variables, hit_by_node)
             else:
                 raise KeywordSearchError(
                     f"cannot generate a sub-query for source model {source.model!r}"
@@ -322,6 +358,27 @@ class KeywordQueryEngine:
         query_text = " AND ".join(clauses) if clauses else "*:*"
         query = FullTextQuery.create(query_text, fields, limit=None)
         return SourceAtom(name=f"ft_{_safe(source.store.name)}", query=query, source=source_uri)
+
+    def _json_atom(self, source: JSONSource, source_uri: str,
+                   nodes: list[DigestNode], variables: dict[DigestNode, str],
+                   hit_by_node: dict[DigestNode, KeywordHit]) -> SourceAtom:
+        leaves: list[PatternLeaf] = []
+        for node in nodes:
+            hit = hit_by_node.get(node)
+            predicates: tuple[Predicate, ...] = ()
+            if hit is not None:
+                value = hit.matched_values[0] if hit.matched_values else hit.keyword
+                predicates = (Predicate("=", value),)
+            leaves.append(PatternLeaf(path=node.position, variable=variables[node],
+                                      predicates=predicates))
+        # Always expose the main content path so journalists see the text.
+        text_path = source.store.text_path
+        if text_path and all(leaf.path != text_path for leaf in leaves):
+            leaves.append(PatternLeaf(path=text_path,
+                                      variable=f"txt_{_safe(source.store.name)}"))
+        pattern = TreePattern(leaves=tuple(leaves))
+        return SourceAtom(name=f"json_{_safe(source.store.name)}",
+                          query=JSONQuery(pattern=pattern), source=source_uri)
 
     def _sql_atom(self, source: RelationalSource, source_uri: str,
                   nodes: list[DigestNode], variables: dict[DigestNode, str],

@@ -53,6 +53,10 @@ class FullTextError(ReproError):
     """Error raised by the Solr-like full-text substrate."""
 
 
+class JSONError(ReproError):
+    """Error raised by the JSON document substrate (store, tree patterns)."""
+
+
 class MixedQueryError(ReproError):
     """Error raised while parsing, planning or evaluating a CMQ."""
 

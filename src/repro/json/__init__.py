@@ -1,0 +1,47 @@
+"""JSON document model: tree-pattern queries over native JSON documents.
+
+The paper's mixed instances include JSON sources (the running example
+queries tweets as JSON documents, Figure 2); this package is their
+substrate:
+
+* :mod:`repro.json.pattern` — the tree-pattern AST (paths, variables,
+  predicates, run-time parameters);
+* :mod:`repro.json.parser` — the textual pattern syntax
+  (``{ user.screen_name: ?id, entities.hashtags: "sia2016" }``);
+* :mod:`repro.json.store` — an in-memory document store maintaining one
+  inverted :class:`~repro.json.index.PathIndex` per dotted path;
+* :mod:`repro.json.matcher` — index-assisted pattern evaluation with a
+  naive reference implementation.
+
+The mediator-facing wrapper (:class:`repro.core.sources.JSONSource`)
+lives with the other source wrappers in :mod:`repro.core.sources`.
+"""
+
+from repro.json.index import PathIndex, compare, normalize
+from repro.json.matcher import TreePatternMatcher, leaf_values, match_document
+from repro.json.parser import parse_pattern, pattern_to_text
+from repro.json.pattern import (
+    Parameter,
+    PatternLeaf,
+    Predicate,
+    TreePattern,
+    make_pattern,
+)
+from repro.json.store import JSONDocumentStore
+
+__all__ = [
+    "PathIndex",
+    "compare",
+    "normalize",
+    "TreePatternMatcher",
+    "leaf_values",
+    "match_document",
+    "parse_pattern",
+    "pattern_to_text",
+    "Parameter",
+    "PatternLeaf",
+    "Predicate",
+    "TreePattern",
+    "make_pattern",
+    "JSONDocumentStore",
+]

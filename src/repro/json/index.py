@@ -1,0 +1,121 @@
+"""Per-path inverted indexes over a JSON document collection.
+
+A :class:`PathIndex` maps every *normalised* leaf value observed at one
+dotted path to the set of documents carrying it.  Array elements are
+indexed individually, matching the existential tree-pattern semantics.
+The indexes serve two purposes: candidate pruning before the matcher
+verifies documents (predicate pushdown), and cardinality statistics for
+the planner's selectivity ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+def normalize(value: object) -> object:
+    """Normalise a leaf value for index keys (keyword-style strings)."""
+    if isinstance(value, str):
+        return value.lower()
+    if isinstance(value, (dict, list, set)):
+        return str(value)
+    return value
+
+
+class PathIndex:
+    """Inverted index of one dotted path: normalised value -> doc ids."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.postings: dict[object, set[str]] = {}
+        self.presence: set[str] = set()
+        self.occurrences = 0
+
+    # -- maintenance ---------------------------------------------------------
+    def add(self, doc_id: str, value: object) -> None:
+        """Index one leaf value of one document."""
+        key = normalize(value)
+        self.postings.setdefault(key, set()).add(doc_id)
+        self.presence.add(doc_id)
+        self.occurrences += 1
+
+    def remove(self, doc_id: str, value: object) -> None:
+        """Drop one previously indexed value of ``doc_id``."""
+        key = normalize(value)
+        bucket = self.postings.get(key)
+        if bucket is not None:
+            bucket.discard(doc_id)
+            if not bucket:
+                del self.postings[key]
+        self.occurrences = max(0, self.occurrences - 1)
+        if not any(doc_id in ids for ids in self.postings.values()):
+            self.presence.discard(doc_id)
+
+    # -- lookups -------------------------------------------------------------
+    def lookup_eq(self, value: object) -> set[str]:
+        """Documents carrying ``value`` (keyword-style equality) at the path."""
+        return set(self.postings.get(normalize(value), ()))
+
+    def lookup_cmp(self, op: str, value: object) -> set[str]:
+        """Documents with *some* element at the path satisfying ``op value``."""
+        if op == "=":
+            return self.lookup_eq(value)
+        out: set[str] = set()
+        reference = normalize(value)
+        for key, doc_ids in self.postings.items():
+            if compare(op, key, reference):
+                out |= doc_ids
+        return out
+
+    # -- statistics ----------------------------------------------------------
+    @property
+    def document_count(self) -> int:
+        """Number of documents in which the path occurs."""
+        return len(self.presence)
+
+    @property
+    def distinct_count(self) -> int:
+        """Number of distinct (normalised) values at the path."""
+        return len(self.postings)
+
+    def average_postings(self) -> float:
+        """Expected matches of an equality with an unknown (bound) value."""
+        if not self.postings:
+            return 0.0
+        return self.document_count / len(self.postings)
+
+    def values(self) -> Iterator[object]:
+        """Every distinct normalised value (used by digest construction)."""
+        return iter(self.postings)
+
+    def __len__(self) -> int:
+        return len(self.postings)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"PathIndex(path={self.path!r}, distinct={self.distinct_count}, "
+                f"documents={self.document_count})")
+
+
+def compare(op: str, left: object, right: object) -> bool:
+    """Apply a comparison, returning False on incomparable types."""
+    if op == "=":
+        return normalize(left) == normalize(right)
+    if op == "!=":
+        return normalize(left) != normalize(right)
+    if isinstance(left, bool) or isinstance(right, bool):
+        return False
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        pass
+    elif isinstance(left, str) and isinstance(right, str):
+        left, right = left.lower(), right.lower()
+    else:
+        return False
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    return False

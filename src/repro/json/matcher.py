@@ -1,0 +1,204 @@
+"""Tree-pattern evaluation: index-assisted matching with a naive core.
+
+:func:`match_document` is the reference (naive) semantics: evaluate a
+pattern against one document and produce its binding rows.
+:class:`TreePatternMatcher` wraps it with index-based candidate pruning —
+equality and comparison predicates (including pushed-down bindings from a
+bind join) are first answered from the store's per-path indexes, and only
+the surviving candidate documents are verified naively.  The two paths
+must agree; the test suite checks them against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING
+
+from repro.errors import JSONError
+from repro.json.index import compare, normalize
+from repro.json.pattern import Parameter, Predicate, TreePattern
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.json.store import JSONDocumentStore
+
+#: A binding row: variable name -> value.
+Row = dict[str, object]
+
+_MISSING = object()
+
+
+def leaf_values(document: dict, path: str) -> list[object]:
+    """Every value reachable at ``path``, fanning out over arrays."""
+    current: list[object] = [document]
+    for part in path.split("."):
+        next_level: list[object] = []
+        for value in current:
+            if isinstance(value, list):
+                value_items = value
+            else:
+                value_items = [value]
+            for item in value_items:
+                if isinstance(item, dict) and part in item:
+                    next_level.append(item[part])
+        current = next_level
+        if not current:
+            return []
+    # Fan out over a trailing array value (e.g. entities.hashtags).
+    flattened: list[object] = []
+    for value in current:
+        if isinstance(value, list):
+            flattened.extend(value)
+        else:
+            flattened.append(value)
+    return flattened
+
+
+def match_document(pattern: TreePattern, document: dict,
+                   parameters: dict[str, object] | None = None,
+                   pushdown: Row | None = None) -> list[Row]:
+    """Naive tree-pattern semantics: the binding rows of one document.
+
+    ``parameters`` fills ``{param}`` predicate values; ``pushdown`` maps
+    output variables to values already bound by the mediator (a bind
+    join) — matching rows are aligned to the pushed value so the
+    mediator's exact-equality joins accept them.
+    """
+    pushdown = pushdown or {}
+    rows: list[Row] = [{}]
+    for leaf in pattern.leaves:
+        values = leaf_values(document, leaf.path)
+        if not values:
+            return []
+        predicates = [p.resolve(parameters) for p in leaf.predicates]
+        keep = [v for v in values
+                if all(compare(p.op, v, p.value) for p in predicates)]
+        if not keep:
+            return []
+        if leaf.variable is None:
+            continue
+        bound = pushdown.get(leaf.variable, _MISSING)
+        if bound is not _MISSING:
+            if not any(compare("=", v, bound) for v in keep):
+                return []
+            keep = [bound]
+        rows = _extend(rows, leaf.variable, _dedupe(keep))
+        if not rows:
+            return []
+    return rows
+
+
+def _extend(rows: list[Row], variable: str, values: list[object]) -> list[Row]:
+    out: list[Row] = []
+    for row in rows:
+        if variable in row:
+            # The same variable constrained at a second path must agree.
+            if any(normalize(row[variable]) == normalize(v) for v in values):
+                out.append(row)
+            continue
+        for value in values:
+            out.append({**row, variable: value})
+    return out
+
+
+def _dedupe(values: Iterable[object]) -> list[object]:
+    seen: set[object] = set()
+    out: list[object] = []
+    for value in values:
+        key = normalize(value)
+        try:
+            new = key not in seen
+        except TypeError:
+            new = True
+        else:
+            seen.add(key)
+        if new:
+            out.append(value)
+    return out
+
+
+class TreePatternMatcher:
+    """Evaluates tree patterns over a :class:`JSONDocumentStore`."""
+
+    def __init__(self, store: "JSONDocumentStore"):
+        self.store = store
+
+    # ------------------------------------------------------------------
+    def match(self, pattern: TreePattern,
+              parameters: dict[str, object] | None = None,
+              pushdown: Row | None = None,
+              limit: int | None = None) -> list[Row]:
+        """Binding rows of every matching document (index-pruned)."""
+        pushdown = pushdown or {}
+        candidate_ids = self.candidates(pattern, parameters=parameters,
+                                        pushdown=pushdown)
+        rows: list[Row] = []
+        for doc_id in candidate_ids:
+            document = self.store.get(doc_id)
+            if document is None:  # pragma: no cover - defensive
+                continue
+            rows.extend(match_document(pattern, document,
+                                       parameters=parameters, pushdown=pushdown))
+            if limit is not None and len(rows) >= limit:
+                return rows[:limit]
+        return rows
+
+    # ------------------------------------------------------------------
+    def candidates(self, pattern: TreePattern,
+                   parameters: dict[str, object] | None = None,
+                   pushdown: Row | None = None) -> list[str]:
+        """Candidate document ids after index-based predicate pushdown.
+
+        The result is a superset of the matching documents (``!=``
+        predicates are not pruned; everything is re-verified naively),
+        in insertion order so results stay deterministic.
+        """
+        pushdown = pushdown or {}
+        restrictions: list[set[str]] = []
+        for leaf in pattern.leaves:
+            index = self.store.index_for(leaf.path)
+            if index is None:
+                # Interior (non-leaf) path: no value index, but presence can
+                # still prune through the indexes of its descendant leaves.
+                restriction = self.store.doc_ids_with_path(leaf.path)
+                if not restriction:
+                    # The path was never observed: nothing can match.
+                    return []
+                restrictions.append(restriction)
+                continue
+            # index.presence is shared state: intersect without mutating it
+            # (set & set walks the smaller side, so a selective predicate
+            # keeps the whole chain cheap even on a large store).
+            restriction = index.presence
+            for predicate in leaf.predicates:
+                resolved = _resolve_quietly(predicate, parameters)
+                if resolved is None or resolved.op == "!=":
+                    continue
+                restriction = restriction & index.lookup_cmp(resolved.op, resolved.value)
+            if leaf.variable is not None and leaf.variable in pushdown:
+                restriction = restriction & index.lookup_eq(pushdown[leaf.variable])
+            restrictions.append(restriction)
+        if not restrictions:
+            return []
+        restrictions.sort(key=len)
+        candidates = restrictions[0]
+        for restriction in restrictions[1:]:
+            candidates = candidates & restriction
+            if not candidates:
+                return []
+        return sorted(candidates, key=self.store.insertion_rank)
+
+    def selectivity(self, pattern: TreePattern) -> float:
+        """Fraction of the store the index pruning retains (1.0 = no pruning)."""
+        if len(self.store) == 0:
+            return 1.0
+        return len(self.candidates(pattern)) / len(self.store)
+
+
+def _resolve_quietly(predicate: Predicate,
+                     parameters: dict[str, object] | None) -> Predicate | None:
+    """Resolve a predicate's parameter, or None when it is unbound."""
+    if not isinstance(predicate.value, Parameter):
+        return predicate
+    try:
+        return predicate.resolve(parameters)
+    except JSONError:
+        return None

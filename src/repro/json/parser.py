@@ -1,0 +1,229 @@
+"""Parser of the textual tree-pattern syntax.
+
+The syntax is a JSON-flavoured object whose members constrain document
+paths::
+
+    { user.screen_name: ?id, entities.hashtags: "sia2016", retweet_count: ?rt >= 100 }
+
+Member keys are dotted paths (or nested objects — ``{ user: { screen_name:
+?id } }`` is equivalent to the dotted form).  Member specs are:
+
+``?var``
+    bind the value(s) at the path to mediator variable ``var``;
+``?var >= 100``
+    bind the value and keep only elements satisfying the comparison;
+``"constant"`` / ``42`` / ``true`` / ``null`` / ``bareword``
+    equality with a constant (string equality is case-insensitive);
+``{param}``
+    equality with a run-time parameter, bound by an earlier sub-query;
+``> 10``, ``!= "x"``, ``<= {max}``
+    a bare comparison on the path's values;
+``*``
+    the path must exist, nothing else.
+
+Constraining the same path twice merges the predicates into one leaf.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.json.pattern import (
+    Parameter,
+    PatternLeaf,
+    Predicate,
+    TreePattern,
+    make_pattern,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<string>"(?:[^"\\]|\\.)*")
+    | (?P<number>-?\d+(?:\.\d+)?)
+    | (?P<ident>[A-Za-z_][\w]*)
+    | (?P<punct>!=|>=|<=|[{}:,?.*=<>])
+    """,
+    re.VERBOSE,
+)
+
+_COMPARISON_TOKENS = {"=", "!=", ">", ">=", "<", "<="}
+_KEYWORD_CONSTANTS = {"true": True, "false": False, "null": None}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r} in tree pattern",
+                             position=position)
+        kind = match.lastgroup or "ws"
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[_Token], length: int):
+        self.tokens = tokens
+        self.index = 0
+        self.length = length
+
+    # -- token plumbing ------------------------------------------------------
+    def peek(self, offset: int = 0) -> _Token | None:
+        index = self.index + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of tree pattern", position=self.length)
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.next()
+        if token.text != text:
+            raise ParseError(f"expected {text!r}, found {token.text!r}",
+                             position=token.position)
+        return token
+
+    def at(self, text: str) -> bool:
+        token = self.peek()
+        return token is not None and token.text == text
+
+    # -- grammar -------------------------------------------------------------
+    def parse(self) -> TreePattern:
+        self.expect("{")
+        leaves = self.members(prefix="")
+        self.expect("}")
+        trailing = self.peek()
+        if trailing is not None:
+            raise ParseError(f"trailing input after tree pattern: {trailing.text!r}",
+                             position=trailing.position)
+        return make_pattern(leaves)
+
+    def members(self, prefix: str) -> list[PatternLeaf]:
+        leaves: list[PatternLeaf] = []
+        if self.at("}"):
+            return leaves
+        while True:
+            leaves.extend(self.member(prefix))
+            if self.at(","):
+                self.next()
+                continue
+            return leaves
+
+    def member(self, prefix: str) -> list[PatternLeaf]:
+        path = self.key(prefix)
+        self.expect(":")
+        return self.spec(path)
+
+    def key(self, prefix: str) -> str:
+        token = self.next()
+        if token.kind == "string":
+            part = _unquote(token.text)
+        elif token.kind == "ident":
+            part = token.text
+            while self.at("."):
+                self.next()
+                part += "." + self.ident()
+        else:
+            raise ParseError(f"expected a field name, found {token.text!r}",
+                             position=token.position)
+        return f"{prefix}.{part}" if prefix else part
+
+    def ident(self) -> str:
+        token = self.next()
+        if token.kind != "ident":
+            raise ParseError(f"expected an identifier, found {token.text!r}",
+                             position=token.position)
+        return token.text
+
+    def spec(self, path: str) -> list[PatternLeaf]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of tree pattern", position=self.length)
+        # "{" opens either a {param} reference or a nested object.
+        if token.text == "{":
+            if self._is_parameter_ahead():
+                parameter = self.parameter()
+                return [PatternLeaf(path=path,
+                                    predicates=(Predicate("=", parameter),))]
+            self.next()
+            leaves = self.members(prefix=path)
+            self.expect("}")
+            return leaves
+        if token.text == "?":
+            self.next()
+            variable = self.ident()
+            predicates: tuple[Predicate, ...] = ()
+            ahead = self.peek()
+            if ahead is not None and ahead.text in _COMPARISON_TOKENS:
+                op = self.next().text
+                predicates = (Predicate(op, self.operand()),)
+            return [PatternLeaf(path=path, variable=variable, predicates=predicates)]
+        if token.text == "*":
+            self.next()
+            return [PatternLeaf(path=path)]
+        if token.text in _COMPARISON_TOKENS:
+            op = self.next().text
+            return [PatternLeaf(path=path, predicates=(Predicate(op, self.operand()),))]
+        return [PatternLeaf(path=path, predicates=(Predicate("=", self.operand()),))]
+
+    def _is_parameter_ahead(self) -> bool:
+        one, two = self.peek(1), self.peek(2)
+        return (one is not None and one.kind == "ident"
+                and two is not None and two.text == "}")
+
+    def parameter(self) -> Parameter:
+        self.expect("{")
+        name = self.ident()
+        self.expect("}")
+        return Parameter(name)
+
+    def operand(self) -> object:
+        token = self.next()
+        if token.kind == "string":
+            return _unquote(token.text)
+        if token.kind == "number":
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "ident":
+            if token.text in _KEYWORD_CONSTANTS:
+                return _KEYWORD_CONSTANTS[token.text]
+            # A bare word is a string constant (handy in atom templates).
+            return token.text
+        if token.text == "{":
+            self.index -= 1
+            return self.parameter()
+        raise ParseError(f"cannot interpret tree-pattern value {token.text!r}",
+                         position=token.position)
+
+
+def parse_pattern(text: str) -> TreePattern:
+    """Parse the textual tree-pattern syntax into a :class:`TreePattern`."""
+    return _Parser(_tokenize(text), len(text)).parse()
+
+
+def pattern_to_text(pattern: TreePattern) -> str:
+    """Render ``pattern`` in the canonical textual form (round-trips)."""
+    return pattern.to_text()
+
+
+def _unquote(text: str) -> str:
+    return re.sub(r"\\(.)", r"\1", text[1:-1])

@@ -1,0 +1,172 @@
+"""In-memory JSON document store with per-path indexes.
+
+The store is the substrate behind :class:`repro.core.sources.JSONSource`:
+it keeps native (nested) JSON documents, maintains one
+:class:`~repro.json.index.PathIndex` per observed dotted path, and can
+produce the :class:`~repro.digest.dataguide.JSONDataguide` structural
+summary the digests and the planner's estimates rely on.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterable, TYPE_CHECKING
+
+from repro.errors import JSONError
+from repro.fulltext.document import Document
+from repro.json.index import PathIndex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.digest.dataguide import JSONDataguide
+
+
+class JSONDocumentStore:
+    """A named collection of JSON documents, indexed by dotted path."""
+
+    def __init__(self, name: str = "documents", id_field: str = "id",
+                 text_path: str | None = None):
+        self.name = name
+        self.id_field = id_field
+        #: Path of the main human-readable content (exposed by generated
+        #: queries, like the full-text store's default field).
+        self.text_path = text_path
+        self._documents: dict[str, dict[str, Any]] = {}
+        self._leaves: dict[str, list[tuple[str, object]]] = {}
+        self._indexes: dict[str, PathIndex] = {}
+        self._ranks: dict[str, int] = {}
+        self._next_rank = 0
+        self._dataguide: JSONDataguide | None = None
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def add(self, document: dict[str, Any]) -> str:
+        """Store (or replace) one document; returns its id."""
+        if not isinstance(document, dict):
+            raise JSONError(f"JSON store {self.name!r} only stores objects, "
+                            f"got {type(document).__name__}")
+        stored = copy.deepcopy(document)
+        raw_id = Document(doc_id="_", fields=stored).get(self.id_field)
+        if raw_id is None:
+            raise JSONError(
+                f"document is missing its id field {self.id_field!r}: {document}"
+            )
+        doc_id = str(raw_id)
+        if doc_id in self._documents:
+            self.remove(doc_id)
+        leaves = list(Document(doc_id=doc_id, fields=stored).flat_fields())
+        self._documents[doc_id] = stored
+        self._leaves[doc_id] = leaves
+        self._ranks[doc_id] = self._next_rank
+        self._next_rank += 1
+        for path, value in leaves:
+            index = self._indexes.get(path)
+            if index is None:
+                index = PathIndex(path)
+                self._indexes[path] = index
+            index.add(doc_id, value)
+        self._dataguide = None
+        return doc_id
+
+    def add_all(self, documents: Iterable[dict[str, Any]]) -> int:
+        """Store many documents; returns how many were added."""
+        count = 0
+        for document in documents:
+            self.add(document)
+            count += 1
+        return count
+
+    def remove(self, doc_id: str) -> bool:
+        """Drop a document (and its index entries); True when it existed."""
+        if doc_id not in self._documents:
+            return False
+        for path, value in self._leaves.pop(doc_id, []):
+            index = self._indexes.get(path)
+            if index is not None:
+                index.remove(doc_id, value)
+                if not index.presence:
+                    del self._indexes[path]
+        del self._documents[doc_id]
+        del self._ranks[doc_id]
+        self._dataguide = None
+        return True
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, doc_id: str) -> dict[str, Any] | None:
+        """The stored document with ``doc_id`` (or None)."""
+        return self._documents.get(doc_id)
+
+    def documents(self) -> list[dict[str, Any]]:
+        """Every stored document, in insertion order."""
+        return list(self._documents.values())
+
+    def document_ids(self) -> list[str]:
+        """Every document id, in insertion order."""
+        return list(self._documents)
+
+    def items(self) -> Iterable[tuple[str, dict[str, Any]]]:
+        """(doc_id, document) pairs, in insertion order."""
+        return self._documents.items()
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    # ------------------------------------------------------------------
+    # Indexes and statistics
+    # ------------------------------------------------------------------
+    def paths(self) -> list[str]:
+        """Every indexed dotted path, sorted."""
+        return sorted(self._indexes)
+
+    def index_for(self, path: str) -> PathIndex | None:
+        """The :class:`PathIndex` of ``path`` (None when never observed)."""
+        return self._indexes.get(path)
+
+    def values_at(self, path: str) -> list[object]:
+        """Every raw leaf value observed at ``path`` (duplicates included)."""
+        return self.values_by_path().get(path, [])
+
+    def values_by_path(self) -> dict[str, list[object]]:
+        """Raw leaf values grouped by path, in one pass over the store."""
+        grouped: dict[str, list[object]] = {}
+        for leaves in self._leaves.values():
+            for path, value in leaves:
+                grouped.setdefault(path, []).append(value)
+        return grouped
+
+    def doc_ids_with_path(self, path: str) -> set[str]:
+        """Documents exhibiting ``path`` — a leaf path (via its index) or an
+        interior node (via the indexes of its descendant leaves)."""
+        index = self._indexes.get(path)
+        if index is not None:
+            return set(index.presence)
+        prefix = path + "."
+        out: set[str] = set()
+        for indexed_path, descendant in self._indexes.items():
+            if indexed_path.startswith(prefix):
+                out |= descendant.presence
+        return out
+
+    def insertion_rank(self, doc_id: str) -> int:
+        """Monotonic insertion order of ``doc_id`` (for deterministic output)."""
+        return self._ranks.get(doc_id, -1)
+
+    def dataguide(self) -> "JSONDataguide":
+        """The (cached) structural summary of the collection."""
+        if self._dataguide is None:
+            # Imported lazily: repro.digest builds digests *of* sources and
+            # already depends on repro.core, which depends on this package.
+            from repro.digest.dataguide import JSONDataguide
+
+            self._dataguide = JSONDataguide.build(self._documents.values(),
+                                                  name=self.name)
+        return self._dataguide
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"JSONDocumentStore(name={self.name!r}, documents={len(self)}, "
+                f"paths={len(self._indexes)})")

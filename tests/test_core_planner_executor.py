@@ -97,6 +97,22 @@ class TestPlanner:
         text = instance.plan(qsia).explain()
         assert "qG" in text and "tweetContains" in text
 
+    def test_dynamic_step_describe_shows_source_variable(self, instance):
+        cmq = (instance.builder("q", head=["rate", "src"])
+               .graph("SELECT ?src WHERE { ?x ttn:position ttn:headOfState . "
+                      "?x ttn:statsEndpoint ?src }")
+               .sql("stats", source_variable="src",
+                    sql="SELECT rate AS rate FROM unemployment")
+               .build())
+        plan = instance.plan(cmq)
+        step = next(s for s in plan.steps if s.dynamic)
+        description = step.describe()
+        assert "?src" in description
+        assert "?dynamic" not in description
+        # Static steps keep showing their resolved source URI.
+        glue_step = next(s for s in plan.steps if not s.dynamic)
+        assert "#glue" in glue_step.describe()
+
 
 class TestExecutor:
     def test_qsia_end_to_end(self, instance, qsia):

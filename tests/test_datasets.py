@@ -128,6 +128,29 @@ class TestTweets:
         assert tweet["entities"]["hashtags"] == ["SIA2016"]
         assert tweet["user"]["screen_name"] == "fhollande"
 
+    def test_tweet_to_json_has_exact_figure2_shape(self):
+        from repro.datasets import Tweet
+
+        tweet = Tweet.from_record(figure2_example_tweet())
+        document = tweet.to_json()
+        assert set(document) == {"created_at", "id", "text", "user",
+                                 "retweet_count", "favorite_count", "entities"}
+        assert set(document["user"]) == {"id", "name", "screen_name",
+                                         "description", "followers_count"}
+        assert set(document["entities"]) == {"hashtags", "urls"}
+        assert document == figure2_example_tweet()
+
+    def test_tweet_record_round_trips_generator_metadata(self):
+        from repro.datasets import Tweet, generate_tweet_objects
+
+        politicians = generate_politicians(count=5, seed=1)
+        tweet = generate_tweet_objects(politicians, TweetGeneratorConfig(seed=3))[0]
+        record = tweet.record()
+        assert {"week", "group", "party_id"} <= set(record)
+        assert Tweet.from_record(record) == tweet
+        # The native JSON shape keeps the metadata out.
+        assert "week" not in tweet.to_json() and "group" not in tweet.to_json()
+
 
 class TestRelationalSources:
     def test_insee_tables(self):

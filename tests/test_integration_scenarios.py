@@ -9,20 +9,23 @@ from repro.analytics import (
     weekly_tag_clouds,
 )
 from repro.baselines import RDFWarehouse, STRATEGIES
+from repro.core import PlannerOptions
 from repro.datasets import (
     INSEE_URI,
+    TWEETS_JSON_URI,
     TWEETS_URI,
     fact_checking_query,
     party_vocabulary_query,
+    qsia_json_query,
     qsia_query,
 )
 from repro.digest import JSONDataguide
 
 
 class TestE1MixedInstance:
-    def test_instance_spans_three_data_models(self, demo):
+    def test_instance_spans_four_data_models(self, demo):
         models = {source.model for source in demo.instance.sources()}
-        assert models == {"rdf", "relational", "fulltext"}
+        assert models == {"rdf", "relational", "fulltext", "json"}
 
     def test_textual_cmq_round_trip(self, demo):
         cmq = demo.instance.parse(
@@ -154,14 +157,24 @@ class TestE5KeywordSearch:
                                               catalog=demo_catalog)
         assert outcome.best is not None
         assert outcome.result is not None and len(outcome.result) >= 1
-        # The generated CMQ bridges the glue graph and the tweet store.
+        # The generated CMQ reaches the tweets — through the glue + Solr
+        # bridge or directly through the native JSON document source.
         sources = {atom.source for atom in outcome.best.query.atoms}
-        assert "#glue" in sources and TWEETS_URI in sources
+        assert sources & {TWEETS_URI, TWEETS_JSON_URI}
         # And its answer contains the same head-of-state SIA2016 tweet qSIA finds.
         qsia_texts = set(demo.instance.execute(qsia_query(demo)).column("t"))
         keyword_texts = {value for row in outcome.result.rows for value in row.values()
                          if isinstance(value, str)}
         assert qsia_texts & keyword_texts
+
+    def test_keyword_search_reaches_json_source(self, demo, demo_catalog):
+        # The JSON store indexes every dotted path, so a hashtag keyword has
+        # a candidate route through the native document source too.
+        outcome = demo.instance.keyword_query(["SIA2016"], catalog=demo_catalog)
+        assert outcome.result is not None and len(outcome.result) >= 1
+        candidate_sources = {atom.source for candidate in outcome.candidates
+                             for atom in candidate.query.atoms}
+        assert TWEETS_JSON_URI in candidate_sources or TWEETS_URI in candidate_sources
 
     def test_keyword_search_across_relational_and_rdf(self, demo, demo_catalog):
         outcome = demo.instance.keyword_query(["Gironde"], catalog=demo_catalog)
@@ -174,3 +187,76 @@ class TestE5KeywordSearch:
         candidate_sources = {atom.source for candidate in outcome.candidates
                              for atom in candidate.query.atoms}
         assert {"rdf://ign", INSEE_URI} & candidate_sources
+
+
+class TestE8JSONTreePatterns:
+    """The JSON document model as a first-class CMQ source."""
+
+    def test_json_store_holds_figure2_shaped_documents(self, demo):
+        store = demo.instance.source(TWEETS_JSON_URI).store
+        # The store replaces on id, so distinct ids is the right yardstick.
+        assert len(store) == len({tweet["id"] for tweet in demo.tweets})
+        paths = set(store.paths())
+        assert {"created_at", "id", "text", "user.screen_name", "user.name",
+                "user.followers_count", "retweet_count", "favorite_count",
+                "entities.hashtags"} <= paths
+        # Native shape only: the flattened-path metadata stays out.
+        assert "group" not in paths and "week" not in paths
+
+    def test_three_model_mix_plans_and_executes(self, demo):
+        query = qsia_json_query(demo)
+        models = {type(atom.query).__name__ for atom in query.atoms}
+        assert models == {"RDFQuery", "JSONQuery", "SQLQuery"}
+        result = demo.instance.execute(query)
+        head = demo.head_of_state()
+        assert len(result) >= 1
+        assert set(result.column("id")) == {head.twitter_account}
+        assert set(result.column("dept")) == {head.birth_department}
+        assert all(isinstance(row["rate"], float) for row in result)
+        assert all("sia2016" in row["t"].lower() for row in result)
+
+    def test_json_atom_runs_in_bind_and_materialize_modes(self, demo):
+        query = qsia_json_query(demo)
+        plan = demo.instance.plan(query)
+        json_step = next(s for s in plan.steps if s.atom.name == "tweetJson")
+        assert json_step.mode == "bind"
+        materialized = demo.instance.plan(
+            query, PlannerOptions(use_bind_joins=False, selectivity_ordering=False,
+                                  parallel_stages=False))
+        json_step = next(s for s in materialized.steps if s.atom.name == "tweetJson")
+        assert json_step.mode == "materialize"
+        fast = demo.instance.execute(query)
+        naive = demo.instance.execute(query, options=PlannerOptions(
+            use_bind_joins=False, selectivity_ordering=False, parallel_stages=False))
+        assert sorted(map(str, fast.rows)) == sorted(map(str, naive.rows))
+
+    def test_textual_cmq_with_free_document_source_variable(self, demo):
+        # [dTweets] is a free source variable: the JSON atom fans out to
+        # every document source of the instance and binds dTweets to the
+        # URI that answered.
+        cmq = demo.instance.parse(
+            'qTag(t, id, dTweets) :- qG(id), tweetJson(t, id, "sia2016")[dTweets]'
+        )
+        result = demo.instance.execute(cmq)
+        assert len(result) >= 1
+        assert set(result.column("dTweets")) == {TWEETS_JSON_URI}
+        assert set(result.column("id")) == {demo.head_of_state().twitter_account}
+
+    def test_json_selectivity_estimates_guide_the_planner(self, demo):
+        source = demo.instance.source(TWEETS_JSON_URI)
+        from repro.core import JSONQuery
+
+        everything = JSONQuery.from_text("{ text: ?t }")
+        tagged = JSONQuery.from_text('{ text: ?t, entities.hashtags: "sia2016" }')
+        assert source.estimate(tagged) < source.estimate(everything)
+        assert source.estimate(everything) == float(len(source.store))
+        # Dataguide-driven: a path the collection never exhibits is free.
+        missing = JSONQuery.from_text("{ nonexistent.path: ?x }")
+        assert source.estimate(missing) == 0.0
+
+    def test_json_source_digest_in_catalog(self, demo, demo_catalog):
+        digest = demo_catalog.digest(TWEETS_JSON_URI)
+        assert digest.model == "json"
+        assert digest.metadata["documents"] == len({t["id"] for t in demo.tweets})
+        positions = {node.position for node in digest.nodes}
+        assert "entities.hashtags" in positions and "user.screen_name" in positions
