@@ -143,6 +143,22 @@ class SourceAtom:
             translated.append(self.translate_row(row))
         return translated
 
+    def execute_batch_on(self, source: DataSource,
+                         bindings_batch: Sequence[Row]) -> list[list[Row]]:
+        """Run the atom's sub-query on ``source`` for a whole binding batch.
+
+        One mediator-level call: the wrapper batches natively when it can
+        (IN-lists, disjunctive queries, shared candidate sets).  Returns
+        one translated row list per input binding, in order.
+        """
+        formal_batch = [self.formal_bindings(bindings or {}) for bindings in bindings_batch]
+        fetched = source.execute_batch(self.query, formal_batch)
+        results: list[list[Row]] = []
+        for rows in fetched:
+            results.append([self.translate_row(row) for row in rows
+                            if _respects_constants(row, self.constants)])
+        return results
+
     def is_glue(self) -> bool:
         """True when the atom targets the instance's custom RDF graph."""
         return self.source == GLUE_SOURCE

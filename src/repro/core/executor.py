@@ -6,10 +6,15 @@ stage:
 * ``materialize`` steps of the same stage are shipped to their sources in
   parallel (thread pool) and hash-joined with the current intermediate
   result;
-* ``bind`` steps become bind joins: the sub-query is re-evaluated per
-  (deduplicated) binding of the current intermediate result, which is how
-  bindings reach dependent sources — including *dynamically discovered*
-  sources whose URI comes from a variable binding.
+* ``bind`` steps become *batched* bind joins: distinct bindings of the
+  current intermediate result are collected into planner-sized batches,
+  sieved against the source digests (when a catalog is available), and
+  shipped in one source call per batch — the wrapper answers the whole
+  batch natively (IN-lists, disjunctive queries, shared candidate sets)
+  where its query language allows.  This is how bindings reach dependent
+  sources — including *dynamically discovered* sources whose URI comes
+  from a variable binding.  ``PlannerOptions(batch_bind_joins=False)``
+  restores the historical one-call-per-binding behaviour.
 
 The remaining processing (joins, projection, deduplication) happens inside
 the iterator engine of :mod:`repro.engine`.
@@ -18,13 +23,14 @@ the iterator engine of :mod:`repro.engine`.
 from __future__ import annotations
 
 import time
-from typing import Optional
 
 from repro.core.cmq import ConjunctiveMixedQuery, SourceAtom
 from repro.core.planner import PlannerOptions, PlanStep, QueryPlan, QueryPlanner
 from repro.core.results import ExecutionTrace, MixedResult, SubQueryCall
 from repro.core.sources import DataSource, Row
+from repro.engine.batch import DEFAULT_BATCH_SIZE
 from repro.engine.iterators import (
+    BatchBindJoin,
     BindJoin,
     CallbackScan,
     Distinct,
@@ -38,15 +44,26 @@ from repro.errors import MixedQueryError, UnknownSourceError
 
 
 class MixedQueryExecutor:
-    """Evaluates CMQs against a catalog of wrapped data sources."""
+    """Evaluates CMQs against a catalog of wrapped data sources.
+
+    ``digests`` is an optional :class:`repro.digest.graph.DigestCatalog`;
+    when given, batched bind joins sieve their bindings through the
+    target source's value-set summaries before shipping them.
+    """
 
     def __init__(self, sources: dict[str, DataSource], glue: DataSource,
-                 options: PlannerOptions | None = None, max_workers: int = 4):
+                 options: PlannerOptions | None = None, max_workers: int = 4,
+                 digests=None):
         self._sources = dict(sources)
         self._glue = glue
         self.options = options or PlannerOptions()
         self.max_workers = max_workers
         self.planner = QueryPlanner(self._sources, glue, self.options)
+        self._sieve = None
+        if digests is not None:
+            from repro.digest.sieve import DigestSieve
+
+            self._sieve = DigestSieve(digests)
 
     # ------------------------------------------------------------------
     def execute(self, query: ConjunctiveMixedQuery, plan: QueryPlan | None = None,
@@ -63,10 +80,11 @@ class MixedQueryExecutor:
                                        for stage in plan.stages])
 
         current: Operator | None = None
+        batch_joins: list[BatchBindJoin] = []
         for stage in plan.stages:
             steps = [plan.steps[i] for i in stage]
             if len(steps) == 1 and steps[0].mode == "bind" and current is not None:
-                current = self._bind_step(current, steps[0], trace)
+                current = self._bind_step(current, steps[0], trace, batch_joins)
             else:
                 current = self._materialize_stage(current, steps, trace)
 
@@ -82,6 +100,7 @@ class MixedQueryExecutor:
             rows = rows[:limit]
         trace.total_seconds = time.perf_counter() - start
         trace.intermediate_sizes.append(len(rows))
+        trace.sieved_bindings = sum(join.sieved_out for join in batch_joins)
         return MixedResult(variables=output, rows=rows, trace=trace)
 
     # ------------------------------------------------------------------
@@ -101,18 +120,36 @@ class MixedQueryExecutor:
         assert operator is not None
         return operator
 
-    def _bind_step(self, current: Operator, step: PlanStep, trace: ExecutionTrace) -> Operator:
+    def _bind_step(self, current: Operator, step: PlanStep, trace: ExecutionTrace,
+                   batch_joins: list[BatchBindJoin]) -> Operator:
         atom = step.atom
-
-        def fetch(row: Row):
-            return self._execute_atom(step, atom, row, trace)
-
-        relevant = sorted(atom.variables() | ({atom.source_variable} if atom.source_variable else set()))
+        relevant = sorted(atom.variables()
+                          | ({atom.source_variable} if atom.source_variable else set()))
 
         def call_key(row: Row) -> tuple:
             return tuple((v, _hashable(row.get(v))) for v in relevant if v in row)
 
-        return BindJoin(current, fetch, name=f"bind:{atom.name}", call_key=call_key)
+        if not self.options.batch_bind_joins:
+            def fetch(row: Row):
+                return self._execute_atom(step, atom, row, trace)
+
+            return BindJoin(current, fetch, name=f"bind:{atom.name}", call_key=call_key)
+
+        def binding_of(row: Row) -> Row:
+            return {v: row[v] for v in relevant if v in row}
+
+        def fetch_batch(bindings: list[Row]) -> list[list[Row]]:
+            return self._execute_atom_batch(step, atom, bindings, trace)
+
+        sieve = None
+        if self._sieve is not None and self.options.digest_sieve and step.use_sieve:
+            sieve = self._sieve.sieve_for(atom, step.sources)
+        join = BatchBindJoin(current, fetch_batch, call_key=call_key,
+                             binding_of=binding_of,
+                             batch_size=step.batch_size or DEFAULT_BATCH_SIZE,
+                             sieve=sieve, name=f"bind:{atom.name}")
+        batch_joins.append(join)
+        return join
 
     def _fetch_callable(self, step: PlanStep, trace: ExecutionTrace):
         def fetch():
@@ -148,6 +185,58 @@ class MixedQueryExecutor:
             ))
             rows.extend(fetched)
         return rows
+
+    def _execute_atom_batch(self, step: PlanStep, atom: SourceAtom,
+                            bindings_list: list[Row],
+                            trace: ExecutionTrace) -> list[list[Row]]:
+        """Ship one batch of distinct bindings; one call per target source.
+
+        Static atoms hit their single source once; dynamic atoms group
+        the batch by the source URI each binding resolves to; a free
+        source variable fans the whole batch out to every accepting
+        source (results concatenated per binding, as in per-binding
+        mode).
+        """
+        results: list[list[Row]] = [[] for _ in bindings_list]
+        by_source: dict[str, tuple[DataSource, list[int]]] = {}
+        for index, bindings in enumerate(bindings_list):
+            for source in self._resolve_runtime_sources(step, atom, bindings):
+                entry = by_source.get(source.uri)
+                if entry is None:
+                    entry = (source, [])
+                    by_source[source.uri] = entry
+                entry[1].append(index)
+
+        def call(source: DataSource, indices: list[int]):
+            batch = [bindings_list[i] for i in indices]
+            started = time.perf_counter()
+            per_binding = atom.execute_batch_on(source, batch)
+            return source, indices, per_binding, time.perf_counter() - started
+
+        workers = self.max_workers if self.options.parallel_stages else 1
+        outcomes = run_tasks(
+            [lambda s=source, idx=indices: call(s, idx)
+             for source, indices in by_source.values()],
+            max_workers=workers)
+        for source, indices, per_binding, elapsed in outcomes:
+            if len(per_binding) != len(indices):
+                raise MixedQueryError(
+                    f"source {source.uri!r} answered {len(per_binding)} bindings "
+                    f"of a {len(indices)}-binding batch for atom {atom.name!r}"
+                )
+            total = 0
+            for index, rows in zip(indices, per_binding):
+                if atom.source_variable is not None:
+                    for row in rows:
+                        row.setdefault(atom.source_variable, source.uri)
+                results[index].extend(rows)
+                total += len(rows)
+            trace.calls.append(SubQueryCall(
+                atom=atom.name, source_uri=source.uri,
+                bindings_in=len(indices), rows_out=total, seconds=elapsed,
+                batched=True,
+            ))
+        return results
 
     def _resolve_runtime_sources(self, step: PlanStep, atom: SourceAtom,
                                  bindings: Row) -> list[DataSource]:

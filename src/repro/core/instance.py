@@ -128,10 +128,15 @@ class MixedInstance:
     # Query entry points
     # ------------------------------------------------------------------
     def executor(self, options: PlannerOptions | None = None,
-                 max_workers: int = 4) -> MixedQueryExecutor:
-        """Build an executor over the current source catalog."""
+                 max_workers: int = 4, digests=None) -> MixedQueryExecutor:
+        """Build an executor over the current source catalog.
+
+        ``digests`` may be a catalog from :meth:`build_digests`; batched
+        bind joins then sieve bindings against the source value sets.
+        """
         return MixedQueryExecutor(self._sources, self._glue_source,
-                                  options=options, max_workers=max_workers)
+                                  options=options, max_workers=max_workers,
+                                  digests=digests)
 
     def planner(self, options: PlannerOptions | None = None) -> QueryPlanner:
         """Build a planner over the current source catalog."""
@@ -144,11 +149,13 @@ class MixedInstance:
 
     def execute(self, query: ConjunctiveMixedQuery | str,
                 options: PlannerOptions | None = None, distinct: bool = True,
-                limit: int | None = None, max_workers: int = 4) -> MixedResult:
+                limit: int | None = None, max_workers: int = 4,
+                digests=None) -> MixedResult:
         """Evaluate a CMQ (object or textual syntax) and return its result."""
         if isinstance(query, str):
             query = self.parse(query)
-        executor = self.executor(options=options, max_workers=max_workers)
+        executor = self.executor(options=options, max_workers=max_workers,
+                                 digests=digests)
         return executor.execute(query, distinct=distinct, limit=limit)
 
     def parse(self, text: str) -> ConjunctiveMixedQuery:

@@ -37,6 +37,33 @@ class PlannerOptions:
     selectivity_ordering: bool = True
     #: Group independent materialize steps into parallel dispatch stages.
     parallel_stages: bool = True
+    #: Ship bind-join bindings in batches (one source call per batch of
+    #: distinct bindings) instead of one call per binding.
+    batch_bind_joins: bool = True
+    #: Bindings per batch; 0 lets the planner pick a size per step from
+    #: the atom's cardinality estimate.
+    bind_batch_size: int = 0
+    #: Probe bindings against the source digests before shipping a batch
+    #: (only effective when the executor is given a digest catalog).
+    digest_sieve: bool = True
+
+
+#: Bounds of the planner-chosen bind-join batch size.
+MIN_BIND_BATCH = 16
+MAX_BIND_BATCH = 1024
+
+
+def auto_batch_size(estimate: float) -> int:
+    """Pick a bind-join batch size from the atom's cardinality estimate.
+
+    Selective sub-queries (small estimated output) batch aggressively —
+    each shipped binding is cheap to answer, so the round-trip saving
+    dominates.  Expensive sub-queries get smaller batches so results
+    start streaming (and populating the bind-join cache) earlier.
+    """
+    if estimate == float("inf"):
+        return 256
+    return min(MAX_BIND_BATCH, max(MIN_BIND_BATCH, 4096 // max(1, int(estimate))))
 
 
 @dataclass
@@ -48,6 +75,10 @@ class PlanStep:
     sources: list[DataSource] = field(default_factory=list)
     dynamic: bool = False
     estimate: float = float("inf")
+    #: Bindings per source call for bind steps (0 = executor default).
+    batch_size: int = 0
+    #: Allow the digest sieve on this step's batches.
+    use_sieve: bool = True
 
     def describe(self) -> str:
         """One-line description used in EXPLAIN output."""
@@ -170,7 +201,6 @@ class QueryPlanner:
         sources, dynamic = self._resolve_sources(atom)
         estimate = self._estimate(atom, bound)
         shares = bool(atom.variables() & bound)
-        needs_bindings = bool(atom.required_parameters() - (set() if not bound else set()))
         has_required = bool(atom.required_parameters())
         if not planned:
             mode = "materialize"
@@ -180,11 +210,12 @@ class QueryPlanner:
             mode = "bind"
         else:
             mode = "materialize"
-        # ``needs_bindings`` retained for clarity: required parameters always
-        # imply a bind join, which the branch above already guarantees.
-        del needs_bindings
+        batch_size = 0
+        if mode == "bind" and options.batch_bind_joins:
+            batch_size = options.bind_batch_size or auto_batch_size(estimate)
         return PlanStep(atom=atom, mode=mode, sources=sources, dynamic=dynamic,
-                        estimate=estimate)
+                        estimate=estimate, batch_size=batch_size,
+                        use_sieve=options.digest_sieve)
 
     def _resolve_sources(self, atom: SourceAtom) -> tuple[list[DataSource], bool]:
         if atom.is_glue():

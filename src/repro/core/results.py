@@ -74,13 +74,19 @@ class MixedResult:
 
 @dataclass
 class SubQueryCall:
-    """One call shipped to a data source during evaluation."""
+    """One call shipped to a data source during evaluation.
+
+    For batched bind joins ``bindings_in`` counts the distinct bindings
+    answered by the call and ``batched`` is True; per-binding calls keep
+    the historical meaning (number of bound variables shipped).
+    """
 
     atom: str
     source_uri: str
     bindings_in: int
     rows_out: int
     seconds: float
+    batched: bool = False
 
 
 @dataclass
@@ -93,10 +99,16 @@ class ExecutionTrace:
     intermediate_sizes: list[int] = field(default_factory=list)
     total_seconds: float = 0.0
     plan_text: str = ""
+    #: Bindings the digest sieve proved matchless (never shipped).
+    sieved_bindings: int = 0
 
     def calls_to(self, source_uri: str) -> int:
         """Number of sub-query calls shipped to ``source_uri``."""
         return sum(1 for call in self.calls if call.source_uri == source_uri)
+
+    def batched_calls(self) -> int:
+        """Number of source calls that carried a binding batch."""
+        return sum(1 for call in self.calls if call.batched)
 
     def total_rows_fetched(self) -> int:
         """Total rows returned by every source call."""
@@ -110,6 +122,8 @@ class ExecutionTrace:
             f"source calls: {len(self.calls)}, rows fetched: {self.total_rows_fetched()}",
             f"total time: {self.total_seconds * 1000:.1f} ms",
         ]
+        if self.sieved_bindings:
+            lines.insert(3, f"digest sieve dropped {self.sieved_bindings} binding(s)")
         return "\n".join(lines)
 
 

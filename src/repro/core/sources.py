@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import re
 import string
+from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Optional, Sequence
 
 from repro.errors import MixedQueryError
 from repro.fulltext.store import FullTextStore
@@ -207,6 +208,18 @@ class DataSource:
         """Evaluate ``query`` with the given bindings and return rows."""
         raise NotImplementedError
 
+    def execute_batch(self, query: SourceQuery,
+                      bindings_batch: Sequence[Row]) -> list[list[Row]]:
+        """Answer a whole batch of bindings in one mediator call.
+
+        Returns one row list per input binding, in order; entry ``i``
+        must equal ``self.execute(query, bindings_batch[i])``.  Wrappers
+        override this with native IN-list / disjunctive pushdown where
+        the source language allows it; this base implementation is the
+        per-binding fallback for sources that cannot batch.
+        """
+        return [self.execute(query, bindings) for bindings in bindings_batch]
+
     def estimate(self, query: SourceQuery, bound_variables: set[str] | None = None) -> float:
         """Estimated number of rows the sub-query would return."""
         raise NotImplementedError
@@ -261,6 +274,60 @@ class RDFSource(DataSource):
             rows.append({v.name: _to_python(t) for v, t in result.items()})
         return rows
 
+    def execute_batch(self, query: SourceQuery,
+                      bindings_batch: Sequence[Row]) -> list[list[Row]]:
+        """Batched BGP evaluation: one graph pass serves every binding.
+
+        The BGP is evaluated once *without* bindings and its solutions
+        bucketed (at the RDF-term level, so URI/literal distinctions are
+        preserved) by the variables the batch binds; each binding is then
+        answered from its bucket instead of re-evaluating the BGP.
+        """
+        if not isinstance(query, RDFQuery):
+            raise MixedQueryError(f"RDF source {self.uri} cannot evaluate {type(query).__name__}")
+        batch = [dict(b or {}) for b in bindings_batch]
+        if len(batch) <= 1:
+            return [self.execute(query, b) for b in batch]
+        graph = self._effective_graph()
+        var_by_name = {v.name: v for v in query.bgp.variables()}
+        projected = {v.name for v in query.bgp.output_variables()}
+        groups: dict[frozenset, list[int]] = {}
+        for index, bindings in enumerate(batch):
+            bound = frozenset(name for name in bindings if name in var_by_name)
+            groups.setdefault(bound, []).append(index)
+        results: list[list[Row]] = [[] for _ in batch]
+        solutions: list | None = None
+        for bound, indices in groups.items():
+            if not bound:
+                rows = self.execute(query, {})
+                for index in indices:
+                    results[index] = [dict(r) for r in rows]
+                continue
+            if not bound <= projected:
+                # A binding on a projected-out body variable cannot be
+                # bucketed from the (projected) solutions: evaluate those
+                # bindings directly.
+                for index in indices:
+                    results[index] = self.execute(query, batch[index])
+                continue
+            if len(indices) == 1 and solutions is None:
+                # A lone binding shape: a direct bound evaluation is
+                # cheaper than materialising every BGP solution.
+                results[indices[0]] = self.execute(query, batch[indices[0]])
+                continue
+            if solutions is None:
+                solutions = evaluate_bgp(query.bgp, graph)
+            order = sorted(bound)
+            variables = [var_by_name[name] for name in order]
+            buckets: dict[tuple, list] = defaultdict(list)
+            for solution in solutions:
+                buckets[tuple(solution.get(v) for v in variables)].append(solution)
+            for index in indices:
+                key = tuple(_to_rdf_term(batch[index][name]) for name in order)
+                results[index] = [{v.name: _to_python(t) for v, t in solution.items()}
+                                  for solution in buckets.get(key, ())]
+        return results
+
     def estimate(self, query: SourceQuery, bound_variables: set[str] | None = None) -> float:
         if not isinstance(query, RDFQuery):
             return float("inf")
@@ -297,11 +364,85 @@ class RelationalSource(DataSource):
         result = self.database.execute(sql)
         rows = [dict(zip(result.columns, row)) for row in result.rows]
         # Post-filter on bindings over output columns the SQL did not consume.
-        filters = {k: v for k, v in bindings.items()
-                   if k in query.output_variables() and k not in query.required_parameters()}
+        filters = self._post_filters(query, bindings)
         if filters:
-            rows = [r for r in rows if all(r.get(k) == v for k, v in filters.items())]
+            rows = [r for r in rows if all(r.get(k) == v for k, v in filters)]
         return rows
+
+    def execute_batch(self, query: SourceQuery,
+                      bindings_batch: Sequence[Row]) -> list[list[Row]]:
+        """Batched SQL evaluation with native IN-list pushdown.
+
+        Three strategies, by decreasing preference:
+
+        * no placeholders — run the statement once and partition its rows
+          per binding with the usual post-filters;
+        * every ``{var}`` placeholder occurs exactly once as ``col = {var}``
+          and ``col`` is echoed in the SELECT list — rewrite each equality
+          to ``col IN (v1, ..., vk)``, run once, and attribute rows to
+          bindings through the echoed column;
+        * otherwise — run one statement per *distinct* filled text (still
+          a single mediator call).
+        """
+        if not isinstance(query, SQLQuery):
+            raise MixedQueryError(
+                f"relational source {self.uri} cannot evaluate {type(query).__name__}"
+            )
+        batch = [dict(b or {}) for b in bindings_batch]
+        if len(batch) <= 1:
+            return [self.execute(query, b) for b in batch]
+        required = query.required_parameters()
+        if not required:
+            rows = self._run(query.sql)
+            return _partition_exact(rows, [self._post_filters(query, b) for b in batch])
+
+        eq_columns = _equality_placeholder_columns(query.sql)
+        echoes = {var: _select_item_output(query.sql, ident)
+                  for var, ident in eq_columns.items()}
+        rewritable = (set(eq_columns) == required
+                      and all(echoes.get(var) for var in required)
+                      and not _SQL_BATCH_UNSAFE_RE.search(query.sql)
+                      and all(var in b and b[var] is not None and _scalar(b[var])
+                              for b in batch for var in required))
+        if rewritable:
+            sql = query.sql
+            for var, ident in eq_columns.items():
+                literals = sorted({_sql_literal(b[var]) for b in batch})
+                clause = f"{ident} IN ({', '.join(literals)})"
+                pattern = re.compile(re.escape(ident) + r"\s*=\s*\{" + re.escape(var) + r"\}")
+                sql = pattern.sub(lambda _match: clause, sql, count=1)
+            rows = self._run(sql)
+            specs = []
+            for b in batch:
+                spec = self._post_filters(query, b)
+                spec.extend((echoes[var], b[var]) for var in required)
+                specs.append(spec)
+            return _partition_exact(rows, specs)
+
+        # Fallback: one execution per distinct filled statement.
+        by_sql: dict[str, list[int]] = {}
+        for index, b in enumerate(batch):
+            filled = _fill_placeholders(query.sql, b, quote=_sql_literal)
+            by_sql.setdefault(filled, []).append(index)
+        results: list[list[Row]] = [[] for _ in batch]
+        for filled, indices in by_sql.items():
+            rows = self._run(filled)
+            parts = _partition_exact(rows, [self._post_filters(query, batch[i])
+                                            for i in indices])
+            for index, part in zip(indices, parts):
+                results[index] = part
+        return results
+
+    def _run(self, sql: str) -> list[Row]:
+        result = self.database.execute(sql)
+        return [dict(zip(result.columns, row)) for row in result.rows]
+
+    @staticmethod
+    def _post_filters(query: SQLQuery, bindings: Row) -> list[tuple[str, object]]:
+        outputs = query.output_variables()
+        required = query.required_parameters()
+        return [(k, v) for k, v in bindings.items()
+                if k in outputs and k not in required]
 
     def estimate(self, query: SourceQuery, bound_variables: set[str] | None = None) -> float:
         if not isinstance(query, SQLQuery):
@@ -342,7 +483,92 @@ class FullTextSource(DataSource):
         bindings = bindings or {}
         text = _fill_placeholders(query.query_template, bindings, quote=_fulltext_literal)
         result = self.store.search(text, limit=query.limit, sort_by=query.sort_by)
+        rows = self._hit_rows(result, query.fields())
+        # Post-filter on bindings over output variables (exact, lowercase-insensitive
+        # for strings, mirroring keyword-field behaviour).
+        filters = self._post_filters(query, bindings)
+        if filters:
+            rows = [r for r in rows if all(_loose_equal(r.get(k), v) for k, v in filters)]
+        return rows
+
+    def execute_batch(self, query: SourceQuery,
+                      bindings_batch: Sequence[Row]) -> list[list[Row]]:
+        """Batched full-text evaluation with native disjunctive pushdown.
+
+        Without placeholders the (identical) search runs once and its
+        hits are partitioned per binding.  When every placeholder occurs
+        exactly once as a ``path:{var}`` clause over an echoed *keyword*
+        field, the filled clauses of the whole batch are OR-ed into one
+        disjunctive query — a single index round trip — and hits are
+        attributed back through the echoed field.  Anything else falls
+        back to one search per distinct filled query text.
+        """
+        if not isinstance(query, FullTextQuery):
+            raise MixedQueryError(
+                f"full-text source {self.uri} cannot evaluate {type(query).__name__}"
+            )
+        batch = [dict(b or {}) for b in bindings_batch]
+        if len(batch) <= 1:
+            return [self.execute(query, b) for b in batch]
         fields = query.fields()
+        required = query.required_parameters()
+        if not required:
+            result = self.store.search(query.query_template, limit=query.limit,
+                                       sort_by=query.sort_by)
+            rows = self._hit_rows(result, fields)
+            return _partition_loose(rows, [self._post_filters(query, b) for b in batch])
+
+        clause_fields = _clause_placeholder_fields(query.query_template)
+        echoes = {var: _echo_variable(fields, path)
+                  for var, path in clause_fields.items()}
+        disjunctive = (query.limit is None
+                       # The OR of the filled clauses repeats the template's
+                       # constant text terms once per branch, which inflates
+                       # BM25 — only the row *sets* survive that, not scores.
+                       and "_score" not in fields.values()
+                       and set(clause_fields) == required
+                       and all(echoes.get(var) for var in required)
+                       and all(self._is_keyword_field(path)
+                               for path in clause_fields.values())
+                       and all(var in b and _disjunctable_value(b[var])
+                               for b in batch for var in required))
+        if disjunctive:
+            texts: list[str] = []
+            seen: set[str] = set()
+            for b in batch:
+                filled = _fill_placeholders(query.query_template, b,
+                                            quote=_fulltext_literal)
+                if filled not in seen:
+                    seen.add(filled)
+                    texts.append(filled)
+            combined = " OR ".join(f"({text})" for text in texts) if len(texts) > 1 \
+                else texts[0]
+            result = self.store.search(combined, limit=None, sort_by=query.sort_by)
+            rows = self._hit_rows(result, fields)
+            specs = []
+            for b in batch:
+                spec = self._post_filters(query, b)
+                spec.extend((echoes[var], b[var]) for var in required)
+                specs.append(spec)
+            return _partition_loose(rows, specs)
+
+        # Fallback: one search per distinct filled query text.
+        by_text: dict[str, list[int]] = {}
+        for index, b in enumerate(batch):
+            filled = _fill_placeholders(query.query_template, b, quote=_fulltext_literal)
+            by_text.setdefault(filled, []).append(index)
+        results: list[list[Row]] = [[] for _ in batch]
+        for filled, indices in by_text.items():
+            result = self.store.search(filled, limit=query.limit, sort_by=query.sort_by)
+            rows = self._hit_rows(result, fields)
+            parts = _partition_loose(rows, [self._post_filters(query, batch[i])
+                                            for i in indices])
+            for index, part in zip(indices, parts):
+                results[index] = part
+        return results
+
+    @staticmethod
+    def _hit_rows(result, fields: dict[str, str]) -> list[Row]:
         rows: list[Row] = []
         for hit in result.hits:
             row: Row = {}
@@ -352,13 +578,18 @@ class FullTextSource(DataSource):
                 else:
                     row[variable] = _scalarize(hit.get(path))
             rows.append(row)
-        # Post-filter on bindings over output variables (exact, lowercase-insensitive
-        # for strings, mirroring keyword-field behaviour).
-        filters = {k: v for k, v in bindings.items()
-                   if k in query.output_variables() and k not in query.required_parameters()}
-        if filters:
-            rows = [r for r in rows if all(_loose_equal(r.get(k), v) for k, v in filters.items())]
         return rows
+
+    @staticmethod
+    def _post_filters(query: FullTextQuery, bindings: Row) -> list[tuple[str, object]]:
+        outputs = query.output_variables()
+        required = query.required_parameters()
+        return [(k, v) for k, v in bindings.items()
+                if k in outputs and k not in required]
+
+    def _is_keyword_field(self, path: str) -> bool:
+        config = self.store.field_config(path)
+        return config is not None and config.field_type == "keyword"
 
     def estimate(self, query: SourceQuery, bound_variables: set[str] | None = None) -> float:
         if not isinstance(query, FullTextQuery):
@@ -399,7 +630,18 @@ class JSONSource(DataSource):
             raise MixedQueryError(
                 f"JSON source {self.uri} cannot evaluate {type(query).__name__}"
             )
-        bindings = bindings or {}
+        parameters, pushdown = self._split_bindings(query, bindings or {})
+        return self.matcher.match(query.pattern, parameters=parameters,
+                                  pushdown=pushdown, limit=query.limit)
+
+    @staticmethod
+    def _split_bindings(query: JSONQuery, bindings: Row) -> tuple[Row, Row]:
+        """Split bindings into pattern parameters and index pushdowns.
+
+        Bindings on plain output variables become index-backed equality
+        pushdowns (matching rows are aligned to the incoming value, so
+        the mediator's exact-equality joins accept them).
+        """
         parameters: Row = {}
         for name in query.required_parameters():
             if name not in bindings:
@@ -408,14 +650,28 @@ class JSONSource(DataSource):
                     "must be produced by an earlier sub-query or a constant"
                 )
             parameters[name] = bindings[name]
-        # Bindings on plain output variables become index-backed equality
-        # pushdowns (matching rows are aligned to the incoming value, so
-        # the mediator's exact-equality joins accept them).
         pushdown = {variable: value for variable, value in bindings.items()
                     if variable in query.output_variables()
                     and variable not in parameters}
-        return self.matcher.match(query.pattern, parameters=parameters,
-                                  pushdown=pushdown, limit=query.limit)
+        return parameters, pushdown
+
+    def execute_batch(self, query: SourceQuery,
+                      bindings_batch: Sequence[Row]) -> list[list[Row]]:
+        """Batched tree-pattern evaluation.
+
+        The candidate set of the pattern's constant predicates is
+        computed once (:meth:`TreePatternMatcher.match_batch`); each
+        binding only adds its own per-path index lookups on top.
+        """
+        if not isinstance(query, JSONQuery):
+            raise MixedQueryError(
+                f"JSON source {self.uri} cannot evaluate {type(query).__name__}"
+            )
+        batch = [dict(b or {}) for b in bindings_batch]
+        if len(batch) <= 1:
+            return [self.execute(query, b) for b in batch]
+        calls = [self._split_bindings(query, bindings) for bindings in batch]
+        return self.matcher.match_batch(query.pattern, calls, limit=query.limit)
 
     def estimate(self, query: SourceQuery, bound_variables: set[str] | None = None) -> float:
         if not isinstance(query, JSONQuery):
@@ -571,3 +827,222 @@ def _split_top_level(text: str) -> list[str]:
 
 def _referenced_tables(sql: str) -> list[str]:
     return re.findall(r"\b(?:from|join)\s+([A-Za-z_][\w]*)", sql, re.IGNORECASE)
+
+
+# ---------------------------------------------------------------------------
+# Batch execution helpers
+# ---------------------------------------------------------------------------
+
+_IDENT_RE = r"[A-Za-z_][\w]*(?:\.[A-Za-z_][\w]*)?"
+
+_DISJUNCTABLE_RE = re.compile(r"[\w.\-@#]+\Z")
+
+#: Constructs whose result over an IN-list differs from the union of the
+#: per-binding results (a shared LIMIT, cross-binding groups/aggregates).
+_SQL_BATCH_UNSAFE_RE = re.compile(
+    r"\blimit\b|\bgroup\s+by\b|\bhaving\b|\b(?:count|sum|avg|min|max)\s*\(",
+    re.IGNORECASE,
+)
+
+
+def _scalar(value: object) -> bool:
+    """True for values whose dict-key semantics match ``==`` filtering."""
+    return value is None or isinstance(value, (str, int, float, bool))
+
+
+_BOOLEAN_CONTEXT_RE = re.compile(r"\b(?:or|not)\b", re.IGNORECASE)
+
+
+def _equality_placeholder_columns(sql: str) -> dict[str, str]:
+    """Placeholders usable for IN-list rewriting: var -> compared column.
+
+    A placeholder qualifies when its *only* occurrence in the statement
+    is of the form ``col = {var}`` (``col`` possibly table-qualified)
+    sitting in a purely conjunctive context: any ``OR``/``NOT`` in the
+    statement disables the rewrite, since an equality under them is not
+    a necessary condition on the result rows.
+    """
+    if _BOOLEAN_CONTEXT_RE.search(sql):
+        return {}
+    mapping: dict[str, str] = {}
+    for var in set(_PLACEHOLDER_RE.findall(sql)):
+        occurrences = re.findall(r"\{" + re.escape(var) + r"\}", sql)
+        equalities = re.findall(r"(" + _IDENT_RE + r")\s*=\s*\{" + re.escape(var) + r"\}",
+                                sql)
+        if len(occurrences) == 1 and len(equalities) == 1:
+            mapping[var] = equalities[0]
+    return mapping
+
+
+def _plain_select_items(sql: str) -> list[tuple[str, str]]:
+    """``(column expression, output name)`` for *plain* SELECT-list items.
+
+    Only bare columns (``col`` / ``t.col``, optionally aliased) qualify —
+    expressions could transform the value, which would break both row
+    attribution in batched execution and digest-sieve position mapping.
+    """
+    match = re.search(r"select\s+(distinct\s+)?(.*?)\s+from\s", sql,
+                      re.IGNORECASE | re.DOTALL)
+    if not match:
+        return []
+    items: list[tuple[str, str]] = []
+    for item in _split_top_level(match.group(2)):
+        item = item.strip()
+        alias_match = re.fullmatch(r"(" + _IDENT_RE + r")\s+as\s+([A-Za-z_][\w]*)",
+                                   item, re.IGNORECASE)
+        if alias_match:
+            items.append((alias_match.group(1).strip(), alias_match.group(2)))
+        elif re.fullmatch(_IDENT_RE, item):
+            items.append((item, item.split(".")[-1]))
+    return items
+
+
+def _select_item_output(sql: str, ident: str) -> str | None:
+    """Output column name echoing ``ident``, if the SELECT list has one."""
+    target = ident.strip().lower()
+    for expression, output in _plain_select_items(sql):
+        if expression.lower() == target:
+            return output
+    return None
+
+
+def _clause_placeholder_fields(template: str) -> dict[str, str]:
+    """Placeholders usable for disjunctive rewriting: var -> field path.
+
+    A placeholder qualifies when its only occurrence in the full-text
+    template is a ``path:{var}`` clause in a purely conjunctive query
+    (any ``OR``/``NOT`` operator disables the rewrite: under them the
+    clause is not a necessary condition on the hits).
+    """
+    if _BOOLEAN_CONTEXT_RE.search(template):
+        return {}
+    mapping: dict[str, str] = {}
+    for var in set(_PLACEHOLDER_RE.findall(template)):
+        occurrences = re.findall(r"\{" + re.escape(var) + r"\}", template)
+        clauses = re.findall(r"([\w.]+):\{" + re.escape(var) + r"\}", template)
+        if len(occurrences) == 1 and len(clauses) == 1:
+            mapping[var] = clauses[0]
+    return mapping
+
+
+def _echo_variable(fields: dict[str, str], path: str) -> str | None:
+    """The output variable bound to document ``path``, if any."""
+    for variable, field_path in fields.items():
+        if field_path == path:
+            return variable
+    return None
+
+
+def _disjunctable_value(value: object) -> bool:
+    """True when a binding value can be inlined into an OR-ed query text."""
+    if isinstance(value, bool) or not isinstance(value, str):
+        return False
+    if value.upper() in ("AND", "OR", "NOT", "TO"):
+        return False
+    return bool(_DISJUNCTABLE_RE.fullmatch(value))
+
+
+def _partition_exact(rows: list[Row],
+                     specs: list[list[tuple[str, object]]]) -> list[list[Row]]:
+    """Distribute ``rows`` to one result list per ``(column, value)`` spec.
+
+    Matching uses plain ``==`` (the relational post-filter semantics);
+    a hash index per distinct column tuple avoids rescanning the rows
+    for every binding.
+    """
+    results: list[list[Row]] = []
+    indexes: dict[tuple[str, ...], dict | None] = {}
+    for spec in specs:
+        if not spec:
+            results.append([dict(r) for r in rows])
+            continue
+        columns = tuple(c for c, _ in spec)
+        if columns not in indexes:
+            index: dict | None = {}
+            for r in rows:
+                key = tuple(r.get(c) for c in columns)
+                if not all(_scalar(v) for v in key):
+                    index = None
+                    break
+                index.setdefault(key, []).append(r)
+            indexes[columns] = index
+        index = indexes[columns]
+        wanted = tuple(v for _, v in spec)
+        if index is not None and all(_scalar(v) for v in wanted):
+            matched = index.get(wanted, ())
+        else:
+            matched = [r for r in rows if all(r.get(c) == v for c, v in spec)]
+        results.append([dict(r) for r in matched])
+    return results
+
+
+def _partition_loose(rows: list[Row],
+                     specs: list[list[tuple[str, object]]]) -> list[list[Row]]:
+    """Distribute ``rows`` per spec under :func:`_loose_equal` semantics.
+
+    Candidate rows come from a hash index over the first filter column
+    (string values indexed lowercased, multi-valued tuples fanned out);
+    every candidate is re-verified with ``_loose_equal``, so the result
+    is exact.
+    """
+    results: list[list[Row]] = []
+    indexes: dict[str, tuple[dict, list[int]]] = {}
+    for spec in specs:
+        if not spec:
+            results.append([dict(r) for r in rows])
+            continue
+        first_column = spec[0][0]
+        if first_column not in indexes:
+            buckets: dict = {}
+            linear: list[int] = []
+            for i, r in enumerate(rows):
+                value = r.get(first_column)
+                keys = _loose_keys(value)
+                if keys is None:
+                    linear.append(i)
+                    continue
+                for key in keys:
+                    buckets.setdefault(key, []).append(i)
+            indexes[first_column] = (buckets, linear)
+        buckets, linear = indexes[first_column]
+        wanted = spec[0][1]
+        lookup = _loose_keys(wanted)
+        if lookup is None:
+            candidate_ids = range(len(rows))
+        else:
+            seen: set[int] = set()
+            candidate_ids = []
+            for key in lookup:
+                for i in buckets.get(key, ()):
+                    if i not in seen:
+                        seen.add(i)
+                        candidate_ids.append(i)
+            candidate_ids.extend(i for i in linear if i not in seen)
+            candidate_ids.sort()
+        matched = [rows[i] for i in candidate_ids
+                   if all(_loose_equal(rows[i].get(c), v) for c, v in spec)]
+        results.append([dict(r) for r in matched])
+    return results
+
+
+def _loose_keys(value: object) -> list | None:
+    """Hash keys under which a value is found by ``_loose_equal``.
+
+    Returns ``None`` when the value cannot be indexed (unhashable) and
+    must be matched linearly.
+    """
+    keys: list = []
+    try:
+        hash(value)
+    except TypeError:
+        return None
+    keys.append(value)
+    if isinstance(value, str):
+        keys.append(value.lower())
+    elif isinstance(value, tuple):
+        for item in value:
+            item_keys = _loose_keys(item)
+            if item_keys is None:
+                return None
+            keys.extend(item_keys)
+    return keys

@@ -2,12 +2,22 @@
 
 The Python counterpart of the paper's "in-house iterator-based execution
 engine (Java, approx. 10K lines)": Volcano-style operators over binding
-tuples plus a parallel dispatcher for independent sub-plans.
+tuples plus a parallel dispatcher for independent sub-plans.  The hot
+path exchanges columnar :class:`BindingBatch` objects between operators;
+dict rows only materialise at the interface boundary.
 """
 
+from repro.engine.batch import (
+    DEFAULT_BATCH_SIZE,
+    BatchAccumulator,
+    BindingBatch,
+    batches_from_rows,
+    merge_spec,
+)
 from repro.engine.iterators import (
     Aggregate,
     AggregateSpec,
+    BatchBindJoin,
     BindJoin,
     CallbackScan,
     Distinct,
@@ -29,8 +39,12 @@ from repro.engine.parallel import ParallelStats, run_parallel, run_tasks
 __all__ = [
     "Aggregate",
     "AggregateSpec",
+    "BatchAccumulator",
+    "BatchBindJoin",
     "BindJoin",
+    "BindingBatch",
     "CallbackScan",
+    "DEFAULT_BATCH_SIZE",
     "Distinct",
     "Extend",
     "HashJoin",
@@ -44,6 +58,8 @@ __all__ = [
     "Select",
     "Sort",
     "Union",
+    "batches_from_rows",
+    "merge_spec",
     "ParallelStats",
     "run_parallel",
     "run_tasks",

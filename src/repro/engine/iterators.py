@@ -6,14 +6,28 @@ This module is that engine: every operator consumes and produces *binding
 tuples* (dictionaries mapping variable names to values), so the same
 operators serve RDF bindings, relational rows and full-text hits once the
 source wrappers have normalised them.
+
+Internally the hot path is *batch-oriented*: operators exchange
+:class:`~repro.engine.batch.BindingBatch` objects (shared column header +
+tuple rows) through :meth:`Operator.batches`, and only materialise dict
+rows at the per-row interface boundary.  An operator implements either
+``_produce`` (row at a time) or ``_produce_batches`` (batch at a time);
+the base class derives the missing one.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.engine.batch import (
+    DEFAULT_BATCH_SIZE,
+    BatchAccumulator,
+    BindingBatch,
+    batches_from_rows,
+    merge_spec,
+)
 from repro.errors import MixedQueryError
 
 #: A binding tuple: variable name -> value.
@@ -29,7 +43,13 @@ class OperatorStats:
 
 
 class Operator:
-    """Base class of every iterator operator."""
+    """Base class of every iterator operator.
+
+    Subclasses override ``_produce`` (yield dict rows) or
+    ``_produce_batches`` (yield :class:`BindingBatch` objects); each
+    default implementation is derived from the other, so batch-native and
+    row-native operators compose freely.
+    """
 
     def __init__(self, name: str | None = None):
         self.name = name or type(self).__name__
@@ -41,11 +61,25 @@ class Operator:
             yield row
 
     def _produce(self) -> Iterator[Row]:
-        raise NotImplementedError
+        for batch in self._produce_batches():
+            yield from batch.dicts()
+
+    def _produce_batches(self) -> Iterator[BindingBatch]:
+        yield from batches_from_rows(self._produce(), DEFAULT_BATCH_SIZE)
+
+    def batches(self) -> Iterator[BindingBatch]:
+        """Evaluate the operator batch-wise (the engine's hot path)."""
+        for batch in self._produce_batches():
+            self.stats.produced += len(batch)
+            yield batch
 
     def rows(self) -> list[Row]:
         """Fully evaluate the operator and return its output as a list."""
         return list(self)
+
+    def estimated_size(self) -> int | None:
+        """Known output row count, or ``None`` when it cannot be told cheaply."""
+        return None
 
     def explain(self, indent: int = 0) -> str:
         """Return an indented textual plan rooted at this operator."""
@@ -64,18 +98,26 @@ class Operator:
 
 
 class MaterializedScan(Operator):
-    """Leaf operator over an already materialised list of rows."""
+    """Leaf operator over an already materialised list of rows.
+
+    Rows are converted to columnar batches once at construction; every
+    iteration re-materialises fresh dicts, so callers may mutate the
+    output without corrupting the scan.
+    """
 
     def __init__(self, rows: Iterable[Row], name: str = "scan"):
         super().__init__(name)
-        self._rows = list(rows)
+        self._batches = list(batches_from_rows(iter(rows), DEFAULT_BATCH_SIZE))
+        self._count = sum(len(b) for b in self._batches)
 
-    def _produce(self) -> Iterator[Row]:
-        for row in self._rows:
-            yield dict(row)
+    def _produce_batches(self) -> Iterator[BindingBatch]:
+        yield from self._batches
+
+    def estimated_size(self) -> int:
+        return self._count
 
     def describe(self) -> str:
-        return f"{self.name}({len(self._rows)} rows)"
+        return f"{self.name}({self._count} rows)"
 
 
 class CallbackScan(Operator):
@@ -122,13 +164,15 @@ class Project(Operator):
         self.columns = list(columns)
         self.renames = renames or {}
 
-    def _produce(self) -> Iterator[Row]:
-        for row in self.child:
-            self.stats.consumed += 1
-            out: Row = {}
-            for column in self.columns:
-                out[self.renames.get(column, column)] = row.get(column)
-            yield out
+    def _produce_batches(self) -> Iterator[BindingBatch]:
+        out_columns = tuple(self.renames.get(c, c) for c in self.columns)
+        for batch in self.child.batches():
+            self.stats.consumed += len(batch)
+            project = batch.projector(self.columns)
+            yield BindingBatch(out_columns, [project(row) for row in batch.rows])
+
+    def estimated_size(self) -> int | None:
+        return self.child.estimated_size()
 
     def describe(self) -> str:
         return f"{self.name}({', '.join(self.columns)})"
@@ -182,7 +226,15 @@ class NestedLoopJoin(Operator):
 
 
 class HashJoin(Operator):
-    """Equi-join on the variables shared by both inputs (natural join)."""
+    """Equi-join on the variables shared by both inputs (natural join).
+
+    The hash table is built on the side whose size hint is smaller (the
+    right side when the hints cannot tell) and the other side is
+    *streamed* batch-wise against it with explicit ``keys``.  When
+    ``keys`` is not given they are inferred from the variables present
+    on both sides, which requires collecting the probe side's batches
+    first (still columnar — no per-row dict materialisation).
+    """
 
     def __init__(self, left: Operator, right: Operator, keys: Sequence[str] | None = None,
                  name: str = "hashjoin"):
@@ -191,27 +243,97 @@ class HashJoin(Operator):
         self.right = right
         self.keys = list(keys) if keys is not None else None
 
-    def _produce(self) -> Iterator[Row]:
-        right_rows = self.right.rows()
-        left_rows = self.left.rows()
+    def _produce_batches(self) -> Iterator[BindingBatch]:
+        left_size = self.left.estimated_size()
+        right_size = self.right.estimated_size()
+        build_is_left = (left_size is not None and right_size is not None
+                         and left_size < right_size)
+        build_op, probe_op = (self.left, self.right) if build_is_left \
+            else (self.right, self.left)
+
+        build_batches = list(build_op.batches())
+        probe_batches = probe_op.batches()
+
         keys = self.keys
+        collected: list[BindingBatch] | None = None
         if keys is None:
-            left_vars = set().union(*(set(r) for r in left_rows)) if left_rows else set()
-            right_vars = set().union(*(set(r) for r in right_rows)) if right_rows else set()
-            keys = sorted(left_vars & right_vars)
+            # Natural join: the keys are the variables present on *any*
+            # row of both sides, so every probe header must be known
+            # before bucketing — collect the probe batches.
+            collected = list(probe_batches)
+            build_vars: set[str] = set()
+            for batch in build_batches:
+                build_vars.update(batch.columns)
+            probe_vars: set[str] = set()
+            for batch in collected:
+                probe_vars.update(batch.columns)
+            keys = sorted(build_vars & probe_vars)
+
+        def probe_stream() -> Iterator[BindingBatch]:
+            if collected is not None:
+                yield from collected
+            else:
+                yield from probe_batches
+
+        out = BatchAccumulator(DEFAULT_BATCH_SIZE)
         if not keys:
             # Degenerate to a cross product.
-            for left_row in left_rows:
-                for right_row in right_rows:
-                    yield {**left_row, **right_row}
+            for probe_batch in probe_stream():
+                self.stats.consumed += len(probe_batch)
+                for build_batch in build_batches:
+                    yield from self._cross(probe_batch, build_batch, build_is_left, out)
+            yield from out.flush()
             return
-        buckets: dict[tuple, list[Row]] = defaultdict(list)
-        for right_row in right_rows:
-            buckets[tuple(right_row.get(k) for k in keys)].append(right_row)
-        for left_row in left_rows:
-            self.stats.consumed += 1
-            for right_row in buckets.get(tuple(left_row.get(k) for k in keys), ()):
-                yield {**left_row, **right_row}
+
+        # Build phase: bucket the build side by its key tuple.
+        buckets: dict[tuple, list[tuple[tuple[str, ...], tuple]]] = defaultdict(list)
+        for batch in build_batches:
+            key_of = batch.projector(keys)
+            for row in batch.rows:
+                buckets[key_of(row)].append((batch.columns, row))
+
+        # Probe phase: stream the other side against the table.
+        merged: dict[tuple, tuple] = {}
+        for probe_batch in probe_stream():
+            self.stats.consumed += len(probe_batch)
+            key_of = probe_batch.projector(keys)
+            for probe_row in probe_batch.rows:
+                matches = buckets.get(key_of(probe_row))
+                if not matches:
+                    continue
+                for build_columns, build_row in matches:
+                    spec = merged.get((probe_batch.columns, build_columns))
+                    if spec is None:
+                        spec = self._spec(probe_batch.columns, build_columns, build_is_left)
+                        merged[(probe_batch.columns, build_columns)] = spec
+                    out_columns, picks = spec
+                    if build_is_left:
+                        pair = (build_row, probe_row)
+                    else:
+                        pair = (probe_row, build_row)
+                    row = tuple(pair[1][i] if take_right else pair[0][i]
+                                for take_right, i in picks)
+                    yield from out.add(out_columns, row)
+        yield from out.flush()
+
+    def _spec(self, probe_columns: tuple[str, ...], build_columns: tuple[str, ...],
+              build_is_left: bool):
+        # Merged rows must behave like {**left_row, **right_row} with the
+        # operator's original left/right orientation.
+        if build_is_left:
+            return merge_spec(build_columns, probe_columns)
+        return merge_spec(probe_columns, build_columns)
+
+    def _cross(self, probe_batch: BindingBatch, build_batch: BindingBatch,
+               build_is_left: bool, out: BatchAccumulator) -> Iterator[BindingBatch]:
+        out_columns, picks = self._spec(probe_batch.columns, build_batch.columns,
+                                        build_is_left)
+        for probe_row in probe_batch.rows:
+            for build_row in build_batch.rows:
+                pair = (build_row, probe_row) if build_is_left else (probe_row, build_row)
+                row = tuple(pair[1][i] if take_right else pair[0][i]
+                            for take_right, i in picks)
+                yield from out.add(out_columns, row)
 
     def describe(self) -> str:
         keys = self.keys if self.keys is not None else "natural"
@@ -240,14 +362,17 @@ class BindJoin(Operator):
         self.deduplicate_calls = deduplicate_calls
         self.call_key = call_key
         self.calls = 0
+        self._key_orders: dict[frozenset, tuple[str, ...]] = {}
+
+    def _default_key(self, row: Row) -> tuple:
+        return _schema_call_key(row, self._key_orders)
 
     def _produce(self) -> Iterator[Row]:
         cache: dict[tuple, list[Row]] = {}
+        key_of = self.call_key or self._default_key
         for left_row in self.left:
             self.stats.consumed += 1
-            key = self.call_key(left_row) if self.call_key else tuple(sorted(
-                (k, _hashable(v)) for k, v in left_row.items()
-            ))
+            key = key_of(left_row)
             if self.deduplicate_calls and key in cache:
                 fetched = cache[key]
             else:
@@ -263,21 +388,132 @@ class BindJoin(Operator):
         return (self.left,)
 
 
+class BatchBindJoin(Operator):
+    """Dependent join shipping *batches* of distinct bindings to a source.
+
+    Instead of one sub-query call per distinct left binding (the classic
+    mediator bottleneck), left rows are consumed batch-wise, their
+    distinct call keys collected into groups of ``batch_size``, and one
+    ``fetch_batch`` call answers the whole group — the source wrapper
+    turns it into a native IN-list / disjunctive pushdown when it can.
+
+    ``sieve`` is an optional semi-join filter (typically backed by the
+    source's digest value sets): bindings it rejects are proven to have
+    no match at the source and are never shipped.  ``fetch_batch``
+    receives a list of binding dicts and must return one row list per
+    binding, in order.
+    """
+
+    def __init__(self, left: Operator, fetch_batch: Callable[[list[Row]], list[list[Row]]],
+                 call_key: Callable[[Row], tuple] | None = None,
+                 binding_of: Callable[[Row], Row] | None = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 sieve: Callable[[Row], bool] | None = None,
+                 name: str = "batchbind"):
+        super().__init__(name)
+        self.left = left
+        self.fetch_batch = fetch_batch
+        self.call_key = call_key
+        self.binding_of = binding_of
+        self.batch_size = max(1, batch_size)
+        self.sieve = sieve
+        self.calls = 0
+        self.bindings_shipped = 0
+        self.sieved_out = 0
+        self._key_orders: dict[frozenset, tuple[str, ...]] = {}
+
+    def _default_key(self, row: Row) -> tuple:
+        return _schema_call_key(row, self._key_orders)
+
+    def _produce(self) -> Iterator[Row]:
+        cache: dict[tuple, list[Row]] = {}
+        pending: list[tuple[Row, tuple]] = []
+        queued: dict[tuple, Row] = {}
+        key_of = self.call_key or self._default_key
+        binding_of = self.binding_of or (lambda row: dict(row))
+        for batch in self.left.batches():
+            self.stats.consumed += len(batch)
+            for left_row in batch.dicts():
+                key = key_of(left_row)
+                if key in cache and not pending:
+                    # Answer already known and nothing queued ahead of this
+                    # row: stream it out immediately, preserving order.
+                    yield from self._join(left_row, cache[key])
+                    continue
+                pending.append((left_row, key))
+                if key not in cache and key not in queued:
+                    queued[key] = binding_of(left_row)
+                if len(queued) >= self.batch_size:
+                    self._flush(queued, cache)
+                    queued = {}
+                    yield from self._drain(pending, cache)
+                    pending = []
+        if queued:
+            self._flush(queued, cache)
+        yield from self._drain(pending, cache)
+
+    # ------------------------------------------------------------------
+    def _flush(self, queued: dict[tuple, Row], cache: dict[tuple, list[Row]]) -> None:
+        to_ship: list[tuple[tuple, Row]] = []
+        for key, binding in queued.items():
+            if self.sieve is not None and not self.sieve(binding):
+                # The digest proves no source row can match this binding.
+                cache[key] = []
+                self.sieved_out += 1
+            else:
+                to_ship.append((key, binding))
+        if not to_ship:
+            return
+        self.calls += 1
+        self.bindings_shipped += len(to_ship)
+        fetched = self.fetch_batch([binding for _, binding in to_ship])
+        if len(fetched) != len(to_ship):
+            raise MixedQueryError(
+                f"batched fetch of {self.name!r} returned {len(fetched)} result lists "
+                f"for {len(to_ship)} bindings"
+            )
+        for (key, _), rows in zip(to_ship, fetched):
+            cache[key] = [dict(r) for r in rows]
+
+    def _drain(self, pending: list[tuple[Row, tuple]],
+               cache: dict[tuple, list[Row]]) -> Iterator[Row]:
+        for left_row, key in pending:
+            yield from self._join(left_row, cache[key])
+
+    def _join(self, left_row: Row, fetched: list[Row]) -> Iterator[Row]:
+        for right_row in fetched:
+            if _compatible(left_row, right_row):
+                yield {**left_row, **right_row}
+
+    def children(self) -> Sequence[Operator]:
+        return (self.left,)
+
+
 class Distinct(Operator):
-    """Remove duplicate rows (order-preserving)."""
+    """Remove duplicate rows (order-preserving).
+
+    The canonical sorted column order is computed once per batch schema
+    (via :meth:`BindingBatch.sorted_pairs`) instead of sorting every
+    row's items.
+    """
 
     def __init__(self, child: Operator, name: str = "distinct"):
         super().__init__(name)
         self.child = child
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[BindingBatch]:
         seen: set[tuple] = set()
-        for row in self.child:
-            self.stats.consumed += 1
-            key = tuple(sorted((k, _hashable(v)) for k, v in row.items()))
-            if key not in seen:
-                seen.add(key)
-                yield row
+        for batch in self.child.batches():
+            self.stats.consumed += len(batch)
+            pairs = batch.sorted_pairs()
+            keep: list[tuple] = []
+            for row in batch.rows:
+                key = tuple((c, _hashable(row[i])) for c, i in pairs)
+                if key not in seen:
+                    seen.add(key)
+                    keep.append(row)
+            if keep:
+                yield BindingBatch(batch.columns, keep)
 
     def children(self) -> Sequence[Operator]:
         return (self.child,)
@@ -338,11 +574,11 @@ class Union(Operator):
         super().__init__(name)
         self.operands = list(operands)
 
-    def _produce(self) -> Iterator[Row]:
+    def _produce_batches(self) -> Iterator[BindingBatch]:
         for operand in self.operands:
-            for row in operand:
-                self.stats.consumed += 1
-                yield row
+            for batch in operand.batches():
+                self.stats.consumed += len(batch)
+                yield batch
 
     def children(self) -> Sequence[Operator]:
         return tuple(self.operands)
@@ -407,6 +643,16 @@ def _compute(spec: AggregateSpec, rows: list[Row]) -> object:
     if function == "max":
         return max(values)
     raise MixedQueryError(f"unsupported aggregate function {spec.function!r}")
+
+
+def _schema_call_key(row: Row, key_orders: dict[frozenset, tuple[str, ...]]) -> tuple:
+    """Canonical call key of a row; sorted variable order cached per schema."""
+    schema = frozenset(row)
+    order = key_orders.get(schema)
+    if order is None:
+        order = tuple(sorted(schema))
+        key_orders[schema] = order
+    return tuple((k, _hashable(row[k])) for k in order)
 
 
 def _compatible(left: Row, right: Row) -> bool:

@@ -142,6 +142,55 @@ class TreePatternMatcher:
         return rows
 
     # ------------------------------------------------------------------
+    def match_batch(self, pattern: TreePattern,
+                    calls: list[tuple[dict[str, object], Row]],
+                    limit: int | None = None) -> list[list[Row]]:
+        """Answer many ``(parameters, pushdown)`` calls in one pass.
+
+        The candidate set of the pattern's *constant* predicates is
+        computed once; each call then only adds its own index lookups
+        (resolved parameters and pushed-down bindings) before the
+        surviving candidates are verified naively.  The result list is
+        aligned with ``calls`` and each entry equals what
+        :meth:`match` would have returned for that call.
+        """
+        if len(calls) <= 1:
+            return [self.match(pattern, parameters=parameters, pushdown=pushdown,
+                               limit=limit)
+                    for parameters, pushdown in calls]
+        base = set(self.candidates(pattern))
+        results: list[list[Row]] = []
+        for parameters, pushdown in calls:
+            pushdown = pushdown or {}
+            restriction = base
+            for leaf in pattern.leaves:
+                index = self.store.index_for(leaf.path)
+                if index is None:
+                    continue
+                for predicate in leaf.predicates:
+                    if not isinstance(predicate.value, Parameter):
+                        continue  # constants already pruned in the base set
+                    resolved = _resolve_quietly(predicate, parameters)
+                    if resolved is None or resolved.op == "!=":
+                        continue
+                    restriction = restriction & index.lookup_cmp(resolved.op,
+                                                                 resolved.value)
+                if leaf.variable is not None and leaf.variable in pushdown:
+                    restriction = restriction & index.lookup_eq(pushdown[leaf.variable])
+            rows: list[Row] = []
+            for doc_id in sorted(restriction, key=self.store.insertion_rank):
+                document = self.store.get(doc_id)
+                if document is None:  # pragma: no cover - defensive
+                    continue
+                rows.extend(match_document(pattern, document,
+                                           parameters=parameters, pushdown=pushdown))
+                if limit is not None and len(rows) >= limit:
+                    rows = rows[:limit]
+                    break
+            results.append(rows)
+        return results
+
+    # ------------------------------------------------------------------
     def candidates(self, pattern: TreePattern,
                    parameters: dict[str, object] | None = None,
                    pushdown: Row | None = None) -> list[str]:

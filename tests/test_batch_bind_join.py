@@ -1,0 +1,502 @@
+"""Batched bind joins: wrapper batching, the digest sieve, equivalence.
+
+The equivalence harness at the bottom proves, for every source model,
+that the batched engine returns exactly the per-binding engine's rows
+while issuing strictly fewer ``SubQueryCall``s — and that the digest
+sieve never drops a true match.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CMQBuilder, MixedInstance, PlannerOptions
+from repro.core.planner import MAX_BIND_BATCH, MIN_BIND_BATCH, auto_batch_size
+from repro.core.sources import FullTextQuery, JSONQuery, RDFQuery, SQLQuery
+from repro.digest.sieve import DigestSieve
+from repro.json import JSONDocumentStore
+from repro.rdf import Graph, triple
+from repro.relational import Database
+
+
+PER_BINDING = PlannerOptions(batch_bind_joins=False)
+
+
+@pytest.fixture
+def json_store(small_tweet_store):
+    store = JSONDocumentStore("mini_tweets_json")
+    for document in small_tweet_store.documents():
+        store.add(document.fields)
+    return store
+
+
+@pytest.fixture
+def instance(politics_graph, small_database, small_tweet_store, json_store):
+    inst = MixedInstance(graph=politics_graph, name="mini")
+    inst.register_relational("sql://insee", small_database)
+    inst.register_fulltext("solr://tweets", small_tweet_store)
+    inst.register_json("json://tweets", json_store)
+    rdf_graph = Graph("handles")
+    for handle, followers in [("fhollande", 1_500_000), ("mlepen", 900_000),
+                              ("nobody", 3)]:
+        rdf_graph.add(triple(f"ttn:U_{handle}", "ttn:handle", handle))
+        rdf_graph.add(triple(f"ttn:U_{handle}", "ttn:followers", followers))
+    inst.register_rdf("rdf://handles", rdf_graph)
+    return inst
+
+
+def assert_equivalent(instance, cmq, digests=None):
+    """Run batched vs per-binding and assert identical result sets."""
+    batched = instance.execute(cmq, digests=digests)
+    per_binding = instance.execute(cmq, options=PER_BINDING)
+    assert sorted(map(str, batched.rows)) == sorted(map(str, per_binding.rows))
+    return batched, per_binding
+
+
+# ---------------------------------------------------------------------------
+# Wrapper-level execute_batch
+# ---------------------------------------------------------------------------
+
+class TestExecuteBatch:
+    def assert_batch_matches_loop(self, source, query, batch):
+        reference = [source.execute(query, bindings) for bindings in batch]
+        batched = source.execute_batch(query, batch)
+        assert len(batched) == len(batch)
+        for expected, got in zip(reference, batched):
+            assert sorted(map(str, expected)) == sorted(map(str, got))
+
+    def test_relational_without_placeholders(self, instance):
+        source = instance.source("sql://insee")
+        query = SQLQuery(sql="SELECT dept_code AS dept, rate AS rate FROM unemployment")
+        batch = [{"dept": "75"}, {"dept": "33"}, {"dept": "nowhere"}, {}]
+        self.assert_batch_matches_loop(source, query, batch)
+
+    def test_relational_in_list_rewrite(self, instance):
+        source = instance.source("sql://insee")
+        query = SQLQuery(sql="SELECT dept_code AS dept, rate AS rate "
+                             "FROM unemployment WHERE dept_code = {dept}")
+        batch = [{"dept": "75"}, {"dept": "33"}, {"dept": "29"}, {"dept": "nope"}]
+        self.assert_batch_matches_loop(source, query, batch)
+        # The rewrite really issues IN-list SQL: one statement answers all.
+        calls = []
+        original = source.database.execute
+
+        def spy(sql, bindings=None):
+            calls.append(sql)
+            return original(sql, bindings)
+
+        source.database.execute = spy
+        try:
+            source.execute_batch(query, batch)
+        finally:
+            source.database.execute = original
+        assert len(calls) == 1
+        assert " in " in calls[0].lower()
+
+    def test_relational_fallback_placeholder(self, instance):
+        source = instance.source("sql://insee")
+        query = SQLQuery(sql="SELECT name AS name FROM departments "
+                             "WHERE population > {minpop}")
+        batch = [{"minpop": 0}, {"minpop": 1_000_000}, {"minpop": 10 ** 10}]
+        self.assert_batch_matches_loop(source, query, batch)
+
+    def test_relational_or_context_disables_in_rewrite(self, instance):
+        # A placeholder equality under OR is not a necessary condition on
+        # the rows; the IN rewrite + echo attribution would drop the
+        # disjunct's rows, so the wrapper must fall back.
+        source = instance.source("sql://insee")
+        query = SQLQuery(sql="SELECT dept_code AS dept, rate AS rate "
+                             "FROM unemployment WHERE dept_code = {dept} "
+                             "OR rate > 9.0")
+        batch = [{"dept": "75"}, {"dept": "zz"}]
+        self.assert_batch_matches_loop(source, query, batch)
+        assert source.execute_batch(query, batch)[1]  # the OR branch's rows
+
+    def test_relational_not_context_disables_in_rewrite(self, instance):
+        source = instance.source("sql://insee")
+        query = SQLQuery(sql="SELECT dept_code AS dept, rate AS rate "
+                             "FROM unemployment WHERE NOT (dept_code = {dept})")
+        batch = [{"dept": "75"}, {"dept": "33"}]
+        self.assert_batch_matches_loop(source, query, batch)
+
+    def test_relational_limit_disables_in_rewrite(self, instance):
+        # A shared LIMIT over the IN-list would starve later bindings;
+        # the wrapper must fall back to per-statement execution.
+        source = instance.source("sql://insee")
+        query = SQLQuery(sql="SELECT dept_code AS dept, rate AS rate "
+                             "FROM unemployment WHERE dept_code = {dept} LIMIT 1")
+        batch = [{"dept": "75"}, {"dept": "33"}, {"dept": "29"}]
+        self.assert_batch_matches_loop(source, query, batch)
+        for rows in source.execute_batch(query, batch):
+            assert len(rows) == 1
+
+    def test_fulltext_without_placeholders(self, instance):
+        source = instance.source("solr://tweets")
+        query = FullTextQuery.create("*:*", {"t": "text", "id": "user.screen_name"})
+        batch = [{"id": "fhollande"}, {"id": "mlepen"}, {"id": "missing"}, {}]
+        self.assert_batch_matches_loop(source, query, batch)
+
+    def test_fulltext_disjunctive_rewrite(self, instance):
+        source = instance.source("solr://tweets")
+        query = FullTextQuery.create("user.screen_name:{id}",
+                                     {"t": "text", "id": "user.screen_name"})
+        batch = [{"id": "fhollande"}, {"id": "mlepen"}, {"id": "missing"}]
+        self.assert_batch_matches_loop(source, query, batch)
+        searches = []
+        original = source.store.search
+
+        def spy(text, limit=10, sort_by=None):
+            searches.append(str(text))
+            return original(text, limit=limit, sort_by=sort_by)
+
+        source.store.search = spy
+        try:
+            source.execute_batch(query, batch)
+        finally:
+            source.store.search = original
+        assert len(searches) == 1
+        assert " OR " in searches[0]
+
+    def test_fulltext_case_insensitive_attribution(self, instance):
+        source = instance.source("solr://tweets")
+        query = FullTextQuery.create("user.screen_name:{id}",
+                                     {"t": "text", "id": "user.screen_name"})
+        batch = [{"id": "FHOLLANDE"}, {"id": "mlepen"}]
+        self.assert_batch_matches_loop(source, query, batch)
+
+    def test_fulltext_or_context_disables_disjunction(self, instance):
+        # OR-merging a clause that already sits under OR (or NOT) would
+        # attribute the other disjunct's hits wrongly; fall back instead.
+        source = instance.source("solr://tweets")
+        query = FullTextQuery.create("text:urgence OR user.screen_name:{id}",
+                                     {"t": "text", "id": "user.screen_name"})
+        batch = [{"id": "fhollande"}, {"id": "missing"}]
+        self.assert_batch_matches_loop(source, query, batch)
+        assert source.execute_batch(query, batch)[1]  # the OR branch's hits
+        negated = FullTextQuery.create("NOT user.screen_name:{id}",
+                                       {"t": "text", "id2": "user.screen_name"})
+        self.assert_batch_matches_loop(source, negated,
+                                       [{"id": "fhollande"}, {"id": "mlepen"}])
+
+    def test_fulltext_score_output_disables_disjunction(self, instance):
+        # OR-ing the filled clauses repeats constant text terms and
+        # inflates BM25; _score outputs force the per-statement fallback.
+        source = instance.source("solr://tweets")
+        query = FullTextQuery.create("text:urgence AND user.screen_name:{id}",
+                                     {"t": "text", "id": "user.screen_name",
+                                      "s": "_score"})
+        batch = [{"id": "mlepen"}, {"id": "fhollande"}]
+        self.assert_batch_matches_loop(source, query, batch)
+
+    def test_fulltext_text_field_falls_back(self, instance):
+        source = instance.source("solr://tweets")
+        query = FullTextQuery.create("text:{word}", {"t": "text"})
+        batch = [{"word": "chomage"}, {"word": "urgence"}, {"word": "zzz"}]
+        self.assert_batch_matches_loop(source, query, batch)
+
+    def test_rdf_batch(self, instance):
+        source = instance.source("rdf://handles")
+        query = RDFQuery.from_text("SELECT ?h ?f WHERE { ?u ttn:handle ?h . "
+                                   "?u ttn:followers ?f }")
+        batch = [{"h": "fhollande"}, {"h": "mlepen"}, {"h": "ghost"},
+                 {"f": 900_000}, {}]
+        self.assert_batch_matches_loop(source, query, batch)
+
+    def test_rdf_batch_with_non_projected_bound_variable(self, instance):
+        # Bindings on a body variable the SELECT projects away cannot be
+        # bucketed from the (projected) solutions; the wrapper must fall
+        # back to per-binding evaluation for them.
+        source = instance.source("rdf://handles")
+        query = RDFQuery.from_text("SELECT ?h WHERE { ?u ttn:handle ?h . "
+                                   "?u ttn:followers ?f }")
+        batch = [{"f": 1_500_000}, {"f": 900_000}, {"f": -1}]
+        self.assert_batch_matches_loop(source, query, batch)
+        assert source.execute_batch(query, batch)[0] == [{"h": "fhollande"}]
+
+    def test_rdf_batch_distinguishes_uri_and_literal(self, instance):
+        graph = Graph("mixed-values")
+        graph.add(triple("ttn:A", "ttn:ref", "http://example.org/x"))
+        inst = MixedInstance(graph=Graph("empty"))
+        rdf = inst.register_rdf("rdf://mixed", graph)
+        query = RDFQuery.from_text("SELECT ?v WHERE { ?s ttn:ref ?v }")
+        batch = [{"v": "http://example.org/x"}, {"v": "http://example.org/y"}]
+        self.assert_batch_matches_loop(rdf, query, batch)
+
+    def test_json_batch_with_pushdown(self, instance):
+        source = instance.source("json://tweets")
+        query = JSONQuery.from_text('{ user.screen_name: ?id, text: ?t }')
+        batch = [{"id": "fhollande"}, {"id": "mlepen"}, {"id": "missing"}, {}]
+        self.assert_batch_matches_loop(source, query, batch)
+
+    def test_json_batch_with_parameters_and_limit(self, instance):
+        source = instance.source("json://tweets")
+        query = JSONQuery.from_text('{ user.screen_name: {id}, text: ?t }', limit=1)
+        batch = [{"id": "fhollande"}, {"id": "mlepen"}]
+        self.assert_batch_matches_loop(source, query, batch)
+
+    def test_base_fallback_used_by_unknown_models(self, instance):
+        # The base class answers batches with a per-binding loop, so any
+        # source without a native implementation still satisfies the
+        # protocol contract.
+        from repro.core.sources import DataSource
+
+        class Fixed(DataSource):
+            model = "fulltext"
+
+            def execute(self, query, bindings=None):
+                return [{"x": (bindings or {}).get("x", 0)}]
+
+        fixed = Fixed("stub://fixed")
+        query = FullTextQuery.create("*:*", {"x": "x"})
+        assert fixed.execute_batch(query, [{"x": 1}, {"x": 2}]) == [
+            [{"x": 1}], [{"x": 2}]]
+
+
+# ---------------------------------------------------------------------------
+# Planner knobs
+# ---------------------------------------------------------------------------
+
+class TestPlannerBatching:
+    def test_bind_steps_carry_batch_size(self, instance):
+        cmq = (instance.builder("q", head=["t", "id"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .fulltext("tweets", source="solr://tweets", query="*:*",
+                         fields={"t": "text", "id": "user.screen_name"})
+               .build())
+        plan = instance.plan(cmq)
+        bind_steps = [s for s in plan.steps if s.mode == "bind"]
+        assert bind_steps and all(s.batch_size >= MIN_BIND_BATCH for s in bind_steps)
+
+    def test_explicit_batch_size_wins(self, instance):
+        cmq = (instance.builder("q", head=["t", "id"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .fulltext("tweets", source="solr://tweets", query="*:*",
+                         fields={"t": "text", "id": "user.screen_name"})
+               .build())
+        plan = instance.plan(cmq, PlannerOptions(bind_batch_size=7))
+        assert all(s.batch_size == 7 for s in plan.steps if s.mode == "bind")
+
+    def test_auto_batch_size_bounds(self):
+        assert auto_batch_size(1) == MAX_BIND_BATCH
+        assert auto_batch_size(10 ** 9) == MIN_BIND_BATCH
+        assert MIN_BIND_BATCH <= auto_batch_size(float("inf")) <= MAX_BIND_BATCH
+
+    def test_batching_disabled_resets_step_batch_size(self, instance):
+        cmq = (instance.builder("q", head=["t", "id"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .fulltext("tweets", source="solr://tweets", query="*:*",
+                         fields={"t": "text", "id": "user.screen_name"})
+               .build())
+        plan = instance.plan(cmq, PER_BINDING)
+        assert all(s.batch_size == 0 for s in plan.steps)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end equivalence: batched engine == per-binding engine
+# ---------------------------------------------------------------------------
+
+class TestBatchedExecutionEquivalence:
+    def test_fulltext_atom(self, instance):
+        cmq = (instance.builder("q", head=["id", "t"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .fulltext("tweets", source="solr://tweets", query="*:*",
+                         fields={"t": "text", "id": "user.screen_name"})
+               .build())
+        batched, per_binding = assert_equivalent(instance, cmq)
+        assert len(batched.trace.calls) < len(per_binding.trace.calls)
+        assert batched.trace.batched_calls() >= 1
+
+    def test_relational_atom_with_placeholder(self, instance, politics_graph):
+        politics_graph.add(triple("ttn:POL1", "ttn:inDept", "75"))
+        politics_graph.add(triple("ttn:POL2", "ttn:inDept", "33"))
+        instance.add_glue_triples([])
+        cmq = (instance.builder("q", head=["dept", "rate"])
+               .graph("SELECT ?dept WHERE { ?x ttn:inDept ?dept }")
+               .sql("stats", source="sql://insee",
+                    sql="SELECT dept_code AS dept, rate AS rate FROM unemployment "
+                        "WHERE dept_code = {dept}")
+               .build())
+        batched, per_binding = assert_equivalent(instance, cmq)
+        assert len(batched.rows) == 3  # 75 has two years, 33 one
+        assert len(batched.trace.calls) < len(per_binding.trace.calls)
+
+    def test_rdf_atom(self, instance):
+        cmq = (instance.builder("q", head=["id", "f"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .rdf("followers", source="rdf://handles",
+                    sparql_text="SELECT ?id ?f WHERE { ?u ttn:handle ?id . "
+                                "?u ttn:followers ?f }")
+               .build())
+        batched, per_binding = assert_equivalent(instance, cmq)
+        assert {row["id"] for row in batched.rows} == {"fhollande", "mlepen"}
+
+    def test_json_atom(self, instance):
+        cmq = (instance.builder("q", head=["id", "t"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .json("docs", source="json://tweets",
+                     pattern='{ user.screen_name: ?id, text: ?t }')
+               .build())
+        batched, per_binding = assert_equivalent(instance, cmq)
+        assert len(batched.rows) == 3
+        assert len(batched.trace.calls) < len(per_binding.trace.calls)
+
+    def test_dynamic_source_from_binding(self, instance, politics_graph):
+        politics_graph.add(triple("ttn:POL1", "ttn:statsEndpoint", "sql://insee"))
+        instance.add_glue_triples([])
+        cmq = (instance.builder("q", head=["rate", "src"])
+               .graph("SELECT ?src WHERE { ?x ttn:position ttn:headOfState . "
+                      "?x ttn:statsEndpoint ?src }")
+               .sql("stats", source_variable="src",
+                    sql="SELECT rate AS rate FROM unemployment WHERE year = 2015")
+               .build())
+        batched, _ = assert_equivalent(instance, cmq)
+        assert set(batched.column("src")) == {"sql://insee"}
+
+    def test_free_source_variable_fans_out(self, instance):
+        cmq = (instance.builder("q", head=["t", "d"])
+               .fulltext("anytweets", source_variable="d",
+                         query="entities.hashtags:sia2016", fields={"t": "text"})
+               .build())
+        batched, _ = assert_equivalent(instance, cmq)
+        assert batched.rows[0]["d"] == "solr://tweets"
+
+    def test_small_batch_size_still_equivalent(self, instance):
+        cmq = (instance.builder("q", head=["id", "t"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .fulltext("tweets", source="solr://tweets", query="*:*",
+                         fields={"t": "text", "id": "user.screen_name"})
+               .build())
+        tiny = instance.execute(cmq, options=PlannerOptions(bind_batch_size=1))
+        reference = instance.execute(cmq, options=PER_BINDING)
+        assert sorted(map(str, tiny.rows)) == sorted(map(str, reference.rows))
+
+
+# ---------------------------------------------------------------------------
+# Digest sieve
+# ---------------------------------------------------------------------------
+
+class TestDigestSieve:
+    @pytest.fixture
+    def catalog(self, instance):
+        return instance.build_digests()
+
+    def test_sieve_never_drops_a_true_match(self, instance, catalog):
+        # Every binding that has an answer must survive the sieve: with
+        # and without the catalog the result set is identical.
+        for cmq in self._queries(instance):
+            sieved = instance.execute(cmq, digests=catalog)
+            plain = instance.execute(cmq)
+            per_binding = instance.execute(cmq, options=PER_BINDING)
+            assert sorted(map(str, sieved.rows)) == sorted(map(str, plain.rows))
+            assert sorted(map(str, sieved.rows)) == sorted(map(str, per_binding.rows))
+
+    def _queries(self, instance):
+        yield (instance.builder("ft", head=["id", "t"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .fulltext("tweets", source="solr://tweets", query="*:*",
+                         fields={"t": "text", "id": "user.screen_name"})
+               .build())
+        yield (instance.builder("js", head=["id", "t"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .json("docs", source="json://tweets",
+                     pattern='{ user.screen_name: ?id, text: ?t }')
+               .build())
+        yield (instance.builder("rdfq", head=["id", "f"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .rdf("followers", source="rdf://handles",
+                    sparql_text="SELECT ?id ?f WHERE { ?u ttn:handle ?id . "
+                                "?u ttn:followers ?f }")
+               .build())
+
+    def test_sieve_drops_provably_absent_bindings(self, politics_graph, small_database):
+        graph = Graph("glue")
+        codes = ["75", "33", "29"]
+        for i in range(12):
+            code = codes[i] if i < 3 else f"X{i}"
+            graph.add(triple(f"ttn:P{i}", "ttn:deptCode", code))
+        inst = MixedInstance(graph=graph, name="sieve")
+        inst.register_relational("sql://insee", small_database)
+        catalog = inst.build_digests()
+        cmq = (inst.builder("q", head=["dept", "rate"])
+               .graph("SELECT ?dept WHERE { ?x ttn:deptCode ?dept }")
+               .sql("stats", source="sql://insee",
+                    sql="SELECT dept_code AS dept, rate AS rate FROM unemployment "
+                        "WHERE dept_code = {dept}")
+               .build())
+        sieved = inst.execute(cmq, digests=catalog)
+        reference = inst.execute(cmq, options=PER_BINDING)
+        assert sorted(map(str, sieved.rows)) == sorted(map(str, reference.rows))
+        assert sieved.trace.sieved_bindings == 9
+        shipped = [c for c in sieved.trace.calls if c.batched]
+        assert shipped and shipped[-1].bindings_in == 3
+
+    def test_sieve_keeps_numeric_bindings_across_int_float_spelling(self):
+        # str()-normalised digests spell 5 and 5.0 differently, but the
+        # sources compare them equal: the sieve must probe both forms.
+        from repro.digest.sieve import _might_match, _probe_variants
+        from repro.digest.valueset import ValueSetSummary
+
+        summary = ValueSetSummary([5, 7, 9])
+        assert not summary.might_contain(5.0)  # the spelling gap
+        assert _probe_variants(5.0) == [5.0, 5]
+        assert _might_match({"bucket": 5.0}, {"bucket": [summary]})
+        assert _might_match({"bucket": 7}, {"bucket": [summary]})
+        assert not _might_match({"bucket": 99}, {"bucket": [summary]})
+
+        # Sources compare 1 == True: a digested boolean column must not
+        # sieve out its 0/1 integer (or float) spellings.
+        flags = ValueSetSummary([True, False])
+        for value in (1, 0, 1.0, 0.0):
+            assert _might_match({"flag": value}, {"flag": [flags]})
+        assert not _might_match({"flag": 2}, {"flag": [flags]})
+
+        # End to end: a float glue binding must reach the int column.
+        database = Database("nums")
+        database.create_table_from_rows("measures", [
+            {"bucket": 5, "label": "five"}, {"bucket": 7, "label": "seven"}])
+        graph = Graph("glue")
+        graph.add(triple("ttn:A", "ttn:bucket", 5.0))
+        graph.add(triple("ttn:B", "ttn:bucket", 7))
+        inst = MixedInstance(graph=graph, name="nums")
+        inst.register_relational("sql://nums", database)
+        catalog = inst.build_digests()
+        cmq = (inst.builder("q", head=["bucket", "label"])
+               .graph("SELECT ?bucket WHERE { ?x ttn:bucket ?bucket }")
+               .sql("lookup", source="sql://nums",
+                    sql="SELECT bucket AS bucket, label AS label FROM measures")
+               .build())
+        sieved = inst.execute(cmq, digests=catalog)
+        reference = inst.execute(cmq, options=PER_BINDING)
+        assert sorted(map(str, sieved.rows)) == sorted(map(str, reference.rows))
+        assert {row["label"] for row in sieved.rows} == {"five", "seven"}
+
+    def test_sieve_for_returns_none_without_digest(self, instance):
+        from repro.digest.graph import DigestCatalog
+
+        sieve = DigestSieve(DigestCatalog())  # empty catalog: no digests
+        cmq = (instance.builder("q", head=["id", "t"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .fulltext("tweets", source="solr://tweets", query="*:*",
+                         fields={"t": "text", "id": "user.screen_name"})
+               .build())
+        atom = cmq.atoms[1]
+        assert sieve.sieve_for(atom, [instance.source("solr://tweets")]) is None
+
+    def test_sieve_skips_entailed_rdf_sources(self, instance, catalog):
+        sieve = DigestSieve(catalog)
+        cmq = (instance.builder("q", head=["id"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .build())
+        # The glue source saturates under entailment; its digest only
+        # covers the raw graph, so no sieve may be built for it.
+        assert sieve.sieve_for(cmq.atoms[0], [instance.glue_source]) is None
+
+    def test_sieve_can_be_disabled_by_options(self, instance, catalog):
+        cmq = (instance.builder("q", head=["id", "t"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .fulltext("tweets", source="solr://tweets", query="*:*",
+                         fields={"t": "text", "id": "user.screen_name"})
+               .build())
+        result = instance.execute(cmq, options=PlannerOptions(digest_sieve=False),
+                                  digests=catalog)
+        assert result.trace.sieved_bindings == 0

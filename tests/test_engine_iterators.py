@@ -5,6 +5,8 @@ import pytest
 from repro.engine import (
     Aggregate,
     AggregateSpec,
+    BatchBindJoin,
+    BindingBatch,
     BindJoin,
     CallbackScan,
     Distinct,
@@ -18,6 +20,7 @@ from repro.engine import (
     Select,
     Sort,
     Union,
+    batches_from_rows,
     run_parallel,
     run_tasks,
 )
@@ -153,6 +156,152 @@ class TestJoins:
 
         join = BindJoin(MaterializedScan(PEOPLE), fetch)
         assert join.rows() == []
+
+
+class TestBindingBatch:
+    def test_batches_are_schema_uniform(self):
+        rows = [{"a": 1}, {"a": 2}, {"b": 3}, {"a": 4}]
+        batches = list(batches_from_rows(iter(rows)))
+        assert [b.columns for b in batches] == [("a",), ("b",), ("a",)]
+        assert [list(b.dicts()) for b in batches] == [
+            [{"a": 1}, {"a": 2}], [{"b": 3}], [{"a": 4}]]
+
+    def test_batch_size_limit(self):
+        rows = [{"a": i} for i in range(7)]
+        batches = list(batches_from_rows(iter(rows), size=3))
+        assert [len(b) for b in batches] == [3, 3, 1]
+
+    def test_projector_fills_missing_with_none(self):
+        batch = BindingBatch.from_dicts([{"a": 1, "b": 2}])
+        project = batch.projector(["b", "missing"])
+        assert project(batch.rows[0]) == (2, None)
+
+    def test_sorted_pairs_cached(self):
+        batch = BindingBatch.from_dicts([{"b": 1, "a": 2}])
+        assert batch.sorted_pairs() == (("a", 1), ("b", 0))
+        assert batch.sorted_pairs() is batch.sorted_pairs()
+
+    def test_operator_batches_match_rows(self):
+        scan = MaterializedScan(PEOPLE)
+        via_batches = [row for batch in scan.batches() for row in batch.dicts()]
+        assert via_batches == MaterializedScan(PEOPLE).rows()
+
+    def test_estimated_sizes(self):
+        scan = MaterializedScan(PEOPLE)
+        assert scan.estimated_size() == 3
+        assert Project(scan, ["id"]).estimated_size() == 3
+        assert Select(scan, lambda r: True).estimated_size() is None
+
+
+class TestBatchBindJoin:
+    def test_batches_distinct_bindings(self):
+        batches = []
+
+        def fetch_batch(bindings):
+            batches.append(list(bindings))
+            return [[a for a in ACCOUNTS if a["id"] == b["id"]] for b in bindings]
+
+        join = BatchBindJoin(MaterializedScan(PEOPLE), fetch_batch, batch_size=10)
+        rows = join.rows()
+        assert {r.get("handle") for r in rows} == {"alice", "bob"}
+        assert join.calls == 1
+        assert len(batches) == 1 and len(batches[0]) == 3
+
+    def test_matches_bind_join_output_order(self):
+        def fetch(row):
+            return [a for a in ACCOUNTS if a["id"] == row["id"]]
+
+        def fetch_batch(bindings):
+            return [fetch(b) for b in bindings]
+
+        reference = BindJoin(MaterializedScan(PEOPLE), fetch).rows()
+        batched = BatchBindJoin(MaterializedScan(PEOPLE), fetch_batch,
+                                batch_size=2).rows()
+        assert batched == reference
+
+    def test_deduplicates_across_batches(self):
+        shipped = []
+
+        def fetch_batch(bindings):
+            shipped.extend(b["group"] for b in bindings)
+            return [[{"group": b["group"], "label": b["group"].upper()}]
+                    for b in bindings]
+
+        left = MaterializedScan([{"group": "left"}, {"group": "left"},
+                                 {"group": "right"}, {"group": "left"}])
+        join = BatchBindJoin(left, fetch_batch,
+                             call_key=lambda r: (r["group"],), batch_size=1)
+        assert len(join.rows()) == 4
+        assert sorted(shipped) == ["left", "right"]
+        assert join.bindings_shipped == 2
+
+    def test_sieve_drops_bindings_without_calls(self):
+        def fetch_batch(bindings):
+            return [[{"id": b["id"], "hit": True}] for b in bindings]
+
+        join = BatchBindJoin(MaterializedScan(PEOPLE), fetch_batch,
+                             call_key=lambda r: (r["id"],),
+                             binding_of=lambda r: {"id": r["id"]},
+                             sieve=lambda b: b["id"] == "p2", batch_size=10)
+        rows = join.rows()
+        assert [r["id"] for r in rows] == ["p2"]
+        assert join.sieved_out == 2
+        assert join.bindings_shipped == 1
+
+    def test_all_sieved_means_no_call(self):
+        def fetch_batch(bindings):  # pragma: no cover - must not run
+            raise AssertionError("sieved batch must not be shipped")
+
+        join = BatchBindJoin(MaterializedScan(PEOPLE), fetch_batch,
+                             sieve=lambda b: False, batch_size=2)
+        assert join.rows() == []
+        assert join.calls == 0
+        assert join.sieved_out == 3
+
+    def test_misaligned_fetch_batch_raises(self):
+        from repro.errors import MixedQueryError
+
+        join = BatchBindJoin(MaterializedScan(PEOPLE), lambda bindings: [[]],
+                             batch_size=10)
+        with pytest.raises(MixedQueryError):
+            join.rows()
+
+    def test_discards_incompatible_rows(self):
+        def fetch_batch(bindings):
+            return [[{"id": "different", "extra": 1}] for _ in bindings]
+
+        join = BatchBindJoin(MaterializedScan(PEOPLE), fetch_batch, batch_size=10)
+        assert join.rows() == []
+
+
+class TestHashJoinStreaming:
+    def test_builds_on_smaller_side(self):
+        big = MaterializedScan([{"id": f"p{i}", "n": i} for i in range(50)])
+        small = MaterializedScan(ACCOUNTS)
+        join = HashJoin(big, small)
+        rows = join.rows()
+        assert {r["id"] for r in rows} == {"p1", "p2", "p4"}
+        # Probe side streamed: consumed counts the bigger input.
+        assert join.stats.consumed == 50
+
+    def test_natural_keys_cover_every_probe_batch_schema(self):
+        # A shared variable appearing only in a *later* probe batch must
+        # still become a join key (regression: first-batch-only inference
+        # inferred keys=['a'] and let {'a':1,'c':99} join {'a':1,'c':1}).
+        left = MaterializedScan([{"a": 1, "b": 10}, {"a": 1, "c": 99}])
+        right = MaterializedScan([{"a": 1, "c": 1}])
+        join = HashJoin(left, right)
+        assert join.rows() == []  # keys are [a, c]; no row binds both alike
+
+    def test_swapped_build_side_keeps_merge_semantics(self):
+        # Explicit keys with a conflicting non-key column: the right
+        # side's value must win, whichever side builds the hash table.
+        left = MaterializedScan([{"k": 1, "v": "left"}, {"k": 1, "v": "left2"}])
+        right = MaterializedScan([{"k": 1, "v": "right"}])
+        rows = HashJoin(left, right, keys=["k"]).rows()
+        assert [r["v"] for r in rows] == ["right", "right"]
+        rows = HashJoin(right, left, keys=["k"]).rows()
+        assert sorted(r["v"] for r in rows) == ["left", "left2"]
 
 
 class TestAggregate:
