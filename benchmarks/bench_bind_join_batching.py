@@ -68,7 +68,11 @@ def build_bench_instance(accounts: int = 1200) -> MixedInstance:
     ], default_field="text")
     store.add_all(documents)
 
-    instance = MixedInstance(graph=glue, name="bench-batching", entailment=False)
+    # Caching off: this benchmark measures *batching*, and the default
+    # cross-query result cache would serve every strategy after the first
+    # from warm entries (see bench_caching.py for the caching numbers).
+    instance = MixedInstance(graph=glue, name="bench-batching", entailment=False,
+                             cache=False)
     instance.register_relational("sql://accounts", database)
     instance.register_fulltext("solr://profiles", store)
     return instance

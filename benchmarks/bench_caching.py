@@ -1,0 +1,251 @@
+"""E13: cross-query result caching and incremental RDFS saturation.
+
+Two scenarios from the paper's data-journalism deployment:
+
+* **repeated workload** — the same fact-checking CMQ runs over and over
+  (every incoming article re-triggers it).  Cold, the mediator ships
+  every sub-query to its sources; warm, the result cache answers the
+  probes and only the iterator engine runs.  Measured: wall time and
+  cache counters, with result equality asserted against an uncached
+  reference.
+* **streaming updates** — tweets keep arriving as new glue triples.
+  Each micro-batch (≤ 1% of the graph) is absorbed by
+  ``saturate_delta`` instead of recomputing G∞ from scratch.  Measured:
+  per-delta time of incremental vs full saturation, with G∞ equality
+  asserted.
+
+Run as a script (``python bench_caching.py [--smoke]``) it writes
+``BENCH_cache.json`` to the repo root for trajectory tracking; under
+pytest the same scenarios run as assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.core import MediatorCache, MixedInstance, PlannerOptions
+from repro.fulltext.store import FieldConfig, FullTextStore
+from repro.rdf import Graph, RDFSchema, Triple, saturate, saturate_delta, triple, uri
+from repro.relational import Database
+
+try:  # pytest import path (benchmarks/conftest.py) vs script execution
+    from conftest import report
+except ImportError:  # pragma: no cover - script mode
+    def report(title, rows, columns=None):
+        print(f"\n[{title}]")
+        for row in rows:
+            print("  " + " | ".join(f"{k}={v}" for k, v in row.items()))
+
+NO_CACHE = PlannerOptions(result_cache=False, plan_cache=False)
+
+
+# ---------------------------------------------------------------------------
+# Scenario 1: repeated CMQ workload
+# ---------------------------------------------------------------------------
+
+def build_workload_instance(accounts: int) -> MixedInstance:
+    """Glue (accounts) + relational profile + full-text posts.
+
+    The full-text atom searches an analysed *text* field per binding, so
+    it cannot be batched into one disjunctive query — exactly the shape
+    whose repeated cost the cross-query cache is meant to erase.
+    """
+    glue = Graph("bench-glue")
+    database = Database("bench-db")
+    store = FullTextStore("bench-posts", fields=[
+        FieldConfig("text", "text"),
+        FieldConfig("user.screen_name", "keyword"),
+    ], default_field="text")
+    rows = []
+    for i in range(accounts):
+        handle = f"user{i:05d}"
+        glue.add(triple(f"ttn:P{i}", "ttn:twitterAccount", handle))
+        rows.append({"handle": handle, "followers": (i * 37) % 10_000})
+        store.add({"id": i, "text": f"dispatch from {handle} about the election",
+                   "user": {"screen_name": handle}})
+    database.create_table_from_rows("accounts", rows)
+    # Size the result cache to hold the whole working set (one SQL and
+    # one full-text entry per account, plus the glue scan).
+    cache = MediatorCache(result_entries=2 * accounts + 16)
+    instance = MixedInstance(graph=glue, name="bench-cache", entailment=False,
+                             cache=cache)
+    instance.register_relational("sql://accounts", database)
+    instance.register_fulltext("solr://posts", store)
+    return instance
+
+
+def workload_cmq(instance: MixedInstance):
+    return (instance.builder("qFactCheck", head=["id", "f", "t"])
+            .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+            .sql("followers", source="sql://accounts",
+                 sql="SELECT handle AS id, followers AS f FROM accounts "
+                     "WHERE handle = {id}")
+            .fulltext("posts", source="solr://posts",
+                      query="text:election text:{id}",
+                      fields={"t": "text", "id": "user.screen_name"})
+            .build())
+
+
+def run_repeated_workload(accounts: int, repeats: int) -> dict:
+    instance = build_workload_instance(accounts)
+    cmq = workload_cmq(instance)
+
+    def timed(options=None):
+        start = time.perf_counter()
+        result = instance.execute(cmq, options=options)
+        return result, time.perf_counter() - start
+
+    reference, reference_seconds = timed(NO_CACHE)
+    cold, cold_seconds = timed()
+    warm_runs = [timed() for _ in range(repeats)]
+    warm_seconds = statistics.median(seconds for _, seconds in warm_runs)
+    warm = warm_runs[-1][0]
+
+    expected = sorted(map(str, reference.rows))
+    assert sorted(map(str, cold.rows)) == expected, "cold cached run diverged"
+    for result, _ in warm_runs:
+        assert sorted(map(str, result.rows)) == expected, "warm run diverged"
+    assert warm.trace.cache_misses == 0
+
+    speedup = cold_seconds / max(1e-9, warm_seconds)
+    measurements = [
+        {"run": "uncached", "seconds": reference_seconds,
+         "cache hits": 0, "answers": len(reference)},
+        {"run": "cold (populating)", "seconds": cold_seconds,
+         "cache hits": cold.trace.cache_hits, "answers": len(cold)},
+        {"run": f"warm (median of {repeats})", "seconds": warm_seconds,
+         "cache hits": warm.trace.cache_hits, "answers": len(warm)},
+    ]
+    report(f"E13: repeated CMQ, {accounts} accounts", measurements)
+    return {"accounts": accounts, "repeats": repeats,
+            "uncached_seconds": reference_seconds,
+            "cold_seconds": cold_seconds, "warm_seconds": warm_seconds,
+            "warm_cache_hits": warm.trace.cache_hits,
+            "plan_cached": warm.trace.plan_cached,
+            "speedup": speedup,
+            "cache_stats": instance.cache_statistics()}
+
+
+# ---------------------------------------------------------------------------
+# Scenario 2: streaming updates and incremental saturation
+# ---------------------------------------------------------------------------
+
+def build_stream_graph(size: int) -> Graph:
+    """A tweet-like glue graph with an RDFS schema worth saturating."""
+    graph = Graph("stream")
+    graph.add(triple("ttn:Tweet", "rdfs:subClassOf", "ttn:Document"))
+    graph.add(triple("ttn:Document", "rdfs:subClassOf", "ttn:Resource"))
+    graph.add(triple("ttn:retweetOf", "rdfs:subPropertyOf", "ttn:derivedFrom"))
+    graph.add(triple("ttn:postedBy", "rdfs:domain", "ttn:Tweet"))
+    graph.add(triple("ttn:postedBy", "rdfs:range", "ttn:Account"))
+    for i in range(size):
+        graph.add(triple(f"ttn:T{i}", "rdf:type", "ttn:Tweet"))
+        graph.add(triple(f"ttn:T{i}", "ttn:postedBy", f"ttn:U{i % (size // 10 or 1)}"))
+        if i % 3 == 0:
+            graph.add(triple(f"ttn:T{i}", "ttn:retweetOf", f"ttn:T{i // 2}"))
+    return graph
+
+
+def tweet_delta(start: int, count: int) -> list[Triple]:
+    out = []
+    for i in range(start, start + count):
+        out.append(triple(f"ttn:T{i}", "rdf:type", "ttn:Tweet"))
+        out.append(triple(f"ttn:T{i}", "ttn:postedBy", f"ttn:U{i % 97}"))
+        out.append(triple(f"ttn:T{i}", "ttn:retweetOf", f"ttn:T{i - start}"))
+    return out
+
+
+def run_streaming_updates(size: int, deltas: int) -> dict:
+    graph = build_stream_graph(size)
+    saturated, _ = saturate(graph)
+    schema = RDFSchema.from_graph(saturated)
+    # Delta ≤ 1% of the (explicit) graph size.
+    delta_tweets = max(1, len(graph) // 300)
+
+    incremental_seconds = []
+    full_seconds = []
+    next_id = size
+    for _ in range(deltas):
+        delta = tweet_delta(next_id, delta_tweets)
+        next_id += delta_tweets
+        graph.add_all(delta)
+
+        start = time.perf_counter()
+        saturate_delta(saturated, delta, schema=schema)
+        incremental_seconds.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        scratch, _ = saturate(graph)
+        full_seconds.append(time.perf_counter() - start)
+
+        assert set(saturated) == set(scratch), \
+            "incremental saturation diverged from from-scratch G∞"
+
+    incremental = statistics.median(incremental_seconds)
+    full = statistics.median(full_seconds)
+    speedup = full / max(1e-9, incremental)
+    measurements = [
+        {"strategy": "full saturate", "seconds/delta": full,
+         "G∞": len(saturated)},
+        {"strategy": "saturate_delta", "seconds/delta": incremental,
+         "G∞": len(saturated)},
+        {"strategy": "speedup", "seconds/delta": round(speedup, 1), "G∞": ""},
+    ]
+    report(f"E13: streaming updates, |G|≈{len(graph)}, "
+           f"delta={delta_tweets * 3} triples", measurements)
+    return {"graph_triples": len(graph), "delta_triples": delta_tweets * 3,
+            "deltas": deltas, "incremental_seconds": incremental,
+            "full_seconds": full, "speedup": speedup}
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (smoke-sized)
+# ---------------------------------------------------------------------------
+
+def test_repeated_workload_hits_cache():
+    outcome = run_repeated_workload(accounts=250, repeats=3)
+    assert outcome["warm_cache_hits"] > 0
+    assert outcome["plan_cached"]
+    assert outcome["speedup"] >= 2.0  # conservative under pytest noise
+
+
+def test_incremental_saturation_beats_full_recompute():
+    outcome = run_streaming_updates(size=2000, deltas=2)
+    assert outcome["speedup"] >= 5.0  # conservative under pytest noise
+
+
+# ---------------------------------------------------------------------------
+# Script mode: the trajectory runner
+# ---------------------------------------------------------------------------
+
+def main(argv: list[str]) -> None:
+    smoke = "--smoke" in argv
+    accounts = 800 if smoke else 3000
+    repeats = 3 if smoke else 5
+    graph_size = 3000 if smoke else 12000
+    deltas = 2 if smoke else 5
+
+    payload = {"benchmark": "caching", "smoke": smoke}
+    payload["repeated_workload"] = run_repeated_workload(accounts, repeats)
+    payload["streaming_updates"] = run_streaming_updates(graph_size, deltas)
+
+    workload_speedup = payload["repeated_workload"]["speedup"]
+    saturation_speedup = payload["streaming_updates"]["speedup"]
+    print(f"\nwarm-cache speedup:        {workload_speedup:6.1f}x (target >= 5x)")
+    print(f"incremental-saturation:    {saturation_speedup:6.1f}x (target >= 10x)")
+    assert workload_speedup >= 5.0, \
+        f"warm cache speedup {workload_speedup:.1f}x below the 5x acceptance bar"
+    assert saturation_speedup >= 10.0, \
+        f"incremental saturation {saturation_speedup:.1f}x below the 10x acceptance bar"
+
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_cache.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,111 @@
+"""A small thread-safe LRU cache with hit/miss statistics.
+
+Both mediator caches (sub-query results, query plans) sit on this map.
+Entries are keyed by fully canonical tuples built in
+:mod:`repro.cache.keys` / :mod:`repro.cache.plans`; the LRU itself is
+policy-free.  Executors may probe it from parallel dispatch threads, so
+every operation takes the internal lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Callable, Hashable, Optional
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated over the lifetime of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes answered from the cache (0.0 when unprobed)."""
+        return self.hits / self.probes if self.probes else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy (used to compute per-execution deltas)."""
+        return replace(self)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``get`` refreshes recency; ``put`` evicts the oldest entries once
+    ``max_entries`` is exceeded.  ``record_miss=False`` supports *peek*
+    probes (e.g. the bind-join pre-probe) that should not inflate the
+    miss counter of a binding that will be probed again at dispatch.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        self.max_entries = max(1, max_entries)
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+
+    def get(self, key: Hashable, record_miss: bool = True) -> Optional[object]:
+        """The cached value, or ``None`` (values themselves are never None)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            if record_miss:
+                self.stats.misses += 1
+            return None
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) an entry, evicting the oldest past capacity."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            self.stats.insertions += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``."""
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries

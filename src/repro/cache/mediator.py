@@ -1,0 +1,36 @@
+"""The instance-wide cache facade handed to planners and executors."""
+
+from __future__ import annotations
+
+from repro.cache.plans import PlanCache
+from repro.cache.results import SubQueryResultCache
+
+
+class MediatorCache:
+    """Shared caches of one mixed instance.
+
+    Executors are built per query; the caches live here so that results
+    and plans survive across queries (and across executors).  Create
+    with ``MixedInstance(cache=...)`` or let the instance build its own.
+    """
+
+    def __init__(self, result_entries: int = 4096, plan_entries: int = 256):
+        self.results = SubQueryResultCache(result_entries)
+        self.plans = PlanCache(plan_entries)
+
+    def clear(self) -> None:
+        """Drop every cached result and plan."""
+        self.results.clear()
+        self.plans.clear()
+
+    def statistics(self) -> dict[str, dict[str, object]]:
+        """Counters of both caches (for demos, benchmarks and tuning)."""
+        results = self.results.stats.as_dict()
+        results["entries"] = len(self.results)
+        plans = self.plans.stats.as_dict()
+        plans["entries"] = len(self.plans)
+        return {"results": results, "plans": plans}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"MediatorCache(results={len(self.results)}, "
+                f"plans={len(self.plans)})")

@@ -1,0 +1,130 @@
+"""Plan caching: canonical CMQ signatures + catalog versioning.
+
+Planning a CMQ re-estimates every atom against every candidate source;
+for a repeated workload the catalog has not changed and the plan comes
+out identical.  :func:`plan_cache_key` builds a key from
+
+* the CMQ's *canonical signature* — atoms canonicalised with
+  :func:`repro.cache.keys.canonical_query` and CMQ-level variables
+  numbered by order of appearance, so queries equal up to variable
+  renaming share a plan;
+* the *catalog state* — every registered source's URI and version plus
+  the glue graph's version, so any source mutation (which shifts
+  cardinality estimates) or registration change re-plans;
+* the planner options.
+
+A source with an unknown version (``None``) disables plan caching
+altogether rather than risk stale estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import astuple
+from typing import Optional
+
+from repro.cache.keys import canonical_query
+from repro.cache.lru import CacheStats, LRUCache
+
+
+class PlanCache:
+    """LRU of :class:`~repro.core.planner.QueryPlan` objects."""
+
+    def __init__(self, max_entries: int = 256):
+        self.entries = LRUCache(max_entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.entries.stats
+
+    def get(self, key: tuple):
+        return self.entries.get(key)
+
+    def put(self, key: tuple, plan) -> None:
+        self.entries.put(key, plan)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def plan_cache_key(query, sources: dict, glue, options) -> Optional[tuple]:
+    """The plan-cache key of ``query``, or ``None`` when uncacheable."""
+    signature = cmq_signature(query)
+    if signature is None:
+        return None
+    catalog = catalog_state(sources, glue)
+    if catalog is None:
+        return None
+    key = (signature, catalog, astuple(options))
+    try:
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+def catalog_state(sources: dict, glue) -> Optional[tuple]:
+    """(URI, identity token, version) per source plus the glue state.
+
+    The identity token keeps a cache shared across instances safe: two
+    catalogs can register different sources under the same URI (every
+    glue graph lives under ``#glue``), and a plan resolved against one
+    must never be served to the other.
+    """
+    parts = []
+    for uri in sorted(sources):
+        state = _source_state(sources[uri])
+        if state is None:
+            return None
+        parts.append((uri,) + state)
+    glue_state = _source_state(glue)
+    if glue_state is None:
+        return None
+    return tuple(parts), glue_state
+
+
+def _source_state(source) -> Optional[tuple]:
+    token = getattr(source, "cache_token", None)
+    version = source.version()
+    if token is None or version is None:
+        return None
+    return token, version
+
+
+def cmq_signature(query) -> Optional[tuple]:
+    """Canonical signature of a CMQ, invariant under variable renaming.
+
+    CMQ-level variables are numbered by order of appearance scanning the
+    atoms in body order; each atom contributes its canonical sub-query
+    key, its target (URI or canonical source variable) and the mapping
+    from its canonical formal positions to CMQ variables or constants.
+    """
+    cmq_names: dict[str, str] = {}
+
+    def canon(name: str) -> str:
+        return cmq_names.setdefault(name, f"?{len(cmq_names)}")
+
+    atom_signatures = []
+    for atom in query.atoms:
+        canonical = canonical_query(atom.query)
+        if canonical is None:
+            return None
+        if atom.source is not None:
+            target = ("uri", atom.source)
+        else:
+            target = ("svar", canon(atom.source_variable))
+        formals = (set(canonical.rename) | atom.query.output_variables()
+                   | atom.query.required_parameters() | set(atom.constants))
+        entries = []
+        for formal in sorted(formals, key=lambda f: canonical.rename.get(f, f)):
+            formal_key = canonical.rename.get(formal, formal)
+            if formal in atom.constants:
+                entries.append((formal_key, ("const", atom.constants[formal])))
+            else:
+                entries.append((formal_key,
+                                ("var", canon(atom.renames.get(formal, formal)))))
+        atom_signatures.append((canonical.key, target, tuple(entries)))
+    head = tuple(canon(variable) for variable in query.output_variables())
+    return tuple(atom_signatures), head

@@ -1,0 +1,252 @@
+"""The cross-query sub-query result cache and its dispatch proxy.
+
+The mediator's dominant cost is shipping sub-queries to sources; across
+a repeated workload (the paper's data-journalism scenario: the same
+fact-checking CMQs run over and over as tweets stream in) most of those
+calls recompute answers the mediator has already seen.
+:class:`SubQueryResultCache` memoises per-source sub-query results under
+a fully canonical key::
+
+    (source URI, source identity token, source version,
+     canonical query, canonical binding)
+
+The identity token (allocated per wrapper, never reused) keeps a cache
+shared across several instances safe: two glue graphs both live under
+the ``#glue`` URI, yet can never serve each other's rows.
+
+*Source versions* make invalidation precise: every store (RDF graph,
+relational tables, full-text store, JSON store) bumps a version counter
+on mutation, so an update to one source orphans exactly that source's
+entries — results of every other source keep serving hits, and the
+orphaned entries age out of the LRU.
+
+:class:`CachedSource` wraps a :class:`~repro.core.sources.DataSource`
+with the cache for the duration of a dispatch.  ``execute`` probes once;
+``execute_batch`` probes *per binding* and forwards only the misses to
+the wrapped source, so a batched bind join ships IN-lists/disjunctions
+built solely from uncached bindings.  Sources whose ``version()`` is
+unknown (``None``) are never cached.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+from repro.cache.keys import CanonicalQuery, canonical_query
+from repro.cache.lru import CacheStats, LRUCache
+from repro.core.sources import DataSource, Row, SourceQuery
+from repro.errors import MixedQueryError
+
+
+class SubQueryResultCache:
+    """LRU of sub-query results shared by every executor of an instance."""
+
+    #: Bound on the canonical-form memo (cleared wholesale past it, so a
+    #: workload of ever-changing query texts cannot grow it unboundedly).
+    MAX_CANONICAL_MEMO = 4096
+
+    def __init__(self, max_entries: int = 4096):
+        self.entries = LRUCache(max_entries)
+        self._canonical: dict[SourceQuery, Optional[CanonicalQuery]] = {}
+        self._lock = threading.RLock()
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.entries.stats
+
+    # ------------------------------------------------------------------
+    def canonicalize(self, query: SourceQuery) -> Optional[CanonicalQuery]:
+        """Memoised canonical form of ``query`` (None = uncacheable)."""
+        try:
+            with self._lock:
+                if query in self._canonical:
+                    return self._canonical[query]
+                canon = canonical_query(query)
+                if len(self._canonical) >= self.MAX_CANONICAL_MEMO:
+                    self._canonical.clear()
+                self._canonical[query] = canon
+                return canon
+        except TypeError:  # unhashable query object
+            return None
+
+    def key_for(self, source, version: int, query: SourceQuery,
+                bindings: Row) -> Optional[tuple[tuple, CanonicalQuery]]:
+        """The full cache key of one probe, or ``None`` when uncacheable.
+
+        ``source`` is the raw wrapper whose URI *and* identity token
+        enter the key; a wrapper without a token (a custom subclass that
+        skipped ``DataSource.__init__``) is treated as uncacheable.
+        """
+        token = getattr(source, "cache_token", None)
+        if token is None:
+            return None
+        canon = self.canonicalize(query)
+        if canon is None:
+            return None
+        binding_key = canon.binding_key(bindings)
+        if binding_key is None:
+            return None
+        return (source.uri, token, version, canon.key, binding_key), canon
+
+    def fetch(self, key: tuple, canon: CanonicalQuery,
+              record_miss: bool = True) -> Optional[list[Row]]:
+        """Cached rows re-keyed for the requesting query, or ``None``."""
+        stored = self.entries.get(key, record_miss=record_miss)
+        if stored is None:
+            return None
+        return canon.original_rows(stored)
+
+    def insert(self, key: tuple, canon: CanonicalQuery, rows: list[Row]) -> None:
+        self.entries.put(key, canon.canonical_rows(rows))
+
+    # ------------------------------------------------------------------
+    def invalidate_source(self, source_uri: str) -> int:
+        """Eagerly drop every entry of one source (versioning already
+        prevents stale hits; this just frees the slots)."""
+        return self.entries.invalidate_where(lambda key: key[0] == source_uri)
+
+    def clear(self) -> None:
+        self.entries.clear()
+        with self._lock:
+            self._canonical.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class CachedSource(DataSource):
+    """A dispatch proxy consulting the result cache before its source.
+
+    Everything the executor needs (`uri`, `model`, `accepts`,
+    ``estimate``, ...) delegates to the wrapped source; only
+    ``execute`` / ``execute_batch`` interpose the cache.  The source
+    version is snapshotted once per call, not per binding.
+
+    ``stats`` is an optional per-executor :class:`CacheStats` receiving
+    this proxy's hit/miss counts, so an execution's trace reports its
+    own probes rather than a delta of the instance-wide counters (which
+    other concurrent executions would pollute).
+    """
+
+    def __init__(self, inner: DataSource, cache: SubQueryResultCache,
+                 stats: CacheStats | None = None,
+                 stats_lock: threading.Lock | None = None):
+        self.inner = inner
+        self.cache = cache
+        self.local_stats = stats
+        # The stats object is shared by every proxy of one executor and
+        # bumped from parallel dispatch threads; the (equally shared)
+        # lock keeps the counters exact.
+        self._stats_lock = stats_lock or threading.Lock()
+
+    def _record(self, hit: bool) -> None:
+        if self.local_stats is None:
+            return
+        with self._stats_lock:
+            if hit:
+                self.local_stats.hits += 1
+            else:
+                self.local_stats.misses += 1
+
+    # -- delegation ---------------------------------------------------------
+    @property
+    def uri(self) -> str:  # type: ignore[override]
+        return self.inner.uri
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.inner.name
+
+    @property
+    def description(self) -> str:  # type: ignore[override]
+        return self.inner.description
+
+    @property
+    def model(self) -> str:  # type: ignore[override]
+        return self.inner.model
+
+    @property
+    def cache_token(self):  # type: ignore[override]
+        return self.inner.cache_token
+
+    def version(self) -> Optional[int]:
+        return self.inner.version()
+
+    def accepts(self, query: SourceQuery) -> bool:
+        return self.inner.accepts(query)
+
+    def estimate(self, query: SourceQuery, bound_variables: set[str] | None = None) -> float:
+        return self.inner.estimate(query, bound_variables)
+
+    def size(self) -> int:
+        return self.inner.size()
+
+    # -- cached protocol ----------------------------------------------------
+    def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
+        bindings = bindings or {}
+        version = self.inner.version()
+        if version is None:
+            return self.inner.execute(query, bindings)
+        keyed = self.cache.key_for(self.inner, version, query, bindings)
+        if keyed is None:
+            return self.inner.execute(query, bindings)
+        key, canon = keyed
+        rows = self.cache.fetch(key, canon)
+        if rows is not None:
+            self._record(hit=True)
+            return rows
+        self._record(hit=False)
+        rows = self.inner.execute(query, bindings)
+        self.cache.insert(key, canon, rows)
+        return rows
+
+    def execute_batch(self, query: SourceQuery,
+                      bindings_batch: Sequence[Row]) -> list[list[Row]]:
+        version = self.inner.version()
+        if version is None:
+            return self.inner.execute_batch(query, bindings_batch)
+        batch = [dict(b or {}) for b in bindings_batch]
+        results: list[Optional[list[Row]]] = [None] * len(batch)
+        miss_indices: list[int] = []
+        miss_keys: list[Optional[tuple[tuple, CanonicalQuery]]] = []
+        for index, bindings in enumerate(batch):
+            keyed = self.cache.key_for(self.inner, version, query, bindings)
+            if keyed is not None:
+                rows = self.cache.fetch(*keyed)
+                if rows is not None:
+                    self._record(hit=True)
+                    results[index] = rows
+                    continue
+                self._record(hit=False)
+            miss_indices.append(index)
+            miss_keys.append(keyed)
+        if miss_indices:
+            fetched = self.inner.execute_batch(query, [batch[i] for i in miss_indices])
+            if len(fetched) != len(miss_indices):
+                raise MixedQueryError(
+                    f"source {self.inner.uri!r} answered {len(fetched)} bindings "
+                    f"of a {len(miss_indices)}-binding batch"
+                )
+            for index, keyed, rows in zip(miss_indices, miss_keys, fetched):
+                results[index] = rows
+                if keyed is not None:
+                    self.cache.insert(keyed[0], keyed[1], rows)
+        return [rows if rows is not None else [] for rows in results]
+
+    def peek(self, query: SourceQuery, bindings: Row) -> Optional[list[Row]]:
+        """Cache-only probe (no source call, no miss recorded).
+
+        Hits are not counted into ``local_stats`` either — the caller
+        (the bind join's probe) keeps its own hit counter.
+        """
+        version = self.inner.version()
+        if version is None:
+            return None
+        keyed = self.cache.key_for(self.inner, version, query, bindings)
+        if keyed is None:
+            return None
+        return self.cache.fetch(keyed[0], keyed[1], record_miss=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CachedSource({self.inner!r})"

@@ -5,6 +5,7 @@ layer evaluating Conjunctive Mixed Queries across heterogeneous sources
 glued by a custom RDF graph.
 """
 
+from repro.cache.mediator import MediatorCache
 from repro.core.cmq import (
     AtomTemplate,
     AtomTemplateRegistry,
@@ -35,6 +36,7 @@ from repro.core.sources import (
 )
 
 __all__ = [
+    "MediatorCache",
     "AtomTemplate",
     "AtomTemplateRegistry",
     "CMQBuilder",

@@ -131,17 +131,16 @@ class SourceAtom:
             out[self.renames.get(formal_name, formal_name)] = value
         return out
 
+    def translate_rows(self, rows: Iterable[Row]) -> list[Row]:
+        """Translate source rows to CMQ names, dropping constant violations."""
+        return [self.translate_row(row) for row in rows
+                if _respects_constants(row, self.constants)]
+
     def execute_on(self, source: DataSource, bindings: Row | None = None) -> list[Row]:
         """Run the atom's sub-query on ``source`` under ``bindings``."""
         bindings = bindings or {}
         formal = self.formal_bindings(bindings)
-        rows = source.execute(self.query, formal)
-        translated = []
-        for row in rows:
-            if not _respects_constants(row, self.constants):
-                continue
-            translated.append(self.translate_row(row))
-        return translated
+        return self.translate_rows(source.execute(self.query, formal))
 
     def execute_batch_on(self, source: DataSource,
                          bindings_batch: Sequence[Row]) -> list[list[Row]]:
@@ -153,11 +152,7 @@ class SourceAtom:
         """
         formal_batch = [self.formal_bindings(bindings or {}) for bindings in bindings_batch]
         fetched = source.execute_batch(self.query, formal_batch)
-        results: list[list[Row]] = []
-        for rows in fetched:
-            results.append([self.translate_row(row) for row in rows
-                            if _respects_constants(row, self.constants)])
-        return results
+        return [self.translate_rows(rows) for rows in fetched]
 
     def is_glue(self) -> bool:
         """True when the atom targets the instance's custom RDF graph."""

@@ -22,8 +22,11 @@ the iterator engine of :mod:`repro.engine`.
 
 from __future__ import annotations
 
+import threading
 import time
 
+from repro.cache.lru import CacheStats
+from repro.cache.results import CachedSource
 from repro.core.cmq import ConjunctiveMixedQuery, SourceAtom
 from repro.core.planner import PlannerOptions, PlanStep, QueryPlan, QueryPlanner
 from repro.core.results import ExecutionTrace, MixedResult, SubQueryCall
@@ -49,21 +52,50 @@ class MixedQueryExecutor:
     ``digests`` is an optional :class:`repro.digest.graph.DigestCatalog`;
     when given, batched bind joins sieve their bindings through the
     target source's value-set summaries before shipping them.
+
+    ``cache`` is an optional :class:`repro.cache.MediatorCache` (shared
+    by every executor of an instance): sub-query results are then served
+    from the cross-query result cache before any source dispatch —
+    including per-binding probes inside batched bind joins, so a batch
+    ships only cache misses — and plans are reused through the plan
+    cache.  ``PlannerOptions(result_cache=False, plan_cache=False)``
+    opts out per executor.
     """
 
     def __init__(self, sources: dict[str, DataSource], glue: DataSource,
                  options: PlannerOptions | None = None, max_workers: int = 4,
-                 digests=None):
+                 digests=None, cache=None):
         self._sources = dict(sources)
         self._glue = glue
         self.options = options or PlannerOptions()
         self.max_workers = max_workers
-        self.planner = QueryPlanner(self._sources, glue, self.options)
+        self.planner = QueryPlanner(self._sources, glue, self.options,
+                                    plan_cache=cache.plans if cache is not None else None)
         self._sieve = None
         if digests is not None:
             from repro.digest.sieve import DigestSieve
 
             self._sieve = DigestSieve(digests)
+        # Dispatch goes through caching proxies when a mediator cache is
+        # configured; the planner (and the digest sieve) keep seeing the
+        # raw sources.  ``_cache_stats`` collects this executor's own
+        # hit/miss counts for the trace (the instance-wide counters are
+        # shared with other executors).
+        self._result_cache = None
+        self._cache_stats = None
+        self._dispatch: dict[str, DataSource] = self._sources
+        self._dispatch_glue: DataSource = glue
+        if cache is not None and self.options.result_cache:
+            self._result_cache = cache.results
+            self._cache_stats = CacheStats()
+            stats_lock = threading.Lock()
+            self._dispatch = {uri: CachedSource(source, cache.results,
+                                                stats=self._cache_stats,
+                                                stats_lock=stats_lock)
+                              for uri, source in self._sources.items()}
+            self._dispatch_glue = CachedSource(glue, cache.results,
+                                               stats=self._cache_stats,
+                                               stats_lock=stats_lock)
 
     # ------------------------------------------------------------------
     def execute(self, query: ConjunctiveMixedQuery, plan: QueryPlan | None = None,
@@ -74,10 +106,13 @@ class MixedQueryExecutor:
         this to compare planner options on identical queries).
         """
         start = time.perf_counter()
+        cache_stats = (self._cache_stats.snapshot()
+                       if self._cache_stats is not None else None)
         plan = plan or self.planner.plan(query)
         trace = ExecutionTrace(atom_order=plan.atom_order(), plan_text=plan.explain(),
                                stages=[[plan.steps[i].atom.name for i in stage]
-                                       for stage in plan.stages])
+                                       for stage in plan.stages],
+                               plan_cached=plan.cached)
 
         current: Operator | None = None
         batch_joins: list[BatchBindJoin] = []
@@ -101,6 +136,13 @@ class MixedQueryExecutor:
         trace.total_seconds = time.perf_counter() - start
         trace.intermediate_sizes.append(len(rows))
         trace.sieved_bindings = sum(join.sieved_out for join in batch_joins)
+        if cache_stats is not None:
+            # Dispatch-level probes from this executor's own proxies plus
+            # the bind joins' pre-dispatch probe hits.
+            now = self._cache_stats
+            trace.cache_hits = (now.hits - cache_stats.hits
+                                + sum(join.cache_hits for join in batch_joins))
+            trace.cache_misses = now.misses - cache_stats.misses
         return MixedResult(variables=output, rows=rows, trace=trace)
 
     # ------------------------------------------------------------------
@@ -147,9 +189,37 @@ class MixedQueryExecutor:
         join = BatchBindJoin(current, fetch_batch, call_key=call_key,
                              binding_of=binding_of,
                              batch_size=step.batch_size or DEFAULT_BATCH_SIZE,
-                             sieve=sieve, name=f"bind:{atom.name}")
+                             sieve=sieve, probe=self._cache_probe(step, atom),
+                             name=f"bind:{atom.name}")
         batch_joins.append(join)
         return join
+
+    def _cache_probe(self, step: PlanStep, atom: SourceAtom):
+        """Per-binding result-cache probe for a static bind step.
+
+        A hit answers the binding without it ever entering a batch;
+        misses ship as usual (and are cached at dispatch by the source
+        proxy).  Dynamic atoms resolve their target per binding and rely
+        on the proxy alone.
+        """
+        if self._result_cache is None or step.dynamic:
+            return None
+        if atom.is_glue():
+            target = self._dispatch_glue
+        elif atom.source is not None:
+            target = self._dispatch.get(atom.source)
+        else:
+            target = None
+        if not isinstance(target, CachedSource):
+            return None
+
+        def probe(binding: Row) -> list[Row] | None:
+            rows = target.peek(atom.query, atom.formal_bindings(binding))
+            if rows is None:
+                return None
+            return atom.translate_rows(rows)
+
+        return probe
 
     def _fetch_callable(self, step: PlanStep, trace: ExecutionTrace):
         def fetch():
@@ -241,7 +311,7 @@ class MixedQueryExecutor:
     def _resolve_runtime_sources(self, step: PlanStep, atom: SourceAtom,
                                  bindings: Row) -> list[DataSource]:
         if atom.is_glue():
-            return [self._glue]
+            return [self._dispatch_glue]
         if atom.source is not None:
             return [self._source(atom.source)]
         # Dynamic source: a bound source variable identifies one source;
@@ -249,7 +319,7 @@ class MixedQueryExecutor:
         if atom.source_variable and atom.source_variable in bindings:
             uri = bindings[atom.source_variable]
             return [self._source(str(uri))]
-        candidates = [s for s in self._sources.values() if s.accepts(atom.query)]
+        candidates = [s for s in self._dispatch.values() if s.accepts(atom.query)]
         if not candidates:
             raise UnknownSourceError(
                 f"no registered source accepts the sub-query of atom {atom.name!r}"
@@ -257,7 +327,7 @@ class MixedQueryExecutor:
         return candidates
 
     def _source(self, uri: str) -> DataSource:
-        source = self._sources.get(uri)
+        source = self._dispatch.get(uri)
         if source is None:
             raise UnknownSourceError(f"no source registered under URI {uri!r}")
         return source

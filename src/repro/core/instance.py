@@ -9,8 +9,9 @@ queries, or build digests from it.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
+from repro.cache.mediator import MediatorCache
 from repro.core.cmq import (
     AtomTemplateRegistry,
     CMQBuilder,
@@ -41,7 +42,8 @@ class MixedInstance:
     """A mixed data instance: custom RDF graph + heterogeneous sources."""
 
     def __init__(self, graph: Graph | None = None, name: str = "instance",
-                 schema: RDFSchema | None = None, entailment: bool = True):
+                 schema: RDFSchema | None = None, entailment: bool = True,
+                 cache: Union[MediatorCache, bool] = True):
         self.name = name
         self.graph = graph if graph is not None else Graph(name=f"{name}-glue")
         self.schema = schema
@@ -50,6 +52,13 @@ class MixedInstance:
         self._glue_source = RDFSource(GLUE_SOURCE, self.graph, name="glue",
                                       description="custom application RDF graph",
                                       entailment=entailment)
+        # Cross-query caches (sub-query results + plans), shared by every
+        # executor built from this instance.  ``cache=False`` disables
+        # them; a MediatorCache may be passed to share or size them.
+        if isinstance(cache, MediatorCache):
+            self.cache: Optional[MediatorCache] = cache
+        else:
+            self.cache = MediatorCache() if cache else None
 
     # ------------------------------------------------------------------
     # Source registry
@@ -119,10 +128,14 @@ class MixedInstance:
     # Glue graph helpers
     # ------------------------------------------------------------------
     def add_glue_triples(self, triples: Iterable) -> int:
-        """Add triples to the custom graph (invalidates cached saturation)."""
-        added = self.graph.add_all(triples)
-        self._glue_source.invalidate()
-        return added
+        """Add triples to the custom graph.
+
+        The glue saturation G∞ is maintained *incrementally*: only the
+        consequences of the new triples are derived, the unchanged part
+        of the closure is untouched.  The graph's version bump makes the
+        result cache drop exactly the glue entries.
+        """
+        return self._glue_source.add_triples(triples)
 
     # ------------------------------------------------------------------
     # Query entry points
@@ -136,11 +149,12 @@ class MixedInstance:
         """
         return MixedQueryExecutor(self._sources, self._glue_source,
                                   options=options, max_workers=max_workers,
-                                  digests=digests)
+                                  digests=digests, cache=self.cache)
 
     def planner(self, options: PlannerOptions | None = None) -> QueryPlanner:
         """Build a planner over the current source catalog."""
-        return QueryPlanner(self._sources, self._glue_source, options)
+        return QueryPlanner(self._sources, self._glue_source, options,
+                            plan_cache=self.cache.plans if self.cache else None)
 
     def plan(self, query: ConjunctiveMixedQuery,
              options: PlannerOptions | None = None) -> QueryPlan:
@@ -197,6 +211,18 @@ class MixedInstance:
             "glue_triples": len(self.graph),
             "sources": {uri: source.size() for uri, source in sorted(self._sources.items())},
         }
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop every cached sub-query result and plan."""
+        if self.cache is not None:
+            self.cache.clear()
+
+    def cache_statistics(self) -> dict[str, dict[str, object]]:
+        """Hit/miss counters of the result and plan caches."""
+        return self.cache.statistics() if self.cache is not None else {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"MixedInstance(name={self.name!r}, glue_triples={len(self.graph)}, "

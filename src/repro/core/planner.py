@@ -19,9 +19,10 @@ the current bindings to the source, i.e. a bind join).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from repro.cache.plans import PlanCache, plan_cache_key
 from repro.core.cmq import ConjunctiveMixedQuery, SourceAtom
 from repro.core.sources import DataSource
 from repro.errors import PlanningError
@@ -46,6 +47,12 @@ class PlannerOptions:
     #: Probe bindings against the source digests before shipping a batch
     #: (only effective when the executor is given a digest catalog).
     digest_sieve: bool = True
+    #: Consult the instance's sub-query result cache before dispatching
+    #: (only effective when the executor is given a mediator cache).
+    result_cache: bool = True
+    #: Reuse plans cached under the canonical CMQ signature + catalog
+    #: version (only effective when the planner is given a plan cache).
+    plan_cache: bool = True
 
 
 #: Bounds of the planner-chosen bind-join batch size.
@@ -101,10 +108,13 @@ class QueryPlan:
     steps: list[PlanStep]
     stages: list[list[int]]
     options: PlannerOptions
+    #: True when this plan was served from the plan cache.
+    cached: bool = False
 
     def explain(self) -> str:
         """Render the plan as indented text."""
-        lines = [f"plan for {self.query.name}:"]
+        suffix = " (cached plan)" if self.cached else ""
+        lines = [f"plan for {self.query.name}:{suffix}"]
         for stage_number, stage in enumerate(self.stages):
             parallel = " (parallel)" if len(stage) > 1 else ""
             lines.append(f"  stage {stage_number}{parallel}:")
@@ -121,16 +131,59 @@ class QueryPlanner:
     """Builds :class:`QueryPlan` objects for a given source catalog."""
 
     def __init__(self, sources: dict[str, DataSource], glue: DataSource,
-                 options: PlannerOptions | None = None):
+                 options: PlannerOptions | None = None,
+                 plan_cache: PlanCache | None = None):
         self._sources = sources
         self._glue = glue
         self.options = options or PlannerOptions()
+        self._plan_cache = plan_cache
 
     # ------------------------------------------------------------------
     def plan(self, query: ConjunctiveMixedQuery,
              options: PlannerOptions | None = None) -> QueryPlan:
-        """Produce an evaluation plan for ``query``."""
+        """Produce an evaluation plan for ``query``.
+
+        Structurally identical CMQs (equal up to variable renaming) over
+        an unchanged catalog are served from the plan cache when one is
+        configured; any source mutation or registration change makes the
+        key miss, so stale cardinality estimates are never reused.
+        """
         options = options or self.options
+        cache_key = None
+        if self._plan_cache is not None and options.plan_cache:
+            cache_key = plan_cache_key(query, self._sources, self._glue, options)
+            if cache_key is not None:
+                hit = self._plan_cache.get(cache_key)
+                if hit is not None:
+                    return self._rebind(hit, query, options)
+        plan = self._build_plan(query, options)
+        if cache_key is not None:
+            # Remember which body atom each step executes so a hit can be
+            # rebound to a renaming-equivalent query's own atoms.
+            indices = [next(i for i, atom in enumerate(query.atoms)
+                            if atom is step.atom) for step in plan.steps]
+            self._plan_cache.put(cache_key, (plan, indices))
+        return plan
+
+    @staticmethod
+    def _rebind(hit: tuple, query: ConjunctiveMixedQuery,
+                options: PlannerOptions) -> QueryPlan:
+        """Re-anchor a cached plan on the requesting query's atoms.
+
+        The cache key guarantees the queries are equal up to variable
+        renaming, so step order, modes, sources and estimates carry over
+        verbatim — only the atom objects (which hold the renaming) are
+        substituted.
+        """
+        plan, indices = hit
+        steps = [replace(step, atom=query.atoms[index])
+                 for step, index in zip(plan.steps, indices)]
+        return QueryPlan(query=query, steps=steps,
+                         stages=[list(stage) for stage in plan.stages],
+                         options=options, cached=True)
+
+    def _build_plan(self, query: ConjunctiveMixedQuery,
+                    options: PlannerOptions) -> QueryPlan:
         atoms = list(query.atoms)
         produced_by: dict[str, set[int]] = {}
         for index, atom in enumerate(atoms):

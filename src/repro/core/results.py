@@ -74,11 +74,16 @@ class MixedResult:
 
 @dataclass
 class SubQueryCall:
-    """One call shipped to a data source during evaluation.
+    """One sub-query dispatch recorded during evaluation.
 
     For batched bind joins ``bindings_in`` counts the distinct bindings
     answered by the call and ``batched`` is True; per-binding calls keep
     the historical meaning (number of bound variables shipped).
+
+    With the result cache enabled a dispatch may have been answered
+    partly or entirely from cached entries without touching the source;
+    the trace-level ``cache_hits`` / ``cache_misses`` counters tell how
+    much source work the execution really did.
     """
 
     atom: str
@@ -101,6 +106,12 @@ class ExecutionTrace:
     plan_text: str = ""
     #: Bindings the digest sieve proved matchless (never shipped).
     sieved_bindings: int = 0
+    #: Sub-query probes answered from the cross-query result cache.
+    cache_hits: int = 0
+    #: Sub-query probes that had to go to a source (and were then cached).
+    cache_misses: int = 0
+    #: True when the plan was served from the plan cache.
+    plan_cached: bool = False
 
     def calls_to(self, source_uri: str) -> int:
         """Number of sub-query calls shipped to ``source_uri``."""
@@ -124,6 +135,11 @@ class ExecutionTrace:
         ]
         if self.sieved_bindings:
             lines.insert(3, f"digest sieve dropped {self.sieved_bindings} binding(s)")
+        if self.cache_hits or self.cache_misses:
+            lines.insert(3, f"result cache: {self.cache_hits} hit(s), "
+                            f"{self.cache_misses} miss(es)")
+        if self.plan_cached:
+            lines.insert(1, "plan served from the plan cache")
         return "\n".join(lines)
 
 

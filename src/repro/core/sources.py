@@ -14,6 +14,7 @@ to the mediator's protocol:
 
 from __future__ import annotations
 
+import itertools
 import re
 import string
 from collections import defaultdict
@@ -27,8 +28,9 @@ from repro.json.parser import parse_pattern
 from repro.json.pattern import Parameter as JSONParameter, TreePattern
 from repro.json.store import JSONDocumentStore
 from repro.rdf.bgp import BGPQuery, evaluate_bgp
-from repro.rdf.entailment import saturate
+from repro.rdf.entailment import saturate, saturate_delta
 from repro.rdf.graph import Graph
+from repro.rdf.schema import RDFSchema
 from repro.rdf.sparql import parse_bgp
 from repro.rdf.terms import Literal, Term, URI, Variable, literal, uri
 from repro.relational.database import Database
@@ -192,6 +194,13 @@ class JSONQuery(SourceQuery):
 # Source wrappers
 # ---------------------------------------------------------------------------
 
+#: Process-wide allocator of per-wrapper cache identities (never reused,
+#: unlike ``id()``), so two wrappers registered under the same URI — e.g.
+#: the glue graphs of two instances sharing one MediatorCache — can
+#: never serve each other's cached rows.
+_CACHE_TOKENS = itertools.count()
+
+
 class DataSource:
     """Base class of the mediator's source wrappers."""
 
@@ -202,6 +211,7 @@ class DataSource:
         self.uri = source_uri
         self.name = name or source_uri.rsplit("/", 1)[-1]
         self.description = description
+        self.cache_token = next(_CACHE_TOKENS)
 
     # -- protocol -----------------------------------------------------------
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
@@ -223,6 +233,17 @@ class DataSource:
     def estimate(self, query: SourceQuery, bound_variables: set[str] | None = None) -> float:
         """Estimated number of rows the sub-query would return."""
         raise NotImplementedError
+
+    def version(self) -> Optional[int]:
+        """Monotonic version of the underlying data, or ``None``.
+
+        The mediator's result and plan caches key entries on this value,
+        so a wrapper **must** bump it on every mutation of its store.
+        ``None`` (the base default) means "unknown": results of this
+        source are never cached and plan caching is disabled for the
+        whole catalog.
+        """
+        return None
 
     def accepts(self, query: SourceQuery) -> bool:
         """True when this source can evaluate ``query``."""
@@ -247,17 +268,65 @@ class RDFSource(DataSource):
         self.graph = graph
         self.entailment = entailment
         self._saturated: Graph | None = None
+        self._saturated_schema: RDFSchema | None = None
+        self._saturated_state: tuple[int, int] = (-1, -1)
+
+    def version(self) -> int:
+        return self.graph.version
+
+    def _graph_state(self) -> tuple[int, int]:
+        return (self.graph.additions, self.graph.removals)
 
     def _effective_graph(self) -> Graph:
+        """The graph queries run against (G∞ when entailment is on).
+
+        Staleness is detected through the graph's explicit mutation
+        counters, never through ``len()`` — a removal, or a removal
+        paired with an addition, leaves the sizes equal but must not
+        serve the old saturation.  Additions are absorbed incrementally
+        (:func:`repro.rdf.entailment.saturate_delta`); any removal falls
+        back to a full recomputation.
+        """
         if not self.entailment:
             return self.graph
-        if self._saturated is None or len(self._saturated) < len(self.graph):
-            self._saturated, _ = saturate(self.graph)
+        state = self._graph_state()
+        if self._saturated is not None and state == self._saturated_state:
+            return self._saturated
+        if self._saturated is not None and state[1] == self._saturated_state[1]:
+            # Additions only since the last saturation.  An added triple
+            # already in G∞ cannot change the closure, so the explicit
+            # triples missing from the saturation are exactly the delta.
+            delta = [t for t in self.graph if t not in self._saturated]
+            saturate_delta(self._saturated, delta, schema=self._saturated_schema)
+            self._saturated_state = state
+            return self._saturated
+        self._saturated, _ = saturate(self.graph)
+        self._saturated_schema = RDFSchema.from_graph(self._saturated)
+        self._saturated_state = state
         return self._saturated
 
+    def add_triples(self, triples: Iterable) -> int:
+        """Add triples to the source graph, maintaining G∞ incrementally.
+
+        Unlike mutating ``self.graph`` directly (which is also supported,
+        but forces a set-difference scan at the next query), this knows
+        the exact delta and feeds it straight to the incremental
+        fixpoint.  Returns the number of triples actually new.
+        """
+        in_sync = (self.entailment and self._saturated is not None
+                   and self._graph_state() == self._saturated_state)
+        fresh = [t for t in triples if self.graph.add(t)]
+        if in_sync:
+            if fresh:
+                saturate_delta(self._saturated, fresh, schema=self._saturated_schema)
+            self._saturated_state = self._graph_state()
+        return len(fresh)
+
     def invalidate(self) -> None:
-        """Forget the cached saturation (call after updating the graph)."""
+        """Forget the cached saturation (a full recompute follows)."""
         self._saturated = None
+        self._saturated_schema = None
+        self._saturated_state = (-1, -1)
 
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
         if not isinstance(query, RDFQuery):
@@ -353,6 +422,9 @@ class RelationalSource(DataSource):
                  description: str = ""):
         super().__init__(source_uri, name or database.name, description)
         self.database = database
+
+    def version(self) -> int:
+        return self.database.version
 
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
         if not isinstance(query, SQLQuery):
@@ -474,6 +546,9 @@ class FullTextSource(DataSource):
                  description: str = ""):
         super().__init__(source_uri, name or store.name, description)
         self.store = store
+
+    def version(self) -> int:
+        return self.store.version
 
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
         if not isinstance(query, FullTextQuery):
@@ -624,6 +699,9 @@ class JSONSource(DataSource):
         super().__init__(source_uri, name or store.name, description)
         self.store = store
         self.matcher = TreePatternMatcher(store)
+
+    def version(self) -> int:
+        return self.store.version
 
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
         if not isinstance(query, JSONQuery):

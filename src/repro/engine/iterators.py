@@ -399,9 +399,12 @@ class BatchBindJoin(Operator):
 
     ``sieve`` is an optional semi-join filter (typically backed by the
     source's digest value sets): bindings it rejects are proven to have
-    no match at the source and are never shipped.  ``fetch_batch``
-    receives a list of binding dicts and must return one row list per
-    binding, in order.
+    no match at the source and are never shipped.  ``probe`` is an
+    optional per-binding result-cache lookup consulted after the sieve:
+    a non-``None`` answer serves the binding without shipping it, so a
+    batch reaching the source consists of cache misses only.
+    ``fetch_batch`` receives a list of binding dicts and must return one
+    row list per binding, in order.
     """
 
     def __init__(self, left: Operator, fetch_batch: Callable[[list[Row]], list[list[Row]]],
@@ -409,6 +412,7 @@ class BatchBindJoin(Operator):
                  binding_of: Callable[[Row], Row] | None = None,
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  sieve: Callable[[Row], bool] | None = None,
+                 probe: Callable[[Row], list[Row] | None] | None = None,
                  name: str = "batchbind"):
         super().__init__(name)
         self.left = left
@@ -417,9 +421,11 @@ class BatchBindJoin(Operator):
         self.binding_of = binding_of
         self.batch_size = max(1, batch_size)
         self.sieve = sieve
+        self.probe = probe
         self.calls = 0
         self.bindings_shipped = 0
         self.sieved_out = 0
+        self.cache_hits = 0
         self._key_orders: dict[frozenset, tuple[str, ...]] = {}
 
     def _default_key(self, row: Row) -> tuple:
@@ -460,8 +466,15 @@ class BatchBindJoin(Operator):
                 # The digest proves no source row can match this binding.
                 cache[key] = []
                 self.sieved_out += 1
-            else:
-                to_ship.append((key, binding))
+                continue
+            if self.probe is not None:
+                hit = self.probe(binding)
+                if hit is not None:
+                    # The cross-query result cache already knows the answer.
+                    cache[key] = hit
+                    self.cache_hits += 1
+                    continue
+            to_ship.append((key, binding))
         if not to_ship:
             return
         self.calls += 1

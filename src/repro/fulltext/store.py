@@ -102,6 +102,12 @@ class FullTextStore:
         self._keyword_indexes: dict[str, dict[str, set[str]]] = {
             f.name: defaultdict(set) for f in fields if f.field_type == "keyword"
         }
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (used for cache invalidation)."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Indexing
@@ -122,6 +128,7 @@ class FullTextStore:
             elif config.field_type == "keyword":
                 for keyword in self._keyword_values(value):
                     self._keyword_indexes[field_name][keyword].add(doc.doc_id)
+        self._version += 1
         return doc
 
     def add_all(self, sources: Iterable[dict[str, Any] | Document]) -> int:
@@ -138,6 +145,7 @@ class FullTextStore:
         for keyword_index in self._keyword_indexes.values():
             for doc_ids in keyword_index.values():
                 doc_ids.discard(doc_id)
+        self._version += 1
         return True
 
     # ------------------------------------------------------------------

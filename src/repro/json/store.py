@@ -36,6 +36,12 @@ class JSONDocumentStore:
         self._ranks: dict[str, int] = {}
         self._next_rank = 0
         self._dataguide: JSONDataguide | None = None
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (used for cache invalidation)."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -66,6 +72,7 @@ class JSONDocumentStore:
                 self._indexes[path] = index
             index.add(doc_id, value)
         self._dataguide = None
+        self._version += 1
         return doc_id
 
     def add_all(self, documents: Iterable[dict[str, Any]]) -> int:
@@ -89,6 +96,7 @@ class JSONDocumentStore:
         del self._documents[doc_id]
         del self._ranks[doc_id]
         self._dataguide = None
+        self._version += 1
         return True
 
     # ------------------------------------------------------------------

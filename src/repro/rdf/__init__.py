@@ -7,7 +7,7 @@ fragment (BGPs) used by mixed queries.
 """
 
 from repro.rdf.bgp import BGPQuery, EvaluationTrace, answer_bgp, evaluate_ask, evaluate_bgp
-from repro.rdf.entailment import SaturationStats, implicit_triples, saturate
+from repro.rdf.entailment import SaturationStats, implicit_triples, saturate, saturate_delta
 from repro.rdf.graph import Graph
 from repro.rdf.ntriples import iter_triples, parse_ntriples, serialize_ntriples
 from repro.rdf.schema import RDFSchema
@@ -50,6 +50,7 @@ __all__ = [
     "SaturationStats",
     "implicit_triples",
     "saturate",
+    "saturate_delta",
     "Graph",
     "iter_triples",
     "parse_ntriples",

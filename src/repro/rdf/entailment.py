@@ -32,11 +32,15 @@ from repro.rdf.graph import Graph
 from repro.rdf.schema import RDFSchema
 from repro.rdf.terms import (
     RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
     RDFS_SUBCLASS,
     RDFS_SUBPROPERTY,
     Literal,
     Term,
     Triple,
+    TriplePattern,
+    Variable,
 )
 
 
@@ -93,6 +97,56 @@ def saturate(graph: Graph, schema: RDFSchema | None = None) -> tuple[Graph, Satu
     return saturated, stats
 
 
+def saturate_delta(saturated: Graph, new_triples: Iterable[Triple],
+                   schema: RDFSchema | None = None) -> SaturationStats:
+    """Bring a saturation up to date after adding ``new_triples``.
+
+    ``saturated`` must be a graph closed under the RDFS rules (the
+    output of :func:`saturate`, or of earlier :func:`saturate_delta`
+    calls); it is mutated **in place** so that afterwards it equals
+    ``saturate(G ∪ Δ)`` — without copying or re-deriving anything from
+    the unchanged part of the graph.  The semi-naive fixpoint starts
+    from the *delta frontier* only: triples of ``Δ`` already present in
+    G∞ cannot change the closure and are skipped outright.
+
+    Schema statements in the delta are handled incrementally too: a new
+    ``rdfs:subPropertyOf`` / ``rdfs:subClassOf`` / ``rdfs:domain`` /
+    ``rdfs:range`` edge re-examines exactly the existing triples it
+    activates (found through the graph's permutation indexes), not the
+    whole graph.  Removals are **not** supported — callers must fall
+    back to a full :func:`saturate` after deleting triples.
+
+    ``schema`` may be the schema extracted from ``saturated`` (it is
+    updated in place with statements discovered in the delta, so the
+    same object can be threaded through successive deltas); when
+    omitted it is re-extracted from the graph.
+    """
+    if schema is None:
+        schema = RDFSchema.from_graph(saturated)
+    stats = SaturationStats()
+    frontier: list[Triple] = []
+    for t in new_triples:
+        if saturated.add(t):
+            schema.observe(t)
+            frontier.append(t)
+    stats.explicit_triples = len(saturated)
+    rounds = 0
+    while frontier:
+        rounds += 1
+        derived: list[Triple] = []
+        for t in frontier:
+            derived.extend(_apply_instance_rules(t, schema, stats))
+            derived.extend(_apply_schema_activations(t, saturated, stats))
+        frontier = []
+        for t in derived:
+            if saturated.add(t):
+                schema.observe(t)
+                frontier.append(t)
+    stats.rounds = rounds
+    stats.implicit_triples = len(saturated) - stats.explicit_triples
+    return stats
+
+
 def implicit_triples(graph: Graph, schema: RDFSchema | None = None) -> set[Triple]:
     """Return only the implicit triples of ``graph`` (G∞ minus G)."""
     saturated, _ = saturate(graph, schema)
@@ -131,6 +185,53 @@ def _apply_instance_rules(t: Triple, schema: RDFSchema, stats: SaturationStats) 
         for parent in superclasses:
             out.append(Triple(t.subject, RDF_TYPE, parent))
         stats.record("rdfs9", len(superclasses))
+    return out
+
+
+#: Fresh pattern variables for the delta activations (never user-visible).
+_DELTA_S = Variable("__delta_s__")
+_DELTA_O = Variable("__delta_o__")
+
+
+def _apply_schema_activations(t: Triple, graph: Graph,
+                              stats: SaturationStats) -> list[Triple]:
+    """Derivations a *new schema triple* ``t`` activates over ``graph``.
+
+    The full fixpoint pairs every schema edge with every instance triple
+    up front; when an edge arrives incrementally, only its own joins are
+    missing — both transitivity directions against the existing
+    hierarchy, and the rule body over the triples it governs.
+    """
+    out: list[Triple] = []
+    if t.predicate == RDFS_SUBPROPERTY:
+        child, parent = t.subject, t.obj
+        grandparents = graph.objects(subject=parent, predicate=RDFS_SUBPROPERTY)
+        out.extend(Triple(child, RDFS_SUBPROPERTY, gp) for gp in grandparents)
+        grandchildren = graph.subjects(predicate=RDFS_SUBPROPERTY, obj=child)
+        out.extend(Triple(gc, RDFS_SUBPROPERTY, parent) for gc in grandchildren)
+        stats.record("rdfs5", len(grandparents) + len(grandchildren))
+        uses = list(graph.match(TriplePattern(_DELTA_S, child, _DELTA_O)))
+        out.extend(Triple(u.subject, parent, u.obj) for u in uses)
+        stats.record("rdfs7", len(uses))
+    elif t.predicate == RDFS_SUBCLASS:
+        child, parent = t.subject, t.obj
+        grandparents = graph.objects(subject=parent, predicate=RDFS_SUBCLASS)
+        out.extend(Triple(child, RDFS_SUBCLASS, gp) for gp in grandparents)
+        grandchildren = graph.subjects(predicate=RDFS_SUBCLASS, obj=child)
+        out.extend(Triple(gc, RDFS_SUBCLASS, parent) for gc in grandchildren)
+        stats.record("rdfs11", len(grandparents) + len(grandchildren))
+        instances = graph.subjects(predicate=RDF_TYPE, obj=child)
+        out.extend(Triple(i, RDF_TYPE, parent) for i in instances)
+        stats.record("rdfs9", len(instances))
+    elif t.predicate == RDFS_DOMAIN:
+        uses = list(graph.match(TriplePattern(_DELTA_S, t.subject, _DELTA_O)))
+        out.extend(Triple(u.subject, RDF_TYPE, t.obj) for u in uses)
+        stats.record("rdfs2", len(uses))
+    elif t.predicate == RDFS_RANGE:
+        typed = [u for u in graph.match(TriplePattern(_DELTA_S, t.subject, _DELTA_O))
+                 if not isinstance(u.obj, Literal)]
+        out.extend(Triple(u.obj, RDF_TYPE, t.obj) for u in typed)
+        stats.record("rdfs3", len(typed))
     return out
 
 

@@ -43,6 +43,8 @@ class Graph:
         self._spo: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._pos: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._osp: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
+        self._additions = 0
+        self._removals = 0
         if triples:
             self.add_all(triples)
 
@@ -65,6 +67,7 @@ class Graph:
         self._spo[s][p].add(o)
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
+        self._additions += 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -72,18 +75,29 @@ class Graph:
         return sum(1 for t in triples if self.add(t))
 
     def remove(self, t: Triple) -> bool:
-        """Remove a triple; returns True if it was present."""
+        """Remove a triple; returns True if it was present.
+
+        Emptied index buckets are pruned so that add/remove churn does
+        not grow the permutation indexes without bound.
+        """
         if t not in self._triples:
             return False
         self._triples.discard(t)
         s, p, o = t.subject, t.predicate, t.obj
-        self._spo[s][p].discard(o)
-        self._pos[p][o].discard(s)
-        self._osp[o][s].discard(p)
+        _discard_pruning(self._spo, s, p, o)
+        _discard_pruning(self._pos, p, o, s)
+        _discard_pruning(self._osp, o, s, p)
+        self._removals += 1
         return True
+
+    def remove_all(self, triples: Iterable[Triple]) -> int:
+        """Remove every triple of ``triples``; return how many were present."""
+        return sum(1 for t in triples if self.remove(t))
 
     def clear(self) -> None:
         """Remove every triple."""
+        if self._triples:
+            self._removals += 1
         self._triples.clear()
         self._spo.clear()
         self._pos.clear()
@@ -92,6 +106,27 @@ class Graph:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by every effective change).
+
+        Consumers (cached saturations, the mediator's result cache) key
+        derived state on this value: equality of versions guarantees the
+        graph is byte-for-byte unchanged — unlike ``len()``, which cannot
+        see a removal paired with an addition.
+        """
+        return self._additions + self._removals
+
+    @property
+    def additions(self) -> int:
+        """Number of effective triple additions since construction."""
+        return self._additions
+
+    @property
+    def removals(self) -> int:
+        """Number of effective removal events since construction."""
+        return self._removals
+
     def __len__(self) -> int:
         return len(self._triples)
 
@@ -106,16 +141,41 @@ class Graph:
         return Graph(name or self.name, self._triples)
 
     def subjects(self, predicate: Term | None = None, obj: Term | None = None) -> set[Term]:
-        """Return the distinct subjects matching optional predicate/object."""
-        return {t.subject for t in self.match(TriplePattern(Variable("s"), predicate or Variable("p"), obj or Variable("o")))}
+        """Return the distinct subjects matching optional predicate/object.
+
+        Answered directly from the permutation indexes — no
+        :class:`Triple` objects are materialised.
+        """
+        if predicate is None and obj is None:
+            return set(self._spo)
+        if predicate is not None and obj is not None:
+            return set(self._pos.get(predicate, {}).get(obj, ()))
+        if predicate is not None:
+            out: set[Term] = set()
+            for subjects in self._pos.get(predicate, {}).values():
+                out |= subjects
+            return out
+        return set(self._osp.get(obj, {}))
 
     def predicates(self) -> set[Term]:
         """Return every distinct predicate in the graph."""
         return set(self._pos.keys())
 
     def objects(self, subject: Term | None = None, predicate: Term | None = None) -> set[Term]:
-        """Return the distinct objects matching optional subject/predicate."""
-        return {t.obj for t in self.match(TriplePattern(subject or Variable("s"), predicate or Variable("p"), Variable("o")))}
+        """Return the distinct objects matching optional subject/predicate.
+
+        Like :meth:`subjects`, answered straight from the indexes.
+        """
+        if subject is None and predicate is None:
+            return set(self._osp)
+        if subject is not None and predicate is not None:
+            return set(self._spo.get(subject, {}).get(predicate, ()))
+        if subject is not None:
+            out: set[Term] = set()
+            for objects in self._spo.get(subject, {}).values():
+                out |= objects
+            return out
+        return set(self._pos.get(predicate, {}))
 
     def value(self, subject: Term, predicate: Term) -> Term | None:
         """Return one object of ``subject predicate ?o`` or None."""
@@ -232,6 +292,22 @@ class Graph:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Graph(name={self.name!r}, triples={len(self)})"
+
+
+def _discard_pruning(index: dict[Term, dict[Term, set[Term]]],
+                     a: Term, b: Term, value: Term) -> None:
+    """Discard ``value`` from ``index[a][b]``, pruning emptied buckets."""
+    inner = index.get(a)
+    if inner is None:
+        return
+    bucket = inner.get(b)
+    if bucket is None:
+        return
+    bucket.discard(value)
+    if not bucket:
+        del inner[b]
+        if not inner:
+            del index[a]
 
 
 def _repeated_variable_positions(pattern: TriplePattern) -> list[tuple[int, int]]:

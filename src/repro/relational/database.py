@@ -24,6 +24,12 @@ class Database:
     def __init__(self, name: str = "db"):
         self.name = name
         self._tables: dict[str, Table] = {}
+        self._catalog_version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter over the catalog and every table."""
+        return self._catalog_version + sum(t.version for t in self._tables.values())
 
     # ------------------------------------------------------------------
     # Catalog
@@ -35,6 +41,7 @@ class Database:
             raise SchemaError(f"table {schema.name!r} already exists in {self.name!r}")
         table = Table(schema)
         self._tables[key] = table
+        self._catalog_version += 1
         return table
 
     def create_table_from_rows(self, name: str, rows: Iterable[dict[str, object]],
@@ -86,6 +93,9 @@ class Database:
         """Remove a table from the catalog."""
         if name.lower() not in self._tables:
             raise RelationalError(f"database {self.name!r} has no table {name!r}")
+        # Absorb the dropped table's mutation count so the database
+        # version stays monotonic (it must never revisit an old value).
+        self._catalog_version += 1 + self._tables[name.lower()].version
         del self._tables[name.lower()]
 
     # ------------------------------------------------------------------

@@ -43,8 +43,14 @@ class Table:
         self.schema = schema
         self.rows: list[tuple] = []
         self._indexes: dict[str, Index] = {}
+        self._version = 0
         if schema.primary_key:
             self.create_index(schema.primary_key)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (used for cache invalidation)."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Mutation
@@ -67,6 +73,7 @@ class Table:
         self.rows.append(row)
         for column, index in self._indexes.items():
             index.add(row[self.schema.column_index(column)], row_id)
+        self._version += 1
         return row
 
     def insert_many(self, rows: Iterable[dict[str, object] | list[object] | tuple]) -> int:

@@ -1,0 +1,466 @@
+"""Tests for the cross-query caching subsystem (`repro.cache`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import (
+    CachedSource,
+    LRUCache,
+    MediatorCache,
+    canonical_query,
+    cmq_signature,
+)
+from repro.core import MixedInstance, PlannerOptions
+from repro.core.sources import FullTextQuery, JSONQuery, RDFQuery, SQLQuery
+from repro.fulltext.store import FieldConfig, FullTextStore
+from repro.json.store import JSONDocumentStore
+from repro.rdf import Graph, triple
+from repro.relational import Database
+
+NO_CACHE = PlannerOptions(result_cache=False, plan_cache=False)
+
+
+@pytest.fixture
+def instance():
+    """A four-model instance: glue + SQL + full-text + JSON + RDF."""
+    glue = Graph("glue")
+    for handle, dept in [("fhollande", "75"), ("mlepen", "62"), ("nobody", "99")]:
+        glue.add(triple(f"ttn:U_{handle}", "ttn:twitterAccount", handle))
+        glue.add(triple(f"ttn:U_{handle}", "ttn:deptCode", dept))
+
+    database = Database("insee")
+    database.create_table_from_rows("unemployment", [
+        {"dept_code": "75", "rate": 7.5},
+        {"dept_code": "62", "rate": 12.1},
+        {"dept_code": "33", "rate": 9.0},
+    ])
+
+    store = FullTextStore("tweets", fields=[
+        FieldConfig("text", "text"),
+        FieldConfig("user.screen_name", "keyword"),
+    ], default_field="text")
+    store.add_all([
+        {"id": 1, "text": "bonjour de paris", "user": {"screen_name": "fhollande"}},
+        {"id": 2, "text": "bonjour du nord", "user": {"screen_name": "mlepen"}},
+    ])
+
+    json_store = JSONDocumentStore("docs")
+    json_store.add_all([
+        {"id": "1", "user": {"screen_name": "fhollande"}, "retweets": 10},
+        {"id": "2", "user": {"screen_name": "mlepen"}, "retweets": 3},
+    ])
+
+    rdf_graph = Graph("handles")
+    rdf_graph.add(triple("ttn:A1", "ttn:handle", "fhollande"))
+    rdf_graph.add(triple("ttn:A1", "ttn:followers", 1_500_000))
+    rdf_graph.add(triple("ttn:A2", "ttn:handle", "mlepen"))
+    rdf_graph.add(triple("ttn:A2", "ttn:followers", 900_000))
+
+    inst = MixedInstance(graph=glue, name="cache-test", entailment=False)
+    inst.register_relational("sql://insee", database)
+    inst.register_fulltext("solr://tweets", store)
+    inst.register_json("json://docs", json_store)
+    inst.register_rdf("rdf://handles", rdf_graph)
+    return inst
+
+
+def sql_cmq(inst, name="q"):
+    return (inst.builder(name, head=["dept", "rate"])
+            .graph("SELECT ?dept WHERE { ?x ttn:deptCode ?dept }")
+            .sql("stats", source="sql://insee",
+                 sql="SELECT dept_code AS dept, rate AS rate FROM unemployment "
+                     "WHERE dept_code = {dept}")
+            .build())
+
+
+def rows_of(result):
+    return sorted(map(str, result.rows))
+
+
+# ---------------------------------------------------------------------------
+# LRU primitives
+# ---------------------------------------------------------------------------
+
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        lru = LRUCache(4)
+        assert lru.get("a") is None
+        lru.put("a", [1])
+        assert lru.get("a") == [1]
+        assert lru.stats.hits == 1 and lru.stats.misses == 1
+
+    def test_eviction_is_least_recently_used(self):
+        lru = LRUCache(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")  # refresh a; b is now the oldest
+        lru.put("c", 3)
+        assert "a" in lru and "c" in lru and "b" not in lru
+        assert lru.stats.evictions == 1
+
+    def test_peek_does_not_record_miss(self):
+        lru = LRUCache(4)
+        assert lru.get("nope", record_miss=False) is None
+        assert lru.stats.misses == 0
+
+    def test_invalidate_where(self):
+        lru = LRUCache(8)
+        lru.put(("s1", 0), 1)
+        lru.put(("s2", 0), 2)
+        assert lru.invalidate_where(lambda key: key[0] == "s1") == 1
+        assert ("s2", 0) in lru and ("s1", 0) not in lru
+
+
+# ---------------------------------------------------------------------------
+# Canonical keys: variable-renaming invariance
+# ---------------------------------------------------------------------------
+
+class TestCanonicalKeys:
+    def test_rdf_renaming_invariant(self):
+        a = RDFQuery.from_text("SELECT ?x ?y WHERE { ?x ttn:knows ?y }")
+        b = RDFQuery.from_text("SELECT ?p ?q WHERE { ?p ttn:knows ?q }")
+        c = RDFQuery.from_text("SELECT ?y ?x WHERE { ?x ttn:knows ?y }")
+        assert canonical_query(a).key == canonical_query(b).key
+        assert canonical_query(a).key != canonical_query(c).key  # head order
+
+    def test_rdf_structure_matters(self):
+        a = RDFQuery.from_text("SELECT ?x WHERE { ?x ttn:knows ?y }")
+        b = RDFQuery.from_text("SELECT ?x WHERE { ?x ttn:likes ?y }")
+        assert canonical_query(a).key != canonical_query(b).key
+
+    def test_sql_placeholder_renaming_invariant(self):
+        a = SQLQuery(sql="SELECT h AS id FROM t WHERE h = {id}")
+        b = SQLQuery(sql="SELECT h AS id FROM t WHERE h = {handle}")
+        assert canonical_query(a).key == canonical_query(b).key
+
+    def test_fulltext_renaming_invariant(self):
+        a = FullTextQuery.create("user.screen_name:{id}",
+                                 {"t": "text", "id": "user.screen_name"})
+        b = FullTextQuery.create("user.screen_name:{who}",
+                                 {"txt": "text", "who": "user.screen_name"})
+        assert canonical_query(a).key == canonical_query(b).key
+        assert canonical_query(a).key != canonical_query(
+            FullTextQuery.create("user.screen_name:{id}",
+                                 {"t": "text", "id": "user.screen_name"},
+                                 limit=5)).key
+
+    def test_json_renaming_invariant(self):
+        a = JSONQuery.from_text("{ user.screen_name: ?id, retweets: ?n }")
+        b = JSONQuery.from_text("{ user.screen_name: ?who, retweets: ?m }")
+        assert canonical_query(a).key == canonical_query(b).key
+
+    def test_binding_keys_follow_the_renaming(self):
+        a = SQLQuery(sql="SELECT h AS id FROM t WHERE h = {id}")
+        b = SQLQuery(sql="SELECT h AS id FROM t WHERE h = {handle}")
+        ka = canonical_query(a).binding_key({"id": "x"})
+        kb = canonical_query(b).binding_key({"handle": "x"})
+        assert ka == kb
+
+    def test_binding_keys_are_type_sensitive(self):
+        # True == 1 == 1.0 in Python, but the wrappers render them
+        # differently at the source — they must not share an entry.
+        canon = canonical_query(SQLQuery(sql="SELECT c AS c FROM t WHERE c = {x}"))
+        keys = {canon.binding_key({"x": value}) for value in (True, 1, 1.0)}
+        assert len(keys) == 3
+        assert canon.binding_key({"x": [1]}) != canon.binding_key({"x": (1,)})
+
+    def test_nested_container_bindings_are_cacheable(self):
+        a = SQLQuery(sql="SELECT h AS id FROM t WHERE h = {id}")
+        canon = canonical_query(a)
+        key = canon.binding_key({"id": [["nested"], {"k": "v"}]})
+        assert key is not None
+        assert key == canon.binding_key({"id": [["nested"], {"k": "v"}]})
+
+    def test_unhashable_binding_is_uncacheable(self):
+        a = SQLQuery(sql="SELECT h AS id FROM t WHERE h = {id}")
+        key = canonical_query(a).binding_key({"id": bytearray(b"raw")})
+        assert key is None
+
+    def test_row_round_trip_through_renaming(self):
+        a = JSONQuery.from_text("{ user.screen_name: ?id }")
+        b = JSONQuery.from_text("{ user.screen_name: ?who }")
+        stored = canonical_query(a).canonical_rows([{"id": "fhollande"}])
+        assert canonical_query(b).original_rows(stored) == [{"who": "fhollande"}]
+
+
+# ---------------------------------------------------------------------------
+# Result cache behaviour through the executor
+# ---------------------------------------------------------------------------
+
+class TestResultCache:
+    def test_warm_run_equals_cold_run(self, instance):
+        cmq = sql_cmq(instance)
+        reference = instance.execute(cmq, options=NO_CACHE)
+        cold = instance.execute(cmq)
+        warm = instance.execute(cmq)
+        assert rows_of(cold) == rows_of(reference)
+        assert rows_of(warm) == rows_of(reference)
+        assert warm.trace.cache_hits > 0
+        assert warm.trace.cache_misses == 0
+
+    def test_trace_counters_on_cold_run(self, instance):
+        cold = instance.execute(sql_cmq(instance))
+        assert cold.trace.cache_misses > 0
+        assert not cold.trace.plan_cached
+
+    def test_renamed_cmq_shares_cache_entries(self, instance):
+        instance.execute(sql_cmq(instance))  # populate
+        renamed = (instance.builder("q2", head=["d", "r"])
+                   .graph("SELECT ?d WHERE { ?y ttn:deptCode ?d }")
+                   .sql("stats", source="sql://insee",
+                        sql="SELECT dept_code AS dept, rate AS rate FROM unemployment "
+                            "WHERE dept_code = {dept}",
+                        renames={"dept": "d", "rate": "r"})
+                   .build())
+        warm = instance.execute(renamed)
+        assert warm.trace.cache_misses == 0
+        assert warm.trace.cache_hits > 0
+        assert {row["d"] for row in warm.rows} == {"75", "62"}
+
+    def test_bind_join_probe_serves_hits_without_dispatch(self, instance):
+        cmq = sql_cmq(instance)
+        instance.execute(cmq)
+        warm = instance.execute(cmq)
+        # The bind step never shipped: only the glue materialize call is
+        # dispatched (and itself answered by the cache).
+        assert len(warm.trace.calls) == 1
+        assert warm.trace.calls[0].atom == "qG"
+
+    def test_mutation_invalidates_only_the_mutated_source(self, instance):
+        cmq = sql_cmq(instance)
+        instance.execute(cmq)
+        instance.source("sql://insee").database.execute(
+            "INSERT INTO unemployment (dept_code, rate) VALUES ('99', 42.0)")
+        after = instance.execute(cmq)
+        # Glue entries still hit; every SQL binding misses and recomputes.
+        assert after.trace.cache_hits > 0
+        assert after.trace.cache_misses > 0
+        assert {row["dept"] for row in after.rows} == {"75", "62", "99"}
+
+    def test_fulltext_store_mutation_is_seen(self, instance):
+        cmq = (instance.builder("ft", head=["id", "t"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .fulltext("tweets", source="solr://tweets",
+                         query="user.screen_name:{id}",
+                         fields={"t": "text", "id": "user.screen_name"})
+               .build())
+        before = instance.execute(cmq)
+        instance.source("solr://tweets").store.add(
+            {"id": 3, "text": "salut", "user": {"screen_name": "nobody"}})
+        after = instance.execute(cmq)
+        assert len(after.rows) == len(before.rows) + 1
+
+    def test_json_store_mutation_is_seen(self, instance):
+        cmq = (instance.builder("js", head=["id", "n"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .json("docs", source="json://docs",
+                     pattern="{ user.screen_name: ?id, retweets: ?n }")
+               .build())
+        before = instance.execute(cmq)
+        instance.source("json://docs").store.add(
+            {"id": "3", "user": {"screen_name": "nobody"}, "retweets": 1})
+        after = instance.execute(cmq)
+        assert len(after.rows) == len(before.rows) + 1
+
+    def test_rdf_graph_mutation_is_seen_even_at_equal_size(self, instance):
+        cmq = (instance.builder("rq", head=["id", "f"])
+               .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+               .rdf("followers", source="rdf://handles",
+                    sparql_text="SELECT ?id ?f WHERE { ?u ttn:handle ?id . "
+                                "?u ttn:followers ?f }")
+               .build())
+        before = instance.execute(cmq)
+        source = instance.source("rdf://handles")
+        source.graph.remove(triple("ttn:A2", "ttn:followers", 900_000))
+        source.graph.add(triple("ttn:A2", "ttn:followers", 901_000))
+        after = instance.execute(cmq)
+        assert len(source.graph) == 4  # same size, different content
+        assert rows_of(after) != rows_of(before)
+        assert {row["f"] for row in after.rows} == {1_500_000, 901_000}
+
+    def test_glue_update_invalidates_glue_entries(self, instance):
+        cmq = sql_cmq(instance)
+        instance.execute(cmq)
+        instance.add_glue_triples([triple("ttn:U_new", "ttn:deptCode", "33")])
+        after = instance.execute(cmq)
+        assert {row["dept"] for row in after.rows} == {"75", "62", "33"}
+
+    def test_cache_disabled_by_option(self, instance):
+        cmq = sql_cmq(instance)
+        instance.execute(cmq, options=NO_CACHE)
+        again = instance.execute(cmq, options=NO_CACHE)
+        assert again.trace.cache_hits == 0 and again.trace.cache_misses == 0
+
+    def test_cache_disabled_on_instance(self):
+        inst = MixedInstance(name="nocache", cache=False, entailment=False)
+        assert inst.cache is None
+        assert inst.cache_statistics() == {}
+
+    def test_shared_cache_never_crosses_instances(self):
+        """Two instances sharing one MediatorCache collide on the glue URI
+        (both are '#glue') — the per-source identity token must keep
+        their entries apart."""
+        shared = MediatorCache()
+        results = {}
+        for name in ("alice", "bob"):
+            glue = Graph(f"{name}-glue")
+            glue.add(triple(f"ttn:{name}", "ttn:twitterAccount", name))
+            inst = MixedInstance(graph=glue, name=name, entailment=False,
+                                 cache=shared)
+            cmq = (inst.builder("q", head=["id"])
+                   .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+                   .build())
+            results[name] = inst.execute(cmq)
+        assert [row["id"] for row in results["alice"].rows] == ["alice"]
+        assert [row["id"] for row in results["bob"].rows] == ["bob"]
+
+    def test_clear_caches(self, instance):
+        cmq = sql_cmq(instance)
+        instance.execute(cmq)
+        instance.clear_caches()
+        cold = instance.execute(cmq)
+        assert cold.trace.cache_hits == 0
+
+    def test_equivalence_across_all_four_models(self, instance):
+        queries = [
+            sql_cmq(instance),
+            (instance.builder("ft", head=["id", "t"])
+             .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+             .fulltext("tweets", source="solr://tweets",
+                       query="user.screen_name:{id}",
+                       fields={"t": "text", "id": "user.screen_name"})
+             .build()),
+            (instance.builder("js", head=["id", "n"])
+             .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+             .json("docs", source="json://docs",
+                   pattern="{ user.screen_name: ?id, retweets: ?n }")
+             .build()),
+            (instance.builder("rq", head=["id", "f"])
+             .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+             .rdf("followers", source="rdf://handles",
+                  sparql_text="SELECT ?id ?f WHERE { ?u ttn:handle ?id . "
+                              "?u ttn:followers ?f }")
+             .build()),
+        ]
+        for cmq in queries:
+            reference = instance.execute(cmq, options=NO_CACHE)
+            cold = instance.execute(cmq)
+            warm = instance.execute(cmq)
+            assert rows_of(cold) == rows_of(reference)
+            assert rows_of(warm) == rows_of(reference)
+            assert warm.trace.cache_hits > 0
+
+
+# ---------------------------------------------------------------------------
+# CachedSource proxy
+# ---------------------------------------------------------------------------
+
+class TestCachedSource:
+    def test_batch_ships_only_misses(self, instance):
+        cache = MediatorCache()
+        inner = instance.source("sql://insee")
+        proxy = CachedSource(inner, cache.results)
+        query = SQLQuery(sql="SELECT dept_code AS dept, rate AS rate "
+                             "FROM unemployment WHERE dept_code = {dept}")
+        proxy.execute(query, {"dept": "75"})
+
+        shipped = []
+        original = inner.execute_batch
+
+        def spy(q, batch):
+            shipped.append(list(batch))
+            return original(q, batch)
+
+        inner.execute_batch = spy
+        try:
+            results = proxy.execute_batch(query, [{"dept": "75"}, {"dept": "62"}])
+        finally:
+            inner.execute_batch = original
+        assert len(shipped) == 1 and shipped[0] == [{"dept": "62"}]
+        assert [len(r) for r in results] == [1, 1]
+
+    def test_invalidate_source_frees_only_that_sources_entries(self, instance):
+        cache = MediatorCache()
+        query = SQLQuery(sql="SELECT dept_code AS dept, rate AS rate "
+                             "FROM unemployment WHERE dept_code = {dept}")
+        sql_proxy = CachedSource(instance.source("sql://insee"), cache.results)
+        glue_proxy = CachedSource(instance.glue_source, cache.results)
+        sql_proxy.execute(query, {"dept": "75"})
+        glue_proxy.execute(
+            RDFQuery.from_text("SELECT ?d WHERE { ?x ttn:deptCode ?d }"))
+        assert len(cache.results) == 2
+        assert cache.results.invalidate_source("sql://insee") == 1
+        assert len(cache.results) == 1
+
+    def test_delegation(self, instance):
+        inner = instance.source("sql://insee")
+        proxy = CachedSource(inner, MediatorCache().results)
+        assert proxy.uri == inner.uri
+        assert proxy.model == "relational"
+        assert proxy.size() == inner.size()
+        assert proxy.version() == inner.version()
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+
+class TestPlanCache:
+    def test_second_plan_is_cached(self, instance):
+        cmq = sql_cmq(instance)
+        first = instance.plan(cmq)
+        second = instance.plan(cmq)
+        assert not first.cached
+        assert second.cached
+        assert "(cached plan)" in second.explain()
+        assert [s.atom.name for s in second.steps] == [s.atom.name for s in first.steps]
+
+    def test_plan_cache_invalidated_by_source_mutation(self, instance):
+        cmq = sql_cmq(instance)
+        instance.plan(cmq)
+        instance.source("sql://insee").database.execute(
+            "INSERT INTO unemployment (dept_code, rate) VALUES ('01', 5.0)")
+        replanned = instance.plan(cmq)
+        assert not replanned.cached
+
+    def test_renamed_cmq_hits_and_is_rebound(self, instance):
+        instance.plan(sql_cmq(instance))
+        renamed = (instance.builder("other", head=["d", "r"])
+                   .graph("SELECT ?d WHERE { ?y ttn:deptCode ?d }")
+                   .sql("stats", source="sql://insee",
+                        sql="SELECT dept_code AS dept, rate AS rate FROM unemployment "
+                            "WHERE dept_code = {dept}",
+                        renames={"dept": "d", "rate": "r"})
+                   .build())
+        plan = instance.planner().plan(renamed)
+        assert plan.cached
+        # The plan executes the *renamed* query's own atoms.
+        assert plan.query is renamed
+        assert all(step.atom in renamed.atoms for step in plan.steps)
+        result = instance.executor().execute(renamed, plan=plan)
+        assert {row["d"] for row in result.rows} == {"75", "62"}
+
+    def test_different_options_plan_separately(self, instance):
+        cmq = sql_cmq(instance)
+        instance.plan(cmq)
+        other = instance.plan(cmq, PlannerOptions(batch_bind_joins=False))
+        assert not other.cached
+
+    def test_signature_is_renaming_invariant(self, instance):
+        a = sql_cmq(instance, name="a")
+        renamed = (instance.builder("b", head=["d", "r"])
+                   .graph("SELECT ?d WHERE { ?y ttn:deptCode ?d }")
+                   .sql("stats", source="sql://insee",
+                        sql="SELECT dept_code AS dept, rate AS rate FROM unemployment "
+                            "WHERE dept_code = {dept}",
+                        renames={"dept": "d", "rate": "r"})
+                   .build())
+        assert cmq_signature(a) == cmq_signature(renamed)
+        different = (instance.builder("c", head=["dept", "rate"])
+                     .graph("SELECT ?dept WHERE { ?x ttn:twitterAccount ?dept }")
+                     .sql("stats", source="sql://insee",
+                          sql="SELECT dept_code AS dept, rate AS rate FROM unemployment "
+                              "WHERE dept_code = {dept}")
+                     .build())
+        assert cmq_signature(a) != cmq_signature(different)

@@ -11,7 +11,7 @@ from repro.digest import BloomFilter, EquiWidthHistogram, ValueSetSummary
 from repro.engine import Aggregate, AggregateSpec, BindJoin, Distinct, HashJoin, MaterializedScan
 from repro.fulltext import Analyzer, FieldConfig, FullTextStore
 from repro.rdf import BGPQuery, Graph, Literal, Triple, URI, evaluate_bgp, pattern, var
-from repro.rdf.entailment import saturate
+from repro.rdf.entailment import saturate, saturate_delta
 from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
 from repro.relational import Database
 
@@ -208,3 +208,143 @@ class TestSubstrateProperties:
         for token in analyzer.stems(text):
             assert token == token.lower()
             assert len(token) >= 2 or token.startswith("#")
+
+
+# ---------------------------------------------------------------------------
+# Incremental saturation and cross-query caching
+# ---------------------------------------------------------------------------
+
+_classes = st.sampled_from([URI(f"http://ex.org/C{i}") for i in range(4)])
+_schema_triples = st.one_of(
+    st.builds(Triple, _classes,
+              st.just(URI("http://www.w3.org/2000/01/rdf-schema#subClassOf")),
+              _classes),
+    st.builds(Triple, _predicates,
+              st.just(URI("http://www.w3.org/2000/01/rdf-schema#subPropertyOf")),
+              _predicates),
+    st.builds(Triple, _predicates,
+              st.just(URI("http://www.w3.org/2000/01/rdf-schema#domain")),
+              _classes),
+    st.builds(Triple, _predicates,
+              st.just(URI("http://www.w3.org/2000/01/rdf-schema#range")),
+              _classes),
+)
+_typing_triples = st.builds(
+    Triple, _subjects,
+    st.just(URI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")), _classes)
+_entailment_triples = st.one_of(_triples, _schema_triples, _typing_triples)
+_entailment_sets = st.lists(_entailment_triples, min_size=0, max_size=30)
+
+
+class TestIncrementalSaturationProperties:
+    @given(_entailment_sets, _entailment_sets)
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_delta_saturation_equals_from_scratch(self, base, delta):
+        """saturate(G) then saturate_delta(Δ) == saturate(G ∪ Δ), for any
+        random mix of data, typing and schema triples."""
+        graph = Graph("base")
+        graph.add_all(base)
+        incremental, _ = saturate(graph)
+        saturate_delta(incremental, delta)
+
+        merged = Graph("merged")
+        merged.add_all(base)
+        merged.add_all(delta)
+        scratch, _ = saturate(merged)
+        assert set(incremental) == set(scratch)
+
+    @given(_entailment_sets, st.lists(_entailment_triples, min_size=1, max_size=10),
+           st.lists(_entailment_triples, min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_successive_deltas_with_maintained_schema(self, base, first, second):
+        from repro.rdf import RDFSchema
+
+        graph = Graph("base")
+        graph.add_all(base)
+        incremental, _ = saturate(graph)
+        schema = RDFSchema.from_graph(incremental)
+        saturate_delta(incremental, first, schema=schema)
+        saturate_delta(incremental, second, schema=schema)
+
+        merged = Graph("merged")
+        merged.add_all(base)
+        merged.add_all(first)
+        merged.add_all(second)
+        scratch, _ = saturate(merged)
+        assert set(incremental) == set(scratch)
+
+
+_handles = st.lists(
+    st.tuples(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6),
+              st.integers(min_value=0, max_value=999)),
+    min_size=0, max_size=12, unique_by=lambda pair: pair[0])
+
+
+class TestCachedAnswerProperties:
+    @given(_handles)
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_cached_cmq_equals_cold_answer_across_all_models(self, handles):
+        """Warm-cache answers equal cold-cache answers for a CMQ against
+        each of the four source models, on random instances."""
+        from repro.core import MixedInstance, PlannerOptions
+        from repro.json.store import JSONDocumentStore
+        from repro.rdf import triple
+
+        glue = Graph("glue")
+        database = Database("db")
+        database.execute("CREATE TABLE accounts (handle TEXT, score INTEGER)")
+        store = FullTextStore("ft", [FieldConfig("text", "text"),
+                                     FieldConfig("handle", "keyword")],
+                              default_field="text")
+        json_store = JSONDocumentStore("js")
+        rdf_graph = Graph("rdf")
+        for index, (handle, score) in enumerate(handles):
+            glue.add(triple(f"ttn:P{index}", "ttn:twitterAccount", handle))
+            database.execute("INSERT INTO accounts (handle, score) "
+                             f"VALUES ('{handle}', {score})")
+            store.add({"id": index, "text": f"post by {handle}", "handle": handle})
+            json_store.add({"id": str(index), "handle": handle, "score": score})
+            rdf_graph.add(triple(f"ttn:A{index}", "ttn:handle", handle))
+            rdf_graph.add(triple(f"ttn:A{index}", "ttn:score", score))
+
+        instance = MixedInstance(graph=glue, name="prop", entailment=False)
+        instance.register_relational("sql://db", database)
+        instance.register_fulltext("solr://ft", store)
+        instance.register_json("json://js", json_store)
+        instance.register_rdf("rdf://rdf", rdf_graph)
+
+        queries = [
+            (instance.builder("sql", head=["id", "s"])
+             .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+             .sql("scores", source="sql://db",
+                  sql="SELECT handle AS id, score AS s FROM accounts "
+                      "WHERE handle = {id}")
+             .build()),
+            (instance.builder("ft", head=["id", "t"])
+             .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+             .fulltext("posts", source="solr://ft", query="handle:{id}",
+                       fields={"t": "text", "id": "handle"})
+             .build()),
+            (instance.builder("js", head=["id", "s"])
+             .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+             .json("docs", source="json://js",
+                   pattern="{ handle: ?id, score: ?s }")
+             .build()),
+            (instance.builder("rdf", head=["id", "s"])
+             .graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+             .rdf("scores", source="rdf://rdf",
+                  sparql_text="SELECT ?id ?s WHERE { ?a ttn:handle ?id . "
+                              "?a ttn:score ?s }")
+             .build()),
+        ]
+        no_cache = PlannerOptions(result_cache=False, plan_cache=False)
+        for cmq in queries:
+            cold = instance.execute(cmq, options=no_cache)
+            first = instance.execute(cmq)
+            warm = instance.execute(cmq)
+            expected = sorted(map(_row_key, cold.rows))
+            assert sorted(map(_row_key, first.rows)) == expected
+            assert sorted(map(_row_key, warm.rows)) == expected

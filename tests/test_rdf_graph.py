@@ -140,3 +140,121 @@ class TestIntrospection:
     def test_terms_contains_all_positions(self, graph):
         terms = graph.terms()
         assert uri("ttn:a") in terms and uri("ttn:knows") in terms
+
+
+class TestIndexPruning:
+    """Regression: add/remove churn must not leak empty index buckets."""
+
+    @staticmethod
+    def _bucket_count(index):
+        return len(index), sum(len(inner) for inner in index.values())
+
+    def test_remove_prunes_emptied_buckets(self):
+        g = Graph()
+        t = triple("ttn:x", "ttn:p", "ttn:y")
+        g.add(t)
+        g.remove(t)
+        assert len(g._spo) == 0
+        assert len(g._pos) == 0
+        assert len(g._osp) == 0
+
+    def test_churn_keeps_indexes_bounded(self):
+        g = Graph()
+        keep = triple("ttn:keep", "ttn:p", "ttn:kept")
+        g.add(keep)
+        for i in range(500):
+            t = triple(f"ttn:s{i}", f"ttn:p{i}", f"ttn:o{i}")
+            g.add(t)
+            g.remove(t)
+        assert self._bucket_count(g._spo) == (1, 1)
+        assert self._bucket_count(g._pos) == (1, 1)
+        assert self._bucket_count(g._osp) == (1, 1)
+        assert keep in g
+
+    def test_partial_removal_keeps_sibling_entries(self, graph):
+        graph.remove(triple("ttn:a", "ttn:knows", "ttn:b"))
+        # ttn:a still knows ttn:c through the same (subject, predicate) bucket.
+        assert graph.objects(subject=uri("ttn:a"), predicate=uri("ttn:knows")) \
+            == {uri("ttn:c")}
+
+    def test_remove_all(self, graph):
+        removed = graph.remove_all([triple("ttn:a", "ttn:knows", "ttn:b"),
+                                    triple("ttn:missing", "ttn:p", "ttn:o")])
+        assert removed == 1
+
+
+class TestVersionCounters:
+    def test_version_bumps_on_effective_mutations_only(self):
+        g = Graph()
+        t = triple("ttn:x", "ttn:p", "ttn:y")
+        assert g.version == 0
+        g.add(t)
+        assert g.version == 1 and g.additions == 1
+        g.add(t)  # duplicate: no bump
+        assert g.version == 1
+        g.remove(t)
+        assert g.version == 2 and g.removals == 1
+        g.remove(t)  # absent: no bump
+        assert g.version == 2
+
+    def test_equal_size_mutation_changes_version(self):
+        g = Graph()
+        g.add(triple("ttn:x", "ttn:p", "ttn:y"))
+        before = g.version
+        g.remove(triple("ttn:x", "ttn:p", "ttn:y"))
+        g.add(triple("ttn:x", "ttn:p", "ttn:z"))
+        assert len(g) == 1
+        assert g.version > before
+
+    def test_clear_bumps_version(self):
+        g = Graph()
+        g.add(triple("ttn:x", "ttn:p", "ttn:y"))
+        before = g.version
+        g.clear()
+        assert g.version > before
+        g.clear()  # already empty: no bump
+        assert g.version == before + 1
+
+
+class TestSubjectsObjectsFromIndexes:
+    """`subjects()`/`objects()` answer straight from the permutation indexes."""
+
+    def test_subjects_unconstrained(self, graph):
+        assert graph.subjects() == {uri("ttn:a"), uri("ttn:b")}
+
+    def test_subjects_by_predicate(self, graph):
+        assert graph.subjects(predicate=uri("ttn:knows")) == {uri("ttn:a"), uri("ttn:b")}
+
+    def test_subjects_by_object(self, graph):
+        assert graph.subjects(obj=uri("ttn:c")) == {uri("ttn:a"), uri("ttn:b")}
+
+    def test_subjects_by_predicate_and_object(self, graph):
+        assert graph.subjects(predicate=uri("ttn:knows"), obj=uri("ttn:b")) \
+            == {uri("ttn:a")}
+
+    def test_objects_unconstrained(self, graph):
+        assert uri("ttn:c") in graph.objects()
+        assert Literal("Alice") in graph.objects()
+
+    def test_objects_by_subject(self, graph):
+        assert graph.objects(subject=uri("ttn:b")) \
+            == {uri("ttn:c"), Literal("Bob")}
+
+    def test_objects_by_predicate(self, graph):
+        assert graph.objects(predicate=uri("foaf:name")) \
+            == {Literal("Alice"), Literal("Bob")}
+
+    def test_objects_by_subject_and_predicate(self, graph):
+        assert graph.objects(subject=uri("ttn:a"), predicate=uri("ttn:knows")) \
+            == {uri("ttn:b"), uri("ttn:c")}
+
+    def test_results_reflect_removals(self, graph):
+        graph.remove(triple("ttn:b", "ttn:knows", "ttn:c"))
+        graph.remove(triple("ttn:b", "foaf:name", "Bob"))
+        assert graph.subjects() == {uri("ttn:a")}
+        assert uri("ttn:b") not in graph.subjects(predicate=uri("ttn:knows"))
+
+    def test_returned_sets_are_copies(self, graph):
+        subjects = graph.subjects(predicate=uri("ttn:knows"))
+        subjects.clear()
+        assert graph.subjects(predicate=uri("ttn:knows"))

@@ -8,6 +8,7 @@ from repro.rdf import (
     RDFSchema,
     implicit_triples,
     saturate,
+    saturate_delta,
     triple,
     uri,
 )
@@ -141,3 +142,135 @@ class TestSaturation:
         saturated, stats = saturate(Graph())
         assert len(saturated) == 0
         assert stats.implicit_triples == 0
+
+
+class TestIncrementalSaturation:
+    """`saturate_delta` must agree with from-scratch saturation."""
+
+    def setup_method(self):
+        self.graph = Graph("lemonde")
+        self.graph.add(triple("ttn:LeMonde", "ttn:foundedIn", "1944"))
+        self.graph.add(triple("ttn:Samuel", "ttn:worksFor", "ttn:LeMonde"))
+        self.graph.add(triple("ttn:Samuel", "rdf:type", "ttn:Journalist"))
+        self.graph.add(triple("ttn:Journalist", "rdfs:subClassOf", "ttn:Employee"))
+        self.graph.add(triple("ttn:worksFor", "rdfs:subPropertyOf", "ttn:paidBy"))
+        self.graph.add(triple("ttn:foundedIn", "rdfs:domain", "ttn:Organization"))
+        self.graph.add(triple("ttn:worksFor", "rdfs:range", "ttn:Organization"))
+
+    def assert_delta_equals_scratch(self, delta):
+        incremental, _ = saturate(self.graph)
+        saturate_delta(incremental, delta)
+        merged = self.graph.copy("merged")
+        merged.add_all(delta)
+        scratch, _ = saturate(merged)
+        assert set(incremental) == set(scratch)
+
+    def test_data_delta(self):
+        self.assert_delta_equals_scratch([
+            triple("ttn:Marie", "ttn:worksFor", "ttn:Figaro"),
+            triple("ttn:Marie", "rdf:type", "ttn:Journalist"),
+        ])
+
+    def test_new_subclass_edge_activates_existing_types(self):
+        self.assert_delta_equals_scratch([
+            triple("ttn:Employee", "rdfs:subClassOf", "ttn:Person"),
+        ])
+
+    def test_new_subproperty_edge_activates_existing_triples(self):
+        self.assert_delta_equals_scratch([
+            triple("ttn:paidBy", "rdfs:subPropertyOf", "ttn:linkedTo"),
+        ])
+
+    def test_new_domain_and_range_activate_existing_triples(self):
+        self.assert_delta_equals_scratch([
+            triple("ttn:paidBy", "rdfs:domain", "ttn:Worker"),
+            triple("ttn:paidBy", "rdfs:range", "ttn:Payer"),
+        ])
+
+    def test_mixed_schema_and_data_delta(self):
+        self.assert_delta_equals_scratch([
+            triple("ttn:Marie", "ttn:freelancesFor", "ttn:Figaro"),
+            triple("ttn:freelancesFor", "rdfs:subPropertyOf", "ttn:worksFor"),
+            triple("ttn:Figaro", "rdf:type", "ttn:Newspaper"),
+            triple("ttn:Newspaper", "rdfs:subClassOf", "ttn:Organization"),
+        ])
+
+    def test_subclass_cycle(self):
+        self.assert_delta_equals_scratch([
+            triple("ttn:Employee", "rdfs:subClassOf", "ttn:Journalist"),
+        ])
+
+    def test_delta_already_entailed_is_a_no_op(self):
+        saturated, _ = saturate(self.graph)
+        before = len(saturated)
+        stats = saturate_delta(saturated, [
+            triple("ttn:Samuel", "ttn:paidBy", "ttn:LeMonde"),  # already implicit
+        ])
+        assert len(saturated) == before
+        assert stats.rounds == 0
+
+    def test_empty_delta(self):
+        saturated, _ = saturate(self.graph)
+        stats = saturate_delta(saturated, [])
+        assert stats.implicit_triples == 0
+
+    def test_maintained_schema_threads_through_deltas(self):
+        saturated, _ = saturate(self.graph)
+        schema = RDFSchema.from_graph(saturated)
+        saturate_delta(saturated, [triple("ttn:Employee", "rdfs:subClassOf", "ttn:Person")],
+                       schema=schema)
+        # The maintained schema saw the new edge: a later data delta uses it.
+        saturate_delta(saturated, [triple("ttn:Anna", "rdf:type", "ttn:Journalist")],
+                       schema=schema)
+        assert triple("ttn:Anna", "rdf:type", "ttn:Person") in saturated
+
+
+class TestRDFSourceStaleness:
+    """Regression: the saturation cache must track versions, not sizes."""
+
+    def _source(self):
+        from repro.core.sources import RDFSource
+        graph = Graph("src")
+        graph.add(triple("ttn:Journalist", "rdfs:subClassOf", "ttn:Employee"))
+        graph.add(triple("ttn:Samuel", "rdf:type", "ttn:Journalist"))
+        return RDFSource("rdf://src", graph, entailment=True)
+
+    def test_equal_size_mutation_is_not_served_stale(self):
+        from repro.core.sources import RDFQuery
+        query = RDFQuery.from_text("SELECT ?x WHERE { ?x rdf:type ttn:Employee }")
+        source = self._source()
+        assert source.execute(query)  # saturating query
+        source.graph.remove(triple("ttn:Samuel", "rdf:type", "ttn:Journalist"))
+        source.graph.add(triple("ttn:Anna", "rdf:type", "ttn:Journalist"))
+        rows = source.execute(query)
+        assert [str(row["x"]).rsplit("#", 1)[-1] for row in rows] == ["Anna"]
+
+    def test_removal_triggers_full_recompute(self):
+        source = self._source()
+        saturated = source._effective_graph()
+        assert triple("ttn:Samuel", "rdf:type", "ttn:Employee") in saturated
+        source.graph.remove(triple("ttn:Samuel", "rdf:type", "ttn:Journalist"))
+        saturated = source._effective_graph()
+        assert triple("ttn:Samuel", "rdf:type", "ttn:Employee") not in saturated
+
+    def test_out_of_band_addition_is_absorbed_incrementally(self):
+        source = self._source()
+        first = source._effective_graph()
+        source.graph.add(triple("ttn:Anna", "rdf:type", "ttn:Journalist"))
+        second = source._effective_graph()
+        assert second is first  # maintained in place, not recomputed
+        assert triple("ttn:Anna", "rdf:type", "ttn:Employee") in second
+
+    def test_add_triples_maintains_saturation(self):
+        source = self._source()
+        source._effective_graph()
+        added = source.add_triples([triple("ttn:Anna", "rdf:type", "ttn:Journalist"),
+                                    triple("ttn:Anna", "rdf:type", "ttn:Journalist")])
+        assert added == 1
+        assert triple("ttn:Anna", "rdf:type", "ttn:Employee") in source._effective_graph()
+
+    def test_version_follows_graph(self):
+        source = self._source()
+        before = source.version()
+        source.graph.add(triple("ttn:x", "ttn:p", "ttn:y"))
+        assert source.version() == before + 1
