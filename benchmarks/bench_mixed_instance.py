@@ -15,7 +15,7 @@ from repro.datasets import build_demo_instance, qsia_query
 def test_build_mixed_instance(benchmark):
     """Time to assemble the glue graph plus six heterogeneous sources."""
     demo = benchmark(build_demo_instance, small_config())
-    stats = demo.instance.statistics()
+    stats = demo.instance.size_summary()
     report("E1: mixed instance composition", [
         {"component": "glue graph (triples)", "size": stats["glue_triples"]},
         *[{"component": uri, "size": size} for uri, size in stats["sources"].items()],

@@ -21,7 +21,7 @@ from repro.datasets import DemoConfig, build_demo_instance, qsia_query
 def main() -> None:
     demo = build_demo_instance(DemoConfig(politicians=40, weeks=4))
     instance = demo.instance
-    print("mixed instance:", instance.statistics())
+    print("mixed instance:", instance.size_summary())
     print()
 
     query = qsia_query(demo, hashtag="SIA2016")

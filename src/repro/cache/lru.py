@@ -88,6 +88,15 @@ class LRUCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
 
+    def remove(self, key: Hashable) -> bool:
+        """Drop one entry; True when it was present."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                return True
+            return False
+
     def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose key satisfies ``predicate``."""
         with self._lock:

@@ -11,7 +11,9 @@ out identical.  :func:`plan_cache_key` builds a key from
 * the *catalog state* — every registered source's URI and version plus
   the glue graph's version, so any source mutation (which shifts
   cardinality estimates) or registration change re-plans;
-* the planner options.
+* the planner options;
+* the statistics revision — run-time cardinality feedback bumps it, so
+  plans costed under superseded statistics are invalidated.
 
 A source with an unknown version (``None``) disables plan caching
 altogether rather than risk stale estimates.
@@ -42,6 +44,10 @@ class PlanCache:
     def put(self, key: tuple, plan) -> None:
         self.entries.put(key, plan)
 
+    def drop(self, key: tuple) -> bool:
+        """Invalidate one entry (e.g. after statistics feedback)."""
+        return self.entries.remove(key)
+
     def clear(self) -> None:
         self.entries.clear()
 
@@ -49,15 +55,21 @@ class PlanCache:
         return len(self.entries)
 
 
-def plan_cache_key(query, sources: dict, glue, options) -> Optional[tuple]:
-    """The plan-cache key of ``query``, or ``None`` when uncacheable."""
+def plan_cache_key(query, sources: dict, glue, options,
+                   stats_revision: int = 0) -> Optional[tuple]:
+    """The plan-cache key of ``query``, or ``None`` when uncacheable.
+
+    ``stats_revision`` stamps the entry with the statistics snapshot the
+    plan was costed under: run-time feedback bumps the revision, so a
+    plan built from superseded estimates can never be served again.
+    """
     signature = cmq_signature(query)
     if signature is None:
         return None
     catalog = catalog_state(sources, glue)
     if catalog is None:
         return None
-    key = (signature, catalog, astuple(options))
+    key = (signature, catalog, astuple(options), stats_revision)
     try:
         hash(key)
     except TypeError:

@@ -20,7 +20,8 @@ from repro.core.cmq import (
 from repro.core.executor import MixedQueryExecutor
 from repro.core.instance import MixedInstance
 from repro.core.planner import PlannerOptions, PlanStep, QueryPlan, QueryPlanner
-from repro.core.results import ExecutionTrace, MixedResult, SubQueryCall
+from repro.core.results import ExecutionTrace, MixedResult, StepObservation, SubQueryCall
+from repro.stats import CostModel, StatisticsCatalog
 from repro.core.sources import (
     DataSource,
     FullTextQuery,
@@ -54,7 +55,10 @@ __all__ = [
     "QueryPlanner",
     "ExecutionTrace",
     "MixedResult",
+    "StepObservation",
     "SubQueryCall",
+    "CostModel",
+    "StatisticsCatalog",
     "DataSource",
     "FullTextQuery",
     "FullTextSource",

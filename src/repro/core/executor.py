@@ -18,6 +18,14 @@ stage:
 
 The remaining processing (joins, projection, deduplication) happens inside
 the iterator engine of :mod:`repro.engine`.
+
+With ``PlannerOptions(adaptive=True)`` (the default for cost-based
+plans) execution is **adaptive**: the intermediate result materialises
+between stages, each step's observed cardinality is compared with the
+planner's estimate, and when the q-error exceeds the replan threshold
+the executor records feedback into the statistics layer, invalidates
+the stale plan-cache entry and re-plans the remaining steps from the
+real intermediate cardinality.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from repro.cache.lru import CacheStats
 from repro.cache.results import CachedSource
 from repro.core.cmq import ConjunctiveMixedQuery, SourceAtom
 from repro.core.planner import PlannerOptions, PlanStep, QueryPlan, QueryPlanner
-from repro.core.results import ExecutionTrace, MixedResult, SubQueryCall
+from repro.core.results import ExecutionTrace, MixedResult, StepObservation, SubQueryCall
 from repro.core.sources import DataSource, Row
 from repro.engine.batch import DEFAULT_BATCH_SIZE
 from repro.engine.iterators import (
@@ -64,13 +72,14 @@ class MixedQueryExecutor:
 
     def __init__(self, sources: dict[str, DataSource], glue: DataSource,
                  options: PlannerOptions | None = None, max_workers: int = 4,
-                 digests=None, cache=None):
+                 digests=None, cache=None, statistics=None):
         self._sources = dict(sources)
         self._glue = glue
         self.options = options or PlannerOptions()
         self.max_workers = max_workers
         self.planner = QueryPlanner(self._sources, glue, self.options,
-                                    plan_cache=cache.plans if cache is not None else None)
+                                    plan_cache=cache.plans if cache is not None else None,
+                                    statistics=statistics)
         self._sieve = None
         if digests is not None:
             from repro.digest.sieve import DigestSieve
@@ -113,15 +122,65 @@ class MixedQueryExecutor:
                                stages=[[plan.steps[i].atom.name for i in stage]
                                        for stage in plan.stages],
                                plan_cached=plan.cached)
+        options = plan.options or self.options
+        adaptive = (options.adaptive and options.cost_based
+                    and options.selectivity_ordering)
 
         current: Operator | None = None
         batch_joins: list[BatchBindJoin] = []
-        for stage in plan.stages:
-            steps = [plan.steps[i] for i in stage]
+        executed: list[PlanStep] = []
+        executed_stages: list[list[str]] = []
+        replanned_after: set[int] = set()
+        pending = [[plan.steps[i] for i in stage] for stage in plan.stages]
+        max_replans = len(plan.steps)
+        while pending:
+            steps = pending.pop(0)
             if len(steps) == 1 and steps[0].mode == "bind" and current is not None:
                 current = self._bind_step(current, steps[0], trace, batch_joins)
             else:
                 current = self._materialize_stage(current, steps, trace)
+            executed.extend(steps)
+            executed_stages.append([step.atom.name for step in steps])
+            if not (adaptive and pending):
+                continue
+            # Materialise the intermediate result so the stage's source
+            # calls have happened and actual cardinalities are known.
+            intermediate = current.rows()
+            current = MaterializedScan(intermediate, name="intermediate")
+            trace.intermediate_sizes.append(len(intermediate))
+            worst: tuple[float, PlanStep, StepObservation] | None = None
+            for step in steps:
+                observation = self._observe(step, trace)
+                if observation is None:
+                    continue
+                error = observation.q_error()
+                if worst is None or error > worst[0]:
+                    worst = (error, step, observation)
+            if (worst is None or worst[0] <= options.replan_threshold
+                    or trace.replans >= max_replans):
+                continue
+            # The estimate was off: invalidate the stale cached plan
+            # (computed under the *current* statistics revision, so drop
+            # it before feedback bumps the revision), record what was
+            # observed, and re-plan the remaining steps from the real
+            # intermediate cardinality.
+            self.planner.forget(query, options)
+            self._record_feedback(steps, trace)
+            replanned_after.add(id(worst[1]))
+            bound: set[str] = set()
+            for step in executed:
+                bound |= step.atom.output_variables()
+                if step.atom.source_variable is not None:
+                    bound.add(step.atom.source_variable)
+            tail = self.planner.plan_tail(query, [s.atom for s in executed], bound,
+                                          float(len(intermediate)), options)
+            pending = [[tail.steps[i] for i in stage] for stage in tail.stages]
+            trace.replanned = True
+            trace.replans += 1
+            trace.plan_text += (
+                f"\nre-planned after {worst[1].atom.name} "
+                f"(est. {worst[2].estimate:.0f}, actual {worst[2].actual_rows}):\n"
+                + tail.explain())
 
         if current is None:
             raise MixedQueryError(f"query {query.name!r} produced an empty plan")
@@ -136,6 +195,15 @@ class MixedQueryExecutor:
         trace.total_seconds = time.perf_counter() - start
         trace.intermediate_sizes.append(len(rows))
         trace.sieved_bindings = sum(join.sieved_out for join in batch_joins)
+        if trace.replanned:
+            # The executed schedule diverged from the planned one.
+            trace.atom_order = [step.atom.name for step in executed]
+            trace.stages = executed_stages
+        for step in executed:
+            observation = self._observe(step, trace)
+            if observation is not None:
+                observation.replanned_after = id(step) in replanned_after
+                trace.steps.append(observation)
         if cache_stats is not None:
             # Dispatch-level probes from this executor's own proxies plus
             # the bind joins' pre-dispatch probe hits.
@@ -144,6 +212,49 @@ class MixedQueryExecutor:
                                 + sum(join.cache_hits for join in batch_joins))
             trace.cache_misses = now.misses - cache_stats.misses
         return MixedResult(variables=output, rows=rows, trace=trace)
+
+    # ------------------------------------------------------------------
+    # Estimate-vs-actual bookkeeping (adaptive re-planning)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _observe(step: PlanStep, trace: ExecutionTrace,
+                 source_uri: str | None = None) -> StepObservation | None:
+        """What the trace knows about one step's calls so far.
+
+        Calls are matched by atom *identity*, not display name — two
+        atoms of a self-join share a name but must not pool their rows.
+        """
+        calls = [c for c in trace.calls
+                 if c.atom_key == id(step.atom)
+                 and (source_uri is None or c.source_uri == source_uri)]
+        if not calls:
+            return None
+        actual = sum(c.rows_out for c in calls)
+        bindings = sum(c.bindings_in for c in calls if c.batched)
+        if not bindings and step.mode == "bind":
+            bindings = len(calls)
+        return StepObservation(atom=step.atom.name, mode=step.mode,
+                               estimate=step.estimate, actual_rows=actual,
+                               bindings=bindings, cost=step.cost)
+
+    def _record_feedback(self, steps: list[PlanStep], trace: ExecutionTrace) -> None:
+        """Feed observed cardinalities of a stage back into the statistics.
+
+        Recorded per source: a dynamic atom's candidates each get their
+        own observed rows (the planner *sums* candidate estimates, so
+        recording the aggregate against every candidate would inflate
+        the next estimate N-fold).
+        """
+        statistics = self.planner.statistics
+        for step in steps:
+            bound_formals = self.planner._bound_formals(
+                step.atom, set(step.bound_variables))
+            for source in step.sources:
+                observation = self._observe(step, trace, source_uri=source.uri)
+                if observation is None:
+                    continue
+                statistics.record(source, step.atom.query, bound_formals,
+                                  observation.actual_per_binding())
 
     # ------------------------------------------------------------------
     # Stage evaluation
@@ -252,6 +363,7 @@ class MixedQueryExecutor:
             trace.calls.append(SubQueryCall(
                 atom=atom.name, source_uri=source.uri,
                 bindings_in=len(bindings), rows_out=len(fetched), seconds=elapsed,
+                atom_key=id(atom),
             ))
             rows.extend(fetched)
         return rows
@@ -304,7 +416,7 @@ class MixedQueryExecutor:
             trace.calls.append(SubQueryCall(
                 atom=atom.name, source_uri=source.uri,
                 bindings_in=len(indices), rows_out=total, seconds=elapsed,
-                batched=True,
+                batched=True, atom_key=id(atom),
             ))
         return results
 

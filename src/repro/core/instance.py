@@ -36,6 +36,7 @@ from repro.json.store import JSONDocumentStore
 from repro.rdf.graph import Graph
 from repro.rdf.schema import RDFSchema
 from repro.relational.database import Database
+from repro.stats.catalog import StatisticsCatalog
 
 
 class MixedInstance:
@@ -59,6 +60,9 @@ class MixedInstance:
             self.cache: Optional[MediatorCache] = cache
         else:
             self.cache = MediatorCache() if cache else None
+        # Digest-backed statistics (estimates + run-time feedback),
+        # shared by every planner and executor of this instance.
+        self._statistics: Optional[StatisticsCatalog] = None
 
     # ------------------------------------------------------------------
     # Source registry
@@ -149,12 +153,14 @@ class MixedInstance:
         """
         return MixedQueryExecutor(self._sources, self._glue_source,
                                   options=options, max_workers=max_workers,
-                                  digests=digests, cache=self.cache)
+                                  digests=digests, cache=self.cache,
+                                  statistics=self.statistics())
 
     def planner(self, options: PlannerOptions | None = None) -> QueryPlanner:
         """Build a planner over the current source catalog."""
         return QueryPlanner(self._sources, self._glue_source, options,
-                            plan_cache=self.cache.plans if self.cache else None)
+                            plan_cache=self.cache.plans if self.cache else None,
+                            statistics=self.statistics())
 
     def plan(self, query: ConjunctiveMixedQuery,
              options: PlannerOptions | None = None) -> QueryPlan:
@@ -205,8 +211,20 @@ class MixedInstance:
         engine = KeywordQueryEngine(self, catalog=catalog)
         return engine.search(keywords, max_queries=max_queries, limit=limit)
 
-    def statistics(self) -> dict[str, object]:
-        """Coarse statistics about the instance (sizes per source)."""
+    def statistics(self) -> StatisticsCatalog:
+        """The statistics layer: digest-backed estimates + feedback.
+
+        Shared by every planner and executor built from this instance,
+        so run-time cardinality feedback recorded by one execution
+        improves (and, via the revision stamp, invalidates cached plans
+        for) every later one.
+        """
+        if self._statistics is None:
+            self._statistics = StatisticsCatalog()
+        return self._statistics
+
+    def size_summary(self) -> dict[str, object]:
+        """Coarse size statistics about the instance (per source)."""
         return {
             "glue_triples": len(self.graph),
             "sources": {uri: source.size() for uri, source in sorted(self._sources.items())},

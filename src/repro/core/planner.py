@@ -10,15 +10,26 @@ The paper (§2.3) orders sub-queries so that:
 (iii) the most selective sub-queries are executed first, in classical
       mediator style.
 
+On top of the classical greedy pass (kept as the
+``PlannerOptions(cost_based=False)`` baseline), the planner searches
+join orders and materialize-vs-bind mode assignments **cost-based**:
+cardinalities come from the digest-backed statistics layer
+(:mod:`repro.stats`), each candidate step is priced by the per-source
+cost model (call setup + row transfer + binding push, with sieve and
+batching discounts), and the enumerator runs dynamic programming over
+atom subsets (greedy fallback above :data:`DP_ATOM_LIMIT` atoms).
+
 The planner produces a :class:`QueryPlan`: an ordered list of
 :class:`PlanStep` objects, each carrying the atom, its resolved source(s),
-its estimated cardinality and its execution mode — ``materialize`` (fetch
-the whole sub-query result) or ``bind`` (dependent evaluation, shipping
-the current bindings to the source, i.e. a bind join).
+its estimated cardinality, its modelled cost and its execution mode —
+``materialize`` (fetch the whole sub-query result) or ``bind`` (dependent
+evaluation, shipping the current bindings to the source, i.e. a bind
+join).
 """
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
@@ -26,6 +37,8 @@ from repro.cache.plans import PlanCache, plan_cache_key
 from repro.core.cmq import ConjunctiveMixedQuery, SourceAtom
 from repro.core.sources import DataSource
 from repro.errors import PlanningError
+from repro.stats.catalog import StatisticsCatalog
+from repro.stats.cost import CostModel, MAX_BIND_BATCH, MIN_BIND_BATCH
 
 
 @dataclass
@@ -53,24 +66,35 @@ class PlannerOptions:
     #: Reuse plans cached under the canonical CMQ signature + catalog
     #: version (only effective when the planner is given a plan cache).
     plan_cache: bool = True
+    #: Search join orders and materialize-vs-bind modes with the
+    #: digest-backed cost model (False = classical greedy pass over the
+    #: wrappers' ad-hoc estimates).  Requires ``selectivity_ordering``.
+    cost_based: bool = True
+    #: Re-plan the remaining steps mid-flight when a step's observed
+    #: cardinality is off by more than ``replan_threshold`` (needs
+    #: ``cost_based``; feedback is recorded into the statistics layer).
+    adaptive: bool = True
+    #: Estimate-vs-actual q-error (max of the two ratios) triggering a
+    #: mid-flight replan of the remaining steps.
+    replan_threshold: float = 4.0
 
 
-#: Bounds of the planner-chosen bind-join batch size.
-MIN_BIND_BATCH = 16
-MAX_BIND_BATCH = 1024
+#: Atom count above which the DP enumerator falls back to greedy search.
+DP_ATOM_LIMIT = 10
 
 
-def auto_batch_size(estimate: float) -> int:
-    """Pick a bind-join batch size from the atom's cardinality estimate.
+def auto_batch_size(estimate: float, cost_model: CostModel | None = None) -> int:
+    """Pick a bind-join batch size from the step's cardinality estimate.
 
-    Selective sub-queries (small estimated output) batch aggressively —
-    each shipped binding is cheap to answer, so the round-trip saving
-    dominates.  Expensive sub-queries get smaller batches so results
-    start streaming (and populating the bind-join cache) earlier.
+    Delegates to the cost model, which decreases the size monotonically
+    with the estimated per-binding transfer cost: selective sub-queries
+    batch maximally (the round-trip saving dominates), expensive or
+    unbounded ones get the minimum so results start streaming (and
+    populating the bind-join cache) early.
     """
-    if estimate == float("inf"):
-        return 256
-    return min(MAX_BIND_BATCH, max(MIN_BIND_BATCH, 4096 // max(1, int(estimate))))
+    from repro.stats.cost import DEFAULT_COST_MODEL
+
+    return (cost_model or DEFAULT_COST_MODEL).batch_size(estimate)
 
 
 @dataclass
@@ -81,11 +105,19 @@ class PlanStep:
     mode: str  # "materialize" | "bind"
     sources: list[DataSource] = field(default_factory=list)
     dynamic: bool = False
+    #: Estimated rows fetched by this step (per input binding for bind
+    #: steps, total for materialize steps).
     estimate: float = float("inf")
     #: Bindings per source call for bind steps (0 = executor default).
     batch_size: int = 0
     #: Allow the digest sieve on this step's batches.
     use_sieve: bool = True
+    #: Modelled cost of the step (cost-model units; 0 when not costed).
+    cost: float = 0.0
+    #: Estimated rows of the intermediate result *after* this step.
+    result_estimate: float = float("inf")
+    #: CMQ variables already bound when this step runs (for feedback).
+    bound_variables: frozenset = frozenset()
 
     def describe(self) -> str:
         """One-line description used in EXPLAIN output."""
@@ -97,7 +129,7 @@ class PlanStep:
         else:
             targets = ",".join(s.uri for s in self.sources) if self.sources else "?dynamic"
         return (f"{self.mode:<11} {self.atom.describe():<50} -> {targets} "
-                f"(est. {self.estimate:.0f})")
+                f"(cost {self.cost:.1f}, est. {self.estimate:.0f})")
 
 
 @dataclass
@@ -110,11 +142,14 @@ class QueryPlan:
     options: PlannerOptions
     #: True when this plan was served from the plan cache.
     cached: bool = False
+    #: Total modelled cost of the plan (sum of the step costs).
+    total_cost: float = 0.0
 
     def explain(self) -> str:
         """Render the plan as indented text."""
         suffix = " (cached plan)" if self.cached else ""
-        lines = [f"plan for {self.query.name}:{suffix}"]
+        lines = [f"plan for {self.query.name}: "
+                 f"total cost {self.total_cost:.1f}{suffix}"]
         for stage_number, stage in enumerate(self.stages):
             parallel = " (parallel)" if len(stage) > 1 else ""
             lines.append(f"  stage {stage_number}{parallel}:")
@@ -132,11 +167,20 @@ class QueryPlanner:
 
     def __init__(self, sources: dict[str, DataSource], glue: DataSource,
                  options: PlannerOptions | None = None,
-                 plan_cache: PlanCache | None = None):
+                 plan_cache: PlanCache | None = None,
+                 statistics: StatisticsCatalog | None = None):
         self._sources = sources
         self._glue = glue
         self.options = options or PlannerOptions()
         self._plan_cache = plan_cache
+        self._statistics = statistics
+
+    @property
+    def statistics(self) -> StatisticsCatalog:
+        """The statistics layer backing cost-based estimates."""
+        if self._statistics is None:
+            self._statistics = StatisticsCatalog()
+        return self._statistics
 
     # ------------------------------------------------------------------
     def plan(self, query: ConjunctiveMixedQuery,
@@ -145,17 +189,16 @@ class QueryPlanner:
 
         Structurally identical CMQs (equal up to variable renaming) over
         an unchanged catalog are served from the plan cache when one is
-        configured; any source mutation or registration change makes the
-        key miss, so stale cardinality estimates are never reused.
+        configured; any source mutation, registration change or
+        statistics feedback makes the key miss, so stale cardinality
+        estimates are never reused.
         """
         options = options or self.options
-        cache_key = None
-        if self._plan_cache is not None and options.plan_cache:
-            cache_key = plan_cache_key(query, self._sources, self._glue, options)
-            if cache_key is not None:
-                hit = self._plan_cache.get(cache_key)
-                if hit is not None:
-                    return self._rebind(hit, query, options)
+        cache_key = self._cache_key(query, options)
+        if cache_key is not None:
+            hit = self._plan_cache.get(cache_key)
+            if hit is not None:
+                return self._rebind(hit, query, options)
         plan = self._build_plan(query, options)
         if cache_key is not None:
             # Remember which body atom each step executes so a hit can be
@@ -164,6 +207,38 @@ class QueryPlanner:
                             if atom is step.atom) for step in plan.steps]
             self._plan_cache.put(cache_key, (plan, indices))
         return plan
+
+    def plan_tail(self, query: ConjunctiveMixedQuery,
+                  done: Sequence[SourceAtom], bound: set[str], cardinality: float,
+                  options: PlannerOptions | None = None) -> QueryPlan:
+        """Re-plan the atoms of ``query`` not yet executed.
+
+        ``done`` are the already-executed atoms (by identity), ``bound``
+        the variables their results bind, ``cardinality`` the *observed*
+        size of the current intermediate result.  Used by the adaptive
+        executor after statistics feedback; tail plans are never cached.
+        """
+        options = options or self.options
+        done_ids = {id(atom) for atom in done}
+        planned = {i for i, atom in enumerate(query.atoms) if id(atom) in done_ids}
+        return self._build_plan(query, options, planned=planned,
+                                bound=set(bound), initial_card=max(0.0, cardinality))
+
+    def forget(self, query: ConjunctiveMixedQuery,
+               options: PlannerOptions | None = None) -> bool:
+        """Drop the cached plan of ``query`` under the current statistics."""
+        cache_key = self._cache_key(query, options or self.options)
+        if cache_key is None:
+            return False
+        return self._plan_cache.drop(cache_key)
+
+    def _cache_key(self, query: ConjunctiveMixedQuery,
+                   options: PlannerOptions) -> Optional[tuple]:
+        if self._plan_cache is None or not options.plan_cache:
+            return None
+        revision = self._statistics.revision if self._statistics is not None else 0
+        return plan_cache_key(query, self._sources, self._glue, options,
+                              stats_revision=revision)
 
     @staticmethod
     def _rebind(hit: tuple, query: ConjunctiveMixedQuery,
@@ -176,23 +251,54 @@ class QueryPlanner:
         substituted.
         """
         plan, indices = hit
-        steps = [replace(step, atom=query.atoms[index])
-                 for step, index in zip(plan.steps, indices)]
+        steps = []
+        bound: set[str] = set()
+        for step, index in zip(plan.steps, indices):
+            atom = query.atoms[index]
+            # bound_variables must carry the *requesting* query's names
+            # (the renaming differs), or feedback recorded from this plan
+            # would key on the cached query's variables.
+            steps.append(replace(step, atom=atom, bound_variables=frozenset(bound)))
+            bound.update(atom.output_variables())
+            if atom.source_variable is not None:
+                bound.add(atom.source_variable)
         return QueryPlan(query=query, steps=steps,
                          stages=[list(stage) for stage in plan.stages],
-                         options=options, cached=True)
+                         options=options, cached=True, total_cost=plan.total_cost)
 
-    def _build_plan(self, query: ConjunctiveMixedQuery,
-                    options: PlannerOptions) -> QueryPlan:
-        atoms = list(query.atoms)
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def _build_plan(self, query: ConjunctiveMixedQuery, options: PlannerOptions,
+                    planned: set[int] | None = None, bound: set[str] | None = None,
+                    initial_card: float = 1.0) -> QueryPlan:
+        planned = set(planned or ())
+        bound = set(bound or ())
+        if options.cost_based and options.selectivity_ordering:
+            steps = self._cost_based_steps(query, options, planned, bound, initial_card)
+        else:
+            steps = self._greedy_steps(query, options, planned, bound, initial_card)
+        stages = self._group_stages(steps, options)
+        total = sum(step.cost for step in steps)
+        return QueryPlan(query=query, steps=steps, stages=stages, options=options,
+                         total_cost=total)
+
+    def _produced_by(self, atoms: list[SourceAtom]) -> dict[str, set[int]]:
         produced_by: dict[str, set[int]] = {}
         for index, atom in enumerate(atoms):
             for variable in atom.output_variables():
                 produced_by.setdefault(variable, set()).add(index)
+        return produced_by
 
+    def _greedy_steps(self, query: ConjunctiveMixedQuery, options: PlannerOptions,
+                      planned: set[int], bound: set[str],
+                      initial_card: float) -> list[PlanStep]:
+        """The classical greedy pass over the wrappers' own estimates."""
+        atoms = list(query.atoms)
+        produced_by = self._produced_by(atoms)
         steps: list[PlanStep] = []
-        planned: set[int] = set()
-        bound: set[str] = set()
+        cardinality = initial_card
+        first = not planned
 
         while len(planned) < len(atoms):
             ready = [i for i in range(len(atoms)) if i not in planned
@@ -205,16 +311,178 @@ class QueryPlanner:
                 )
             index = self._choose(ready, atoms, bound, options)
             atom = atoms[index]
-            step = self._make_step(atom, bound, planned, options)
+            step, cardinality = self._make_step(atom, bound, first, cardinality, options)
             steps.append(step)
             planned.add(index)
+            first = False
             bound.update(atom.output_variables())
             if atom.source_variable is not None and atom.source_variable not in bound:
                 # A free source variable gets bound to the chosen source URI.
                 bound.add(atom.source_variable)
+        return steps
 
-        stages = self._group_stages(steps, options)
-        return QueryPlan(query=query, steps=steps, stages=stages, options=options)
+    def _cost_based_steps(self, query: ConjunctiveMixedQuery, options: PlannerOptions,
+                          planned: set[int], bound: set[str],
+                          initial_card: float) -> list[PlanStep]:
+        """Cost-based enumeration: DP over atom subsets, greedy above the cap."""
+        atoms = list(query.atoms)
+        produced_by = self._produced_by(atoms)
+        memo: dict[tuple, float] = {}
+
+        def estimate(index: int, bound_now: frozenset) -> float:
+            key = (index, bound_now & frozenset(atoms[index].variables()))
+            if key not in memo:
+                memo[key] = self._stat_estimate(atoms[index], set(key[1]))
+            return memo[key]
+
+        if len(atoms) - len(planned) > DP_ATOM_LIMIT:
+            return self._greedy_cost_steps(atoms, produced_by, options,
+                                           planned, bound, initial_card, estimate)
+
+        start_key = frozenset(planned)
+        # State: subset of planned atom indices -> (cost, card, steps, bound).
+        by_size: dict[int, dict[frozenset, tuple]] = defaultdict(dict)
+        by_size[len(start_key)][start_key] = (0.0, initial_card, (), frozenset(bound))
+
+        for size in range(len(start_key), len(atoms)):
+            if not by_size[size]:
+                break
+            for key, (cost, card, steps, bound_now) in by_size[size].items():
+                bound_set = set(bound_now)
+                ready = [i for i in range(len(atoms)) if i not in key
+                         and self._is_ready(atoms[i], i, bound_set, produced_by)]
+                if not ready:
+                    unresolved = [atoms[i].describe()
+                                  for i in range(len(atoms)) if i not in key]
+                    raise PlanningError(
+                        "cannot order sub-queries: unresolved dependencies in "
+                        + "; ".join(unresolved)
+                    )
+                # Deterministic tie-break: equal-cost plans fall back to the
+                # greedy preference (connected, then selective, then body order).
+                ready.sort(key=lambda i: (
+                    0 if (not bound_set or atoms[i].variables() & bound_set) else 1,
+                    estimate(i, bound_now), i))
+                for i in ready:
+                    step, new_card = self._cost_step(
+                        atoms[i], bound_set, not key, card, options, estimate, i,
+                        bound_now)
+                    new_bound = bound_now | frozenset(atoms[i].output_variables())
+                    if atoms[i].source_variable is not None:
+                        new_bound |= {atoms[i].source_variable}
+                    next_key = key | {i}
+                    current = by_size[size + 1].get(next_key)
+                    candidate = (cost + step.cost, new_card, steps + (step,), new_bound)
+                    # States are created in greedy-preference order, so a
+                    # later candidate must be clearly (>1%) cheaper to
+                    # displace one — near-ties keep the selective-first
+                    # order the paper's greedy pass would pick.
+                    if current is None or candidate[0] < current[0] * 0.99 - 1e-12:
+                        by_size[size + 1][next_key] = candidate
+        final = by_size[len(atoms)].get(frozenset(range(len(atoms))))
+        assert final is not None
+        return list(final[2])
+
+    def _greedy_cost_steps(self, atoms, produced_by, options, planned, bound,
+                           cardinality, estimate) -> list[PlanStep]:
+        """Myopic cost-based ordering for queries too large for the DP."""
+        planned = set(planned)
+        bound = set(bound)
+        steps: list[PlanStep] = []
+        first = not planned
+        while len(planned) < len(atoms):
+            ready = [i for i in range(len(atoms)) if i not in planned
+                     and self._is_ready(atoms[i], i, bound, produced_by)]
+            if not ready:
+                unresolved = [atoms[i].describe() for i in range(len(atoms))
+                              if i not in planned]
+                raise PlanningError(
+                    "cannot order sub-queries: unresolved dependencies in "
+                    + "; ".join(unresolved)
+                )
+            bound_now = frozenset(bound)
+            candidates = []
+            for i in ready:
+                step, new_card = self._cost_step(atoms[i], bound, first, cardinality,
+                                                 options, estimate, i, bound_now)
+                connected = 0 if (not bound or atoms[i].variables() & bound) else 1
+                candidates.append((step.cost, connected, estimate(i, bound_now), i,
+                                   step, new_card))
+            candidates.sort(key=lambda c: c[:4])
+            _, _, _, index, step, cardinality = candidates[0]
+            steps.append(step)
+            planned.add(index)
+            first = False
+            bound.update(atoms[index].output_variables())
+            if atoms[index].source_variable is not None:
+                bound.add(atoms[index].source_variable)
+        return steps
+
+    def _cost_step(self, atom: SourceAtom, bound: set[str], first: bool,
+                   cardinality: float, options: PlannerOptions, estimate, index: int,
+                   bound_now: frozenset) -> tuple[PlanStep, float]:
+        """Price one candidate step and return it with the resulting card."""
+        sources, dynamic = self._resolve_sources(atom)
+        models = [source.model for source in sources]
+        cost_model = self.statistics.cost_model
+        est_bound = estimate(index, bound_now)
+        est_full = estimate(index, frozenset())
+        shares = bool(atom.variables() & bound)
+        has_required = bool(atom.required_parameters())
+
+        def joined_card(per_binding: float) -> float:
+            """Join size under the containment assumption (System-R style).
+
+            ``est_full / per_binding`` recovers the atom's distinct count
+            on the join keys; once the intermediate result carries more
+            distinct probe values than that, the join cannot exceed the
+            atom's own size (|R||S| / max(dR, dS) with dR ~ |R|).  Atoms
+            with required parameters are genuinely parameterised — each
+            binding expands by ``per_binding`` — so no cap applies.
+            """
+            if (has_required or not shares or per_binding <= 0
+                    or est_full <= 0 or est_full == float("inf")):
+                return cardinality * per_binding
+            distinct = est_full / per_binding
+            return est_full * cardinality / max(cardinality, distinct)
+
+        def bind_step() -> tuple[float, float, float, int]:
+            batch = options.bind_batch_size or auto_batch_size(est_bound, cost_model)
+            # Priced as batched regardless of the batching ablation flag:
+            # ``batch_bind_joins=False`` must keep the same plan shape and
+            # only change dispatch (one call per binding), or the ablation
+            # benchmarks would compare different plans.
+            cost = cost_model.bind_cost(models, cardinality, est_bound, batch,
+                                        batched=True, sieved=options.digest_sieve)
+            return (cost, est_bound, joined_card(est_bound),
+                    batch if options.batch_bind_joins else 0)
+
+        def materialize_step() -> tuple[float, float, float, int]:
+            cost = cost_model.materialize_cost(models, est_full)
+            if shares:
+                return cost, est_full, joined_card(est_bound), 0
+            return cost, est_full, cardinality * est_full, 0
+
+        if first:
+            mode, (cost, est, new_card, batch) = "materialize", materialize_step()
+        elif has_required or dynamic:
+            mode, (cost, est, new_card, batch) = "bind", bind_step()
+        elif options.use_bind_joins and shares:
+            bind_priced = bind_step()
+            mat_priced = materialize_step()
+            if mat_priced[0] < cost_model.mode_switch_margin * bind_priced[0]:
+                mode, (cost, est, new_card, batch) = "materialize", mat_priced
+            else:
+                mode, (cost, est, new_card, batch) = "bind", bind_priced
+        else:
+            mode, (cost, est, new_card, batch) = "materialize", materialize_step()
+
+        step = PlanStep(atom=atom, mode=mode, sources=sources, dynamic=dynamic,
+                        estimate=est, batch_size=batch,
+                        use_sieve=options.digest_sieve, cost=cost,
+                        result_estimate=new_card,
+                        bound_variables=frozenset(bound))
+        return step, new_card
 
     # ------------------------------------------------------------------
     def _is_ready(self, atom: SourceAtom, index: int, bound: set[str],
@@ -249,13 +517,14 @@ class QueryPlanner:
 
         return min(ready, key=score)
 
-    def _make_step(self, atom: SourceAtom, bound: set[str], planned: set[int],
-                   options: PlannerOptions) -> PlanStep:
+    def _make_step(self, atom: SourceAtom, bound: set[str], first: bool,
+                   cardinality: float,
+                   options: PlannerOptions) -> tuple[PlanStep, float]:
         sources, dynamic = self._resolve_sources(atom)
         estimate = self._estimate(atom, bound)
         shares = bool(atom.variables() & bound)
         has_required = bool(atom.required_parameters())
-        if not planned:
+        if first:
             mode = "materialize"
         elif has_required or dynamic:
             mode = "bind"
@@ -266,9 +535,24 @@ class QueryPlanner:
         batch_size = 0
         if mode == "bind" and options.batch_bind_joins:
             batch_size = options.bind_batch_size or auto_batch_size(estimate)
-        return PlanStep(atom=atom, mode=mode, sources=sources, dynamic=dynamic,
+        cost_model = self.statistics.cost_model
+        models = [source.model for source in sources]
+        if mode == "bind":
+            cost = cost_model.bind_cost(models, cardinality, estimate,
+                                        batch_size or 1,
+                                        batched=options.batch_bind_joins,
+                                        sieved=options.digest_sieve)
+            new_card = cardinality * estimate
+        else:
+            cost = cost_model.materialize_cost(models, estimate)
+            new_card = cardinality * estimate if not shares else cardinality * max(
+                1.0, estimate / 10.0)
+        step = PlanStep(atom=atom, mode=mode, sources=sources, dynamic=dynamic,
                         estimate=estimate, batch_size=batch_size,
-                        use_sieve=options.digest_sieve)
+                        use_sieve=options.digest_sieve, cost=cost,
+                        result_estimate=new_card,
+                        bound_variables=frozenset(bound))
+        return step, new_card
 
     def _resolve_sources(self, atom: SourceAtom) -> tuple[list[DataSource], bool]:
         if atom.is_glue():
@@ -288,14 +572,30 @@ class QueryPlanner:
         candidates = [s for s in self._sources.values() if s.accepts(atom.query)]
         return candidates, True
 
-    def _estimate(self, atom: SourceAtom, bound: set[str]) -> float:
-        sources, dynamic = self._resolve_sources(atom)
-        if not sources:
-            return float("inf")
+    def _bound_formals(self, atom: SourceAtom, bound: set[str]) -> set[str]:
         bound_formals = {formal for formal in atom.query.output_variables()
                          if atom.renames.get(formal, formal) in bound}
         bound_formals.update(atom.constants)
+        return bound_formals
+
+    def _estimate(self, atom: SourceAtom, bound: set[str]) -> float:
+        """Legacy estimate through the wrappers' own ``estimate()``."""
+        sources, dynamic = self._resolve_sources(atom)
+        if not sources:
+            return float("inf")
+        bound_formals = self._bound_formals(atom, bound)
         estimates = [source.estimate(atom.query, bound_formals) for source in sources]
+        return sum(estimates) if dynamic else min(estimates)
+
+    def _stat_estimate(self, atom: SourceAtom, bound: set[str]) -> float:
+        """Digest-backed estimate through the statistics layer."""
+        sources, dynamic = self._resolve_sources(atom)
+        if not sources:
+            return float("inf")
+        bound_formals = self._bound_formals(atom, bound)
+        estimates = [self.statistics.estimate(source, atom.query, bound_formals,
+                                              atom.constants)
+                     for source in sources]
         return sum(estimates) if dynamic else min(estimates)
 
     def _group_stages(self, steps: list[PlanStep], options: PlannerOptions) -> list[list[int]]:

@@ -92,6 +92,44 @@ class SubQueryCall:
     rows_out: int
     seconds: float
     batched: bool = False
+    #: Identity of the dispatched atom object (disambiguates atoms that
+    #: share a display name, e.g. a self-join on one relation).
+    atom_key: int = 0
+
+
+@dataclass
+class StepObservation:
+    """Estimated vs. observed cardinality of one executed plan step.
+
+    ``estimate`` is the planner's prediction — rows per input binding
+    for bind steps, total rows for materialize steps; ``actual_rows``
+    and ``bindings`` are what the source calls really did.  ``q_error``
+    is the symmetric ratio the adaptive executor compares against
+    ``PlannerOptions.replan_threshold``.
+    """
+
+    atom: str
+    mode: str
+    estimate: float
+    actual_rows: int
+    bindings: int = 0
+    cost: float = 0.0
+    #: True when this observation triggered a mid-flight replan.
+    replanned_after: bool = False
+
+    def actual_per_binding(self) -> float:
+        """Observed rows normalised like the estimate (per binding for binds)."""
+        if self.mode == "bind" and self.bindings:
+            return self.actual_rows / self.bindings
+        return float(self.actual_rows)
+
+    def q_error(self) -> float:
+        """max(est/actual, actual/est), with a floor of 1 on both sides."""
+        estimate = max(1.0, self.estimate)
+        actual = max(1.0, self.actual_per_binding())
+        if estimate != estimate or estimate == float("inf"):
+            return float("inf")
+        return max(estimate / actual, actual / estimate)
 
 
 @dataclass
@@ -112,6 +150,12 @@ class ExecutionTrace:
     cache_misses: int = 0
     #: True when the plan was served from the plan cache.
     plan_cached: bool = False
+    #: Per-step estimated vs. actual cardinalities (execution order).
+    steps: list[StepObservation] = field(default_factory=list)
+    #: True when the executor re-planned the remaining steps mid-flight.
+    replanned: bool = False
+    #: Number of mid-flight replans.
+    replans: int = 0
 
     def calls_to(self, source_uri: str) -> int:
         """Number of sub-query calls shipped to ``source_uri``."""
@@ -140,6 +184,17 @@ class ExecutionTrace:
                             f"{self.cache_misses} miss(es)")
         if self.plan_cached:
             lines.insert(1, "plan served from the plan cache")
+        if self.replanned:
+            lines.insert(1, f"re-planned the remaining steps mid-flight "
+                            f"{self.replans} time(s)")
+        if self.steps:
+            lines.append("per-step cost / est / actual rows:")
+        for observation in self.steps:
+            marker = "  -> replanned tail" if observation.replanned_after else ""
+            lines.append(
+                f"  {observation.atom:<20} [{observation.mode}] "
+                f"cost {observation.cost:.1f}  est {observation.estimate:.0f}  "
+                f"actual {observation.actual_rows}{marker}")
         return "\n".join(lines)
 
 

@@ -40,6 +40,10 @@ Row = dict[str, object]
 
 _PLACEHOLDER_RE = re.compile(r"\{([A-Za-z_][\w]*)\}")
 
+#: CURIE shape: letter-led prefix, exactly one colon — timestamps and
+#: clock values ("2016-09-01T12:00:00") must not qualify.
+_CURIE_RE = re.compile(r"[A-Za-z][\w.-]*:[^\s:]+")
+
 
 # ---------------------------------------------------------------------------
 # Sub-query descriptions
@@ -206,6 +210,11 @@ class DataSource:
 
     model = "abstract"
 
+    #: When True, the statistics layer uses this wrapper's ``estimate()``
+    #: verbatim instead of deriving digest-backed numbers — the escape
+    #: hatch for wrappers that carry their own (remote) statistics.
+    trust_wrapper_estimate = False
+
     def __init__(self, source_uri: str, name: str | None = None,
                  description: str = ""):
         self.uri = source_uri
@@ -305,6 +314,14 @@ class RDFSource(DataSource):
         self._saturated_state = state
         return self._saturated
 
+    def effective_graph(self) -> Graph:
+        """The graph queries (and estimates) actually run against.
+
+        Public accessor for the statistics layer: G∞ when entailment is
+        on, the raw graph otherwise.
+        """
+        return self._effective_graph()
+
     def add_triples(self, triples: Iterable) -> int:
         """Add triples to the source graph, maintaining G∞ incrementally.
 
@@ -333,14 +350,19 @@ class RDFSource(DataSource):
             raise MixedQueryError(f"RDF source {self.uri} cannot evaluate {type(query).__name__}")
         bindings = bindings or {}
         graph = self._effective_graph()
-        initial: dict[Variable, Term] = {}
-        for variable in query.bgp.variables():
-            if variable.name in bindings:
-                initial[variable] = _to_rdf_term(bindings[variable.name])
-        results = evaluate_bgp(query.bgp, graph, initial_binding=initial)
+        bound = [(variable, _binding_term_variants(bindings[variable.name]))
+                 for variable in query.bgp.variables()
+                 if variable.name in bindings]
+        # Numeric bindings are probed under every spelling the mediator's
+        # ``==`` accepts (5 vs 5.0), like the digest sieve does; a term
+        # matches exactly one spelling, so the union has no duplicates.
+        combos = itertools.product(*(terms for _, terms in bound)) if bound else [()]
         rows: list[Row] = []
-        for result in results:
-            rows.append({v.name: _to_python(t) for v, t in result.items()})
+        for combo in combos:
+            initial: dict[Variable, Term] = {
+                variable: term for (variable, _), term in zip(bound, combo)}
+            for result in evaluate_bgp(query.bgp, graph, initial_binding=initial):
+                rows.append({v.name: _to_python(t) for v, t in result.items()})
         return rows
 
     def execute_batch(self, query: SourceQuery,
@@ -392,9 +414,15 @@ class RDFSource(DataSource):
             for solution in solutions:
                 buckets[tuple(solution.get(v) for v in variables)].append(solution)
             for index in indices:
-                key = tuple(_to_rdf_term(batch[index][name]) for name in order)
+                # Probe every numeric spelling, as in per-binding mode; a
+                # solution's terms live in exactly one bucket, so the
+                # concatenation has no duplicates.
+                matched: list = []
+                for key in itertools.product(
+                        *(_binding_term_variants(batch[index][name]) for name in order)):
+                    matched.extend(buckets.get(key, ()))
                 results[index] = [{v.name: _to_python(t) for v, t in solution.items()}
-                                  for solution in buckets.get(key, ())]
+                                  for solution in matched]
         return results
 
     def estimate(self, query: SourceQuery, bound_variables: set[str] | None = None) -> float:
@@ -807,6 +835,34 @@ def _to_rdf_term(value: object) -> Term:
     if isinstance(value, str) and value.startswith(("http://", "https://", "urn:")):
         return uri(value)
     return literal(value)
+
+
+def _binding_term_variants(value: object) -> list[Term]:
+    """RDF terms a mediator value may match under the sources' loose ``==``.
+
+    The other wrappers compare ``5 == 5.0`` equal while RDF literals are
+    typed — probe both spellings (cf. the digest sieve's probe variants)
+    so a bind join through an RDF atom never misses a numeric match.
+    A CURIE-shaped string is probed both as the literal it converts to
+    and as the URI it round-trips from (``URI.value`` of a non-HTTP
+    identifier reads back as a plain string).
+    """
+    terms: list[Term] = []
+    values: list[object] = [value]
+    if isinstance(value, bool):
+        pass
+    elif isinstance(value, float) and value.is_integer():
+        values.append(int(value))
+    elif isinstance(value, int):
+        values.append(float(value))
+    for variant in values:
+        terms.append(_to_rdf_term(variant))
+    if (isinstance(value, str) and _CURIE_RE.fullmatch(value)
+            and not value.startswith(("http://", "https://", "urn:"))):
+        candidate = URI(value)
+        if candidate not in terms:
+            terms.append(candidate)
+    return terms
 
 
 def _to_python(term: object) -> object:

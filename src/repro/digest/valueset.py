@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.digest.bloom import BloomFilter
 from repro.digest.histogram import EquiWidthHistogram, TopKSummary
@@ -160,6 +160,20 @@ class ValueSetSummary:
         if not self.might_contain(value):
             return 0.0
         return max(self.top_k.estimate_equality_selectivity(value), 1.0 / self.total_values)
+
+    def range_selectivity(self, op: str, value: float) -> Optional[float]:
+        """Selectivity of ``position <op> value`` from the histogram.
+
+        ``None`` when the position is not numeric (the caller falls back
+        to a default guess); supported operators: ``<  <=  >  >=``.
+        """
+        if not self.numeric or self.histogram is None:
+            return None
+        if op in ("<", "<="):
+            return self.histogram.estimate_selectivity(None, value)
+        if op in (">", ">="):
+            return self.histogram.estimate_selectivity(value, None)
+        return None
 
     def stats(self) -> ValueSetStats:
         """Size and precision statistics of the summary."""

@@ -103,6 +103,8 @@ class FullTextStore:
             f.name: defaultdict(set) for f in fields if f.field_type == "keyword"
         }
         self._version = 0
+        #: field -> (version, average df); see average_document_frequency.
+        self._average_df_cache: dict[str, tuple[int, float | None]] = {}
 
     @property
     def version(self) -> int:
@@ -185,6 +187,79 @@ class FullTextStore:
             else:
                 values.append(value)
         return values
+
+    # ------------------------------------------------------------------
+    # Index statistics (planner cardinality estimation)
+    # ------------------------------------------------------------------
+    def term_documents(self, field_name: str, term: str) -> set[str] | None:
+        """Doc ids matching ``field_name:term``, straight from the indexes.
+
+        Text fields answer from the inverted index (the term is analysed
+        like query terms; a multi-token term intersects postings);
+        keyword fields answer from the exact (lowercased) buckets.
+        Returns ``None`` for fields backed by neither index — the caller
+        must fall back rather than guess.
+        """
+        index = self._text_indexes.get(field_name)
+        if index is not None:
+            tokens = self.analyzer.stems(str(term))
+            if not tokens:
+                return set()
+            docs = index.documents_with(tokens[0])
+            for token in tokens[1:]:
+                docs &= index.documents_with(token)
+                if not docs:
+                    break
+            return docs
+        buckets = self._keyword_indexes.get(field_name)
+        if buckets is not None:
+            return set(buckets.get(str(term).lower(), ()))
+        return None
+
+    def document_frequency(self, field_name: str, term: str) -> int | None:
+        """Number of documents matching ``field_name:term`` (index-backed)."""
+        docs = self.term_documents(field_name, term)
+        return len(docs) if docs is not None else None
+
+    def distinct_term_count(self, field_name: str) -> int | None:
+        """Distinct indexed terms/values of one field (``None`` if unindexed)."""
+        index = self._text_indexes.get(field_name)
+        if index is not None:
+            return len(index.vocabulary())
+        buckets = self._keyword_indexes.get(field_name)
+        if buckets is not None:
+            return sum(1 for doc_ids in buckets.values() if doc_ids)
+        return None
+
+    def average_document_frequency(self, field_name: str) -> float | None:
+        """Mean postings per distinct term — the expected matches of an
+        equality with an unknown (bound-at-run-time) value.
+
+        The full-vocabulary scan is memoised per store version (it sits
+        on the planner's estimation hot path).
+        """
+        cached = self._average_df_cache.get(field_name)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        average = self._compute_average_document_frequency(field_name)
+        self._average_df_cache[field_name] = (self._version, average)
+        return average
+
+    def _compute_average_document_frequency(self, field_name: str) -> float | None:
+        index = self._text_indexes.get(field_name)
+        if index is not None:
+            vocabulary = index.vocabulary()
+            if not vocabulary:
+                return 0.0
+            postings = sum(index.document_frequency(t) for t in vocabulary)
+            return postings / len(vocabulary)
+        buckets = self._keyword_indexes.get(field_name)
+        if buckets is not None:
+            sizes = [len(doc_ids) for doc_ids in buckets.values() if doc_ids]
+            if not sizes:
+                return 0.0
+            return sum(sizes) / len(sizes)
+        return None
 
     # ------------------------------------------------------------------
     # Search

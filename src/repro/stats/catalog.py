@@ -1,0 +1,188 @@
+"""The statistics catalog: estimates, feedback and the revision stamp.
+
+A :class:`StatisticsCatalog` is the single estimation service shared by
+every planner and executor of a mixed instance.  For each (source,
+sub-query, bound-variable set) it answers, in order of preference:
+
+1. **feedback** — a cardinality observed at run time for the same
+   canonical sub-query under the same bound variables (recorded by the
+   adaptive executor when an estimate turned out wrong);
+2. **digest-backed estimators** (:mod:`repro.stats.estimators`) over
+   histograms, value-set distinct counts, dataguide path counts and
+   inverted-index document frequencies;
+3. the wrapper's own ``estimate()`` as a fallback (also used when a
+   wrapper sets ``trust_wrapper_estimate`` to advertise that it carries
+   better statistics than the mediator can derive).
+
+Recording feedback bumps :attr:`revision`.  The revision is part of
+every plan-cache key, so cached plans built from superseded statistics
+are invalidated by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.cache.keys import canonical_query
+from repro.core.sources import (
+    DataSource,
+    FullTextQuery,
+    FullTextSource,
+    JSONQuery,
+    JSONSource,
+    RDFQuery,
+    RDFSource,
+    RelationalSource,
+    SourceQuery,
+    SQLQuery,
+)
+from repro.digest.valueset import ValueSetSummary
+from repro.stats.cost import CostModel, DEFAULT_COST_MODEL
+from repro.stats import estimators
+
+
+class StatisticsCatalog:
+    """Digest-backed cardinality statistics with run-time feedback."""
+
+    def __init__(self, cost_model: CostModel | None = None,
+                 histogram_buckets: int = 32):
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.histogram_buckets = histogram_buckets
+        self._feedback: dict[tuple, float] = {}
+        self._revision = 0
+        self._lock = threading.Lock()
+        #: (source token, source version, table, column) -> summary.
+        self._column_summaries: dict[tuple, Optional[ValueSetSummary]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def revision(self) -> int:
+        """Monotonic counter bumped by every effective feedback record."""
+        return self._revision
+
+    # ------------------------------------------------------------------
+    def estimate(self, source: DataSource, query: SourceQuery,
+                 bound: set[str] | None = None,
+                 values: dict[str, object] | None = None) -> float:
+        """Estimated output rows of ``query`` on ``source``.
+
+        ``bound`` are the sub-query's *formal* variables already bound
+        when the step runs; ``values`` the subset whose constant values
+        are known at plan time (atom constants) — those are priced from
+        the actual value's frequency.
+        """
+        bound = set(bound or ())
+        values = dict(values or {})
+        key = self.feedback_key(source, query, bound)
+        if key is not None:
+            with self._lock:
+                observed = self._feedback.get(key)
+            if observed is not None:
+                return observed
+        if getattr(source, "trust_wrapper_estimate", False):
+            return source.estimate(query, bound)
+        derived = self._derive(source, query, bound, values)
+        if derived is not None:
+            return derived
+        return source.estimate(query, bound)
+
+    def _derive(self, source: DataSource, query: SourceQuery,
+                bound: set[str], values: dict[str, object]) -> Optional[float]:
+        try:
+            if isinstance(source, RelationalSource) and isinstance(query, SQLQuery):
+                return estimators.estimate_sql(
+                    source, query, bound, values,
+                    lambda table, column: self.column_summary(source, table, column))
+            if isinstance(source, RDFSource) and isinstance(query, RDFQuery):
+                return estimators.estimate_bgp(source, query, bound, values)
+            if isinstance(source, FullTextSource) and isinstance(query, FullTextQuery):
+                return estimators.estimate_fulltext(source, query, bound, values)
+            if isinstance(source, JSONSource) and isinstance(query, JSONQuery):
+                return estimators.estimate_json(source, query, bound, values)
+        except Exception:
+            # Any estimator hiccup (odd syntax, missing metadata) must
+            # never fail planning — the wrapper fallback takes over.
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+    def record(self, source: DataSource, query: SourceQuery,
+               bound: set[str], observed: float) -> bool:
+        """Record an observed cardinality; True when it changed anything.
+
+        The key canonicalises the sub-query (renaming-invariant) and the
+        bound-variable set, so structurally identical sub-queries of
+        future CMQs benefit.  An effective change bumps the revision,
+        invalidating every plan-cache entry stamped with the old one.
+        """
+        key = self.feedback_key(source, query, set(bound))
+        if key is None:
+            return False
+        with self._lock:
+            previous = self._feedback.get(key)
+            self._feedback[key] = observed
+            if previous is None or previous != observed:
+                self._revision += 1
+                return True
+        return False
+
+    def feedback_key(self, source: DataSource, query: SourceQuery,
+                     bound: set[str]) -> Optional[tuple]:
+        """Canonical feedback key, or ``None`` for uncanonicalisable input."""
+        token = getattr(source, "cache_token", None)
+        if token is None:
+            return None
+        canonical = canonical_query(query)
+        if canonical is None:
+            return None
+        renamed = frozenset(canonical.rename.get(name, name) for name in bound)
+        return (token, canonical.key, renamed)
+
+    def feedback_count(self) -> int:
+        """Number of recorded observations."""
+        with self._lock:
+            return len(self._feedback)
+
+    def clear_feedback(self) -> None:
+        """Drop every observation (the revision still advances)."""
+        with self._lock:
+            if self._feedback:
+                self._feedback.clear()
+                self._revision += 1
+
+    # ------------------------------------------------------------------
+    # Relational column summaries
+    # ------------------------------------------------------------------
+    def column_summary(self, source: RelationalSource, table: str,
+                       column: str) -> Optional[ValueSetSummary]:
+        """Value-set summary of one column, cached per source version."""
+        version = source.version()
+        if version is None:
+            return None
+        key = (source.cache_token, version, table.lower(), column.lower())
+        if key in self._column_summaries:
+            return self._column_summaries[key]
+        summary: Optional[ValueSetSummary] = None
+        if source.database.has_table(table):
+            table_obj = source.database.table(table)
+            actual = next((c.name for c in table_obj.schema.columns
+                           if c.name.lower() == column.lower()), None)
+            if actual is not None:
+                summary = ValueSetSummary(
+                    table_obj.column_values(actual),
+                    histogram_buckets=self.histogram_buckets)
+        with self._lock:
+            self._column_summaries[key] = summary
+            # Drop summaries of superseded versions of the same column.
+            stale = [k for k in self._column_summaries
+                     if k[0] == key[0] and k[2:] == key[2:] and k[1] != version]
+            for k in stale:
+                del self._column_summaries[k]
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"StatisticsCatalog(revision={self._revision}, "
+                f"feedback={len(self._feedback)})")

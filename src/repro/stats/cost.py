@@ -1,0 +1,140 @@
+"""The mediator's cost model.
+
+Every plan alternative is priced in abstract *cost units* combining
+
+* a per-call **setup cost** (connection/parse/dispatch overhead of one
+  sub-query call — full-text searches are the most expensive, glue-graph
+  BGPs the cheapest),
+* a per-row **transfer cost** (shipping one result row from the source
+  to the mediator),
+* a per-binding **push cost** for bind joins (serialising one binding
+  into an IN-list / disjunctive query / parameter fill),
+
+with discounts for the digest sieve (bindings proven matchless never
+ship) and batched dispatch (one setup amortised over a whole batch).
+The constants are calibrated per source *kind*, not per instance: they
+only need to rank alternatives, not predict wall-clock time.
+
+The same model also picks bind-join batch sizes: the size decreases
+monotonically with the estimated per-binding cost, fixing the historical
+discontinuity where an estimate of ``inf`` yielded a mid-size batch
+while a merely large estimate yielded the minimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Bounds of the planner-chosen bind-join batch size.
+MIN_BIND_BATCH = 16
+MAX_BIND_BATCH = 1024
+
+
+@dataclass(frozen=True)
+class SourceCosts:
+    """Calibrated constants for one source kind (cost units)."""
+
+    #: Fixed cost of one sub-query call (dispatch, parse, plan).
+    call_setup: float
+    #: Cost of transferring one result row to the mediator.
+    per_row: float
+    #: Cost of shipping one binding into a dependent (bind-join) call.
+    per_binding: float
+
+
+#: Per-model defaults.  Full-text searches pay analysis + scoring per
+#: call; JSON tree patterns pay candidate verification; SQL pays parse
+#: and scan setup; BGPs over in-memory indexes are cheapest.
+DEFAULT_SOURCE_COSTS: dict[str, SourceCosts] = {
+    "rdf": SourceCosts(call_setup=1.0, per_row=0.02, per_binding=0.01),
+    "relational": SourceCosts(call_setup=2.0, per_row=0.01, per_binding=0.008),
+    "json": SourceCosts(call_setup=3.0, per_row=0.02, per_binding=0.012),
+    "fulltext": SourceCosts(call_setup=5.0, per_row=0.03, per_binding=0.02),
+}
+
+#: Used for wrapper models the table does not know (custom sources).
+FALLBACK_SOURCE_COSTS = SourceCosts(call_setup=3.0, per_row=0.02, per_binding=0.012)
+
+
+class CostModel:
+    """Prices plan steps; shared by the enumerator and the batch sizer."""
+
+    def __init__(self, source_costs: dict[str, SourceCosts] | None = None,
+                 sieve_survival: float = 0.75,
+                 batch_row_scale: float = 16.0,
+                 mode_switch_margin: float = 0.8):
+        self.source_costs = dict(DEFAULT_SOURCE_COSTS)
+        if source_costs:
+            self.source_costs.update(source_costs)
+        #: Expected fraction of bindings surviving the digest sieve.
+        self.sieve_survival = sieve_survival
+        #: Rows-per-binding granularity of the batch-size decay.
+        self.batch_row_scale = batch_row_scale
+        #: Materialize replaces a bind join only when cheaper by this
+        #: factor — bind joins additionally shrink downstream joins and
+        #: enable sieve/cache probes, which the per-step price cannot see.
+        self.mode_switch_margin = mode_switch_margin
+
+    # ------------------------------------------------------------------
+    def costs_for(self, model: str) -> SourceCosts:
+        """The constants of one source kind (fallback for unknown kinds)."""
+        return self.source_costs.get(model, FALLBACK_SOURCE_COSTS)
+
+    def materialize_cost(self, models: Sequence[str], estimated_rows: float) -> float:
+        """Cost of fetching a sub-query's whole result.
+
+        ``models`` holds the kind of every dispatched source (several for
+        dynamic atoms); ``estimated_rows`` is the total across them.
+        """
+        if not models:
+            return float("inf")
+        setup = sum(self.costs_for(m).call_setup for m in models)
+        per_row = max(self.costs_for(m).per_row for m in models)
+        return setup + per_row * max(0.0, estimated_rows)
+
+    def bind_cost(self, models: Sequence[str], input_bindings: float,
+                  rows_per_binding: float, batch_size: int,
+                  batched: bool = True, sieved: bool = False) -> float:
+        """Cost of a dependent join shipping ``input_bindings`` bindings.
+
+        One batch is one call per target source; the sieve discount
+        models bindings dropped before shipping (their rows never
+        transfer either, because a sieved binding provably has none).
+        """
+        if not models:
+            return float("inf")
+        bindings = max(0.0, input_bindings)
+        if sieved:
+            bindings *= self.sieve_survival
+        if math.isinf(bindings):
+            return float("inf")
+        per_batch = max(1, batch_size) if batched else 1
+        calls = math.ceil(bindings / per_batch) if bindings > 0 else 1
+        setup = sum(self.costs_for(m).call_setup for m in models)
+        per_binding = max(self.costs_for(m).per_binding for m in models)
+        per_row = max(self.costs_for(m).per_row for m in models)
+        rows_out = bindings * max(0.0, rows_per_binding)
+        return calls * setup + bindings * per_binding + rows_out * per_row
+
+    # ------------------------------------------------------------------
+    def batch_size(self, rows_per_binding: float) -> int:
+        """Bind-join batch size, monotonically decreasing in cost.
+
+        Selective steps (few rows per binding) batch maximally — every
+        shipped binding is cheap to answer, so amortising the call setup
+        dominates.  The size decays continuously as the per-binding
+        transfer cost grows (results should start streaming early), down
+        to :data:`MIN_BIND_BATCH` for very expensive or unbounded
+        (``inf``) estimates — there is no discontinuity at any estimate.
+        """
+        if math.isnan(rows_per_binding) or math.isinf(rows_per_binding):
+            return MIN_BIND_BATCH
+        decay = max(0.0, rows_per_binding - 1.0) / self.batch_row_scale
+        size = int(MAX_BIND_BATCH / (1.0 + decay))
+        return min(MAX_BIND_BATCH, max(MIN_BIND_BATCH, size))
+
+
+#: Shared default instance (used when no model is configured explicitly).
+DEFAULT_COST_MODEL = CostModel()

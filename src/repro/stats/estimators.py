@@ -1,0 +1,371 @@
+"""Per-model cardinality estimators over digest structures.
+
+Each function estimates the output cardinality of one sub-query against
+one source, using only summaries the mediator already maintains:
+
+* **relational** — per-column value-set summaries (top-k frequencies for
+  equality predicates, equi-width histograms for ranges, distinct counts
+  for join keys and parameter bindings);
+* **RDF** — per-pattern triple counts from the graph's permutation
+  indexes, with join-variable reductions from position distinct counts;
+* **full-text** — inverted-index document frequencies per query clause;
+* **JSON** — dataguide path counts refined by per-path index postings.
+
+Every estimator returns ``None`` when it cannot derive a safe number
+(unsupported syntax, unknown fields, empty metadata); the caller then
+falls back to the wrapper's own ``estimate()``.  ``values`` carries the
+*known* constant bindings of the atom, so equality predicates on
+constants are priced from the actual value's frequency rather than an
+average.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Optional
+
+from repro.core.sources import (
+    FullTextQuery,
+    FullTextSource,
+    JSONQuery,
+    JSONSource,
+    RDFQuery,
+    RDFSource,
+    RelationalSource,
+    SQLQuery,
+    _PLACEHOLDER_RE,
+    _plain_select_items,
+    _referenced_tables,
+    _to_rdf_term,
+)
+from repro.digest.valueset import ValueSetSummary
+from repro.rdf.terms import URI, Variable
+
+#: ``summary_for(table, column)`` -> the column's value-set summary.
+ColumnSummaries = Callable[[str, str], Optional[ValueSetSummary]]
+
+#: Default selectivity of a WHERE conjunct the parser cannot price.
+UNKNOWN_PREDICATE_SELECTIVITY = 1.0 / 3.0
+
+#: Constructs the SQL estimator does not model; their presence routes
+#: the whole statement to the wrapper's fallback estimate.
+_SQL_UNSUPPORTED_RE = re.compile(
+    r"\bor\b|\bnot\b|\blike\b|\bin\s*\(|\bunion\b|\bhaving\b|\bgroup\s+by\b"
+    r"|\blimit\b|\bdistinct\b|\b(?:count|sum|avg|min|max)\s*\(",
+    re.IGNORECASE,
+)
+
+_SQL_WHERE_RE = re.compile(r"\bwhere\b(.*?)(?:\border\s+by\b|$)",
+                           re.IGNORECASE | re.DOTALL)
+
+_SQL_COMPARISON_RE = re.compile(
+    r"^\s*([A-Za-z_][\w.]*)\s*(=|<=|>=|<>|!=|<|>)\s*(.+?)\s*$", re.DOTALL)
+
+_SQL_STRING_RE = re.compile(r"^'((?:[^']|'')*)'$")
+
+_NUMBER_RE = re.compile(r"^-?\d+(?:\.\d+)?$")
+
+
+# ---------------------------------------------------------------------------
+# Relational
+# ---------------------------------------------------------------------------
+
+def estimate_sql(source: RelationalSource, query: SQLQuery, bound: set[str],
+                 values: dict[str, object],
+                 summary_for: ColumnSummaries) -> Optional[float]:
+    """Histogram/top-k estimate of a SQL SELECT, or ``None`` to fall back."""
+    sql = query.sql
+    if _SQL_UNSUPPORTED_RE.search(sql):
+        return None
+    tables = _referenced_tables(sql)
+    if not tables:
+        return None
+    database = source.database
+    cardinality = 1.0
+    for table in tables:
+        if not database.has_table(table):
+            return None
+        cardinality *= max(1, len(database.table(table)))
+
+    def resolve(ident: str) -> Optional[ValueSetSummary]:
+        if "." in ident:
+            table, column = ident.rsplit(".", 1)
+            return summary_for(table, column)
+        for table in tables:
+            summary = summary_for(table, ident)
+            if summary is not None:
+                return summary
+        return None
+
+    selectivity = 1.0
+    where = _SQL_WHERE_RE.search(sql)
+    if where:
+        for conjunct in re.split(r"\band\b", where.group(1), flags=re.IGNORECASE):
+            if not conjunct.strip():
+                continue
+            selectivity *= _conjunct_selectivity(conjunct, resolve, values)
+
+    # Bindings arriving on plain output columns restrict the result to
+    # one value of that column: 1/distinct, or the value's own frequency
+    # when it is a known constant.
+    outputs = {output: expression
+               for expression, output in _plain_select_items(sql)}
+    required = query.required_parameters()
+    for variable in (query.output_variables() & bound) - required:
+        expression = outputs.get(variable)
+        summary = resolve(expression) if expression else None
+        if summary is None:
+            selectivity *= 0.1
+        elif variable in values:
+            selectivity *= summary.selectivity(values[variable])
+        else:
+            selectivity *= 1.0 / max(1, summary.distinct_values)
+    return max(0.0, cardinality * selectivity)
+
+
+def _conjunct_selectivity(conjunct: str, resolve: ColumnSummaries,
+                          values: dict[str, object]) -> float:
+    match = _SQL_COMPARISON_RE.match(conjunct)
+    if not match:
+        return UNKNOWN_PREDICATE_SELECTIVITY
+    ident, op, rhs = match.group(1), match.group(2), match.group(3).strip()
+    summary = resolve(ident)
+    rhs_kind, rhs_value = _parse_rhs(rhs)
+    if rhs_kind == "param" and rhs_value in values:
+        rhs_kind, rhs_value = "literal", values[rhs_value]
+    if op in ("<>", "!="):
+        return 0.9
+    if op == "=":
+        if rhs_kind == "literal":
+            if summary is None:
+                return 0.1
+            return summary.selectivity(rhs_value)
+        if rhs_kind == "param":
+            if summary is None:
+                return 0.1
+            return 1.0 / max(1, summary.distinct_values)
+        if rhs_kind == "ident":
+            left = summary
+            right = resolve(rhs_value)
+            distinct = max(
+                left.distinct_values if left is not None else 0,
+                right.distinct_values if right is not None else 0,
+            )
+            return 1.0 / max(1, distinct)
+        return UNKNOWN_PREDICATE_SELECTIVITY
+    # Range comparison: price from the histogram when the column is numeric.
+    if rhs_kind in ("literal", "param"):
+        if (rhs_kind == "literal" and summary is not None
+                and isinstance(rhs_value, (int, float))):
+            selectivity = summary.range_selectivity(op, float(rhs_value))
+            if selectivity is not None:
+                return selectivity
+        return 0.3
+    return UNKNOWN_PREDICATE_SELECTIVITY
+
+
+def _parse_rhs(rhs: str):
+    string = _SQL_STRING_RE.match(rhs)
+    if string:
+        return "literal", string.group(1).replace("''", "'")
+    if _NUMBER_RE.match(rhs):
+        return "literal", float(rhs) if "." in rhs else int(rhs)
+    placeholder = re.fullmatch(r"\{([A-Za-z_][\w]*)\}", rhs)
+    if placeholder:
+        return "param", placeholder.group(1)
+    if re.fullmatch(r"[A-Za-z_][\w.]*", rhs):
+        return "ident", rhs
+    return "unknown", rhs
+
+
+# ---------------------------------------------------------------------------
+# RDF
+# ---------------------------------------------------------------------------
+
+def estimate_bgp(source: RDFSource, query: RDFQuery, bound: set[str],
+                 values: dict[str, object]) -> Optional[float]:
+    """Index-count estimate of a BGP with join-variable reductions."""
+    graph = source.effective_graph()
+    bgp = query.bgp
+    if values:
+        binding = {variable: _to_rdf_term(values[variable.name])
+                   for variable in bgp.variables() if variable.name in values}
+        if binding:
+            bgp = bgp.bind(binding)
+    patterns = list(bgp.patterns)
+    if not patterns:
+        return 0.0
+    counted = sorted((graph.count(p), i, p) for i, p in enumerate(patterns))
+    if counted[0][0] == 0:
+        return 0.0
+    cardinality: Optional[float] = None
+    seen: set[str] = set()
+    for count, _, pattern in counted:
+        names = _pattern_variables(pattern)
+        if cardinality is None:
+            cardinality = float(count)
+        else:
+            shared = names & seen
+            if shared:
+                reduction = max(_distinct_at(graph, pattern, name)
+                                for name in shared)
+                cardinality *= count / max(1.0, reduction)
+            else:
+                cardinality *= count
+        seen |= names
+    assert cardinality is not None
+    # Mediator-bound variables with unknown values: each fixes the
+    # variable to one of its distinct values.
+    for name in (query.output_variables() & bound) - set(values):
+        distincts = [_distinct_at(graph, p, name) for p in patterns
+                     if name in _pattern_variables(p)]
+        if distincts:
+            cardinality /= max(1.0, max(distincts))
+    return max(0.0, cardinality)
+
+
+def _pattern_variables(pattern) -> set[str]:
+    return {term.name for term in (pattern.subject, pattern.predicate, pattern.obj)
+            if isinstance(term, Variable)}
+
+
+def _distinct_at(graph, pattern, name: str) -> float:
+    """Distinct values the graph holds at ``name``'s position in ``pattern``."""
+    predicate = pattern.predicate if isinstance(pattern.predicate, URI) else None
+    if isinstance(pattern.subject, Variable) and pattern.subject.name == name:
+        obj = pattern.obj if not isinstance(pattern.obj, Variable) else None
+        return float(len(graph.subjects(predicate=predicate, obj=obj)) or 1)
+    if isinstance(pattern.obj, Variable) and pattern.obj.name == name:
+        subject = pattern.subject if not isinstance(pattern.subject, Variable) else None
+        return float(len(graph.objects(subject=subject, predicate=predicate)) or 1)
+    return float(len(graph.predicates()) or 1)
+
+
+# ---------------------------------------------------------------------------
+# Full-text
+# ---------------------------------------------------------------------------
+
+def estimate_fulltext(source: FullTextSource, query: FullTextQuery,
+                      bound: set[str],
+                      values: dict[str, object]) -> Optional[float]:
+    """Document-frequency estimate of a conjunctive full-text template."""
+    template = query.query_template
+    if re.search(r'["\[\]()]', template):
+        return None
+    if re.search(r"\b(?:OR|NOT|TO)\b", template):
+        return None
+    store = source.store
+    total = len(store)
+    if total == 0:
+        return 0.0
+    # Constant clauses intersect their postings *exactly* (the indexes
+    # are in memory), so correlated or disjoint terms are priced right;
+    # only run-time parameters fall back to selectivity arithmetic.
+    matched: Optional[set] = None
+    selectivity = 1.0
+    for part in template.split():
+        if part.upper() == "AND":
+            continue
+        if part in ("*:*", "*"):
+            continue
+        if ":" in part:
+            path, term = part.split(":", 1)
+        else:
+            if store.default_field is None:
+                return None
+            path, term = store.default_field, part
+        placeholder = re.fullmatch(r"\{([A-Za-z_][\w]*)\}", term)
+        if placeholder:
+            name = placeholder.group(1)
+            if name in values:
+                term = str(values[name])
+            else:
+                average = store.average_document_frequency(path)
+                if average is None:
+                    return None
+                selectivity *= min(1.0, average / total)
+                continue
+        elif "{" in term:
+            return None
+        documents = store.term_documents(path, term)
+        if documents is None:
+            return None
+        matched = documents if matched is None else matched & documents
+    base = float(len(matched)) if matched is not None else float(total)
+    cardinality = base * selectivity
+    fields = query.fields()
+    required = query.required_parameters()
+    for variable in (query.output_variables() & bound) - required:
+        path = fields.get(variable)
+        if path is None or path == "_score":
+            cardinality *= 0.1
+            continue
+        if variable in values:
+            frequency = store.document_frequency(path, str(values[variable]))
+            if frequency is not None:
+                cardinality *= frequency / total
+                continue
+        distinct = store.distinct_term_count(path)
+        if distinct:
+            cardinality /= distinct
+        else:
+            cardinality *= 0.1
+    if query.limit is not None:
+        cardinality = min(cardinality, float(query.limit))
+    return max(0.0, cardinality)
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+def estimate_json(source: JSONSource, query: JSONQuery, bound: set[str],
+                  values: dict[str, object]) -> Optional[float]:
+    """Dataguide + path-index estimate of a tree pattern.
+
+    Mirrors the wrapper's digest-backed logic but additionally prices
+    parameters whose constant value is *known* from the exact postings
+    of that value instead of the average.
+    """
+    from repro.json.pattern import Parameter as JSONParameter
+
+    store = source.store
+    guide = store.dataguide()
+    estimate = float(len(store))
+    for leaf in query.pattern.leaves:
+        index = store.index_for(leaf.path)
+        if index is None:
+            present = len(store.doc_ids_with_path(leaf.path))
+            if present == 0:
+                return 0.0
+            estimate = min(estimate, float(present))
+            continue
+        leaf_estimate = guide.coverage(leaf.path) * guide.document_count
+        leaf_estimate = min(leaf_estimate, float(index.document_count))
+        for predicate in leaf.predicates:
+            if isinstance(predicate.value, JSONParameter):
+                name = predicate.value.name
+                if predicate.op == "=" and name in values:
+                    leaf_estimate = min(leaf_estimate,
+                                        float(len(index.lookup_eq(values[name]))))
+                else:
+                    leaf_estimate = min(leaf_estimate, index.average_postings())
+            elif predicate.op == "=":
+                leaf_estimate = min(leaf_estimate,
+                                    float(len(index.lookup_eq(predicate.value))))
+            elif predicate.op != "!=":
+                leaf_estimate = min(leaf_estimate,
+                                    float(len(index.lookup_cmp(predicate.op,
+                                                               predicate.value))))
+        if leaf.variable is not None and leaf.variable in bound:
+            if leaf.variable in values:
+                leaf_estimate = min(leaf_estimate,
+                                    float(len(index.lookup_eq(values[leaf.variable]))))
+            else:
+                leaf_estimate = min(leaf_estimate, index.average_postings())
+        estimate = min(estimate, leaf_estimate)
+    if any(leaf.constant_equality() is not None for leaf in query.pattern.leaves):
+        estimate = min(estimate, float(len(source.matcher.candidates(query.pattern))))
+    if query.limit is not None:
+        estimate = min(estimate, float(query.limit))
+    return max(0.0, estimate)

@@ -5,6 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.datasets import DemoConfig, build_demo_instance
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "optimizer: cost-based planner suites (estimation accuracy, "
+        "plan equivalence, adaptive re-planning); run in isolation with "
+        "`pytest -m optimizer`.")
 from repro.fulltext import tweet_store
 from repro.rdf import Graph, RDFSchema, triple, uri
 from repro.relational import Database

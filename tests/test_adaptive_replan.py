@@ -1,0 +1,140 @@
+"""Adaptive re-planning: wrong estimates are corrected mid-flight.
+
+A stub source advertises a deliberately wrong cardinality
+(``trust_wrapper_estimate`` routes the lie past the digest-backed
+estimators).  The executor must notice the estimate-vs-actual gap after
+the step runs, record feedback into the statistics layer, invalidate
+the stale plan-cache entry, and re-plan the remaining steps from the
+observed intermediate cardinality.
+"""
+
+import pytest
+
+from repro.core import MixedInstance, PlannerOptions
+from repro.core.sources import RelationalSource
+from repro.relational import Database
+
+pytestmark = pytest.mark.optimizer
+
+POSTS = 400
+VIP = 12
+
+
+class LyingSource(RelationalSource):
+    """Claims every sub-query returns ~2 rows, whatever the truth."""
+
+    trust_wrapper_estimate = True
+
+    def estimate(self, query, bound_variables=None):
+        return 2.0
+
+
+@pytest.fixture
+def instance():
+    posts = Database("posts-db")
+    posts.create_table_from_rows(
+        "posts", [{"handle": f"u{i:04d}", "score": i % 97} for i in range(POSTS)])
+    vip = Database("vip-db")
+    vip.create_table_from_rows(
+        "vip", [{"handle": f"u{i:04d}", "rank": i} for i in range(VIP)])
+    inst = MixedInstance(name="adaptive")
+    inst.register(LyingSource("sql://posts", posts))
+    inst.register_relational("sql://vip", vip)
+    return inst
+
+
+@pytest.fixture
+def cmq(instance):
+    return (instance.builder("qAdaptive", head=["handle", "rank", "score"])
+            .sql("allPosts", source="sql://posts",
+                 sql="SELECT handle AS handle, score AS score FROM posts")
+            .sql("vipRank", source="sql://vip",
+                 sql="SELECT handle AS handle, rank AS rank FROM vip")
+            .build())
+
+
+EXPECTED = {(f"u{i:04d}", i, i % 97) for i in range(VIP)}
+
+
+def rows_of(result):
+    return {(r["handle"], r["rank"], r["score"]) for r in result.rows}
+
+
+class TestAdaptiveReplan:
+    def test_replans_tail_and_records_est_vs_actual(self, instance, cmq):
+        result = instance.execute(cmq)
+        assert rows_of(result) == EXPECTED
+        trace = result.trace
+        assert trace.replanned and trace.replans >= 1
+        observations = {o.atom: o for o in trace.steps}
+        lied = observations["allPosts"]
+        # The stub claimed 2 rows; the source really returned every post.
+        assert lied.estimate == pytest.approx(2.0)
+        assert lied.actual_rows == POSTS
+        assert lied.replanned_after
+        assert lied.q_error() > PlannerOptions().replan_threshold
+        assert "re-planned after allPosts" in trace.plan_text
+
+    def test_feedback_lands_in_the_statistics_layer(self, instance, cmq):
+        stats = instance.statistics()
+        before = stats.revision
+        instance.execute(cmq)
+        assert stats.revision > before
+        assert stats.feedback_count() >= 1
+        # The corrected cardinality now overrides the lying wrapper.
+        lying = instance.source("sql://posts")
+        corrected = stats.estimate(lying, cmq.atoms[0].query)
+        assert corrected == pytest.approx(float(POSTS))
+
+    def test_stale_plan_cache_entry_is_invalidated(self, instance, cmq):
+        # Plan twice: the second plan must come from the plan cache.
+        first = instance.plan(cmq)
+        assert not first.cached
+        assert instance.plan(cmq).cached
+        # Executing replans mid-flight; the feedback bumps the statistics
+        # revision, so the stale entry can never be served again.
+        result = instance.execute(cmq)
+        assert result.trace.replanned
+        replanned = instance.plan(cmq)
+        assert not replanned.cached
+        # The fresh plan is built from corrected statistics: materialising
+        # the lying atom is now known to ship every post, so the small VIP
+        # table runs first instead.
+        assert replanned.atom_order()[0] == "vipRank"
+        unbound = instance.statistics().estimate(
+            instance.source("sql://posts"), cmq.atoms[0].query)
+        assert unbound == pytest.approx(float(POSTS))
+
+    def test_disabled_adaptivity_keeps_the_misplan(self, instance, cmq):
+        result = instance.execute(cmq, options=PlannerOptions(adaptive=False))
+        assert rows_of(result) == EXPECTED
+        assert not result.trace.replanned
+        assert instance.statistics().feedback_count() == 0
+
+    def test_cached_plan_rebind_remaps_bound_variables(self, instance):
+        def query(var):
+            # Identical sub-query texts, different CMQ-level variable
+            # names: renaming-equivalent, so the second plan is a hit.
+            return (instance.builder(f"q_{var}", head=[var])
+                    .sql("vipAll", source="sql://vip",
+                         sql="SELECT handle AS h FROM vip",
+                         renames={"h": var})
+                    .sql("vipLookup", source="sql://vip",
+                         sql="SELECT handle AS h, rank AS r "
+                             "FROM vip WHERE handle = {h}",
+                         renames={"h": var, "r": f"r_{var}"})
+                    .build())
+
+        assert not instance.plan(query("h")).cached
+        hit = instance.plan(query("x"))
+        assert hit.cached
+        # Feedback from this plan keys on the *requesting* query's names.
+        assert hit.steps[0].bound_variables == frozenset()
+        assert hit.steps[1].bound_variables == frozenset({"x"})
+
+    def test_replanned_result_equals_naive_reference(self, instance, cmq):
+        naive = instance.execute(cmq, options=PlannerOptions(
+            cost_based=False, adaptive=False, use_bind_joins=False,
+            selectivity_ordering=False))
+        adaptive = instance.execute(cmq)
+        assert rows_of(adaptive) == rows_of(naive) == EXPECTED

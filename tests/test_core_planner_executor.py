@@ -212,10 +212,18 @@ class TestExecutor:
 
 
 class TestInstanceRegistry:
-    def test_statistics(self, instance):
-        stats = instance.statistics()
+    def test_size_summary(self, instance):
+        stats = instance.size_summary()
         assert stats["glue_triples"] > 0
         assert set(stats["sources"]) == {"sql://insee", "solr://tweets"}
+
+    def test_statistics_accessor_is_shared(self, instance):
+        from repro.core import StatisticsCatalog
+
+        stats = instance.statistics()
+        assert isinstance(stats, StatisticsCatalog)
+        assert instance.statistics() is stats
+        assert instance.executor().planner.statistics is stats
 
     def test_source_lookup(self, instance):
         assert instance.source("sql://insee").model == "relational"

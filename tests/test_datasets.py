@@ -233,6 +233,6 @@ class TestDemoInstance:
         assert len(a.instance.graph) == len(b.instance.graph)
 
     def test_statistics_report_every_source(self, demo):
-        stats = demo.instance.statistics()
+        stats = demo.instance.size_summary()
         assert stats["glue_triples"] > 0
         assert all(size > 0 for size in stats["sources"].values())

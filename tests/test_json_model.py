@@ -337,5 +337,5 @@ class TestJSONModelInMiniInstance:
             ("fhollande", 469), ("mlepen", 120)}
 
     def test_statistics_count_the_json_source(self, instance):
-        stats = instance.statistics()
+        stats = instance.size_summary()
         assert stats["sources"]["json://tweets"] == 3

@@ -1,0 +1,273 @@
+"""Estimation accuracy: q-error bounds of the statistics layer.
+
+Each fixture builds a deliberately *skewed* dataset, computes the true
+cardinality of a family of sub-queries, and asserts that the
+digest-backed estimate stays within a q-error bound — so estimator
+regressions fail loudly instead of silently degrading plans.
+
+q-error is the symmetric ratio ``max(est/actual, actual/est)`` with
+both sides floored at 1.
+"""
+
+import pytest
+
+from repro.core import (
+    FullTextQuery,
+    JSONQuery,
+    RDFQuery,
+    SQLQuery,
+    StatisticsCatalog,
+)
+from repro.core.sources import FullTextSource, JSONSource, RDFSource, RelationalSource
+from repro.fulltext.store import FieldConfig, FullTextStore
+from repro.json.store import JSONDocumentStore
+from repro.rdf import Graph, triple
+from repro.relational import Database
+from repro.stats.cost import MAX_BIND_BATCH, MIN_BIND_BATCH
+
+pytestmark = pytest.mark.optimizer
+
+
+def q_error(estimate: float, actual: float) -> float:
+    estimate = max(1.0, estimate)
+    actual = max(1.0, actual)
+    return max(estimate / actual, actual / estimate)
+
+
+@pytest.fixture
+def stats() -> StatisticsCatalog:
+    return StatisticsCatalog()
+
+
+# ---------------------------------------------------------------------------
+# Relational: top-k equality + histogram ranges on a skewed column
+# ---------------------------------------------------------------------------
+
+class TestRelationalEstimates:
+    @pytest.fixture
+    def source(self) -> RelationalSource:
+        db = Database("skewed")
+        rows = []
+        # 800 'politics' rows, 150 'sports', 50 spread over 10 rare topics;
+        # prices are skewed low: 80% under 100, a long tail up to 1000.
+        for i in range(1000):
+            if i < 800:
+                topic = "politics"
+            elif i < 950:
+                topic = "sports"
+            else:
+                topic = f"niche{i % 10}"
+            price = (i % 100) + 1 if i < 800 else 100 + (i % 900)
+            rows.append({"topic": topic, "price": price, "author": f"a{i % 120}"})
+        db.create_table_from_rows("posts", rows)
+        return RelationalSource("sql://skewed", db)
+
+    def true_count(self, source, where: str) -> int:
+        result = source.database.execute(f"SELECT topic FROM posts WHERE {where}")
+        return len(result.rows)
+
+    def test_equality_on_frequent_value_uses_topk(self, stats, source):
+        query = SQLQuery("SELECT author AS author FROM posts WHERE topic = 'politics'")
+        actual = self.true_count(source, "topic = 'politics'")
+        estimate = stats.estimate(source, query)
+        assert q_error(estimate, actual) <= 1.5
+        # The legacy ad-hoc estimate (rows/10 per WHERE) was off by ~8x.
+        assert q_error(source.estimate(query), actual) > 5.0
+
+    def test_equality_on_rare_value(self, stats, source):
+        query = SQLQuery("SELECT author AS author FROM posts WHERE topic = 'niche3'")
+        actual = self.true_count(source, "topic = 'niche3'")
+        estimate = stats.estimate(source, query)
+        assert q_error(estimate, actual) <= 4.0
+
+    def test_equality_on_absent_value_estimates_zero(self, stats, source):
+        query = SQLQuery("SELECT author AS author FROM posts WHERE topic = 'absent'")
+        assert stats.estimate(source, query) == 0.0
+
+    @pytest.mark.parametrize("where", [
+        "price < 50", "price < 100", "price >= 500", "price > 900",
+    ])
+    def test_range_predicates_use_histogram(self, stats, source, where):
+        query = SQLQuery(f"SELECT author AS author FROM posts WHERE {where}")
+        actual = self.true_count(source, where)
+        estimate = stats.estimate(source, query)
+        assert q_error(estimate, actual) <= 4.0
+
+    def test_bound_join_key_divides_by_distinct(self, stats, source):
+        query = SQLQuery("SELECT author AS author, topic AS topic FROM posts")
+        unbound = stats.estimate(source, query)
+        bound = stats.estimate(source, query, {"author"})
+        assert unbound == 1000.0
+        # 120 distinct authors -> about 8.3 rows per binding.
+        assert q_error(bound, 1000 / 120) <= 1.5
+
+    def test_unparseable_sql_falls_back_to_wrapper(self, stats, source):
+        query = SQLQuery("SELECT author AS author FROM posts "
+                         "WHERE topic = 'politics' OR topic = 'sports'")
+        assert stats.estimate(source, query) == source.estimate(query)
+
+
+# ---------------------------------------------------------------------------
+# RDF: star join over a skewed property
+# ---------------------------------------------------------------------------
+
+class TestRDFEstimates:
+    @pytest.fixture
+    def source(self) -> RDFSource:
+        g = Graph("star")
+        # 200 tweets; 160 by one account (skew), the rest spread over 40.
+        for i in range(200):
+            g.add(triple(f"ttn:T{i}", "rdf:type", "ttn:Tweet"))
+            author = "ttn:U0" if i < 160 else f"ttn:U{1 + i % 40}"
+            g.add(triple(f"ttn:T{i}", "ttn:postedBy", author))
+            if i % 4 == 0:
+                g.add(triple(f"ttn:T{i}", "ttn:hasTag", "ttn:Politics"))
+        return RDFSource("rdf://star", g)
+
+    def test_star_join_within_bound(self, stats, source):
+        query = RDFQuery.from_text(
+            "SELECT ?t ?a WHERE { ?t rdf:type ttn:Tweet . ?t ttn:postedBy ?a . "
+            "?t ttn:hasTag ttn:Politics }")
+        actual = len(source.execute(query))
+        estimate = stats.estimate(source, query)
+        assert actual == 50
+        assert q_error(estimate, actual) <= 4.0
+
+    def test_bound_join_variable_divides_by_distinct(self, stats, source):
+        query = RDFQuery.from_text("SELECT ?t ?a WHERE { ?t ttn:postedBy ?a }")
+        unbound = stats.estimate(source, query)
+        bound = stats.estimate(source, query, {"a"})
+        assert unbound == 200.0
+        # 41 distinct authors -> about 5 rows per binding.
+        assert q_error(bound, 200 / 41) <= 2.0
+
+    def test_empty_pattern_estimates_zero(self, stats, source):
+        query = RDFQuery.from_text("SELECT ?t WHERE { ?t ttn:never ?x }")
+        assert stats.estimate(source, query) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Full-text: document frequencies of skewed terms
+# ---------------------------------------------------------------------------
+
+class TestFullTextEstimates:
+    @pytest.fixture
+    def source(self) -> FullTextSource:
+        store = FullTextStore("posts", fields=[
+            FieldConfig("text", "text"),
+            FieldConfig("user.screen_name", "keyword"),
+        ], default_field="text")
+        for i in range(300):
+            word = "election" if i < 240 else "budget"
+            store.add({"id": i, "text": f"news about the {word} tonight",
+                       "user": {"screen_name": f"u{i % 25}"}})
+        return FullTextSource("solr://posts", store)
+
+    def test_frequent_term_df_is_exact(self, stats, source):
+        query = FullTextQuery.create("text:election", {"t": "text"})
+        actual = source.store.count("text:election")
+        assert actual == 240
+        assert q_error(stats.estimate(source, query), actual) <= 1.2
+
+    def test_conjunction_of_terms(self, stats, source):
+        query = FullTextQuery.create("text:election text:budget", {"t": "text"})
+        actual = source.store.count("text:election AND text:budget")
+        estimate = stats.estimate(source, query)
+        assert actual == 0
+        assert estimate <= 1.0
+
+    def test_keyword_field_distinct_counts(self, stats, source):
+        query = FullTextQuery.create("*:*", {"id": "user.screen_name", "t": "text"})
+        bound = stats.estimate(source, query, {"id"})
+        # 25 distinct handles over 300 documents -> 12 per binding.
+        assert q_error(bound, 300 / 25) <= 1.5
+
+    def test_known_parameter_value_uses_exact_df(self, stats, source):
+        query = FullTextQuery.create("user.screen_name:{id}",
+                                     {"t": "text"})
+        estimate = stats.estimate(source, query, {"id"}, values={"id": "u0"})
+        actual = source.store.count("user.screen_name:u0")
+        assert q_error(estimate, actual) <= 1.2
+
+
+# ---------------------------------------------------------------------------
+# JSON: dataguide coverage + path-index postings
+# ---------------------------------------------------------------------------
+
+class TestJSONEstimates:
+    @pytest.fixture
+    def source(self) -> JSONSource:
+        store = JSONDocumentStore("tweets")
+        for i in range(120):
+            doc = {"id": i, "author": f"a{i % 12}",
+                   "likes": i % 60,
+                   "topic": "politics" if i < 90 else "other"}
+            if i % 3 == 0:
+                doc["geo"] = {"lat": 48.8, "lon": 2.3}
+            store.add(doc)
+        return JSONSource("json://tweets", store)
+
+    def test_constant_equality_is_exact(self, stats, source):
+        query = JSONQuery.from_text('{ author: ?a, topic: "politics" }')
+        actual = len(source.execute(query))
+        assert q_error(stats.estimate(source, query), actual) <= 1.2
+
+    def test_dataguide_coverage_for_partial_path(self, stats, source):
+        query = JSONQuery.from_text("{ geo.lat: ?lat }")
+        actual = len(source.execute(query))
+        assert actual == 40
+        assert q_error(stats.estimate(source, query), actual) <= 1.5
+
+    def test_range_predicate_uses_index(self, stats, source):
+        query = JSONQuery.from_text("{ likes: ?l >= 50 }")
+        actual = len(source.execute(query))
+        assert q_error(stats.estimate(source, query), actual) <= 2.0
+
+    def test_known_parameter_value_uses_postings(self, stats, source):
+        query = JSONQuery.from_text("{ author: {who}, likes: ?l }")
+        estimate = stats.estimate(source, query, values={"who": "a3"})
+        actual = len(source.execute(query, {"who": "a3"}))
+        assert actual == 10
+        assert q_error(estimate, actual) <= 1.5
+
+
+# ---------------------------------------------------------------------------
+# Feedback and the batch sizer
+# ---------------------------------------------------------------------------
+
+class TestFeedbackAndBatchSize:
+    def test_feedback_overrides_estimates_and_bumps_revision(self, stats):
+        db = Database("fb")
+        db.create_table_from_rows("t", [{"a": i} for i in range(10)])
+        source = RelationalSource("sql://fb", db)
+        query = SQLQuery("SELECT a AS a FROM t")
+        before = stats.revision
+        assert stats.estimate(source, query) == 10.0
+        assert stats.record(source, query, set(), 123.0)
+        assert stats.revision > before
+        assert stats.estimate(source, query) == 123.0
+
+    def test_trusted_wrapper_estimate_wins(self, stats):
+        db = Database("fb2")
+        db.create_table_from_rows("t", [{"a": i} for i in range(10)])
+
+        class Lying(RelationalSource):
+            trust_wrapper_estimate = True
+
+            def estimate(self, query, bound_variables=None):
+                return 7.0
+
+        assert stats.estimate(Lying("sql://lie", db),
+                              SQLQuery("SELECT a AS a FROM t")) == 7.0
+
+    def test_auto_batch_size_is_monotone(self):
+        from repro.core.planner import auto_batch_size
+
+        estimates = [0, 1, 2, 8, 64, 256, 1024, 4096, 4097, 10 ** 9, float("inf")]
+        sizes = [auto_batch_size(e) for e in estimates]
+        assert sizes[0] == sizes[1] == MAX_BIND_BATCH
+        assert sizes[-1] == MIN_BIND_BATCH
+        assert all(MIN_BIND_BATCH <= s <= MAX_BIND_BATCH for s in sizes)
+        # Monotonically non-increasing: no discontinuity anywhere, and in
+        # particular inf is not "cheaper" than a merely large estimate.
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
