@@ -72,11 +72,19 @@ class MixedQueryExecutor:
 
     def __init__(self, sources: dict[str, DataSource], glue: DataSource,
                  options: PlannerOptions | None = None, max_workers: int = 4,
-                 digests=None, cache=None, statistics=None):
+                 digests=None, cache=None, statistics=None,
+                 cancel_check=None, dispatch_pool=None, task_pool=None):
         self._sources = dict(sources)
         self._glue = glue
         self.options = options or PlannerOptions()
         self.max_workers = max_workers
+        #: Optional callable invoked between stages; it raises (e.g.
+        #: QueryCancelledError / QueryTimeoutError) to abort execution
+        #: cooperatively — the mediator service wires it per ticket.
+        self.cancel_check = cancel_check
+        # Service-owned shared pools (None = the process-wide ones).
+        self._dispatch_pool = dispatch_pool
+        self._task_pool = task_pool
         self.planner = QueryPlanner(self._sources, glue, self.options,
                                     plan_cache=cache.plans if cache is not None else None,
                                     statistics=statistics)
@@ -134,6 +142,8 @@ class MixedQueryExecutor:
         pending = [[plan.steps[i] for i in stage] for stage in plan.stages]
         max_replans = len(plan.steps)
         while pending:
+            if self.cancel_check is not None:
+                self.cancel_check()
             steps = pending.pop(0)
             if len(steps) == 1 and steps[0].mode == "bind" and current is not None:
                 current = self._bind_step(current, steps[0], trace, batch_joins)
@@ -184,6 +194,8 @@ class MixedQueryExecutor:
 
         if current is None:
             raise MixedQueryError(f"query {query.name!r} produced an empty plan")
+        if self.cancel_check is not None:
+            self.cancel_check()
 
         output = list(query.output_variables())
         operator: Operator = Project(current, output)
@@ -265,7 +277,8 @@ class MixedQueryExecutor:
                  for step in steps]
         workers = self.max_workers if self.options.parallel_stages else 1
         stats = ParallelStats()
-        outputs = run_parallel(scans, max_workers=workers, stats=stats)
+        outputs = run_parallel(scans, max_workers=workers, stats=stats,
+                               pool=self._dispatch_pool)
         operator = current
         for step, rows in zip(steps, outputs):
             scan = MaterializedScan(rows, name=step.atom.name)
@@ -354,7 +367,7 @@ class MixedQueryExecutor:
         # calls are independent, so dispatch them like a parallel stage.
         workers = self.max_workers if self.options.parallel_stages else 1
         outcomes = run_tasks([lambda s=source: call(s) for source in sources],
-                             max_workers=workers)
+                             max_workers=workers, pool=self._task_pool)
         rows: list[Row] = []
         for source, fetched, elapsed in outcomes:
             if atom.source_variable is not None:
@@ -399,7 +412,7 @@ class MixedQueryExecutor:
         outcomes = run_tasks(
             [lambda s=source, idx=indices: call(s, idx)
              for source, indices in by_source.values()],
-            max_workers=workers)
+            max_workers=workers, pool=self._task_pool)
         for source, indices, per_binding, elapsed in outcomes:
             if len(per_binding) != len(indices):
                 raise MixedQueryError(

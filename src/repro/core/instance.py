@@ -9,6 +9,7 @@ queries, or build digests from it.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.cache.mediator import MediatorCache
@@ -63,6 +64,7 @@ class MixedInstance:
         # Digest-backed statistics (estimates + run-time feedback),
         # shared by every planner and executor of this instance.
         self._statistics: Optional[StatisticsCatalog] = None
+        self._statistics_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Source registry
@@ -220,8 +222,27 @@ class MixedInstance:
         for) every later one.
         """
         if self._statistics is None:
-            self._statistics = StatisticsCatalog()
+            with self._statistics_lock:
+                if self._statistics is None:
+                    self._statistics = StatisticsCatalog()
         return self._statistics
+
+    # ------------------------------------------------------------------
+    # Snapshot pinning (concurrent serving)
+    # ------------------------------------------------------------------
+    def pin(self):
+        """Pin every source (glue included) at its current version.
+
+        Returns a :class:`repro.service.snapshots.PinnedCatalog`: a
+        consistent ``(source, version)`` vector of read-only wrappers
+        over store snapshots.  Executors built from it (see
+        :meth:`PinnedCatalog.executor`) observe exactly that state for
+        their whole plan, no matter how the live stores keep mutating —
+        this is what the mediator service pins per query.
+        """
+        from repro.service.snapshots import pin_instance
+
+        return pin_instance(self)
 
     def size_summary(self) -> dict[str, object]:
         """Coarse size statistics about the instance (per source)."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 import re
 import string
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
@@ -215,12 +216,20 @@ class DataSource:
     #: hatch for wrappers that carry their own (remote) statistics.
     trust_wrapper_estimate = False
 
+    #: Version this wrapper is pinned at, or ``None`` for a live wrapper.
+    #: Pinned wrappers are produced by :meth:`pin` over store snapshots;
+    #: their underlying data never changes, so queries running against
+    #: them observe one consistent state for their whole plan.
+    pinned_at: Optional[int] = None
+
     def __init__(self, source_uri: str, name: str | None = None,
                  description: str = ""):
         self.uri = source_uri
         self.name = name or source_uri.rsplit("/", 1)[-1]
         self.description = description
         self.cache_token = next(_CACHE_TOKENS)
+        self._pin_lock = threading.Lock()
+        self._pin_memo: Optional[tuple[int, "DataSource"]] = None
 
     # -- protocol -----------------------------------------------------------
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
@@ -258,6 +267,42 @@ class DataSource:
         """True when this source can evaluate ``query``."""
         return self.model in query.compatible_models()
 
+    def pin(self) -> "DataSource":
+        """A read-only view of this source pinned at its current version.
+
+        The pinned wrapper answers every query from a store *snapshot*
+        taken atomically (under the store's reader-writer lock), so a
+        plan running against it can never observe a half-applied update.
+        It shares this wrapper's ``cache_token`` — content and version
+        are identical at pin time, so cached rows are interchangeable.
+
+        The base implementation returns ``self``: a wrapper without
+        snapshot support keeps serving live data (and, like a wrapper
+        without a version, simply forgoes the isolation guarantee).
+        """
+        return self
+
+    def _memoized_pin(self, version: int, build) -> "DataSource":
+        """Build-or-reuse the pinned wrapper for ``version``.
+
+        Memoised per version so every query pinning an unchanged source
+        shares one wrapper (and one lazily computed saturation, matcher,
+        ... inside it).
+        """
+        with self._pin_lock:
+            memo = self._pin_memo
+            if memo is not None and memo[0] == version:
+                return memo[1]
+        pinned = build()
+        pinned.cache_token = self.cache_token
+        pinned.pinned_at = version
+        with self._pin_lock:
+            memo = self._pin_memo
+            if memo is not None and memo[0] == version:
+                return memo[1]
+            self._pin_memo = (version, pinned)
+        return pinned
+
     def size(self) -> int:
         """Number of base items (triples, rows, documents) in the source."""
         raise NotImplementedError
@@ -279,6 +324,10 @@ class RDFSource(DataSource):
         self._saturated: Graph | None = None
         self._saturated_schema: RDFSchema | None = None
         self._saturated_state: tuple[int, int] = (-1, -1)
+        # Saturation state is read-modify-write; concurrent queries (the
+        # mediator service shares one pinned wrapper per version) must
+        # not interleave inside it.
+        self._saturation_lock = threading.RLock()
 
     def version(self) -> int:
         return self.graph.version
@@ -298,21 +347,28 @@ class RDFSource(DataSource):
         """
         if not self.entailment:
             return self.graph
-        state = self._graph_state()
-        if self._saturated is not None and state == self._saturated_state:
-            return self._saturated
-        if self._saturated is not None and state[1] == self._saturated_state[1]:
-            # Additions only since the last saturation.  An added triple
-            # already in G∞ cannot change the closure, so the explicit
-            # triples missing from the saturation are exactly the delta.
-            delta = [t for t in self.graph if t not in self._saturated]
-            saturate_delta(self._saturated, delta, schema=self._saturated_schema)
+        with self._saturation_lock:
+            # The graph's read lock keeps the triple set stable while it
+            # is scanned; the state is captured first, so a write landing
+            # between capture and lock only makes the stamp conservative
+            # (the next query re-checks), never stale.
+            state = self._graph_state()
+            if self._saturated is not None and state == self._saturated_state:
+                return self._saturated
+            if self._saturated is not None and state[1] == self._saturated_state[1]:
+                # Additions only since the last saturation.  An added triple
+                # already in G∞ cannot change the closure, so the explicit
+                # triples missing from the saturation are exactly the delta.
+                with self.graph.rwlock.read_locked():
+                    delta = [t for t in self.graph if t not in self._saturated]
+                saturate_delta(self._saturated, delta, schema=self._saturated_schema)
+                self._saturated_state = state
+                return self._saturated
+            with self.graph.rwlock.read_locked():
+                self._saturated, _ = saturate(self.graph)
+            self._saturated_schema = RDFSchema.from_graph(self._saturated)
             self._saturated_state = state
             return self._saturated
-        self._saturated, _ = saturate(self.graph)
-        self._saturated_schema = RDFSchema.from_graph(self._saturated)
-        self._saturated_state = state
-        return self._saturated
 
     def effective_graph(self) -> Graph:
         """The graph queries (and estimates) actually run against.
@@ -330,20 +386,98 @@ class RDFSource(DataSource):
         the exact delta and feeds it straight to the incremental
         fixpoint.  Returns the number of triples actually new.
         """
-        in_sync = (self.entailment and self._saturated is not None
-                   and self._graph_state() == self._saturated_state)
-        fresh = [t for t in triples if self.graph.add(t)]
-        if in_sync:
-            if fresh:
-                saturate_delta(self._saturated, fresh, schema=self._saturated_schema)
-            self._saturated_state = self._graph_state()
-        return len(fresh)
+        with self._saturation_lock:
+            state = self._graph_state()
+            in_sync = (self.entailment and self._saturated is not None
+                       and state == self._saturated_state)
+            with self.graph.rwlock.write_locked():
+                # One write section for the whole delta: a concurrent
+                # snapshot pins all of it or none of it.
+                fresh = [t for t in triples if self.graph.add(t)]
+            if in_sync:
+                if fresh:
+                    saturate_delta(self._saturated, fresh, schema=self._saturated_schema)
+                # Stamp only *our own* contribution: a concurrent direct
+                # graph.add by another thread then leaves the stamp behind
+                # the counters, and the next query absorbs it by
+                # set-difference instead of silently missing it.
+                self._saturated_state = (state[0] + len(fresh), state[1])
+            return len(fresh)
 
     def invalidate(self) -> None:
         """Forget the cached saturation (a full recompute follows)."""
-        self._saturated = None
-        self._saturated_schema = None
-        self._saturated_state = (-1, -1)
+        with self._saturation_lock:
+            self._saturated = None
+            self._saturated_schema = None
+            self._saturated_state = (-1, -1)
+
+    def pin(self) -> "RDFSource":
+        """A read-only wrapper over a snapshot of the graph.
+
+        The pinned wrapper owns its saturation — the live one is updated
+        *in place* by ``saturate_delta`` and must not leak under running
+        queries.  To avoid a full fixpoint per version it is **seeded**:
+        from a copy of the live saturation when that is in sync with the
+        snapshot (writers going through :meth:`add_triples` keep it so),
+        else from the previous pin's saturation plus the delta between
+        the two snapshots; only removals force a lazy full recompute.
+        Memoisation per version means all of this happens at most once
+        per pinned state.
+        """
+        if self.pinned_at is not None:
+            return self
+        frozen = self.graph.snapshot()
+        with self._pin_lock:
+            previous = self._pin_memo[1] if self._pin_memo is not None else None
+
+        def build() -> "RDFSource":
+            pinned = RDFSource(self.uri, frozen, name=self.name,
+                               description=self.description,
+                               entailment=self.entailment)
+            if self.entailment:
+                self._seed_pinned_saturation(pinned, frozen, previous)
+            return pinned
+
+        return self._memoized_pin(frozen.version, build)
+
+    def _seed_pinned_saturation(self, pinned: "RDFSource", frozen: Graph,
+                                previous: Optional[DataSource]) -> None:
+        """Hand ``pinned`` a saturation without a from-scratch fixpoint.
+
+        Copying a closed graph is O(|G∞|); re-deriving it is the full
+        rule fixpoint.  When neither the live nor the previous pinned
+        saturation can seed (removals happened, or nothing is computed
+        yet), the pinned wrapper simply saturates lazily on first use.
+        """
+        state = (frozen.additions, frozen.removals)
+        seed: Graph | None = None
+        delta: list = []
+        with self._saturation_lock:
+            if self._saturated is not None and self._saturated_state == state:
+                with self._saturated.rwlock.read_locked():
+                    seed = self._saturated._copy_unlocked()
+        if seed is None and isinstance(previous, RDFSource):
+            with previous._saturation_lock:
+                prev_graph = previous.graph
+                prev_state = (prev_graph.additions, prev_graph.removals)
+                if (previous._saturated is not None
+                        and previous._saturated_state == prev_state
+                        and prev_graph.removals == frozen.removals):
+                    # Additions only between the two snapshots: the
+                    # explicit triples missing from the old closure are
+                    # exactly the delta to absorb.
+                    with previous._saturated.rwlock.read_locked():
+                        seed = previous._saturated._copy_unlocked()
+            if seed is not None:
+                delta = [t for t in frozen if t not in seed]
+        if seed is None:
+            return
+        schema = RDFSchema.from_graph(seed)
+        if delta:
+            saturate_delta(seed, delta, schema=schema)
+        pinned._saturated = seed
+        pinned._saturated_schema = schema
+        pinned._saturated_state = state
 
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
         if not isinstance(query, RDFQuery):
@@ -453,6 +587,16 @@ class RelationalSource(DataSource):
 
     def version(self) -> int:
         return self.database.version
+
+    def pin(self) -> "RelationalSource":
+        """A read-only wrapper over a consistent snapshot of the database."""
+        if self.pinned_at is not None:
+            return self
+        frozen = self.database.snapshot()
+        return self._memoized_pin(
+            frozen.version,
+            lambda: RelationalSource(self.uri, frozen, name=self.name,
+                                     description=self.description))
 
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
         if not isinstance(query, SQLQuery):
@@ -577,6 +721,16 @@ class FullTextSource(DataSource):
 
     def version(self) -> int:
         return self.store.version
+
+    def pin(self) -> "FullTextSource":
+        """A read-only wrapper over a snapshot of the full-text store."""
+        if self.pinned_at is not None:
+            return self
+        frozen = self.store.snapshot()
+        return self._memoized_pin(
+            frozen.version,
+            lambda: FullTextSource(self.uri, frozen, name=self.name,
+                                   description=self.description))
 
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
         if not isinstance(query, FullTextQuery):
@@ -730,6 +884,16 @@ class JSONSource(DataSource):
 
     def version(self) -> int:
         return self.store.version
+
+    def pin(self) -> "JSONSource":
+        """A read-only wrapper over a snapshot of the document store."""
+        if self.pinned_at is not None:
+            return self
+        frozen = self.store.snapshot()
+        return self._memoized_pin(
+            frozen.version,
+            lambda: JSONSource(self.uri, frozen, name=self.name,
+                               description=self.description))
 
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
         if not isinstance(query, JSONQuery):

@@ -34,7 +34,13 @@ from repro.engine.iterators import (
     Sort,
     Union,
 )
-from repro.engine.parallel import ParallelStats, run_parallel, run_tasks
+from repro.engine.parallel import (
+    ParallelStats,
+    WorkPool,
+    run_parallel,
+    run_tasks,
+    shared_pool,
+)
 
 __all__ = [
     "Aggregate",
@@ -61,6 +67,8 @@ __all__ = [
     "batches_from_rows",
     "merge_spec",
     "ParallelStats",
+    "WorkPool",
     "run_parallel",
     "run_tasks",
+    "shared_pool",
 ]

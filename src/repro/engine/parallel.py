@@ -6,14 +6,23 @@ their sources concurrently.  :func:`run_parallel` evaluates a batch of
 operators in a thread pool (source calls are I/O-like: in the real system
 they are network round trips) and returns their materialised outputs in
 input order.
+
+Pools are **reused**, not created per stage: each call draws from a
+process-wide :class:`WorkPool` (one per role × worker count) unless the
+caller supplies its own — the mediator service owns dedicated pools its
+query workers share.  The two roles matter for deadlock freedom:
+``dispatch`` runs stage operators, whose fetches may fan out dynamic
+source calls into the ``tasks`` role; because a task never waits on its
+own pool, neither pool can deadlock on nested submission.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.engine.iterators import Operator, Row
 
@@ -39,14 +48,81 @@ class ParallelStats:
         return max(1.0, self.sequential_seconds / self.wall_clock_seconds)
 
 
+class WorkPool:
+    """A reusable, lazily started thread pool with ordered ``map``.
+
+    The underlying :class:`ThreadPoolExecutor` is created on first use
+    and kept alive across calls (idle workers are signalled at
+    interpreter exit by ``concurrent.futures``' own atexit hook).
+    ``times_created`` counts executor constructions — the pool-reuse
+    regression test pins it at one.
+    """
+
+    def __init__(self, max_workers: int = 4, name: str = "repro-pool"):
+        self.max_workers = max(1, int(max_workers))
+        self.name = name
+        self.times_created = 0
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix=self.name)
+                self.times_created += 1
+            return self._executor
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Apply ``fn`` to every item concurrently, preserving order."""
+        items = list(items)
+        if self.max_workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure().map(fn, items))
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool's threads (it restarts lazily if used again)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"WorkPool(name={self.name!r}, max_workers={self.max_workers}, "
+                f"alive={self._executor is not None})")
+
+
+#: Process-wide pools, one per (role, worker count); see shared_pool().
+_SHARED_POOLS: dict[tuple[str, int], WorkPool] = {}
+_SHARED_POOLS_LOCK = threading.Lock()
+
+
+def shared_pool(role: str, max_workers: int) -> WorkPool:
+    """The process-wide :class:`WorkPool` for one role and worker count.
+
+    Repeated calls return the *same* pool, so stage after stage (and
+    query after query) reuses warm threads instead of paying a
+    ``ThreadPoolExecutor`` construction and teardown per stage.
+    """
+    key = (role, max(1, int(max_workers)))
+    with _SHARED_POOLS_LOCK:
+        pool = _SHARED_POOLS.get(key)
+        if pool is None:
+            pool = WorkPool(key[1], name=f"repro-{role}-{key[1]}")
+            _SHARED_POOLS[key] = pool
+        return pool
+
+
 def run_parallel(operators: Sequence[Operator], max_workers: int = 4,
-                 stats: ParallelStats | None = None) -> list[list[Row]]:
+                 stats: ParallelStats | None = None,
+                 pool: WorkPool | None = None) -> list[list[Row]]:
     """Materialise every operator, possibly concurrently.
 
     Results are returned in the order of ``operators`` regardless of
     completion order.  With ``max_workers=1`` the execution is sequential,
     which is how the ablation benchmark measures the benefit of parallel
-    dispatch.
+    dispatch.  ``pool`` overrides the process-wide shared pool (the
+    mediator service passes its own).
     """
     if stats is not None:
         stats.tasks = len(operators)
@@ -60,8 +136,8 @@ def run_parallel(operators: Sequence[Operator], max_workers: int = 4,
     if max_workers <= 1 or len(operators) <= 1:
         outcomes = [timed_rows(op) for op in operators]
     else:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            outcomes = list(pool.map(timed_rows, operators))
+        pool = pool or shared_pool("dispatch", max_workers)
+        outcomes = pool.map(timed_rows, operators)
     wall = time.perf_counter() - start
     if stats is not None:
         stats.wall_clock_seconds = wall
@@ -69,9 +145,10 @@ def run_parallel(operators: Sequence[Operator], max_workers: int = 4,
     return [rows for rows, _ in outcomes]
 
 
-def run_tasks(tasks: Sequence[Callable[[], object]], max_workers: int = 4) -> list[object]:
+def run_tasks(tasks: Sequence[Callable[[], object]], max_workers: int = 4,
+              pool: WorkPool | None = None) -> list[object]:
     """Run arbitrary callables, possibly concurrently, preserving order."""
     if max_workers <= 1 or len(tasks) <= 1:
         return [task() for task in tasks]
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(lambda task: task(), tasks))
+    pool = pool or shared_pool("tasks", max_workers)
+    return pool.map(lambda task: task(), tasks)

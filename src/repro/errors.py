@@ -73,6 +73,22 @@ class UnknownSourceError(MixedQueryError):
     """A CMQ referenced a source URI that is not registered in the instance."""
 
 
+class ServiceError(ReproError):
+    """Error raised by the concurrent mediator serving layer."""
+
+
+class AdmissionError(ServiceError):
+    """The service refused a query: queue depth or in-flight limit hit."""
+
+
+class QueryCancelledError(ServiceError):
+    """A submitted query was cancelled before or during execution."""
+
+
+class QueryTimeoutError(ServiceError):
+    """A submitted query exceeded its deadline."""
+
+
 class DigestError(ReproError):
     """Error raised while building or searching source digests."""
 

@@ -43,6 +43,15 @@ class InvertedIndex:
             postings.pop(doc_id, None)
         self._doc_lengths.pop(doc_id, None)
 
+    def _copy(self) -> "InvertedIndex":
+        """Structural copy (snapshot support); Postings are immutable
+        and therefore shared."""
+        twin = InvertedIndex(self.field_name)
+        for term, postings in self._postings.items():
+            twin._postings[term] = dict(postings)
+        twin._doc_lengths = dict(self._doc_lengths)
+        return twin
+
     # ------------------------------------------------------------------
     def postings(self, term: str) -> list[Posting]:
         """Return the postings list of ``term`` (empty if unseen)."""

@@ -18,12 +18,14 @@ A store declares *field types*:
 
 from __future__ import annotations
 
+import threading
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import FullTextError
 from repro.fulltext.analysis import Analyzer
+from repro.locks import RWLock
 from repro.fulltext.document import Document, make_document
 from repro.fulltext.index import InvertedIndex
 from repro.fulltext.query import (
@@ -105,6 +107,9 @@ class FullTextStore:
         self._version = 0
         #: field -> (version, average df); see average_document_frequency.
         self._average_df_cache: dict[str, tuple[int, float | None]] = {}
+        self._rwlock = RWLock()
+        self._snapshot_state: tuple[int, "FullTextStore"] | None = None
+        self._snapshot_lock = threading.Lock()
 
     @property
     def version(self) -> int:
@@ -117,38 +122,82 @@ class FullTextStore:
     def add(self, source: dict[str, Any] | Document) -> Document:
         """Index one document (raw JSON object or :class:`Document`)."""
         doc = source if isinstance(source, Document) else make_document(source, self.id_field)
-        if doc.doc_id in self._documents:
-            self.remove(doc.doc_id)
-        self._documents[doc.doc_id] = doc
-        for field_name, config in self._fields.items():
-            value = doc.get(field_name)
-            if value is None:
-                continue
-            if config.field_type == "text":
-                terms = self.analyzer.stems(self._stringify(value))
-                self._text_indexes[field_name].add(doc.doc_id, terms)
-            elif config.field_type == "keyword":
-                for keyword in self._keyword_values(value):
-                    self._keyword_indexes[field_name][keyword].add(doc.doc_id)
-        self._version += 1
-        return doc
+        with self._rwlock.write_locked():
+            if doc.doc_id in self._documents:
+                self.remove(doc.doc_id)
+            self._documents[doc.doc_id] = doc
+            for field_name, config in self._fields.items():
+                value = doc.get(field_name)
+                if value is None:
+                    continue
+                if config.field_type == "text":
+                    terms = self.analyzer.stems(self._stringify(value))
+                    self._text_indexes[field_name].add(doc.doc_id, terms)
+                elif config.field_type == "keyword":
+                    for keyword in self._keyword_values(value):
+                        self._keyword_indexes[field_name][keyword].add(doc.doc_id)
+            self._version += 1
+            return doc
 
     def add_all(self, sources: Iterable[dict[str, Any] | Document]) -> int:
-        """Index every document of ``sources``; return how many were added."""
-        return sum(1 for _ in map(self.add, sources))
+        """Index every document of ``sources``; return how many were added.
+
+        The write lock is held across the whole batch, so a concurrent
+        snapshot sees all of it or none of it.
+        """
+        with self._rwlock.write_locked():
+            return sum(1 for _ in map(self.add, sources))
 
     def remove(self, doc_id: str) -> bool:
         """Remove a document from the store and all its indexes."""
-        doc = self._documents.pop(doc_id, None)
-        if doc is None:
-            return False
-        for index in self._text_indexes.values():
-            index.remove(doc_id)
-        for keyword_index in self._keyword_indexes.values():
-            for doc_ids in keyword_index.values():
-                doc_ids.discard(doc_id)
-        self._version += 1
-        return True
+        with self._rwlock.write_locked():
+            doc = self._documents.pop(doc_id, None)
+            if doc is None:
+                return False
+            for index in self._text_indexes.values():
+                index.remove(doc_id)
+            for keyword_index in self._keyword_indexes.values():
+                for doc_ids in keyword_index.values():
+                    doc_ids.discard(doc_id)
+            self._version += 1
+            return True
+
+    # ------------------------------------------------------------------
+    # Snapshot isolation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "FullTextStore":
+        """A frozen copy of the store at its current version (memoised).
+
+        Documents and postings are immutable after indexing and shared;
+        only the containers and mutable index buckets are copied.
+        """
+        with self._rwlock.read_locked():
+            state = self._snapshot_state
+            if state is not None and state[0] == self._version:
+                return state[1]
+            with self._snapshot_lock:
+                state = self._snapshot_state
+                if state is not None and state[0] == self._version:
+                    return state[1]
+                frozen = FullTextStore.__new__(FullTextStore)
+                frozen.name = self.name
+                frozen.id_field = self.id_field
+                frozen.analyzer = self.analyzer
+                frozen._fields = self._fields
+                frozen.default_field = self.default_field
+                frozen._documents = dict(self._documents)
+                frozen._text_indexes = {
+                    name: index._copy() for name, index in self._text_indexes.items()}
+                frozen._keyword_indexes = {
+                    name: defaultdict(set, {k: set(v) for k, v in buckets.items()})
+                    for name, buckets in self._keyword_indexes.items()}
+                frozen._version = self._version
+                frozen._average_df_cache = dict(self._average_df_cache)
+                frozen._rwlock = RWLock()
+                frozen._snapshot_state = (frozen._version, frozen)
+                frozen._snapshot_lock = threading.Lock()
+                self._snapshot_state = (self._version, frozen)
+                return frozen
 
     # ------------------------------------------------------------------
     # Access
@@ -238,11 +287,15 @@ class FullTextStore:
         The full-vocabulary scan is memoised per store version (it sits
         on the planner's estimation hot path).
         """
+        version = self._version
         cached = self._average_df_cache.get(field_name)
-        if cached is not None and cached[0] == self._version:
+        if cached is not None and cached[0] == version:
             return cached[1]
         average = self._compute_average_document_frequency(field_name)
-        self._average_df_cache[field_name] = (self._version, average)
+        # Memoised under the version read *before* the scan: a concurrent
+        # mutation mid-scan then misses the memo instead of serving a
+        # stale average as current.
+        self._average_df_cache[field_name] = (version, average)
         return average
 
     def _compute_average_document_frequency(self, field_name: str) -> float | None:

@@ -51,6 +51,14 @@ class PathIndex:
         if not any(doc_id in ids for ids in self.postings.values()):
             self.presence.discard(doc_id)
 
+    def _copy(self) -> "PathIndex":
+        """Structural copy (snapshot support)."""
+        twin = PathIndex(self.path)
+        twin.postings = {key: set(ids) for key, ids in self.postings.items()}
+        twin.presence = set(self.presence)
+        twin.occurrences = self.occurrences
+        return twin
+
     # -- lookups -------------------------------------------------------------
     def lookup_eq(self, value: object) -> set[str]:
         """Documents carrying ``value`` (keyword-style equality) at the path."""

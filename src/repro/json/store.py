@@ -10,11 +10,13 @@ summary the digests and the planner's estimates rely on.
 from __future__ import annotations
 
 import copy
+import threading
 from typing import Any, Iterable, TYPE_CHECKING
 
 from repro.errors import JSONError
 from repro.fulltext.document import Document
 from repro.json.index import PathIndex
+from repro.locks import RWLock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.digest.dataguide import JSONDataguide
@@ -37,6 +39,9 @@ class JSONDocumentStore:
         self._next_rank = 0
         self._dataguide: JSONDataguide | None = None
         self._version = 0
+        self._rwlock = RWLock()
+        self._snapshot_state: tuple[int, "JSONDocumentStore"] | None = None
+        self._snapshot_lock = threading.Lock()
 
     @property
     def version(self) -> int:
@@ -58,46 +63,89 @@ class JSONDocumentStore:
                 f"document is missing its id field {self.id_field!r}: {document}"
             )
         doc_id = str(raw_id)
-        if doc_id in self._documents:
-            self.remove(doc_id)
-        leaves = list(Document(doc_id=doc_id, fields=stored).flat_fields())
-        self._documents[doc_id] = stored
-        self._leaves[doc_id] = leaves
-        self._ranks[doc_id] = self._next_rank
-        self._next_rank += 1
-        for path, value in leaves:
-            index = self._indexes.get(path)
-            if index is None:
-                index = PathIndex(path)
-                self._indexes[path] = index
-            index.add(doc_id, value)
-        self._dataguide = None
-        self._version += 1
-        return doc_id
+        with self._rwlock.write_locked():
+            if doc_id in self._documents:
+                self.remove(doc_id)
+            leaves = list(Document(doc_id=doc_id, fields=stored).flat_fields())
+            self._documents[doc_id] = stored
+            self._leaves[doc_id] = leaves
+            self._ranks[doc_id] = self._next_rank
+            self._next_rank += 1
+            for path, value in leaves:
+                index = self._indexes.get(path)
+                if index is None:
+                    index = PathIndex(path)
+                    self._indexes[path] = index
+                index.add(doc_id, value)
+            self._dataguide = None
+            self._version += 1
+            return doc_id
 
     def add_all(self, documents: Iterable[dict[str, Any]]) -> int:
-        """Store many documents; returns how many were added."""
-        count = 0
-        for document in documents:
-            self.add(document)
-            count += 1
-        return count
+        """Store many documents; returns how many were added.
+
+        The write lock is held across the whole batch, so a concurrent
+        snapshot sees all of it or none of it.
+        """
+        with self._rwlock.write_locked():
+            count = 0
+            for document in documents:
+                self.add(document)
+                count += 1
+            return count
 
     def remove(self, doc_id: str) -> bool:
         """Drop a document (and its index entries); True when it existed."""
-        if doc_id not in self._documents:
-            return False
-        for path, value in self._leaves.pop(doc_id, []):
-            index = self._indexes.get(path)
-            if index is not None:
-                index.remove(doc_id, value)
-                if not index.presence:
-                    del self._indexes[path]
-        del self._documents[doc_id]
-        del self._ranks[doc_id]
-        self._dataguide = None
-        self._version += 1
-        return True
+        with self._rwlock.write_locked():
+            if doc_id not in self._documents:
+                return False
+            for path, value in self._leaves.pop(doc_id, []):
+                index = self._indexes.get(path)
+                if index is not None:
+                    index.remove(doc_id, value)
+                    if not index.presence:
+                        del self._indexes[path]
+            del self._documents[doc_id]
+            del self._ranks[doc_id]
+            self._dataguide = None
+            self._version += 1
+            return True
+
+    # ------------------------------------------------------------------
+    # Snapshot isolation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "JSONDocumentStore":
+        """A frozen copy of the store at its current version (memoised).
+
+        Stored documents and per-document leaf lists are never mutated in
+        place (``add`` replaces them wholesale), so they are shared; the
+        containers and path indexes are copied.
+        """
+        with self._rwlock.read_locked():
+            state = self._snapshot_state
+            if state is not None and state[0] == self._version:
+                return state[1]
+            with self._snapshot_lock:
+                state = self._snapshot_state
+                if state is not None and state[0] == self._version:
+                    return state[1]
+                frozen = JSONDocumentStore.__new__(JSONDocumentStore)
+                frozen.name = self.name
+                frozen.id_field = self.id_field
+                frozen.text_path = self.text_path
+                frozen._documents = dict(self._documents)
+                frozen._leaves = dict(self._leaves)
+                frozen._indexes = {path: index._copy()
+                                   for path, index in self._indexes.items()}
+                frozen._ranks = dict(self._ranks)
+                frozen._next_rank = self._next_rank
+                frozen._dataguide = self._dataguide
+                frozen._version = self._version
+                frozen._rwlock = RWLock()
+                frozen._snapshot_state = (frozen._version, frozen)
+                frozen._snapshot_lock = threading.Lock()
+                self._snapshot_state = (self._version, frozen)
+                return frozen
 
     # ------------------------------------------------------------------
     # Access

@@ -1,0 +1,114 @@
+"""Reader-writer locking shared by every mutable store.
+
+Each store (RDF :class:`~repro.rdf.graph.Graph`, relational
+:class:`~repro.relational.database.Database` and its tables, the
+full-text and JSON document stores) owns one :class:`RWLock`: mutators
+take the write side, :meth:`snapshot` takes the read side while it
+copies a consistent state.  The lock lives in its own dependency-free
+module so the store packages can import it without pulling in the
+service layer (which would cycle back through ``repro.core``).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """A reader-writer lock: many readers or one (re-entrant) writer.
+
+    * Any number of threads may hold the read side simultaneously.
+    * The write side is exclusive and re-entrant: a thread already
+      writing may nest further write (or read) acquisitions — store
+      mutators call each other (``add_all`` → ``add``, JSON ``add`` →
+      ``remove``), so this is required, not a convenience.
+    * Read acquisitions are re-entrant per thread as well: a reader is
+      never gated behind a waiting writer it would deadlock with.
+    * Waiting writers block *new* readers (writer preference), so a
+      stream of snapshots cannot starve updates.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None
+        self._writer_depth = 0
+        self._writers_waiting = 0
+        self._local = threading.local()
+
+    # -- read side -----------------------------------------------------------
+    def acquire_read(self) -> None:
+        ident = threading.get_ident()
+        depth = getattr(self._local, "read_depth", 0)
+        with self._cond:
+            if self._writer == ident:
+                # A writer reading its own store: treat as a nested write.
+                self._writer_depth += 1
+                return
+            if depth == 0:
+                while self._writer is not None or self._writers_waiting:
+                    self._cond.wait()
+            self._readers += 1
+        self._local.read_depth = depth + 1
+
+    def release_read(self) -> None:
+        ident = threading.get_ident()
+        with self._cond:
+            if self._writer == ident:
+                self._writer_depth -= 1
+                if self._writer_depth == 0:
+                    self._writer = None
+                    self._cond.notify_all()
+                return
+            self._local.read_depth = getattr(self._local, "read_depth", 1) - 1
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- write side ----------------------------------------------------------
+    def acquire_write(self) -> None:
+        ident = threading.get_ident()
+        with self._cond:
+            if self._writer == ident:
+                self._writer_depth += 1
+                return
+            own_reads = getattr(self._local, "read_depth", 0)
+            self._writers_waiting += 1
+            try:
+                # A thread upgrading from its own read locks only waits
+                # for *other* readers (its own would never drain).
+                while self._writer is not None or self._readers > own_reads:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = ident
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- context managers ----------------------------------------------------
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"RWLock(readers={self._readers}, writer={self._writer}, "
+                f"waiting={self._writers_waiting})")

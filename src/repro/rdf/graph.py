@@ -8,10 +8,12 @@ constant is answered by dictionary lookups rather than a full scan.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import Iterable, Iterator
 
 from repro.errors import RDFError
+from repro.locks import RWLock
 from repro.rdf.terms import (
     RDF_TYPE,
     BlankNode,
@@ -45,6 +47,11 @@ class Graph:
         self._osp: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._additions = 0
         self._removals = 0
+        self._rwlock = RWLock()
+        #: (version, frozen copy) — the copy-on-write snapshot memo; the
+        #: mutex keeps concurrent readers from each copying on a miss.
+        self._snapshot_state: tuple[int, "Graph"] | None = None
+        self._snapshot_lock = threading.Lock()
         if triples:
             self.add_all(triples)
 
@@ -60,19 +67,25 @@ class Graph:
             t = subject
         else:
             t = make_triple(subject, predicate, obj)
-        if t in self._triples:
-            return False
-        self._triples.add(t)
-        s, p, o = t.subject, t.predicate, t.obj
-        self._spo[s][p].add(o)
-        self._pos[p][o].add(s)
-        self._osp[o][s].add(p)
-        self._additions += 1
-        return True
+        with self._rwlock.write_locked():
+            if t in self._triples:
+                return False
+            self._triples.add(t)
+            s, p, o = t.subject, t.predicate, t.obj
+            self._spo[s][p].add(o)
+            self._pos[p][o].add(s)
+            self._osp[o][s].add(p)
+            self._additions += 1
+            return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
-        """Add every triple of ``triples``; return how many were new."""
-        return sum(1 for t in triples if self.add(t))
+        """Add every triple of ``triples``; return how many were new.
+
+        The write lock is held across the whole batch, so a concurrent
+        snapshot sees all of it or none of it.
+        """
+        with self._rwlock.write_locked():
+            return sum(1 for t in triples if self.add(t))
 
     def remove(self, t: Triple) -> bool:
         """Remove a triple; returns True if it was present.
@@ -80,32 +93,47 @@ class Graph:
         Emptied index buckets are pruned so that add/remove churn does
         not grow the permutation indexes without bound.
         """
-        if t not in self._triples:
-            return False
-        self._triples.discard(t)
-        s, p, o = t.subject, t.predicate, t.obj
-        _discard_pruning(self._spo, s, p, o)
-        _discard_pruning(self._pos, p, o, s)
-        _discard_pruning(self._osp, o, s, p)
-        self._removals += 1
-        return True
+        with self._rwlock.write_locked():
+            if t not in self._triples:
+                return False
+            self._triples.discard(t)
+            s, p, o = t.subject, t.predicate, t.obj
+            _discard_pruning(self._spo, s, p, o)
+            _discard_pruning(self._pos, p, o, s)
+            _discard_pruning(self._osp, o, s, p)
+            self._removals += 1
+            return True
 
     def remove_all(self, triples: Iterable[Triple]) -> int:
-        """Remove every triple of ``triples``; return how many were present."""
-        return sum(1 for t in triples if self.remove(t))
+        """Remove every triple of ``triples``; return how many were present.
+
+        Like :meth:`add_all`, atomic with respect to snapshots.
+        """
+        with self._rwlock.write_locked():
+            return sum(1 for t in triples if self.remove(t))
 
     def clear(self) -> None:
         """Remove every triple."""
-        if self._triples:
-            self._removals += 1
-        self._triples.clear()
-        self._spo.clear()
-        self._pos.clear()
-        self._osp.clear()
+        with self._rwlock.write_locked():
+            if self._triples:
+                self._removals += 1
+            self._triples.clear()
+            self._spo.clear()
+            self._pos.clear()
+            self._osp.clear()
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def rwlock(self) -> RWLock:
+        """The store's reader-writer lock.
+
+        Mutators take the write side internally; long consistent reads
+        (snapshotting, saturation deltas) take the read side.
+        """
+        return self._rwlock
+
     @property
     def version(self) -> int:
         """Monotonic mutation counter (bumped by every effective change).
@@ -139,6 +167,51 @@ class Graph:
     def copy(self, name: str | None = None) -> "Graph":
         """Return an independent copy of the graph."""
         return Graph(name or self.name, self._triples)
+
+    # ------------------------------------------------------------------
+    # Snapshot isolation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "Graph":
+        """A frozen, consistent copy of the graph at its current version.
+
+        Copy-on-write, amortised: the copy is taken lazily at the first
+        snapshot after a mutation and memoised per version, so any number
+        of concurrent queries pinning the same version share one frozen
+        graph, and an unchanged graph is never re-copied.  The returned
+        graph preserves the mutation counters (``version`` equals the
+        source's at snapshot time) and must never be mutated.
+        """
+        with self._rwlock.read_locked():
+            version = self._additions + self._removals
+            state = self._snapshot_state
+            if state is not None and state[0] == version:
+                return state[1]
+            with self._snapshot_lock:
+                state = self._snapshot_state
+                if state is not None and state[0] == version:
+                    return state[1]
+                frozen = self._copy_unlocked()
+                self._snapshot_state = (version, frozen)
+                return frozen
+
+    def _copy_unlocked(self) -> "Graph":
+        """Fast structural copy (indexes copied directly, counters kept).
+
+        The caller must hold at least the read lock.
+        """
+        frozen = Graph.__new__(Graph)
+        frozen.name = self.name
+        frozen._triples = set(self._triples)
+        frozen._spo = _copy_index(self._spo)
+        frozen._pos = _copy_index(self._pos)
+        frozen._osp = _copy_index(self._osp)
+        frozen._additions = self._additions
+        frozen._removals = self._removals
+        frozen._rwlock = RWLock()
+        frozen._snapshot_lock = threading.Lock()
+        # A snapshot of a snapshot is itself.
+        frozen._snapshot_state = (frozen._additions + frozen._removals, frozen)
+        return frozen
 
     def subjects(self, predicate: Term | None = None, obj: Term | None = None) -> set[Term]:
         """Return the distinct subjects matching optional predicate/object.
@@ -292,6 +365,16 @@ class Graph:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Graph(name={self.name!r}, triples={len(self)})"
+
+
+def _copy_index(index: dict[Term, dict[Term, set[Term]]]) -> dict:
+    """Deep-copy one SPO/POS/OSP permutation index."""
+    out: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
+    for a, inner in index.items():
+        target = out[a]
+        for b, values in inner.items():
+            target[b] = set(values)
+    return out
 
 
 def _discard_pruning(index: dict[Term, dict[Term, set[Term]]],

@@ -7,9 +7,11 @@ capability (the SQL subset) that the mediator ships sub-queries to.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
 from repro.errors import RelationalError, SchemaError
+from repro.locks import RWLock
 from repro.relational.ast import CreateTableStatement, InsertStatement, SelectStatement
 from repro.relational.executor import ResultSet, SelectExecutor
 from repro.relational.parser import parse_sql
@@ -25,6 +27,11 @@ class Database:
         self.name = name
         self._tables: dict[str, Table] = {}
         self._catalog_version = 0
+        # One lock for the catalog and every table, so a snapshot is a
+        # consistent cut of the whole database.
+        self._rwlock = RWLock()
+        self._snapshot_state: tuple[int, "Database"] | None = None
+        self._snapshot_lock = threading.Lock()
 
     @property
     def version(self) -> int:
@@ -37,12 +44,13 @@ class Database:
     def create_table(self, schema: TableSchema) -> Table:
         """Register a new table from a schema object."""
         key = schema.name.lower()
-        if key in self._tables:
-            raise SchemaError(f"table {schema.name!r} already exists in {self.name!r}")
-        table = Table(schema)
-        self._tables[key] = table
-        self._catalog_version += 1
-        return table
+        with self._rwlock.write_locked():
+            if key in self._tables:
+                raise SchemaError(f"table {schema.name!r} already exists in {self.name!r}")
+            table = Table(schema, lock=self._rwlock)
+            self._tables[key] = table
+            self._catalog_version += 1
+            return table
 
     def create_table_from_rows(self, name: str, rows: Iterable[dict[str, object]],
                                primary_key: str | None = None,
@@ -66,8 +74,11 @@ class Database:
         columns = [Column(name=c, data_type=t) for c, t in column_types.items()]
         schema = TableSchema(name=name, columns=columns, primary_key=primary_key,
                              foreign_keys=foreign_keys or [])
-        table = self.create_table(schema)
-        table.insert_many(rows)
+        with self._rwlock.write_locked():
+            # Creation + load as one write section: a concurrent snapshot
+            # sees either no table or the fully loaded one.
+            table = self.create_table(schema)
+            table.insert_many(rows)
         return table
 
     def table(self, name: str) -> Table:
@@ -91,12 +102,46 @@ class Database:
 
     def drop_table(self, name: str) -> None:
         """Remove a table from the catalog."""
-        if name.lower() not in self._tables:
-            raise RelationalError(f"database {self.name!r} has no table {name!r}")
-        # Absorb the dropped table's mutation count so the database
-        # version stays monotonic (it must never revisit an old value).
-        self._catalog_version += 1 + self._tables[name.lower()].version
-        del self._tables[name.lower()]
+        with self._rwlock.write_locked():
+            if name.lower() not in self._tables:
+                raise RelationalError(f"database {self.name!r} has no table {name!r}")
+            # Absorb the dropped table's mutation count so the database
+            # version stays monotonic (it must never revisit an old value).
+            self._catalog_version += 1 + self._tables[name.lower()].version
+            del self._tables[name.lower()]
+
+    # ------------------------------------------------------------------
+    # Snapshot isolation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "Database":
+        """A frozen, consistent copy of the whole database (memoised).
+
+        Taken under the shared read lock, so no insert or catalog change
+        can land between two table copies: the snapshot's version equals
+        the live version at the moment of the cut.
+        """
+        with self._rwlock.read_locked():
+            version = self._catalog_version + sum(
+                t.version for t in self._tables.values())
+            state = self._snapshot_state
+            if state is not None and state[0] == version:
+                return state[1]
+            with self._snapshot_lock:
+                state = self._snapshot_state
+                if state is not None and state[0] == version:
+                    return state[1]
+                frozen = Database.__new__(Database)
+                frozen.name = self.name
+                frozen._catalog_version = self._catalog_version
+                frozen._rwlock = RWLock()
+                frozen._tables = {
+                    key: table._copy_unlocked(lock=frozen._rwlock)
+                    for key, table in self._tables.items()
+                }
+                frozen._snapshot_state = (version, frozen)
+                frozen._snapshot_lock = threading.Lock()
+                self._snapshot_state = (version, frozen)
+                return frozen
 
     # ------------------------------------------------------------------
     # SQL entry point

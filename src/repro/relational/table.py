@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import Callable, Iterable, Iterator
 
 from repro.errors import SchemaError
+from repro.locks import RWLock
 from repro.relational.schema import TableSchema
 
 
@@ -15,6 +17,13 @@ class Index:
     def __init__(self, column: str):
         self.column = column
         self._entries: dict[object, list[int]] = defaultdict(list)
+
+    def _copy(self) -> "Index":
+        """Structural copy (snapshot support)."""
+        twin = Index(self.column)
+        for value, row_ids in self._entries.items():
+            twin._entries[value] = list(row_ids)
+        return twin
 
     def add(self, value: object, row_id: int) -> None:
         """Record that ``value`` appears at ``row_id``."""
@@ -39,11 +48,16 @@ class Table:
     on any column (the primary key is indexed automatically).
     """
 
-    def __init__(self, schema: TableSchema):
+    def __init__(self, schema: TableSchema, lock: RWLock | None = None):
         self.schema = schema
         self.rows: list[tuple] = []
         self._indexes: dict[str, Index] = {}
         self._version = 0
+        # A table created inside a Database shares the database's lock,
+        # so a database snapshot is one consistent cut across its tables.
+        self._rwlock = lock or RWLock()
+        self._snapshot_state: tuple[int, "Table"] | None = None
+        self._snapshot_lock = threading.Lock()
         if schema.primary_key:
             self.create_index(schema.primary_key)
 
@@ -58,6 +72,10 @@ class Table:
     def insert(self, values: dict[str, object] | list[object] | tuple) -> tuple:
         """Insert a row (dict or positional) and return the stored tuple."""
         row = self.schema.coerce_row(values)
+        with self._rwlock.write_locked():
+            return self._insert_unlocked(row)
+
+    def _insert_unlocked(self, row: tuple) -> tuple:
         if self.schema.primary_key:
             pk_index = self.schema.column_index(self.schema.primary_key)
             pk_value = row[pk_index]
@@ -77,22 +95,57 @@ class Table:
         return row
 
     def insert_many(self, rows: Iterable[dict[str, object] | list[object] | tuple]) -> int:
-        """Insert every row of ``rows``; return how many were inserted."""
-        return sum(1 for _ in map(self.insert, rows))
+        """Insert every row of ``rows``; return how many were inserted.
+
+        The write lock is held across the whole batch, so a concurrent
+        snapshot sees all of it or none of it.
+        """
+        with self._rwlock.write_locked():
+            return sum(1 for _ in map(self.insert, rows))
 
     def create_index(self, column: str) -> Index:
         """Create (or return the existing) hash index on ``column``."""
         key = column.lower()
-        if key in self._indexes:
-            return self._indexes[key]
-        if not self.schema.has_column(column):
-            raise SchemaError(f"cannot index unknown column {column!r} of {self.name!r}")
-        index = Index(column)
-        position = self.schema.column_index(column)
-        for row_id, row in enumerate(self.rows):
-            index.add(row[position], row_id)
-        self._indexes[key] = index
-        return index
+        with self._rwlock.write_locked():
+            if key in self._indexes:
+                return self._indexes[key]
+            if not self.schema.has_column(column):
+                raise SchemaError(f"cannot index unknown column {column!r} of {self.name!r}")
+            index = Index(column)
+            position = self.schema.column_index(column)
+            for row_id, row in enumerate(self.rows):
+                index.add(row[position], row_id)
+            self._indexes[key] = index
+            return index
+
+    # ------------------------------------------------------------------
+    # Snapshot isolation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "Table":
+        """A frozen copy of the table at its current version (memoised)."""
+        with self._rwlock.read_locked():
+            state = self._snapshot_state
+            if state is not None and state[0] == self._version:
+                return state[1]
+            with self._snapshot_lock:
+                state = self._snapshot_state
+                if state is not None and state[0] == self._version:
+                    return state[1]
+                frozen = self._copy_unlocked()
+                self._snapshot_state = (self._version, frozen)
+                return frozen
+
+    def _copy_unlocked(self, lock: RWLock | None = None) -> "Table":
+        """Structural copy sharing the (immutable) schema; counters kept."""
+        frozen = Table.__new__(Table)
+        frozen.schema = self.schema
+        frozen.rows = list(self.rows)
+        frozen._indexes = {key: index._copy() for key, index in self._indexes.items()}
+        frozen._version = self._version
+        frozen._rwlock = lock or RWLock()
+        frozen._snapshot_state = (frozen._version, frozen)
+        frozen._snapshot_lock = threading.Lock()
+        return frozen
 
     # ------------------------------------------------------------------
     # Access

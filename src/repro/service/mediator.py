@@ -1,0 +1,362 @@
+"""The concurrent mediator service: scheduling, admission, deadlines.
+
+A :class:`MediatorService` turns a single-caller
+:class:`~repro.core.instance.MixedInstance` into a serving layer that
+many clients hit concurrently while feeds keep mutating the sources:
+
+* a **bounded worker pool** drains a FIFO-with-priority queue (lower
+  ``priority`` value runs first; ties in submission order);
+* **admission control** rejects work past ``max_queue_depth`` queued /
+  ``max_in_flight`` total tickets with :class:`AdmissionError`, so an
+  overloaded mediator fails fast instead of accumulating latency;
+* every query **pins a snapshot vector** (:func:`repro.service.snapshots
+  .pin_instance`) before planning, so its whole plan observes one
+  consistent version of every store — updates land between queries,
+  never inside one;
+* **deadlines and cancellation** are enforced cooperatively: expired or
+  cancelled tickets are dropped at dequeue, and a running executor
+  checks between stages;
+* all workers share the instance's :class:`MediatorCache` and
+  :class:`StatisticsCatalog` (both thread-safe), plus two service-owned
+  :class:`~repro.engine.parallel.WorkPool`\\ s for intra-query stage and
+  source-call parallelism — no per-stage pool churn.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.planner import PlannerOptions
+from repro.core.results import MixedResult
+from repro.engine.parallel import WorkPool
+from repro.errors import (
+    AdmissionError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServiceError,
+)
+from repro.service.snapshots import PinnedCatalog, pin_instance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cmq import ConjunctiveMixedQuery
+    from repro.core.instance import MixedInstance
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one :class:`MediatorService`.
+
+    ``workers``
+        Query workers: how many CMQs evaluate concurrently.
+    ``max_queue_depth`` / ``max_in_flight``
+        Admission control: at most ``max_queue_depth`` tickets waiting,
+        at most ``max_in_flight`` tickets queued + running overall.
+    ``default_deadline``
+        Seconds granted to a query when ``submit`` names none
+        (``None`` = unlimited).
+    ``default_priority``
+        Priority assigned when ``submit`` names none (lower runs first).
+    ``dispatch_workers`` / ``task_workers``
+        Sizes of the two shared intra-query pools (parallel stages and
+        fan-out source calls, see :mod:`repro.engine.parallel`).
+    """
+
+    workers: int = 4
+    max_queue_depth: int = 64
+    max_in_flight: int = 128
+    default_deadline: Optional[float] = None
+    default_priority: int = 10
+    dispatch_workers: int = 4
+    task_workers: int = 4
+
+
+#: Ticket life cycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+TIMED_OUT = "timed_out"
+
+
+class QueryTicket:
+    """A submitted query: future-like handle plus its pinned snapshot."""
+
+    def __init__(self, query: "ConjunctiveMixedQuery", priority: int,
+                 deadline: Optional[float], options: PlannerOptions | None,
+                 distinct: bool, limit: int | None):
+        self.query = query
+        self.priority = priority
+        #: Absolute monotonic deadline (``time.monotonic()`` scale), or None.
+        self.deadline = deadline
+        self.options = options
+        self.distinct = distinct
+        self.limit = limit
+        self.status = PENDING
+        self.result_value: Optional[MixedResult] = None
+        self.error: Optional[BaseException] = None
+        #: The snapshot vector the query pinned (set when it starts).
+        self.pinned: Optional[PinnedCatalog] = None
+        self.submitted_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._cancel_requested = False
+        self._finished = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- client side ---------------------------------------------------------
+    @property
+    def versions(self) -> dict[str, Optional[int]]:
+        """The pinned (source → version) vector (empty before it runs)."""
+        return dict(self.pinned.versions) if self.pinned is not None else {}
+
+    def cancel(self) -> bool:
+        """Request cancellation; True unless the ticket already finished."""
+        with self._lock:
+            if self._finished.is_set():
+                return False
+            self._cancel_requested = True
+            return True
+
+    def done(self) -> bool:
+        return self._finished.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the ticket finishes; True when it did."""
+        return self._finished.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> MixedResult:
+        """The query's :class:`MixedResult` (blocking; re-raises failures)."""
+        if not self._finished.wait(timeout):
+            raise ServiceError(
+                f"query {self.query.name!r} did not finish within {timeout}s")
+        if self.error is not None:
+            raise self.error
+        assert self.result_value is not None
+        return self.result_value
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submission-to-finish wall seconds (None while unfinished)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    # -- service side --------------------------------------------------------
+    def _cancel_check(self) -> None:
+        """Raised-based cooperative abort, called between executor stages."""
+        if self._cancel_requested:
+            raise QueryCancelledError(f"query {self.query.name!r} was cancelled")
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise QueryTimeoutError(f"query {self.query.name!r} missed its deadline")
+
+    def _finish(self, status: str, result: MixedResult | None = None,
+                error: BaseException | None = None) -> None:
+        with self._lock:
+            self.status = status
+            self.result_value = result
+            self.error = error
+            self.finished_at = time.monotonic()
+            self._finished.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"QueryTicket(query={self.query.name!r}, status={self.status}, "
+                f"priority={self.priority})")
+
+
+@dataclass(order=True)
+class _QueueItem:
+    priority: int
+    sequence: int
+    ticket: Optional[QueryTicket] = field(compare=False, default=None)
+
+
+#: Sentinel priority: processed after every real ticket (graceful drain).
+_SHUTDOWN_PRIORITY = 2 ** 31
+
+
+class MediatorService:
+    """Snapshot-isolated, admission-controlled concurrent query serving."""
+
+    def __init__(self, instance: "MixedInstance",
+                 config: ServiceConfig | None = None):
+        self.instance = instance
+        self.config = config or ServiceConfig()
+        self._queue: queue.PriorityQueue[_QueueItem] = queue.PriorityQueue()
+        self._sequence = itertools.count()
+        self._lock = threading.Lock()
+        self._queued = 0
+        self._in_flight = 0
+        self._stopping = False
+        self.counters = {"submitted": 0, "completed": 0, "failed": 0,
+                         "cancelled": 0, "timed_out": 0, "rejected": 0}
+        self.dispatch_pool = WorkPool(self.config.dispatch_workers,
+                                      name="mediator-dispatch")
+        self.task_pool = WorkPool(self.config.task_workers,
+                                  name="mediator-tasks")
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"mediator-worker-{i}", daemon=True)
+            for i in range(max(1, self.config.workers))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, query: "ConjunctiveMixedQuery | str",
+               priority: int | None = None, deadline: float | None = None,
+               options: PlannerOptions | None = None, distinct: bool = True,
+               limit: int | None = None) -> QueryTicket:
+        """Enqueue one CMQ (object or textual syntax); returns its ticket.
+
+        ``deadline`` is in relative seconds from now.  Raises
+        :class:`AdmissionError` when the queue or in-flight budget is
+        exhausted, :class:`ServiceError` after :meth:`shutdown`.
+        """
+        if isinstance(query, str):
+            query = self.instance.parse(query)
+        relative = deadline if deadline is not None else self.config.default_deadline
+        absolute = time.monotonic() + relative if relative is not None else None
+        ticket = QueryTicket(
+            query,
+            priority=self.config.default_priority if priority is None else priority,
+            deadline=absolute, options=options, distinct=distinct, limit=limit)
+        with self._lock:
+            if self._stopping:
+                raise ServiceError("the mediator service is shut down")
+            if (self._queued >= self.config.max_queue_depth
+                    or self._in_flight >= self.config.max_in_flight):
+                self.counters["rejected"] += 1
+                raise AdmissionError(
+                    f"admission refused: {self._queued} queued "
+                    f"(max {self.config.max_queue_depth}), {self._in_flight} "
+                    f"in flight (max {self.config.max_in_flight})")
+            self._queued += 1
+            self._in_flight += 1
+            self.counters["submitted"] += 1
+            # Enqueue under the lock: a shutdown() serialised after this
+            # cannot have drained the workers yet, so the ticket is
+            # guaranteed a worker (or an explicit cancel), never orphaned.
+            self._queue.put(_QueueItem(ticket.priority, next(self._sequence), ticket))
+        return ticket
+
+    def execute(self, query: "ConjunctiveMixedQuery | str",
+                priority: int | None = None, deadline: float | None = None,
+                options: PlannerOptions | None = None, distinct: bool = True,
+                limit: int | None = None,
+                timeout: float | None = None) -> MixedResult:
+        """Submit and block for the result (convenience wrapper)."""
+        ticket = self.submit(query, priority=priority, deadline=deadline,
+                             options=options, distinct=distinct, limit=limit)
+        return ticket.result(timeout=timeout)
+
+    def statistics(self) -> dict[str, object]:
+        """Service counters plus current queue state."""
+        with self._lock:
+            stats: dict[str, object] = dict(self.counters)
+            stats["queued"] = self._queued
+            stats["in_flight"] = self._in_flight
+            stats["workers"] = len(self._workers)
+        return stats
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop accepting queries and wind the workers down.
+
+        With ``cancel_pending`` queued tickets are cancelled instead of
+        drained.  ``wait`` joins the workers (queued work — unless
+        cancelled — still completes: the shutdown sentinels sort after
+        every real ticket).
+        """
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+        if cancel_pending:
+            # Workers still drain the queue; the cancel flag makes each
+            # dequeued ticket finish immediately as cancelled.
+            for item in list(self._queue.queue):
+                if item.ticket is not None:
+                    item.ticket.cancel()
+        for _ in self._workers:
+            self._queue.put(_QueueItem(_SHUTDOWN_PRIORITY, next(self._sequence)))
+        if wait:
+            for worker in self._workers:
+                worker.join()
+        self.dispatch_pool.shutdown(wait=wait)
+        self.task_pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "MediatorService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True, cancel_pending=exc_info[0] is not None)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item.ticket is None:
+                return
+            with self._lock:
+                self._queued -= 1
+            self._run_ticket(item.ticket)
+
+    def _run_ticket(self, ticket: QueryTicket) -> None:
+        try:
+            try:
+                ticket._cancel_check()
+            except QueryCancelledError as exc:
+                self._account(CANCELLED)
+                ticket._finish(CANCELLED, error=exc)
+                return
+            except QueryTimeoutError as exc:
+                self._account(TIMED_OUT)
+                ticket._finish(TIMED_OUT, error=exc)
+                return
+            ticket.status = RUNNING
+            ticket.started_at = time.monotonic()
+            # Pin the snapshot vector *at execution start*: the query
+            # reflects the freshest state available when it got a worker.
+            ticket.pinned = pin_instance(self.instance)
+            executor = ticket.pinned.executor(
+                self.instance, options=ticket.options,
+                max_workers=self.config.dispatch_workers,
+                cancel_check=ticket._cancel_check,
+                dispatch_pool=self.dispatch_pool, task_pool=self.task_pool)
+            try:
+                result = executor.execute(ticket.query, distinct=ticket.distinct,
+                                          limit=ticket.limit)
+            except QueryCancelledError as exc:
+                self._account(CANCELLED)
+                ticket._finish(CANCELLED, error=exc)
+            except QueryTimeoutError as exc:
+                self._account(TIMED_OUT)
+                ticket._finish(TIMED_OUT, error=exc)
+            except BaseException as exc:  # noqa: BLE001 - reported via ticket
+                self._account(FAILED)
+                ticket._finish(FAILED, error=exc)
+            else:
+                self._account(DONE)
+                ticket._finish(DONE, result=result)
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+
+    def _account(self, status: str) -> None:
+        key = {DONE: "completed", FAILED: "failed", CANCELLED: "cancelled",
+               TIMED_OUT: "timed_out"}[status]
+        with self._lock:
+            self.counters[key] += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"MediatorService(instance={self.instance.name!r}, "
+                f"workers={len(self._workers)}, stats={self.statistics()})")

@@ -163,8 +163,9 @@ class StatisticsCatalog:
         if version is None:
             return None
         key = (source.cache_token, version, table.lower(), column.lower())
-        if key in self._column_summaries:
-            return self._column_summaries[key]
+        with self._lock:
+            if key in self._column_summaries:
+                return self._column_summaries[key]
         summary: Optional[ValueSetSummary] = None
         if source.database.has_table(table):
             table_obj = source.database.table(table)

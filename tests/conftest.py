@@ -13,6 +13,12 @@ def pytest_configure(config):
         "optimizer: cost-based planner suites (estimation accuracy, "
         "plan equivalence, adaptive re-planning); run in isolation with "
         "`pytest -m optimizer`.")
+    config.addinivalue_line(
+        "markers",
+        "stress: concurrent-service stress/equivalence suites (writer "
+        "threads racing reader queries); run in isolation with "
+        "`pytest -m stress`; thread/iteration budget shrinks via the "
+        "REPRO_STRESS_* environment variables.")
 from repro.fulltext import tweet_store
 from repro.rdf import Graph, RDFSchema, triple, uri
 from repro.relational import Database
