@@ -18,6 +18,8 @@ subsystems live in dedicated sub-packages:
 ``repro.digest``
     source digests (Bloom filters, histograms, dataguides, RDF summaries)
     and the keyword-based query engine;
+``repro.obs``
+    observability: structured spans, the metrics registry, EXPLAIN ANALYZE;
 ``repro.analytics``
     PMI vocabulary analytics and tag clouds (Figure 3);
 ``repro.datasets``
@@ -25,6 +27,12 @@ subsystems live in dedicated sub-packages:
 ``repro.baselines``
     warehouse and naive-mediator baselines used by the ablation benches.
 """
+
+import logging
+
+# Library logging convention: everything logs under the "repro.*"
+# hierarchy and the library itself never configures handlers.
+logging.getLogger("repro").addHandler(logging.NullHandler())
 
 from repro.core.cmq import CMQBuilder, ConjunctiveMixedQuery, GLUE_SOURCE, parse_cmq
 from repro.core.instance import MixedInstance

@@ -31,6 +31,33 @@ class MediatorCache:
         plans["entries"] = len(self.plans)
         return {"results": results, "plans": plans}
 
+    def register_metrics(self, registry=None) -> None:
+        """Surface both caches in a metrics registry as lazy gauges.
+
+        The caches already count hits/misses/evictions themselves
+        (:class:`~repro.cache.lru.CacheStats`); callbacks read those
+        counters at snapshot time instead of double-accounting them.
+        """
+        if registry is None:
+            from repro.obs.metrics import get_registry
+
+            registry = get_registry()
+        for label, cache in (("results", self.results), ("plans", self.plans)):
+            stats = cache.stats
+            registry.register_callback("cache_hits", lambda s=stats: s.hits,
+                                       cache=label)
+            registry.register_callback("cache_misses", lambda s=stats: s.misses,
+                                       cache=label)
+            registry.register_callback("cache_insertions",
+                                       lambda s=stats: s.insertions, cache=label)
+            registry.register_callback("cache_evictions",
+                                       lambda s=stats: s.evictions, cache=label)
+            registry.register_callback("cache_invalidations",
+                                       lambda s=stats: s.invalidations,
+                                       cache=label)
+            registry.register_callback("cache_entries",
+                                       lambda c=cache: len(c), cache=label)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"MediatorCache(results={len(self.results)}, "
                 f"plans={len(self.plans)})")

@@ -30,6 +30,7 @@ real intermediate cardinality.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 
@@ -52,6 +53,10 @@ from repro.engine.iterators import (
 )
 from repro.engine.parallel import ParallelStats, run_parallel, run_tasks
 from repro.errors import MixedQueryError, UnknownSourceError
+from repro.obs.metrics import get_registry
+from repro.obs.spans import SpanTracer, attach, current_span, detach, span as _span
+
+logger = logging.getLogger("repro.core.executor")
 
 
 class MixedQueryExecutor:
@@ -73,11 +78,15 @@ class MixedQueryExecutor:
     def __init__(self, sources: dict[str, DataSource], glue: DataSource,
                  options: PlannerOptions | None = None, max_workers: int = 4,
                  digests=None, cache=None, statistics=None,
-                 cancel_check=None, dispatch_pool=None, task_pool=None):
+                 cancel_check=None, dispatch_pool=None, task_pool=None,
+                 metrics=None):
         self._sources = dict(sources)
         self._glue = glue
         self.options = options or PlannerOptions()
         self.max_workers = max_workers
+        # Metrics sink; resolved lazily so tests that reset the global
+        # registry see their fresh registry even on long-lived executors.
+        self._metrics = metrics
         #: Optional callable invoked between stages; it raises (e.g.
         #: QueryCancelledError / QueryTimeoutError) to abort execution
         #: cooperatively — the mediator service wires it per ticket.
@@ -121,7 +130,37 @@ class MixedQueryExecutor:
 
         A pre-built ``plan`` may be supplied (the ablation benchmarks use
         this to compare planner options on identical queries).
+
+        With ``PlannerOptions(tracing=True)`` (the default) the whole
+        evaluation is wrapped in an ``execute`` span — nested under the
+        service's per-query root when one is active, otherwise the root
+        of a fresh :class:`~repro.obs.spans.SpanTracer` — and the tracer
+        lands on ``result.trace.spans``.
         """
+        options = (plan.options if plan is not None and plan.options is not None
+                   else self.options)
+        if not options.tracing:
+            result = self._execute(query, plan, distinct, limit)
+            self._record_metrics(result.trace)
+            return result
+        parent = current_span()
+        if parent is not None:
+            root = parent.tracer.start("execute", parent=parent, query=query.name)
+        else:
+            root = SpanTracer(f"execute:{query.name}").start(
+                "execute", query=query.name)
+        token = attach(root)
+        try:
+            result = self._execute(query, plan, distinct, limit)
+        finally:
+            detach(token)
+        root.end(rows=len(result.rows), calls=len(result.trace.calls))
+        result.trace.spans = root.tracer
+        self._record_metrics(result.trace)
+        return result
+
+    def _execute(self, query: ConjunctiveMixedQuery, plan: QueryPlan | None,
+                 distinct: bool, limit: int | None) -> MixedResult:
         start = time.perf_counter()
         cache_stats = (self._cache_stats.snapshot()
                        if self._cache_stats is not None else None)
@@ -176,6 +215,11 @@ class MixedQueryExecutor:
             # intermediate cardinality.
             self.planner.forget(query, options)
             self._record_feedback(steps, trace)
+            logger.warning(
+                "re-planning %s after step %s: estimated %.0f row(s), "
+                "observed %d (q-error %.1f > threshold %.1f)",
+                query.name, worst[1].atom.name, worst[2].estimate,
+                worst[2].actual_rows, worst[0], options.replan_threshold)
             replanned_after.add(id(worst[1]))
             bound: set[str] = set()
             for step in executed:
@@ -247,7 +291,8 @@ class MixedQueryExecutor:
             bindings = len(calls)
         return StepObservation(atom=step.atom.name, mode=step.mode,
                                estimate=step.estimate, actual_rows=actual,
-                               bindings=bindings, cost=step.cost)
+                               bindings=bindings, cost=step.cost,
+                               atom_key=id(step.atom))
 
     def _record_feedback(self, steps: list[PlanStep], trace: ExecutionTrace) -> None:
         """Feed observed cardinalities of a stage back into the statistics.
@@ -268,6 +313,23 @@ class MixedQueryExecutor:
                 statistics.record(source, step.atom.query, bound_formals,
                                   observation.actual_per_binding())
 
+    def _record_metrics(self, trace: ExecutionTrace) -> None:
+        """Fold one execution's trace into the metrics registry."""
+        registry = self._metrics if self._metrics is not None else get_registry()
+        registry.counter("executor_queries_total").inc()
+        registry.histogram("executor_query_seconds").observe(trace.total_seconds)
+        if trace.replans:
+            registry.counter("executor_replans_total").inc(trace.replans)
+        if trace.sieved_bindings:
+            registry.counter("sieve_sieved_bindings_total").inc(trace.sieved_bindings)
+        if trace.cache_hits:
+            registry.counter("result_cache_probe_hits_total").inc(trace.cache_hits)
+        if trace.cache_misses:
+            registry.counter("result_cache_probe_misses_total").inc(trace.cache_misses)
+        shipped = sum(call.bindings_in for call in trace.calls if call.batched)
+        if shipped:
+            registry.counter("sieve_shipped_bindings_total").inc(shipped)
+
     # ------------------------------------------------------------------
     # Stage evaluation
     # ------------------------------------------------------------------
@@ -277,8 +339,12 @@ class MixedQueryExecutor:
                  for step in steps]
         workers = self.max_workers if self.options.parallel_stages else 1
         stats = ParallelStats()
-        outputs = run_parallel(scans, max_workers=workers, stats=stats,
-                               pool=self._dispatch_pool)
+        with _span("stage:materialize",
+                   atoms=[step.atom.name for step in steps]) as sp:
+            outputs = run_parallel(scans, max_workers=workers, stats=stats,
+                                   pool=self._dispatch_pool)
+            if sp is not None:
+                sp.set(rows=sum(len(rows) for rows in outputs))
         operator = current
         for step, rows in zip(steps, outputs):
             scan = MaterializedScan(rows, name=step.atom.name)
@@ -297,7 +363,8 @@ class MixedQueryExecutor:
 
         if not self.options.batch_bind_joins:
             def fetch(row: Row):
-                return self._execute_atom(step, atom, row, trace)
+                with _span(f"bind:{atom.name}", bindings=1):
+                    return self._execute_atom(step, atom, row, trace)
 
             return BindJoin(current, fetch, name=f"bind:{atom.name}", call_key=call_key)
 
@@ -305,7 +372,11 @@ class MixedQueryExecutor:
             return {v: row[v] for v in relevant if v in row}
 
         def fetch_batch(bindings: list[Row]) -> list[list[Row]]:
-            return self._execute_atom_batch(step, atom, bindings, trace)
+            with _span(f"bind:{atom.name}", bindings=len(bindings)) as sp:
+                per_binding = self._execute_atom_batch(step, atom, bindings, trace)
+                if sp is not None:
+                    sp.set(rows=sum(len(rows) for rows in per_binding))
+                return per_binding
 
         sieve = None
         if self._sieve is not None and self.options.digest_sieve and step.use_sieve:
@@ -359,8 +430,11 @@ class MixedQueryExecutor:
         sources = self._resolve_runtime_sources(step, atom, bindings)
 
         def call(source: DataSource) -> tuple[DataSource, list[Row], float]:
-            started = time.perf_counter()
-            fetched = atom.execute_on(source, bindings)
+            with _span("call", atom=atom.name, source=source.uri) as sp:
+                started = time.perf_counter()
+                fetched = atom.execute_on(source, bindings)
+                if sp is not None:
+                    sp.set(rows=len(fetched))
             return source, fetched, time.perf_counter() - started
 
         # A free source variable fans out to every accepting source; those
@@ -404,8 +478,12 @@ class MixedQueryExecutor:
 
         def call(source: DataSource, indices: list[int]):
             batch = [bindings_list[i] for i in indices]
-            started = time.perf_counter()
-            per_binding = atom.execute_batch_on(source, batch)
+            with _span("call", atom=atom.name, source=source.uri,
+                       bindings=len(batch), batched=True) as sp:
+                started = time.perf_counter()
+                per_binding = atom.execute_batch_on(source, batch)
+                if sp is not None:
+                    sp.set(rows=sum(len(rows) for rows in per_binding))
             return source, indices, per_binding, time.perf_counter() - started
 
         workers = self.max_workers if self.options.parallel_stages else 1

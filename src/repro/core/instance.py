@@ -180,6 +180,27 @@ class MixedInstance:
                                  digests=digests)
         return executor.execute(query, distinct=distinct, limit=limit)
 
+    def explain_analyze(self, query: ConjunctiveMixedQuery | str,
+                        options: PlannerOptions | None = None,
+                        distinct: bool = True, limit: int | None = None,
+                        max_workers: int = 4, digests=None):
+        """Evaluate a CMQ and return its EXPLAIN ANALYZE report.
+
+        The report (:class:`repro.obs.explain.ExplainReport`) merges the
+        planner's per-step costs and cardinality estimates with the
+        observed calls, rows and span timings; ``print(report)`` renders
+        the plan-vs-reality table.
+        """
+        from repro.obs.explain import explain_analyze
+
+        result = self.execute(query, options=options, distinct=distinct,
+                              limit=limit, max_workers=max_workers,
+                              digests=digests)
+        report = explain_analyze(result)
+        if not isinstance(query, str):
+            report.query = query.name
+        return report
+
     def parse(self, text: str) -> ConjunctiveMixedQuery:
         """Parse the textual CMQ syntax against the registered templates."""
         return parse_cmq(text, self._templates)

@@ -37,6 +37,7 @@ from repro.cache.plans import PlanCache, plan_cache_key
 from repro.core.cmq import ConjunctiveMixedQuery, SourceAtom
 from repro.core.sources import DataSource
 from repro.errors import PlanningError
+from repro.obs.spans import span as _span
 from repro.stats.catalog import StatisticsCatalog
 from repro.stats.cost import CostModel, MAX_BIND_BATCH, MIN_BIND_BATCH
 
@@ -77,6 +78,11 @@ class PlannerOptions:
     #: Estimate-vs-actual q-error (max of the two ratios) triggering a
     #: mid-flight replan of the remaining steps.
     replan_threshold: float = 4.0
+    #: Collect a structured span tree for every execution (planning,
+    #: stages, source calls); the tree lands on ``ExecutionTrace.spans``.
+    #: Disabling skips all span allocation — the observability off
+    #: switch benchmarked by ``bench_observability_overhead``.
+    tracing: bool = True
 
 
 #: Atom count above which the DP enumerator falls back to greedy search.
@@ -194,19 +200,25 @@ class QueryPlanner:
         estimates are never reused.
         """
         options = options or self.options
-        cache_key = self._cache_key(query, options)
-        if cache_key is not None:
-            hit = self._plan_cache.get(cache_key)
-            if hit is not None:
-                return self._rebind(hit, query, options)
-        plan = self._build_plan(query, options)
-        if cache_key is not None:
-            # Remember which body atom each step executes so a hit can be
-            # rebound to a renaming-equivalent query's own atoms.
-            indices = [next(i for i, atom in enumerate(query.atoms)
-                            if atom is step.atom) for step in plan.steps]
-            self._plan_cache.put(cache_key, (plan, indices))
-        return plan
+        with _span("plan", query=query.name) as sp:
+            cache_key = self._cache_key(query, options)
+            if cache_key is not None:
+                hit = self._plan_cache.get(cache_key)
+                if hit is not None:
+                    if sp is not None:
+                        sp.set(cached=True)
+                    return self._rebind(hit, query, options)
+            plan = self._build_plan(query, options)
+            if cache_key is not None:
+                # Remember which body atom each step executes so a hit can be
+                # rebound to a renaming-equivalent query's own atoms.
+                indices = [next(i for i, atom in enumerate(query.atoms)
+                                if atom is step.atom) for step in plan.steps]
+                self._plan_cache.put(cache_key, (plan, indices))
+            if sp is not None:
+                sp.set(cached=False, steps=len(plan.steps),
+                       cost=round(plan.total_cost, 2))
+            return plan
 
     def plan_tail(self, query: ConjunctiveMixedQuery,
                   done: Sequence[SourceAtom], bound: set[str], cardinality: float,
@@ -219,10 +231,14 @@ class QueryPlanner:
         executor after statistics feedback; tail plans are never cached.
         """
         options = options or self.options
-        done_ids = {id(atom) for atom in done}
-        planned = {i for i, atom in enumerate(query.atoms) if id(atom) in done_ids}
-        return self._build_plan(query, options, planned=planned,
-                                bound=set(bound), initial_card=max(0.0, cardinality))
+        with _span("replan", query=query.name,
+                   executed=len(done), cardinality=cardinality):
+            done_ids = {id(atom) for atom in done}
+            planned = {i for i, atom in enumerate(query.atoms)
+                       if id(atom) in done_ids}
+            return self._build_plan(query, options, planned=planned,
+                                    bound=set(bound),
+                                    initial_card=max(0.0, cardinality))
 
     def forget(self, query: ConjunctiveMixedQuery,
                options: PlannerOptions | None = None) -> bool:

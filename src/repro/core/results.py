@@ -116,6 +116,9 @@ class StepObservation:
     cost: float = 0.0
     #: True when this observation triggered a mid-flight replan.
     replanned_after: bool = False
+    #: Identity of the observed atom object (matches SubQueryCall.atom_key,
+    #: so EXPLAIN ANALYZE can attribute calls to self-joined atoms).
+    atom_key: int = 0
 
     def actual_per_binding(self) -> float:
         """Observed rows normalised like the estimate (per binding for binds)."""
@@ -156,6 +159,9 @@ class ExecutionTrace:
     replanned: bool = False
     #: Number of mid-flight replans.
     replans: int = 0
+    #: The :class:`repro.obs.spans.SpanTracer` of this execution (None
+    #: when tracing was disabled); ``spans.render()`` draws the tree.
+    spans: "object | None" = None
 
     def calls_to(self, source_uri: str) -> int:
         """Number of sub-query calls shipped to ``source_uri``."""

@@ -14,16 +14,19 @@ to the mediator's protocol:
 
 from __future__ import annotations
 
+import functools
 import itertools
 import re
 import string
 import threading
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.errors import MixedQueryError
 from repro.fulltext.store import FullTextStore
+from repro.obs.metrics import get_registry
 from repro.json.matcher import TreePatternMatcher
 from repro.json.parser import parse_pattern
 from repro.json.pattern import Parameter as JSONParameter, TreePattern
@@ -205,6 +208,57 @@ class JSONQuery(SourceQuery):
 #: never serve each other's cached rows.
 _CACHE_TOKENS = itertools.count()
 
+#: Thread-local dispatch depth guard: ``execute_batch`` implementations
+#: delegate to ``self.execute`` (single-binding batches, per-binding
+#: fallbacks), and only the *outermost* mediator-facing call may count.
+_DISPATCH_LOCAL = threading.local()
+
+
+def _instrumented_execute(method):
+    """Record per-source metrics around a wrapper's ``execute``."""
+
+    @functools.wraps(method)
+    def execute(self, query, bindings=None):
+        if getattr(_DISPATCH_LOCAL, "active", False):
+            return method(self, query, bindings)
+        _DISPATCH_LOCAL.active = True
+        started = time.perf_counter()
+        try:
+            rows = method(self, query, bindings)
+        except Exception:
+            self._record_error()
+            raise
+        finally:
+            _DISPATCH_LOCAL.active = False
+        self._record_call(len(rows), time.perf_counter() - started)
+        return rows
+
+    return execute
+
+
+def _instrumented_execute_batch(method):
+    """Record per-source metrics around a wrapper's ``execute_batch``."""
+
+    @functools.wraps(method)
+    def execute_batch(self, query, bindings_batch):
+        if getattr(_DISPATCH_LOCAL, "active", False):
+            return method(self, query, bindings_batch)
+        _DISPATCH_LOCAL.active = True
+        started = time.perf_counter()
+        try:
+            per_binding = method(self, query, bindings_batch)
+        except Exception:
+            self._record_error()
+            raise
+        finally:
+            _DISPATCH_LOCAL.active = False
+        self._record_call(sum(len(rows) for rows in per_binding),
+                          time.perf_counter() - started,
+                          batched=True, bindings=len(bindings_batch))
+        return per_binding
+
+    return execute_batch
+
 
 class DataSource:
     """Base class of the mediator's source wrappers."""
@@ -230,6 +284,7 @@ class DataSource:
         self.cache_token = next(_CACHE_TOKENS)
         self._pin_lock = threading.Lock()
         self._pin_memo: Optional[tuple[int, "DataSource"]] = None
+        self._instruments: Optional[tuple] = None
 
     # -- protocol -----------------------------------------------------------
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
@@ -302,6 +357,43 @@ class DataSource:
                 return memo[1]
             self._pin_memo = (version, pinned)
         return pinned
+
+    # -- metrics ------------------------------------------------------------
+    def _source_instruments(self) -> tuple:
+        """This wrapper's instrument handles in the current registry.
+
+        Cached on the registry's *identity* so ``reset_registry()`` (test
+        isolation) is picked up by long-lived wrappers on the next call.
+        """
+        registry = get_registry()
+        cached = self._instruments
+        if cached is not None and cached[0] is registry:
+            return cached
+        cached = (
+            registry,
+            registry.counter("source_calls_total", source=self.uri),
+            registry.counter("source_batched_calls_total", source=self.uri),
+            registry.counter("source_rows_total", source=self.uri),
+            registry.counter("source_bindings_total", source=self.uri),
+            registry.histogram("source_call_seconds", source=self.uri),
+            registry.counter("source_errors_total", source=self.uri),
+        )
+        self._instruments = cached
+        return cached
+
+    def _record_call(self, rows: int, seconds: float, batched: bool = False,
+                     bindings: int = 0) -> None:
+        (_, calls, batched_calls, rows_total, bindings_total, latency,
+         _) = self._source_instruments()
+        calls.inc()
+        if batched:
+            batched_calls.inc()
+            bindings_total.inc(bindings)
+        rows_total.inc(rows)
+        latency.observe(seconds)
+
+    def _record_error(self) -> None:
+        self._source_instruments()[6].inc()
 
     def size(self) -> int:
         """Number of base items (triples, rows, documents) in the source."""
@@ -479,6 +571,7 @@ class RDFSource(DataSource):
         pinned._saturated_schema = schema
         pinned._saturated_state = state
 
+    @_instrumented_execute
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
         if not isinstance(query, RDFQuery):
             raise MixedQueryError(f"RDF source {self.uri} cannot evaluate {type(query).__name__}")
@@ -499,6 +592,7 @@ class RDFSource(DataSource):
                 rows.append({v.name: _to_python(t) for v, t in result.items()})
         return rows
 
+    @_instrumented_execute_batch
     def execute_batch(self, query: SourceQuery,
                       bindings_batch: Sequence[Row]) -> list[list[Row]]:
         """Batched BGP evaluation: one graph pass serves every binding.
@@ -598,6 +692,7 @@ class RelationalSource(DataSource):
             lambda: RelationalSource(self.uri, frozen, name=self.name,
                                      description=self.description))
 
+    @_instrumented_execute
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
         if not isinstance(query, SQLQuery):
             raise MixedQueryError(
@@ -613,6 +708,7 @@ class RelationalSource(DataSource):
             rows = [r for r in rows if all(r.get(k) == v for k, v in filters)]
         return rows
 
+    @_instrumented_execute_batch
     def execute_batch(self, query: SourceQuery,
                       bindings_batch: Sequence[Row]) -> list[list[Row]]:
         """Batched SQL evaluation with native IN-list pushdown.
@@ -732,6 +828,7 @@ class FullTextSource(DataSource):
             lambda: FullTextSource(self.uri, frozen, name=self.name,
                                    description=self.description))
 
+    @_instrumented_execute
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
         if not isinstance(query, FullTextQuery):
             raise MixedQueryError(
@@ -748,6 +845,7 @@ class FullTextSource(DataSource):
             rows = [r for r in rows if all(_loose_equal(r.get(k), v) for k, v in filters)]
         return rows
 
+    @_instrumented_execute_batch
     def execute_batch(self, query: SourceQuery,
                       bindings_batch: Sequence[Row]) -> list[list[Row]]:
         """Batched full-text evaluation with native disjunctive pushdown.
@@ -895,6 +993,7 @@ class JSONSource(DataSource):
             lambda: JSONSource(self.uri, frozen, name=self.name,
                                description=self.description))
 
+    @_instrumented_execute
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
         if not isinstance(query, JSONQuery):
             raise MixedQueryError(
@@ -925,6 +1024,7 @@ class JSONSource(DataSource):
                     and variable not in parameters}
         return parameters, pushdown
 
+    @_instrumented_execute_batch
     def execute_batch(self, query: SourceQuery,
                       bindings_batch: Sequence[Row]) -> list[list[Row]]:
         """Batched tree-pattern evaluation.

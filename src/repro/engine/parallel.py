@@ -14,10 +14,16 @@ query workers share.  The two roles matter for deadlock freedom:
 ``dispatch`` runs stage operators, whose fetches may fan out dynamic
 source calls into the ``tasks`` role; because a task never waits on its
 own pool, neither pool can deadlock on nested submission.
+
+``WorkPool.map`` runs each item inside a *copy* of the submitting
+thread's :mod:`contextvars` context, so the current span (and any other
+context variable) propagates into the workers — nested spans opened by
+pooled source calls keep their parentage across threads.
 """
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -25,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.engine.iterators import Operator, Row
+from repro.obs.metrics import get_registry
 
 
 @dataclass
@@ -64,6 +71,7 @@ class WorkPool:
         self.times_created = 0
         self._executor: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
+        self._instruments: Optional[tuple] = None
 
     def _ensure(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -73,12 +81,50 @@ class WorkPool:
                 self.times_created += 1
             return self._executor
 
+    def _pool_instruments(self) -> tuple:
+        """Instrument handles, cached on the current registry's identity."""
+        registry = get_registry()
+        cached = self._instruments
+        if cached is not None and cached[0] is registry:
+            return cached
+        cached = (
+            registry,
+            registry.counter("pool_tasks_total", pool=self.name),
+            registry.histogram("pool_task_seconds", pool=self.name),
+            registry.gauge("pool_active_tasks", pool=self.name),
+        )
+        self._instruments = cached
+        return cached
+
+    def _run_observed(self, fn: Callable, item, instruments: tuple):
+        _, tasks, busy, active = instruments
+        active.inc()
+        started = time.perf_counter()
+        try:
+            return fn(item)
+        finally:
+            active.dec()
+            tasks.inc()
+            busy.observe(time.perf_counter() - started)
+
     def map(self, fn: Callable, items: Sequence) -> list:
-        """Apply ``fn`` to every item concurrently, preserving order."""
+        """Apply ``fn`` to every item concurrently, preserving order.
+
+        Each item runs in a copy of the caller's contextvars context —
+        one copy *per item*, because a single Context object cannot be
+        entered by two threads at once.
+        """
         items = list(items)
+        instruments = self._pool_instruments()
         if self.max_workers <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
-        return list(self._ensure().map(fn, items))
+            return [self._run_observed(fn, item, instruments) for item in items]
+        executor = self._ensure()
+        futures = [
+            executor.submit(contextvars.copy_context().run,
+                            self._run_observed, fn, item, instruments)
+            for item in items
+        ]
+        return [future.result() for future in futures]
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the pool's threads (it restarts lazily if used again)."""

@@ -4,15 +4,40 @@ Each store (RDF :class:`~repro.rdf.graph.Graph`, relational
 :class:`~repro.relational.database.Database` and its tables, the
 full-text and JSON document stores) owns one :class:`RWLock`: mutators
 take the write side, :meth:`snapshot` takes the read side while it
-copies a consistent state.  The lock lives in its own dependency-free
-module so the store packages can import it without pulling in the
-service layer (which would cycle back through ``repro.core``).
+copies a consistent state.  The lock lives in a near-dependency-free
+module (only the stdlib-backed :mod:`repro.obs.metrics`) so the store
+packages can import it without pulling in the service layer (which
+would cycle back through ``repro.core``).
+
+Contention is observable: an acquisition that actually had to wait
+records its wait time into the ``rwlock_wait_seconds`` histogram of the
+process-global metrics registry (labelled by lock side); the uncontended
+fast path records nothing and pays nothing.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
+
+from repro.obs.metrics import get_registry
+
+#: (registry, read-histogram, write-histogram) — cached on the registry's
+#: identity so ``reset_registry()`` is picked up on the next wait.
+_WAIT_CACHE: tuple | None = None
+
+
+def _record_wait(side: str, seconds: float) -> None:
+    global _WAIT_CACHE
+    registry = get_registry()
+    cached = _WAIT_CACHE
+    if cached is None or cached[0] is not registry:
+        cached = (registry,
+                  registry.histogram("rwlock_wait_seconds", side="read"),
+                  registry.histogram("rwlock_wait_seconds", side="write"))
+        _WAIT_CACHE = cached
+    (cached[1] if side == "read" else cached[2]).observe(seconds)
 
 
 class RWLock:
@@ -46,10 +71,15 @@ class RWLock:
                 # A writer reading its own store: treat as a nested write.
                 self._writer_depth += 1
                 return
+            waited_from = None
             if depth == 0:
                 while self._writer is not None or self._writers_waiting:
+                    if waited_from is None:
+                        waited_from = time.perf_counter()
                     self._cond.wait()
             self._readers += 1
+        if waited_from is not None:
+            _record_wait("read", time.perf_counter() - waited_from)
         self._local.read_depth = depth + 1
 
     def release_read(self) -> None:
@@ -75,15 +105,20 @@ class RWLock:
                 return
             own_reads = getattr(self._local, "read_depth", 0)
             self._writers_waiting += 1
+            waited_from = None
             try:
                 # A thread upgrading from its own read locks only waits
                 # for *other* readers (its own would never drain).
                 while self._writer is not None or self._readers > own_reads:
+                    if waited_from is None:
+                        waited_from = time.perf_counter()
                     self._cond.wait()
             finally:
                 self._writers_waiting -= 1
             self._writer = ident
             self._writer_depth = 1
+        if waited_from is not None:
+            _record_wait("write", time.perf_counter() - waited_from)
 
     def release_write(self) -> None:
         with self._cond:

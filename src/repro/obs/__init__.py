@@ -1,0 +1,61 @@
+"""Observability: structured spans, a metrics registry, EXPLAIN ANALYZE.
+
+This package is the mediator's permanent instrumentation seam:
+
+* :mod:`repro.obs.spans` — nested spans with monotonic timings,
+  propagated via contextvars through the service, planner, executor and
+  the thread pools, exportable as JSON or a flame-style text tree;
+* :mod:`repro.obs.metrics` — thread-safe counters, gauges and
+  fixed-bucket histograms (p50/p95/p99) with Prometheus-text and JSON
+  exporters, plus the process-global default registry the locks, pools
+  and source wrappers record into;
+* :mod:`repro.obs.explain` — EXPLAIN ANALYZE reports merging planner
+  costs, executed-step observations and span timings.
+
+It depends only on the standard library, so every other ``repro``
+package (including :mod:`repro.locks`) may import it without cycles.
+"""
+
+from repro.obs.explain import ExplainReport, ExplainStep, explain_analyze
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+    set_registry,
+)
+from repro.obs.spans import (
+    Span,
+    SpanTracer,
+    attach,
+    current_span,
+    detach,
+    span,
+    span_under,
+    trace,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "ExplainReport",
+    "ExplainStep",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "attach",
+    "current_span",
+    "detach",
+    "explain_analyze",
+    "get_registry",
+    "reset_registry",
+    "set_registry",
+    "span",
+    "span_under",
+    "trace",
+]

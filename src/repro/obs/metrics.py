@@ -1,0 +1,388 @@
+"""A thread-safe metrics registry: counters, gauges, histograms.
+
+Instruments are identified by ``(name, labels)`` — repeated
+``registry.counter("source_calls_total", source=uri)`` calls return the
+*same* counter, so call sites cheaply re-resolve their instruments (and
+long-lived objects cache the handle keyed on the registry's identity).
+
+Histograms use **fixed buckets** (Prometheus-style, cumulative on
+export) and derive p50/p95/p99 by linear interpolation inside the bucket
+the quantile falls in; the maximum observed value bounds the overflow
+bucket so tail quantiles stay finite.
+
+The process-global default registry (:func:`get_registry`) is what the
+lock, pool and source-wrapper instrumentation records into; a
+:class:`~repro.service.MediatorService` uses it too unless handed its
+own registry.  Exporters: :meth:`MetricsRegistry.snapshot` (plain dict),
+:meth:`MetricsRegistry.to_json`, and
+:meth:`MetricsRegistry.render_prometheus` (text exposition format).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Callable, Optional, Sequence
+
+#: Default histogram buckets (seconds): tuned for sub-query latencies.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Instrument key: (name, tuple of sorted (label, value) pairs).
+InstrumentKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: dict[str, object]) -> InstrumentKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _flat(key: InstrumentKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, in-flight, ...)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantiles.
+
+    ``observe`` is O(log buckets); ``quantile`` walks the buckets and
+    interpolates linearly inside the one the target rank falls in, with
+    the observed maximum bounding the overflow bucket.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "_counts", "_count", "_sum",
+                 "_max", "_lock")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """The estimated ``q``-quantile (0 <= q <= 1) of the observations."""
+        with self._lock:
+            count = self._count
+            if count == 0:
+                return 0.0
+            target = q * count
+            cumulative = 0.0
+            for index, bucket_count in enumerate(self._counts):
+                if not bucket_count:
+                    continue
+                if cumulative + bucket_count >= target:
+                    lower = self.bounds[index - 1] if index > 0 else 0.0
+                    upper = (self.bounds[index] if index < len(self.bounds)
+                             else max(self._max, lower))
+                    upper = max(upper, lower)
+                    fraction = (target - cumulative) / bucket_count
+                    return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+                cumulative += bucket_count
+            return self._max
+
+    def summary(self) -> dict[str, float]:
+        """count / sum / mean / p50 / p95 / p99 / max in one dictionary."""
+        with self._lock:
+            count, total, maximum = self._count, self._sum, self._max
+        return {
+            "count": count,
+            "sum": round(total, 6),
+            "mean": round(total / count, 6) if count else 0.0,
+            "p50": round(self.quantile(0.50), 6),
+            "p95": round(self.quantile(0.95), 6),
+            "p99": round(self.quantile(0.99), 6),
+            "max": round(maximum, 6),
+        }
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, ``inf`` last."""
+        with self._lock:
+            counts = list(self._counts)
+        out: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, counts):
+            cumulative += bucket_count
+            out.append((bound, cumulative))
+        out.append((float("inf"), cumulative + counts[-1]))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store plus snapshot/export APIs."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[InstrumentKey, object] = {}
+        self._callbacks: dict[InstrumentKey, Callable[[], float]] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument accessors (get-or-create)
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, labels: dict[str, object], **kwargs):
+        key = _key(name, labels)
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[1], **kwargs)
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {_flat(key)!r} is a {type(instrument).__name__}, "
+                    f"not a {cls.__name__}")
+            return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: Sequence[float] | None = None,
+                  **labels) -> Histogram:
+        if buckets is None:
+            return self._get(Histogram, name, labels)
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def register_callback(self, name: str, callback: Callable[[], float],
+                          **labels) -> None:
+        """Register (or replace) a gauge computed lazily at snapshot time.
+
+        Used to surface counters owned elsewhere (e.g. the LRU caches'
+        :class:`~repro.cache.lru.CacheStats`) without double accounting.
+        """
+        with self._lock:
+            self._callbacks[_key(name, labels)] = callback
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def value(self, name: str, **labels) -> Optional[object]:
+        """Current value of one instrument/callback (None when absent)."""
+        key = _key(name, labels)
+        with self._lock:
+            instrument = self._instruments.get(key)
+            callback = self._callbacks.get(key)
+        if instrument is not None:
+            return (instrument.summary() if isinstance(instrument, Histogram)
+                    else instrument.value)
+        if callback is not None:
+            return callback()
+        return None
+
+    def series(self, name: str) -> dict[str, object]:
+        """Every labelled value of one metric name, keyed by flat label."""
+        with self._lock:
+            instruments = [(k, v) for k, v in self._instruments.items()
+                           if k[0] == name]
+            callbacks = [(k, v) for k, v in self._callbacks.items()
+                         if k[0] == name]
+        out: dict[str, object] = {}
+        for key, instrument in instruments:
+            out[_flat(key)] = (instrument.summary()
+                               if isinstance(instrument, Histogram)
+                               else instrument.value)
+        for key, callback in callbacks:
+            out[_flat(key)] = callback()
+        return out
+
+    def snapshot(self) -> dict[str, object]:
+        """Every instrument's current value, keyed ``name{label=value}``.
+
+        Counters and gauges map to numbers, histograms to their summary
+        dictionaries, callbacks to whatever they return.
+        """
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+            callbacks = sorted(self._callbacks.items())
+        out: dict[str, object] = {}
+        for key, instrument in instruments:
+            out[_flat(key)] = (instrument.summary()
+                               if isinstance(instrument, Histogram)
+                               else instrument.value)
+        for key, callback in callbacks:
+            try:
+                out[_flat(key)] = callback()
+            except Exception:  # pragma: no cover - defensive
+                out[_flat(key)] = None
+        return out
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, default=str)
+
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+            callbacks = sorted(self._callbacks.items())
+        lines: list[str] = []
+        typed: set[str] = set()
+
+        def type_line(name: str, kind: str) -> None:
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+
+        for key, instrument in instruments:
+            name, labels = key
+            if isinstance(instrument, Histogram):
+                type_line(name, "histogram")
+                for bound, cumulative in instrument.cumulative_buckets():
+                    le = "+Inf" if bound == float("inf") else _num(bound)
+                    lines.append(f"{name}_bucket"
+                                 f"{_label_block(labels + (('le', le),))} "
+                                 f"{cumulative}")
+                lines.append(f"{name}_sum{_label_block(labels)} "
+                             f"{_num(instrument.sum)}")
+                lines.append(f"{name}_count{_label_block(labels)} "
+                             f"{instrument.count}")
+            else:
+                type_line(name, instrument.kind)
+                lines.append(f"{name}{_label_block(labels)} "
+                             f"{_num(instrument.value)}")
+        for key, callback in callbacks:
+            name, labels = key
+            type_line(name, "gauge")
+            try:
+                value = callback()
+            except Exception:  # pragma: no cover - defensive
+                continue
+            lines.append(f"{name}{_label_block(labels)} {_num(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _label_block(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    escaped = ",".join(f'{k}="{_escape(v)}"' for k, v in labels)
+    return f"{{{escaped}}}"
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _num(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+# ---------------------------------------------------------------------------
+# The process-global default registry
+# ---------------------------------------------------------------------------
+
+_default = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _default
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (returns the previous one)."""
+    global _default
+    with _default_lock:
+        previous, _default = _default, registry
+    return previous
+
+
+def reset_registry() -> MetricsRegistry:
+    """Replace the default registry with a fresh one (test isolation).
+
+    Long-lived objects that cache instrument handles key the cache on
+    the registry's identity, so they pick the fresh registry up on their
+    next dispatch.
+    """
+    global _default
+    with _default_lock:
+        _default = MetricsRegistry()
+    return _default

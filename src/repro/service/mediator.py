@@ -25,6 +25,7 @@ many clients hit concurrently while feeds keep mutating the sources:
 from __future__ import annotations
 
 import itertools
+import logging
 import queue
 import threading
 import time
@@ -40,11 +41,15 @@ from repro.errors import (
     QueryTimeoutError,
     ServiceError,
 )
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.spans import SpanTracer, attach, detach
 from repro.service.snapshots import PinnedCatalog, pin_instance
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cmq import ConjunctiveMixedQuery
     from repro.core.instance import MixedInstance
+
+logger = logging.getLogger("repro.service.mediator")
 
 
 @dataclass(frozen=True)
@@ -64,6 +69,11 @@ class ServiceConfig:
     ``dispatch_workers`` / ``task_workers``
         Sizes of the two shared intra-query pools (parallel stages and
         fan-out source calls, see :mod:`repro.engine.parallel`).
+    ``tracing``
+        Collect a per-ticket span tree (``query:<name>`` root, queue
+        wait, planning, execution stages, source calls) exposed as
+        :attr:`QueryTicket.span_tree`.  Turning it off skips all span
+        allocation for served queries.
     """
 
     workers: int = 4
@@ -73,6 +83,7 @@ class ServiceConfig:
     default_priority: int = 10
     dispatch_workers: int = 4
     task_workers: int = 4
+    tracing: bool = True
 
 
 #: Ticket life cycle states.
@@ -105,6 +116,11 @@ class QueryTicket:
         self.submitted_at = time.monotonic()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: Root span of the ticket's trace (set at submit when the
+        #: service traces; its tracer is exposed as :attr:`span_tree`).
+        self.root_span = None
+        #: The queue-wait span (child of the root; ended at dequeue).
+        self.queue_span = None
         self._cancel_requested = False
         self._finished = threading.Event()
         self._lock = threading.Lock()
@@ -147,6 +163,28 @@ class QueryTicket:
             return None
         return self.finished_at - self.submitted_at
 
+    @property
+    def span_tree(self):
+        """The ticket's :class:`~repro.obs.spans.SpanTracer` (None when
+        the service was created with ``tracing=False``)."""
+        return self.root_span.tracer if self.root_span is not None else None
+
+    def explain_analyze(self, timeout: float | None = None):
+        """EXPLAIN ANALYZE report for the served query (blocking).
+
+        Queue wait, planning and execution phases come from the ticket's
+        span tree; re-raises the query's failure like :meth:`result`.
+        """
+        from repro.obs.explain import explain_analyze
+
+        result = self.result(timeout=timeout)
+        if (result.trace is not None and result.trace.spans is None
+                and self.span_tree is not None):
+            result.trace.spans = self.span_tree
+        report = explain_analyze(result)
+        report.query = self.query.name
+        return report
+
     # -- service side --------------------------------------------------------
     def _cancel_check(self) -> None:
         """Raised-based cooperative abort, called between executor stages."""
@@ -184,9 +222,13 @@ class MediatorService:
     """Snapshot-isolated, admission-controlled concurrent query serving."""
 
     def __init__(self, instance: "MixedInstance",
-                 config: ServiceConfig | None = None):
+                 config: ServiceConfig | None = None,
+                 metrics: MetricsRegistry | None = None):
         self.instance = instance
         self.config = config or ServiceConfig()
+        #: The registry the service records into (the process-global one
+        #: unless a dedicated registry is handed in).
+        self.metrics = metrics if metrics is not None else get_registry()
         self._queue: queue.PriorityQueue[_QueueItem] = queue.PriorityQueue()
         self._sequence = itertools.count()
         self._lock = threading.Lock()
@@ -195,6 +237,23 @@ class MediatorService:
         self._stopping = False
         self.counters = {"submitted": 0, "completed": 0, "failed": 0,
                          "cancelled": 0, "timed_out": 0, "rejected": 0}
+        self._queue_depth_gauge = self.metrics.gauge("service_queue_depth")
+        self._in_flight_gauge = self.metrics.gauge("service_in_flight")
+        self._latency_histogram = self.metrics.histogram("service_latency_seconds")
+        self._queue_wait_histogram = self.metrics.histogram(
+            "service_queue_wait_seconds")
+        self._deadline_miss_counter = self.metrics.counter(
+            "service_deadline_misses_total")
+        self._status_counters = {
+            "submitted": self.metrics.counter("service_submitted_total"),
+            "rejected": self.metrics.counter("service_rejected_total"),
+            "completed": self.metrics.counter("service_completed_total"),
+            "failed": self.metrics.counter("service_failed_total"),
+            "cancelled": self.metrics.counter("service_cancelled_total"),
+            "timed_out": self.metrics.counter("service_timed_out_total"),
+        }
+        if getattr(instance, "cache", None) is not None:
+            instance.cache.register_metrics(self.metrics)
         self.dispatch_pool = WorkPool(self.config.dispatch_workers,
                                       name="mediator-dispatch")
         self.task_pool = WorkPool(self.config.task_workers,
@@ -234,6 +293,12 @@ class MediatorService:
             if (self._queued >= self.config.max_queue_depth
                     or self._in_flight >= self.config.max_in_flight):
                 self.counters["rejected"] += 1
+                self._status_counters["rejected"].inc()
+                logger.warning(
+                    "admission refused for %s: %d queued (max %d), "
+                    "%d in flight (max %d)", query.name, self._queued,
+                    self.config.max_queue_depth, self._in_flight,
+                    self.config.max_in_flight)
                 raise AdmissionError(
                     f"admission refused: {self._queued} queued "
                     f"(max {self.config.max_queue_depth}), {self._in_flight} "
@@ -241,6 +306,15 @@ class MediatorService:
             self._queued += 1
             self._in_flight += 1
             self.counters["submitted"] += 1
+            self._status_counters["submitted"].inc()
+            self._queue_depth_gauge.set(self._queued)
+            self._in_flight_gauge.set(self._in_flight)
+            if self.config.tracing:
+                tracer = SpanTracer(f"query:{query.name}")
+                ticket.root_span = tracer.start(f"query:{query.name}",
+                                                priority=ticket.priority)
+                ticket.queue_span = tracer.start("queue",
+                                                 parent=ticket.root_span)
             # Enqueue under the lock: a shutdown() serialised after this
             # cannot have drained the workers yet, so the ticket is
             # guaranteed a worker (or an explicit cancel), never orphaned.
@@ -265,6 +339,19 @@ class MediatorService:
             stats["in_flight"] = self._in_flight
             stats["workers"] = len(self._workers)
         return stats
+
+    def stats(self) -> dict[str, object]:
+        """Service health snapshot backed by the metrics registry.
+
+        Extends :meth:`statistics` with the latency and queue-wait
+        histograms' summaries (count / mean / p50 / p95 / p99 / max) and
+        the deadline-miss counter.
+        """
+        out = self.statistics()
+        out["deadline_misses"] = self._deadline_miss_counter.value
+        out["latency_seconds"] = self._latency_histogram.summary()
+        out["queue_wait_seconds"] = self._queue_wait_histogram.summary()
+        return out
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
         """Stop accepting queries and wind the workers down.
@@ -308,18 +395,23 @@ class MediatorService:
                 return
             with self._lock:
                 self._queued -= 1
+                self._queue_depth_gauge.set(self._queued)
             self._run_ticket(item.ticket)
 
     def _run_ticket(self, ticket: QueryTicket) -> None:
+        if ticket.queue_span is not None:
+            ticket.queue_span.end()
+        self._queue_wait_histogram.observe(time.monotonic() - ticket.submitted_at)
+        token = attach(ticket.root_span) if ticket.root_span is not None else None
         try:
             try:
                 ticket._cancel_check()
             except QueryCancelledError as exc:
-                self._account(CANCELLED)
+                self._account(CANCELLED, ticket)
                 ticket._finish(CANCELLED, error=exc)
                 return
             except QueryTimeoutError as exc:
-                self._account(TIMED_OUT)
+                self._account(TIMED_OUT, ticket)
                 ticket._finish(TIMED_OUT, error=exc)
                 return
             ticket.status = RUNNING
@@ -331,31 +423,44 @@ class MediatorService:
                 self.instance, options=ticket.options,
                 max_workers=self.config.dispatch_workers,
                 cancel_check=ticket._cancel_check,
-                dispatch_pool=self.dispatch_pool, task_pool=self.task_pool)
+                dispatch_pool=self.dispatch_pool, task_pool=self.task_pool,
+                metrics=self.metrics)
             try:
                 result = executor.execute(ticket.query, distinct=ticket.distinct,
                                           limit=ticket.limit)
             except QueryCancelledError as exc:
-                self._account(CANCELLED)
+                self._account(CANCELLED, ticket)
                 ticket._finish(CANCELLED, error=exc)
             except QueryTimeoutError as exc:
-                self._account(TIMED_OUT)
+                self._account(TIMED_OUT, ticket)
                 ticket._finish(TIMED_OUT, error=exc)
             except BaseException as exc:  # noqa: BLE001 - reported via ticket
-                self._account(FAILED)
+                self._account(FAILED, ticket)
                 ticket._finish(FAILED, error=exc)
             else:
-                self._account(DONE)
+                self._account(DONE, ticket)
                 ticket._finish(DONE, result=result)
         finally:
+            if token is not None:
+                detach(token)
+            if ticket.root_span is not None:
+                ticket.root_span.end(status=ticket.status)
+            if ticket.latency is not None:
+                self._latency_histogram.observe(ticket.latency)
             with self._lock:
                 self._in_flight -= 1
+                self._in_flight_gauge.set(self._in_flight)
 
-    def _account(self, status: str) -> None:
+    def _account(self, status: str, ticket: QueryTicket) -> None:
         key = {DONE: "completed", FAILED: "failed", CANCELLED: "cancelled",
                TIMED_OUT: "timed_out"}[status]
+        if status == TIMED_OUT:
+            self._deadline_miss_counter.inc()
+            logger.warning("query %s missed its deadline",
+                           ticket.query.name)
         with self._lock:
             self.counters[key] += 1
+        self._status_counters[key].inc()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"MediatorService(instance={self.instance.name!r}, "

@@ -39,19 +39,21 @@ class PinnedCatalog:
     def executor(self, instance: "MixedInstance",
                  options: PlannerOptions | None = None, max_workers: int = 4,
                  cache: bool = True, cancel_check=None,
-                 dispatch_pool=None, task_pool=None) -> MixedQueryExecutor:
+                 dispatch_pool=None, task_pool=None,
+                 metrics=None) -> MixedQueryExecutor:
         """An executor whose every dispatch hits the pinned snapshots.
 
         ``instance`` supplies the shared mediator cache and statistics
         catalog (``cache=False`` detaches this executor from the shared
         result/plan caches — the equivalence harness uses that to verify
-        service answers independently).
+        service answers independently).  ``metrics`` is the registry the
+        executor records into (the service hands its own down).
         """
         return MixedQueryExecutor(
             self.sources, self.glue, options=options, max_workers=max_workers,
             cache=instance.cache if cache else None,
             statistics=instance.statistics(), cancel_check=cancel_check,
-            dispatch_pool=dispatch_pool, task_pool=task_pool)
+            dispatch_pool=dispatch_pool, task_pool=task_pool, metrics=metrics)
 
     def execute(self, instance: "MixedInstance", query, *,
                 options: PlannerOptions | None = None, distinct: bool = True,

@@ -19,6 +19,11 @@ def pytest_configure(config):
         "threads racing reader queries); run in isolation with "
         "`pytest -m stress`; thread/iteration budget shrinks via the "
         "REPRO_STRESS_* environment variables.")
+    config.addinivalue_line(
+        "markers",
+        "obs: observability suites (span tracer, metrics registry, "
+        "EXPLAIN ANALYZE, service instrumentation); run in isolation "
+        "with `pytest -m obs`.")
 from repro.fulltext import tweet_store
 from repro.rdf import Graph, RDFSchema, triple, uri
 from repro.relational import Database

@@ -1,0 +1,186 @@
+"""Metrics registry: instruments, exporters, thread-safety."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+    set_registry,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestInstruments:
+    def test_counter_get_or_create_and_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", source="a")
+        assert registry.counter("requests_total", source="a") is counter
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        assert registry.counter("requests_total", source="b").value == 0.0
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.inc()
+        gauge.dec(3)
+        assert gauge.value == 8.0
+
+    def test_histogram_summary_and_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.005, 0.05, 0.05, 0.05, 0.5):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 6
+        assert summary["sum"] == pytest.approx(0.66)
+        assert summary["max"] == pytest.approx(0.5)
+        # p50 falls inside the (0.01, 0.1] bucket, interpolated.
+        assert 0.01 <= summary["p50"] <= 0.1
+        assert summary["p99"] <= 1.0
+        assert histogram.quantile(0.0) == 0.0 or histogram.quantile(0.0) >= 0.0
+
+    def test_histogram_overflow_bucket_bounded_by_max(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(5.0)
+        histogram.observe(7.0)
+        assert histogram.quantile(0.99) <= 7.0
+
+    def test_empty_histogram(self):
+        histogram = Histogram("h")
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.summary()["count"] == 0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestReadingAndExport:
+    def test_value_series_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("calls", source="a").inc(3)
+        registry.counter("calls", source="b").inc(1)
+        registry.gauge("depth").set(4)
+        registry.histogram("lat").observe(0.02)
+        assert registry.value("calls", source="a") == 3.0
+        assert registry.value("missing") is None
+        series = registry.series("calls")
+        assert series == {"calls{source=a}": 3.0, "calls{source=b}": 1.0}
+        snapshot = registry.snapshot()
+        assert snapshot["depth"] == 4.0
+        assert snapshot["lat"]["count"] == 1
+        assert json.loads(registry.to_json())["depth"] == 4.0
+
+    def test_callback_gauges(self):
+        registry = MetricsRegistry()
+        state = {"n": 7}
+        registry.register_callback("entries", lambda: state["n"], cache="r")
+        assert registry.value("entries", cache="r") == 7
+        state["n"] = 9
+        assert registry.snapshot()["entries{cache=r}"] == 9
+        assert 'entries{cache="r"} 9' in registry.render_prometheus()
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("calls_total", source="sql://a").inc(2)
+        registry.gauge("depth").set(1)
+        histogram = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        text = registry.render_prometheus()
+        assert "# TYPE calls_total counter" in text
+        assert 'calls_total{source="sql://a"} 2' in text
+        assert "# TYPE depth gauge" in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", label='he said "hi"\n').inc()
+        text = registry.render_prometheus()
+        assert '\\"hi\\"' in text and "\\n" in text
+
+
+class TestGlobalRegistry:
+    def test_set_and_reset(self):
+        original = get_registry()
+        try:
+            mine = MetricsRegistry()
+            previous = set_registry(mine)
+            assert get_registry() is mine
+            fresh = reset_registry()
+            assert get_registry() is fresh
+            assert fresh is not mine
+        finally:
+            set_registry(original)
+
+
+@pytest.mark.stress
+class TestThreadSafety:
+    THREADS = int(os.environ.get("REPRO_STRESS_READERS", "8"))
+    ITERATIONS = 2000
+
+    def test_concurrent_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(self.THREADS)
+
+        def work():
+            barrier.wait()
+            # get-or-create races on purpose: every thread re-resolves.
+            for _ in range(self.ITERATIONS):
+                registry.counter("hits", worker="shared").inc()
+
+        threads = [threading.Thread(target=work) for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.value("hits", worker="shared") == (
+            self.THREADS * self.ITERATIONS)
+
+    def test_concurrent_histogram_observations_are_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        barrier = threading.Barrier(self.THREADS)
+
+        def work(seed):
+            barrier.wait()
+            for i in range(self.ITERATIONS):
+                histogram.observe((seed + i) % 13 * 0.001)
+
+        threads = [threading.Thread(target=work, args=(t,))
+                   for t in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        summary = histogram.summary()
+        assert summary["count"] == self.THREADS * self.ITERATIONS
+        total = sum((t + i) % 13 * 0.001
+                    for t in range(self.THREADS)
+                    for i in range(self.ITERATIONS))
+        assert summary["sum"] == pytest.approx(total, rel=1e-6)

@@ -1,0 +1,179 @@
+"""Span tracer: nesting, no-op mode, cross-thread propagation, clocks."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.engine.parallel import WorkPool
+from repro.obs.spans import (
+    SpanTracer,
+    attach,
+    current_span,
+    detach,
+    span,
+    span_under,
+    trace,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestSpanBasics:
+    def test_trace_opens_root_and_restores_context(self):
+        assert current_span() is None
+        with trace("unit", kind="test") as root:
+            assert current_span() is root
+            assert root.parent_id is None
+            assert root.attributes == {"kind": "test"}
+        assert current_span() is None
+        assert root.ended_at is not None
+
+    def test_span_nests_under_current(self):
+        with trace("root") as root:
+            with span("child") as child:
+                assert child.parent_id == root.span_id
+                with span("grandchild") as grandchild:
+                    assert grandchild.parent_id == child.span_id
+            assert current_span() is root
+        tracer = root.tracer
+        assert [s.name for s in tracer.spans] == ["root", "child", "grandchild"]
+
+    def test_span_is_noop_outside_any_trace(self):
+        with span("orphan") as sp:
+            assert sp is None
+        assert current_span() is None
+
+    def test_span_under_explicit_parent_and_none(self):
+        with trace("root") as root:
+            pass
+        with span_under(root, "late-child") as sp:
+            assert sp.parent_id == root.span_id
+        with span_under(None, "nothing") as sp:
+            assert sp is None
+
+    def test_end_is_idempotent(self):
+        tracer = SpanTracer("t")
+        sp = tracer.start("s")
+        sp.end()
+        first = sp.ended_at
+        time.sleep(0.002)
+        sp.end()
+        assert sp.ended_at == first
+
+    def test_set_and_end_attributes(self):
+        tracer = SpanTracer("t")
+        sp = tracer.start("s", a=1)
+        sp.set(b=2)
+        sp.end(c=3)
+        assert sp.attributes == {"a": 1, "b": 2, "c": 3}
+
+    def test_exports(self):
+        with trace("root") as root:
+            with span("child", rows=3):
+                time.sleep(0.001)
+        tracer = root.tracer
+        assert len(tracer) == 2
+        assert tracer.root() is root
+        assert len(tracer.find("child")) == 1
+        assert tracer.total_seconds() >= 0.001
+        dicts = tracer.to_dicts()
+        assert dicts[0]["parent"] is None
+        assert dicts[1]["parent"] == root.span_id
+        assert dicts[1]["attributes"] == {"rows": 3}
+        payload = json.loads(tracer.to_json())
+        assert payload["trace"] == "root"
+        assert len(payload["spans"]) == 2
+        rendered = tracer.render()
+        assert "root" in rendered and "child" in rendered
+        assert "ms" in rendered and "%" in rendered
+
+    def test_attach_detach_roundtrip(self):
+        tracer = SpanTracer("t")
+        root = tracer.start("root")
+        token = attach(root)
+        assert current_span() is root
+        detach(token)
+        assert current_span() is None
+
+
+class TestCrossThreadPropagation:
+    def test_workpool_map_carries_the_current_span(self):
+        pool = WorkPool(max_workers=4, name="obs-test-dispatch")
+        try:
+            with trace("root") as root:
+                def work(i):
+                    parent = current_span()
+                    with span(f"task-{i}") as sp:
+                        return parent.span_id, sp.parent_id, threading.get_ident()
+
+                outcomes = pool.map(work, list(range(6)))
+            parents = {parent for parent, _, _ in outcomes}
+            assert parents == {root.span_id}
+            assert all(parent == span_parent for parent, span_parent, _ in outcomes)
+            # The pooled spans all landed in the root's tracer.
+            names = {s.name for s in root.tracer.spans}
+            assert {f"task-{i}" for i in range(6)} <= names
+        finally:
+            pool.shutdown()
+
+    def test_nested_pools_keep_parentage_across_roles(self):
+        """dispatch-pool task fans out into the tasks pool; grandchildren
+        must still chain to the dispatch-level spans."""
+        dispatch = WorkPool(max_workers=3, name="obs-test-dispatch2")
+        tasks = WorkPool(max_workers=3, name="obs-test-tasks2")
+        try:
+            with trace("root") as root:
+                def stage(i):
+                    with span(f"stage-{i}") as stage_span:
+                        def call(j):
+                            with span(f"call-{i}-{j}") as call_span:
+                                return call_span.parent_id
+                        parents = tasks.map(call, [0, 1])
+                        return stage_span.span_id, parents
+
+                outcomes = dispatch.map(stage, [0, 1, 2])
+            for stage_id, parents in outcomes:
+                assert parents == [stage_id, stage_id]
+            assert len(root.tracer) == 1 + 3 + 6
+        finally:
+            dispatch.shutdown()
+            tasks.shutdown()
+
+    def test_inline_fast_path_propagates_too(self):
+        pool = WorkPool(max_workers=1, name="obs-test-inline")
+        with trace("root") as root:
+            outcomes = pool.map(
+                lambda i: current_span().span_id, [1, 2, 3])
+        assert outcomes == [root.span_id] * 3
+
+
+class TestMonotonicClocks:
+    def test_span_durations_survive_wall_clock_freeze(self, monkeypatch):
+        """Spans must time with perf_counter, not the wall clock."""
+        import repro.obs.spans as spans_mod
+
+        monkeypatch.setattr(time, "time", lambda: 0.0)
+        with trace("root") as root:
+            time.sleep(0.005)
+        assert root.seconds >= 0.004
+
+    def test_no_wall_clock_timing_in_library_sources(self):
+        """`time.time()` must not be used for durations anywhere in src.
+
+        Every duration stamp (`SubQueryCall.seconds`,
+        `ExecutionTrace.total_seconds`, span timings, lock waits) uses
+        the monotonic `time.perf_counter()`.
+        """
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        offenders = []
+        for path in sorted(src.rglob("*.py")):
+            for number, line in enumerate(path.read_text().splitlines(), 1):
+                if "time.time()" in line.split("#")[0]:
+                    offenders.append(f"{path.name}:{number}")
+        assert offenders == []
