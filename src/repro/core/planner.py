@@ -439,7 +439,8 @@ class QueryPlanner:
                    bound_now: frozenset) -> tuple[PlanStep, float]:
         """Price one candidate step and return it with the resulting card."""
         sources, dynamic = self._resolve_sources(atom)
-        models = [source.model for source in sources]
+        models = [getattr(source, "cost_kind", source.model)
+                  for source in sources]
         cost_model = self.statistics.cost_model
         est_bound = estimate(index, bound_now)
         est_full = estimate(index, frozenset())
@@ -552,7 +553,8 @@ class QueryPlanner:
         if mode == "bind" and options.batch_bind_joins:
             batch_size = options.bind_batch_size or auto_batch_size(estimate)
         cost_model = self.statistics.cost_model
-        models = [source.model for source in sources]
+        models = [getattr(source, "cost_kind", source.model)
+                  for source in sources]
         if mode == "bind":
             cost = cost_model.bind_cost(models, cardinality, estimate,
                                         batch_size or 1,

@@ -27,6 +27,7 @@ from typing import Any, Iterable, Optional, Sequence
 from repro.errors import MixedQueryError
 from repro.fulltext.store import FullTextStore
 from repro.obs.metrics import get_registry
+from repro.json.accel import structural_row_estimate as accel_structural_row_estimate
 from repro.json.matcher import TreePatternMatcher
 from repro.json.parser import parse_pattern
 from repro.json.pattern import Parameter as JSONParameter, TreePattern
@@ -980,6 +981,11 @@ class JSONSource(DataSource):
         self.store = store
         self.matcher = TreePatternMatcher(store)
 
+    @property
+    def cost_kind(self) -> str:
+        """The cost-model kind: structural range joins when accelerated."""
+        return "json_accel" if getattr(self.matcher, "accel", False) else self.model
+
     def version(self) -> int:
         return self.store.version
 
@@ -1000,8 +1006,12 @@ class JSONSource(DataSource):
                 f"JSON source {self.uri} cannot evaluate {type(query).__name__}"
             )
         parameters, pushdown = self._split_bindings(query, bindings or {})
-        return self.matcher.match(query.pattern, parameters=parameters,
-                                  pushdown=pushdown, limit=query.limit)
+        # Results travel as one columnar BindingBatch (the accelerated
+        # matcher emits pattern variables as columns); dict rows only
+        # materialise at this interface boundary.
+        batch = self.matcher.match_columns(query.pattern, parameters=parameters,
+                                           pushdown=pushdown, limit=query.limit)
+        return list(batch.dicts())
 
     @staticmethod
     def _split_bindings(query: JSONQuery, bindings: Row) -> tuple[Row, Row]:
@@ -1081,6 +1091,15 @@ class JSONSource(DataSource):
             # predicates exactly (candidate-set intersection), which beats
             # the independent per-leaf minima above.
             estimate = min(estimate, float(len(self.matcher.candidates(query.pattern))))
+        if (self.matcher.accel
+                and all(not leaf.predicates for leaf in query.pattern.leaves)
+                and not (query.pattern.variables() & bound_variables)):
+            # Purely structural pattern: the accelerator encoding answers
+            # the per-axis cardinalities exactly (documents *and* fan-out).
+            rows = accel_structural_row_estimate(self.store.encoding_view(),
+                                                 query.pattern)
+            if rows is not None:
+                estimate = rows
         if query.limit is not None:
             estimate = min(estimate, float(query.limit))
         return estimate

@@ -68,12 +68,17 @@ def make_document(source: dict[str, Any], id_field: str = "id") -> Document:
 
 
 def _flatten(prefix: str, value: Any) -> Iterator[tuple[str, Any]]:
-    if isinstance(value, dict):
-        for key, child in value.items():
-            path = f"{prefix}.{key}" if prefix else str(key)
-            yield from _flatten(path, child)
-    elif isinstance(value, list):
-        for child in value:
-            yield from _flatten(prefix, child)
-    else:
-        yield prefix, value
+    # Explicit stack: pathological documents (depth 10k+) must not blow
+    # Python's recursion limit.  Children are pushed reversed so the
+    # yield order matches the natural depth-first, left-to-right order.
+    stack: list[tuple[str, Any]] = [(prefix, value)]
+    while stack:
+        prefix, value = stack.pop()
+        if isinstance(value, dict):
+            items = [(f"{prefix}.{key}" if prefix else str(key), child)
+                     for key, child in value.items()]
+            stack.extend(reversed(items))
+        elif isinstance(value, list):
+            stack.extend((prefix, child) for child in reversed(value))
+        else:
+            yield prefix, value

@@ -17,6 +17,13 @@ The mediator-facing wrapper (:class:`repro.core.sources.JSONSource`)
 lives with the other source wrappers in :mod:`repro.core.sources`.
 """
 
+from repro.json.accel import (
+    CompiledPattern,
+    EncodingView,
+    StoreEncoding,
+    compile_path_ops,
+    iter_child_items,
+)
 from repro.json.index import PathIndex, compare, normalize
 from repro.json.matcher import TreePatternMatcher, leaf_values, match_document
 from repro.json.parser import parse_pattern, pattern_to_text
@@ -25,7 +32,9 @@ from repro.json.pattern import (
     PatternLeaf,
     Predicate,
     TreePattern,
+    is_wildcard_path,
     make_pattern,
+    path_matches,
 )
 from repro.json.store import JSONDocumentStore
 
@@ -42,6 +51,13 @@ __all__ = [
     "PatternLeaf",
     "Predicate",
     "TreePattern",
+    "is_wildcard_path",
     "make_pattern",
+    "path_matches",
     "JSONDocumentStore",
+    "CompiledPattern",
+    "EncodingView",
+    "StoreEncoding",
+    "compile_path_ops",
+    "iter_child_items",
 ]

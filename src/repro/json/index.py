@@ -30,17 +30,24 @@ class PathIndex:
         self.postings: dict[object, set[str]] = {}
         self.presence: set[str] = set()
         self.occurrences = 0
+        #: Monotonic mutation stamp; unchanged while the index is shared.
+        self.version = 0
+        #: True while postings/presence are shared with a snapshot twin.
+        self._shared = False
 
     # -- maintenance ---------------------------------------------------------
     def add(self, doc_id: str, value: object) -> None:
         """Index one leaf value of one document."""
+        self._unshare()
         key = normalize(value)
         self.postings.setdefault(key, set()).add(doc_id)
         self.presence.add(doc_id)
         self.occurrences += 1
+        self.version += 1
 
     def remove(self, doc_id: str, value: object) -> None:
         """Drop one previously indexed value of ``doc_id``."""
+        self._unshare()
         key = normalize(value)
         bucket = self.postings.get(key)
         if bucket is not None:
@@ -50,14 +57,31 @@ class PathIndex:
         self.occurrences = max(0, self.occurrences - 1)
         if not any(doc_id in ids for ids in self.postings.values()):
             self.presence.discard(doc_id)
+        self.version += 1
 
     def _copy(self) -> "PathIndex":
-        """Structural copy (snapshot support)."""
+        """Copy-on-write twin (snapshot support).
+
+        Postings and presence are *shared* until either twin mutates —
+        snapshotting a large store no longer rebuilds every per-path
+        posting eagerly.  The first ``add``/``remove`` on either side
+        privatises that side's containers (:meth:`_unshare`).
+        """
         twin = PathIndex(self.path)
-        twin.postings = {key: set(ids) for key, ids in self.postings.items()}
-        twin.presence = set(self.presence)
+        twin.postings = self.postings
+        twin.presence = self.presence
         twin.occurrences = self.occurrences
+        twin.version = self.version
+        twin._shared = True
+        self._shared = True
         return twin
+
+    def _unshare(self) -> None:
+        """Privatise shared containers before the first mutation."""
+        if self._shared:
+            self.postings = {key: set(ids) for key, ids in self.postings.items()}
+            self.presence = set(self.presence)
+            self._shared = False
 
     # -- lookups -------------------------------------------------------------
     def lookup_eq(self, value: object) -> set[str]:

@@ -1,21 +1,38 @@
-"""Tree-pattern evaluation: index-assisted matching with a naive core.
+"""Tree-pattern evaluation: accelerated matching with a naive core.
 
 :func:`match_document` is the reference (naive) semantics: evaluate a
 pattern against one document and produce its binding rows.
 :class:`TreePatternMatcher` wraps it with index-based candidate pruning —
 equality and comparison predicates (including pushed-down bindings from a
-bind join) are first answered from the store's per-path indexes, and only
-the surviving candidate documents are verified naively.  The two paths
-must agree; the test suite checks them against each other.
+bind join) are first answered from the store's per-path indexes — and,
+by default (``accel=True``), verifies the surviving candidates against
+the store's XPath-accelerator encoding (:mod:`repro.json.accel`): each
+pattern leaf compiles to structural range probes over the columnar
+``(pre, post, level, path-id, value-id)`` arrays, so the per-document
+hot path is a handful of :mod:`bisect` calls instead of a tree walk.
+With ``accel=False`` candidates are verified by walking the document
+tree (:func:`match_document`).  The two paths must agree; the test
+suite checks them against each other.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, TYPE_CHECKING
+from typing import Iterable, Optional, TYPE_CHECKING
 
+from repro.engine.batch import BindingBatch
 from repro.errors import JSONError
+from repro.json.accel import CompiledPattern, iter_child_items
 from repro.json.index import compare, normalize
-from repro.json.pattern import Parameter, Predicate, TreePattern
+from repro.json.pattern import (
+    Parameter,
+    Predicate,
+    TreePattern,
+    _nfa_advance,
+    _nfa_closure,
+    is_wildcard_path,
+)
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.json.store import JSONDocumentStore
@@ -27,7 +44,14 @@ _MISSING = object()
 
 
 def leaf_values(document: dict, path: str) -> list[object]:
-    """Every value reachable at ``path``, fanning out over arrays."""
+    """Every value reachable at ``path``, fanning out over arrays.
+
+    Wildcard segments (``*``/``**``) walk the node model with an NFA
+    over the path's segments; concrete paths keep the historical
+    level-by-level walk (both emit values in document pre-order).
+    """
+    if is_wildcard_path(path):
+        return _wildcard_leaf_values(document, path.split("."))
     current: list[object] = [document]
     for part in path.split("."):
         next_level: list[object] = []
@@ -52,6 +76,29 @@ def leaf_values(document: dict, path: str) -> list[object]:
     return flattened
 
 
+def _wildcard_leaf_values(document: dict, segments: list[str]) -> list[object]:
+    """Values of the nodes a wildcard path matches, in pre-order.
+
+    An explicit stack carries ``(raw, NFA positions, emit)``: children
+    are pushed reversed so nodes pop in document order, each emitted
+    before its subtree — genuine pre-order without recursion.
+    """
+    length = len(segments)
+    out: list[object] = []
+    stack: list[tuple[object, set[int], bool]] = [
+        (document, _nfa_closure(segments, {0}), False)]
+    while stack:
+        raw, positions, emit = stack.pop()
+        if emit:
+            out.append(raw)
+        children = list(iter_child_items(raw))
+        for key, child in reversed(children):
+            advanced = _nfa_advance(segments, positions, key)
+            if advanced:
+                stack.append((child, advanced, length in advanced))
+    return out
+
+
 def match_document(pattern: TreePattern, document: dict,
                    parameters: dict[str, object] | None = None,
                    pushdown: Row | None = None) -> list[Row]:
@@ -62,8 +109,7 @@ def match_document(pattern: TreePattern, document: dict,
     join) — matching rows are aligned to the pushed value so the
     mediator's exact-equality joins accept them.
     """
-    pushdown = pushdown or {}
-    rows: list[Row] = [{}]
+    keeps: list[list[object]] = []
     for leaf in pattern.leaves:
         values = leaf_values(document, leaf.path)
         if not values:
@@ -73,6 +119,15 @@ def match_document(pattern: TreePattern, document: dict,
                 if all(compare(p.op, v, p.value) for p in predicates)]
         if not keep:
             return []
+        keeps.append(keep)
+    return _rows_from_keeps(pattern, keeps, pushdown or {})
+
+
+def _rows_from_keeps(pattern: TreePattern, keeps: list[list[object]],
+                     pushdown: Row) -> list[Row]:
+    """Binding rows from per-leaf kept values (shared by both matchers)."""
+    rows: list[Row] = [{}]
+    for leaf, keep in zip(pattern.leaves, keeps):
         if leaf.variable is None:
             continue
         bound = pushdown.get(leaf.variable, _MISSING)
@@ -118,8 +173,11 @@ def _dedupe(values: Iterable[object]) -> list[object]:
 class TreePatternMatcher:
     """Evaluates tree patterns over a :class:`JSONDocumentStore`."""
 
-    def __init__(self, store: "JSONDocumentStore"):
+    def __init__(self, store: "JSONDocumentStore", accel: bool = True):
         self.store = store
+        #: Verify candidates against the columnar encoding (False = walk
+        #: the document trees; kept as the reference semantics).
+        self.accel = accel
 
     # ------------------------------------------------------------------
     def match(self, pattern: TreePattern,
@@ -130,16 +188,23 @@ class TreePatternMatcher:
         pushdown = pushdown or {}
         candidate_ids = self.candidates(pattern, parameters=parameters,
                                         pushdown=pushdown)
-        rows: list[Row] = []
-        for doc_id in candidate_ids:
-            document = self.store.get(doc_id)
-            if document is None:  # pragma: no cover - defensive
-                continue
-            rows.extend(match_document(pattern, document,
-                                       parameters=parameters, pushdown=pushdown))
-            if limit is not None and len(rows) >= limit:
-                return rows[:limit]
-        return rows
+        return self._verify(pattern, candidate_ids, parameters, pushdown, limit)
+
+    def match_columns(self, pattern: TreePattern,
+                      parameters: dict[str, object] | None = None,
+                      pushdown: Row | None = None,
+                      limit: int | None = None) -> BindingBatch:
+        """Like :meth:`match`, emitted as one :class:`BindingBatch`.
+
+        The columns are the pattern's variables in leaf order; JSON
+        atoms flow into the engine's columnar path without a per-row
+        dict boundary.
+        """
+        rows = self.match(pattern, parameters=parameters, pushdown=pushdown,
+                          limit=limit)
+        columns = _pattern_columns(pattern)
+        return BindingBatch(columns,
+                            [tuple(row[c] for c in columns) for row in rows])
 
     # ------------------------------------------------------------------
     def match_batch(self, pattern: TreePattern,
@@ -150,9 +215,9 @@ class TreePatternMatcher:
         The candidate set of the pattern's *constant* predicates is
         computed once; each call then only adds its own index lookups
         (resolved parameters and pushed-down bindings) before the
-        surviving candidates are verified naively.  The result list is
-        aligned with ``calls`` and each entry equals what
-        :meth:`match` would have returned for that call.
+        surviving candidates are verified.  The result list is aligned
+        with ``calls`` and each entry equals what :meth:`match` would
+        have returned for that call.
         """
         if len(calls) <= 1:
             return [self.match(pattern, parameters=parameters, pushdown=pushdown,
@@ -177,18 +242,88 @@ class TreePatternMatcher:
                                                                  resolved.value)
                 if leaf.variable is not None and leaf.variable in pushdown:
                     restriction = restriction & index.lookup_eq(pushdown[leaf.variable])
+            ordered = sorted(restriction, key=self.store.insertion_rank)
+            results.append(self._verify(pattern, ordered, parameters,
+                                        pushdown, limit))
+        return results
+
+    # ------------------------------------------------------------------
+    def _verify(self, pattern: TreePattern, doc_ids: list[str],
+                parameters: dict[str, object] | None,
+                pushdown: Row, limit: int | None) -> list[Row]:
+        """Verify candidate documents, accelerated when possible."""
+        if not doc_ids:
+            return []
+        compiled = self._compile(pattern, parameters)
+        if compiled is None:
             rows: list[Row] = []
-            for doc_id in sorted(restriction, key=self.store.insertion_rank):
+            for doc_id in doc_ids:
                 document = self.store.get(doc_id)
                 if document is None:  # pragma: no cover - defensive
                     continue
                 rows.extend(match_document(pattern, document,
-                                           parameters=parameters, pushdown=pushdown))
+                                           parameters=parameters,
+                                           pushdown=pushdown))
+                if limit is not None and len(rows) >= limit:
+                    return rows[:limit]
+            return rows
+        return self._verify_accel(compiled, pattern, doc_ids, parameters,
+                                  pushdown, limit)
+
+    def _verify_accel(self, compiled: CompiledPattern, pattern: TreePattern,
+                      doc_ids: list[str], parameters, pushdown: Row,
+                      limit: int | None) -> list[Row]:
+        view = compiled.view
+        rows: list[Row] = []
+        with span("json.accel.probe", leaves=len(pattern.leaves),
+                  candidates=len(doc_ids)) as sp:
+            matched = [0] * len(pattern.leaves) if sp is not None else None
+            for doc_id in doc_ids:
+                ordinal = view.ordinal(doc_id)
+                if ordinal is None:
+                    # Outside the pinned view (defensive): walk the tree.
+                    document = self.store.get(doc_id)
+                    if document is None:  # pragma: no cover - defensive
+                        continue
+                    doc_rows = match_document(pattern, document,
+                                              parameters=parameters,
+                                              pushdown=pushdown)
+                else:
+                    keeps = compiled.leaf_keeps(ordinal)
+                    if matched is not None and keeps is not None:
+                        for index in range(len(keeps)):
+                            matched[index] += 1
+                    if keeps is None:
+                        continue
+                    doc_rows = _rows_from_keeps(pattern, keeps, pushdown)
+                rows.extend(doc_rows)
                 if limit is not None and len(rows) >= limit:
                     rows = rows[:limit]
                     break
-            results.append(rows)
-        return results
+            if sp is not None:
+                stats = view.encoding.axis_stats(pattern, view.node_limit)
+                axes = []
+                for index, leaf in enumerate(pattern.leaves):
+                    estimated = (stats["leaves"][index]["documents"]
+                                 if stats is not None else None)
+                    axes.append({"path": leaf.path, "estimated": estimated,
+                                 "actual": matched[index]})
+                sp.set(axes=axes, rows=len(rows))
+        get_registry().counter("json.accel.probe_rows").inc(len(rows))
+        return rows
+
+    def _compile(self, pattern: TreePattern,
+                 parameters: dict[str, object] | None) -> Optional[CompiledPattern]:
+        """Compile against the store's encoding (None = reference path)."""
+        if not self.accel:
+            return None
+        getter = getattr(self.store, "encoding_view", None)
+        if getter is None:
+            return None
+        view = getter()
+        resolved = [[p.resolve(parameters) for p in leaf.predicates]
+                    for leaf in pattern.leaves]
+        return view.compile(pattern, resolved)
 
     # ------------------------------------------------------------------
     def candidates(self, pattern: TreePattern,
@@ -197,7 +332,7 @@ class TreePatternMatcher:
         """Candidate document ids after index-based predicate pushdown.
 
         The result is a superset of the matching documents (``!=``
-        predicates are not pruned; everything is re-verified naively),
+        predicates are not pruned; everything is re-verified),
         in insertion order so results stay deterministic.
         """
         pushdown = pushdown or {}
@@ -205,8 +340,9 @@ class TreePatternMatcher:
         for leaf in pattern.leaves:
             index = self.store.index_for(leaf.path)
             if index is None:
-                # Interior (non-leaf) path: no value index, but presence can
-                # still prune through the indexes of its descendant leaves.
+                # Interior (non-leaf) or wildcard path: no value index, but
+                # presence can still prune through the indexes of the leaf
+                # paths it matches (or prefixes).
                 restriction = self.store.doc_ids_with_path(leaf.path)
                 if not restriction:
                     # The path was never observed: nothing can match.
@@ -240,6 +376,15 @@ class TreePatternMatcher:
         if len(self.store) == 0:
             return 1.0
         return len(self.candidates(pattern)) / len(self.store)
+
+
+def _pattern_columns(pattern: TreePattern) -> tuple[str, ...]:
+    """The pattern's variables in first-occurrence leaf order."""
+    columns: list[str] = []
+    for leaf in pattern.leaves:
+        if leaf.variable is not None and leaf.variable not in columns:
+            columns.append(leaf.variable)
+    return tuple(columns)
 
 
 def _resolve_quietly(predicate: Predicate,

@@ -6,7 +6,10 @@ paths::
     { user.screen_name: ?id, entities.hashtags: "sia2016", retweet_count: ?rt >= 100 }
 
 Member keys are dotted paths (or nested objects — ``{ user: { screen_name:
-?id } }`` is equivalent to the dotted form).  Member specs are:
+?id } }`` is equivalent to the dotted form).  Path segments may use the
+axis wildcards ``*`` (exactly one step, any key) and ``**`` (any chain of
+zero or more steps), so ``user.**.name`` reaches ``name`` at any depth
+below ``user``.  Member specs are:
 
 ``?var``
     bind the value(s) at the path to mediator variable ``var``;
@@ -43,7 +46,7 @@ _TOKEN_RE = re.compile(
     | (?P<string>"(?:[^"\\]|\\.)*")
     | (?P<number>-?\d+(?:\.\d+)?)
     | (?P<ident>[A-Za-z_][\w]*)
-    | (?P<punct>!=|>=|<=|[{}:,?.*=<>])
+    | (?P<punct>\*\*|!=|>=|<=|[{}:,?.*=<>])
     """,
     re.VERBOSE,
 )
@@ -135,18 +138,25 @@ class _Parser:
         return self.spec(path)
 
     def key(self, prefix: str) -> str:
+        parts = [self.key_segment()]
+        while self.at("."):
+            self.next()
+            parts.append(self.key_segment())
+        part = ".".join(parts)
+        return f"{prefix}.{part}" if prefix else part
+
+    def key_segment(self) -> str:
         token = self.next()
         if token.kind == "string":
-            part = _unquote(token.text)
-        elif token.kind == "ident":
-            part = token.text
-            while self.at("."):
-                self.next()
-                part += "." + self.ident()
-        else:
-            raise ParseError(f"expected a field name, found {token.text!r}",
-                             position=token.position)
-        return f"{prefix}.{part}" if prefix else part
+            return _unquote(token.text)
+        if token.kind == "ident":
+            return token.text
+        if token.text in ("*", "**"):
+            # Axis wildcards: "*" = one step with any key, "**" = any
+            # chain of zero or more steps (descendant axis).
+            return token.text
+        raise ParseError(f"expected a field name, found {token.text!r}",
+                         position=token.position)
 
     def ident(self) -> str:
         token = self.next()

@@ -25,6 +25,70 @@ from repro.errors import JSONError
 #: Comparison operators a leaf predicate may use.
 COMPARISONS = ("=", "!=", ">", ">=", "<", "<=")
 
+#: Path segments with structural (axis) meaning: ``*`` matches exactly one
+#: step with any key (the child axis, label-free), ``**`` matches any chain
+#: of zero or more steps (the descendant-or-self axis between its
+#: neighbouring segments).
+WILDCARD_SEGMENTS = ("*", "**")
+
+
+def path_segments(path: str) -> list[str]:
+    """The dotted path split into its step segments."""
+    return path.split(".")
+
+
+def is_wildcard_path(path: str) -> bool:
+    """True when the path uses ``*``/``**`` axis segments."""
+    if "*" not in path:
+        return False
+    return any(segment in WILDCARD_SEGMENTS for segment in path.split("."))
+
+
+def _nfa_closure(segments: list[str], positions: set[int]) -> set[int]:
+    """ε-closure of NFA positions: ``**`` may consume zero steps."""
+    out = set(positions)
+    frontier = list(positions)
+    while frontier:
+        index = frontier.pop()
+        if index < len(segments) and segments[index] == "**" and index + 1 not in out:
+            out.add(index + 1)
+            frontier.append(index + 1)
+    return out
+
+
+def _nfa_advance(segments: list[str], positions: set[int], key: str) -> set[int]:
+    """Positions reachable after consuming one concrete step ``key``."""
+    out: set[int] = set()
+    for index in positions:
+        if index >= len(segments):
+            continue
+        segment = segments[index]
+        if segment == "**":
+            out.add(index)  # the descendant chain absorbs the step
+        elif segment == "*" or segment == key:
+            out.add(index + 1)
+    return _nfa_closure(segments, out)
+
+
+def path_matches(pattern_path: str, concrete_path: str,
+                 prefix: bool = False) -> bool:
+    """Does a (possibly wildcard) pattern path match a concrete path?
+
+    With ``prefix=True`` the pattern may also match any non-empty prefix
+    of ``concrete_path`` — the question ``doc_ids_with_path`` asks, since
+    every interior node's path is a prefix of some indexed leaf path.
+    """
+    segments = pattern_path.split(".")
+    length = len(segments)
+    positions = _nfa_closure(segments, {0})
+    for step in concrete_path.split("."):
+        positions = _nfa_advance(segments, positions, step)
+        if not positions:
+            return False
+        if prefix and length in positions:
+            return True
+    return length in positions
+
 
 @dataclass(frozen=True)
 class Parameter:

@@ -9,13 +9,14 @@ summary the digests and the planner's estimates rely on.
 
 from __future__ import annotations
 
-import copy
 import threading
 from typing import Any, Iterable, TYPE_CHECKING
 
 from repro.errors import JSONError
 from repro.fulltext.document import Document
+from repro.json.accel import EncodingView, StoreEncoding
 from repro.json.index import PathIndex
+from repro.json.pattern import is_wildcard_path, path_matches
 from repro.locks import RWLock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -42,6 +43,10 @@ class JSONDocumentStore:
         self._rwlock = RWLock()
         self._snapshot_state: tuple[int, "JSONDocumentStore"] | None = None
         self._snapshot_lock = threading.Lock()
+        #: Columnar XPath-accelerator replica (built lazily; appended on
+        #: insert, dropped — full rebuild — on removal).
+        self._accel: StoreEncoding | None = None
+        self._accel_lock = threading.Lock()
 
     @property
     def version(self) -> int:
@@ -56,7 +61,7 @@ class JSONDocumentStore:
         if not isinstance(document, dict):
             raise JSONError(f"JSON store {self.name!r} only stores objects, "
                             f"got {type(document).__name__}")
-        stored = copy.deepcopy(document)
+        stored = _copy_json(document)
         raw_id = Document(doc_id="_", fields=stored).get(self.id_field)
         if raw_id is None:
             raise JSONError(
@@ -108,6 +113,10 @@ class JSONDocumentStore:
             del self._documents[doc_id]
             del self._ranks[doc_id]
             self._dataguide = None
+            # The encoding is append-only; a removal invalidates it and
+            # the next accelerated query rebuilds from scratch.  Shared
+            # snapshot views keep their own (old) encoding object.
+            self._accel = None
             self._version += 1
             return True
 
@@ -144,8 +153,47 @@ class JSONDocumentStore:
                 frozen._rwlock = RWLock()
                 frozen._snapshot_state = (frozen._version, frozen)
                 frozen._snapshot_lock = threading.Lock()
+                # The encoding is shared, not re-derived: it only ever
+                # appends, and the snapshot clamps its views at its own
+                # document count, so later writes stay invisible to it.
+                frozen._accel = self._accel
+                frozen._accel_lock = threading.Lock()
                 self._snapshot_state = (self._version, frozen)
                 return frozen
+
+    # ------------------------------------------------------------------
+    # XPath-accelerator encoding
+    # ------------------------------------------------------------------
+    def encoding_view(self) -> EncodingView:
+        """A consistent columnar view over exactly this store's documents.
+
+        Built lazily at first use; inserts since the last view are
+        *appended* to the shared encoding (incremental repair), while a
+        removal dropped it entirely (see :meth:`remove`).  The returned
+        view is clamped at this store's document count, so a snapshot
+        sharing the live store's encoding never sees post-pin writes.
+        """
+        with self._rwlock.read_locked():
+            encoding = self._accel
+            if encoding is None:
+                with self._accel_lock:
+                    encoding = self._accel
+                    if encoding is None:
+                        encoding = StoreEncoding()
+                        self._accel = encoding
+            count = len(self._documents)
+            if encoding.doc_count < count:
+                encoding.extend(self._documents.items())
+            view = encoding.view_for(count)
+            if count and encoding.doc_ids[count - 1] != next(reversed(self._documents)):
+                # The shared encoding diverged from this store's history
+                # (defensive; cannot happen through the public API since
+                # removals drop the encoding).  Rebuild privately.
+                encoding = StoreEncoding()
+                encoding.extend(self._documents.items())
+                self._accel = encoding
+                view = encoding.view_for(count)
+            return view
 
     # ------------------------------------------------------------------
     # Access
@@ -196,13 +244,20 @@ class JSONDocumentStore:
         return grouped
 
     def doc_ids_with_path(self, path: str) -> set[str]:
-        """Documents exhibiting ``path`` — a leaf path (via its index) or an
-        interior node (via the indexes of its descendant leaves)."""
+        """Documents exhibiting ``path`` — a leaf path (via its index), an
+        interior node (via the indexes of its descendant leaves), or a
+        wildcard path (via every indexed path it can match a prefix of)."""
+        if is_wildcard_path(path):
+            out: set[str] = set()
+            for indexed_path, index in self._indexes.items():
+                if path_matches(path, indexed_path, prefix=True):
+                    out |= index.presence
+            return out
         index = self._indexes.get(path)
         if index is not None:
             return set(index.presence)
         prefix = path + "."
-        out: set[str] = set()
+        out = set()
         for indexed_path, descendant in self._indexes.items():
             if indexed_path.startswith(prefix):
                 out |= descendant.presence
@@ -226,3 +281,39 @@ class JSONDocumentStore:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"JSONDocumentStore(name={self.name!r}, documents={len(self)}, "
                 f"paths={len(self._indexes)})")
+
+
+def _copy_json(value: Any) -> Any:
+    """Structural copy of a JSON tree without recursion.
+
+    Replaces ``copy.deepcopy`` on the insert path: pathologically deep
+    documents (depth 10k+) must not blow the interpreter's recursion
+    limit.  Dict and list containers are copied; every other value —
+    immutable in well-formed JSON — is shared.
+    """
+    if isinstance(value, dict):
+        root: Any = {}
+    elif isinstance(value, list):
+        root = []
+    else:
+        return value
+    stack: list[tuple[Any, Any]] = [(value, root)]
+    while stack:
+        source, target = stack.pop()
+        if isinstance(source, dict):
+            for key, child in source.items():
+                if isinstance(child, (dict, list)):
+                    twin: Any = {} if isinstance(child, dict) else []
+                    stack.append((child, twin))
+                    target[key] = twin
+                else:
+                    target[key] = child
+        else:
+            for child in source:
+                if isinstance(child, (dict, list)):
+                    twin = {} if isinstance(child, dict) else []
+                    stack.append((child, twin))
+                    target.append(twin)
+                else:
+                    target.append(child)
+    return root

@@ -351,6 +351,14 @@ class MediatorService:
         out["deadline_misses"] = self._deadline_miss_counter.value
         out["latency_seconds"] = self._latency_histogram.summary()
         out["queue_wait_seconds"] = self._queue_wait_histogram.summary()
+        # The JSON accelerator instruments the process-global registry
+        # (stores are shared across services, unlike the per-service
+        # queue/latency instruments above).
+        accel_registry = get_registry()
+        out["json_accel"] = {
+            "builds": accel_registry.counter("json.accel.builds").value,
+            "probe_rows": accel_registry.counter("json.accel.probe_rows").value,
+        }
         return out
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:

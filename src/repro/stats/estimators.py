@@ -330,6 +330,23 @@ def estimate_json(source: JSONSource, query: JSONQuery, bound: set[str],
     from repro.json.pattern import Parameter as JSONParameter
 
     store = source.store
+    pattern = query.pattern
+    # Purely structural patterns (no predicates, no bound variables) are
+    # answered *exactly* from the XPath-accelerator encoding: per-axis
+    # document cardinalities intersect, and variable leaves contribute
+    # their true fan-out (rows, not documents).
+    structural = (all(not leaf.predicates for leaf in pattern.leaves)
+                  and not (pattern.variables() & bound))
+    if structural and getattr(source.matcher, "accel", False):
+        view_getter = getattr(store, "encoding_view", None)
+        if view_getter is not None:
+            from repro.json.accel import structural_row_estimate
+
+            rows = structural_row_estimate(view_getter(), pattern)
+            if rows is not None:
+                if query.limit is not None:
+                    rows = min(rows, float(query.limit))
+                return max(0.0, rows)
     guide = store.dataguide()
     estimate = float(len(store))
     for leaf in query.pattern.leaves:

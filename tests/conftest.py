@@ -24,6 +24,12 @@ def pytest_configure(config):
         "obs: observability suites (span tracer, metrics registry, "
         "EXPLAIN ANALYZE, service instrumentation); run in isolation "
         "with `pytest -m obs`.")
+    config.addinivalue_line(
+        "markers",
+        "json_accel: JSON XPath-accelerator suites (columnar encoding, "
+        "structural range joins, accelerator-vs-reference equivalence "
+        "including hypothesis property tests); run in isolation with "
+        "`pytest -m json_accel`.")
 from repro.fulltext import tweet_store
 from repro.rdf import Graph, RDFSchema, triple, uri
 from repro.relational import Database
