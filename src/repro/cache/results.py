@@ -50,6 +50,17 @@ class SubQueryResultCache:
         self.entries = LRUCache(max_entries)
         self._canonical: dict[SourceQuery, Optional[CanonicalQuery]] = {}
         self._lock = threading.RLock()
+        # Version-independent index: logical probe (URI, token, query,
+        # binding) -> the full key of the *latest* inserted entry.  It
+        # powers graceful degradation — when a remote source is down its
+        # current version is unknowable, yet the mediator can still find
+        # the freshest rows it ever cached for the probe.
+        self._stale: dict[tuple, tuple] = {}
+
+    @staticmethod
+    def _logical(key: tuple) -> tuple:
+        """The full key minus the source version."""
+        return (key[0], key[1], key[3], key[4])
 
     @property
     def stats(self) -> CacheStats:
@@ -99,6 +110,37 @@ class SubQueryResultCache:
 
     def insert(self, key: tuple, canon: CanonicalQuery, rows: list[Row]) -> None:
         self.entries.put(key, canon.canonical_rows(rows))
+        with self._lock:
+            if len(self._stale) >= 2 * self.entries.max_entries:
+                self._stale.clear()
+            self._stale[self._logical(key)] = key
+
+    def fetch_stale(self, source, query: SourceQuery,
+                    bindings: Row) -> Optional[list[Row]]:
+        """The latest rows ever cached for this probe, any version.
+
+        Serving them is *degraded* reading: the source may have mutated
+        since.  Callers must flag the result (``trace.degraded``) — this
+        path exists so an outage yields flagged stale rows instead of a
+        failed query.  Touches no hit/miss counters.
+        """
+        token = getattr(source, "cache_token", None)
+        if token is None:
+            return None
+        canon = self.canonicalize(query)
+        if canon is None:
+            return None
+        binding_key = canon.binding_key(bindings)
+        if binding_key is None:
+            return None
+        with self._lock:
+            key = self._stale.get((source.uri, token, canon.key, binding_key))
+        if key is None:
+            return None
+        stored = self.entries.get(key, record_miss=False)
+        if stored is None:
+            return None
+        return canon.original_rows(stored)
 
     # ------------------------------------------------------------------
     def invalidate_source(self, source_uri: str) -> int:
@@ -110,6 +152,7 @@ class SubQueryResultCache:
         self.entries.clear()
         with self._lock:
             self._canonical.clear()
+            self._stale.clear()
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -247,6 +290,15 @@ class CachedSource(DataSource):
         if keyed is None:
             return None
         return self.cache.fetch(keyed[0], keyed[1], record_miss=False)
+
+    def peek_stale(self, query: SourceQuery, bindings: Row) -> Optional[list[Row]]:
+        """Version-independent cache probe for graceful degradation.
+
+        Unlike :meth:`peek` this works while ``inner.version()`` is
+        unknowable (the source is down) and may return rows cached under
+        an *older* version — the caller flags them as degraded.
+        """
+        return self.cache.fetch_stale(self.inner, query, bindings)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"CachedSource({self.inner!r})"

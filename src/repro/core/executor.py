@@ -52,7 +52,14 @@ from repro.engine.iterators import (
     Project,
 )
 from repro.engine.parallel import ParallelStats, run_parallel, run_tasks
-from repro.errors import MixedQueryError, UnknownSourceError
+from repro.errors import (
+    MixedQueryError,
+    QueryTimeoutError,
+    RemoteError,
+    ReproError,
+    SourceDispatchError,
+    UnknownSourceError,
+)
 from repro.obs.metrics import get_registry
 from repro.obs.spans import SpanTracer, attach, current_span, detach, span as _span
 
@@ -79,7 +86,7 @@ class MixedQueryExecutor:
                  options: PlannerOptions | None = None, max_workers: int = 4,
                  digests=None, cache=None, statistics=None,
                  cancel_check=None, dispatch_pool=None, task_pool=None,
-                 metrics=None):
+                 metrics=None, deadline=None):
         self._sources = dict(sources)
         self._glue = glue
         self.options = options or PlannerOptions()
@@ -91,6 +98,13 @@ class MixedQueryExecutor:
         #: QueryCancelledError / QueryTimeoutError) to abort execution
         #: cooperatively — the mediator service wires it per ticket.
         self.cancel_check = cancel_check
+        #: Optional callable returning the seconds left before this
+        #: execution's deadline (None = unbounded).  Unlike the purely
+        #: cooperative ``cancel_check``, the remaining budget bounds the
+        #: *wait* on every dispatch pool, so a single hung source call
+        #: surfaces QueryTimeoutError mid-stage instead of stalling the
+        #: ticket indefinitely.
+        self.deadline = deadline
         # Service-owned shared pools (None = the process-wide ones).
         self._dispatch_pool = dispatch_pool
         self._task_pool = task_pool
@@ -333,6 +347,22 @@ class MixedQueryExecutor:
     # ------------------------------------------------------------------
     # Stage evaluation
     # ------------------------------------------------------------------
+    def _remaining(self) -> float | None:
+        """Seconds left before the execution deadline (None = unbounded).
+
+        Raises :class:`~repro.errors.QueryTimeoutError` directly when the
+        budget is already exhausted, so stages stop dispatching the
+        moment the deadline passes.
+        """
+        if self.deadline is None:
+            return None
+        remaining = self.deadline()
+        if remaining is None:
+            return None
+        if remaining <= 0:
+            raise QueryTimeoutError("query deadline exceeded mid-stage")
+        return remaining
+
     def _materialize_stage(self, current: Operator | None, steps: list[PlanStep],
                            trace: ExecutionTrace) -> Operator:
         scans = [CallbackScan(self._fetch_callable(step, trace), name=step.atom.name)
@@ -342,7 +372,8 @@ class MixedQueryExecutor:
         with _span("stage:materialize",
                    atoms=[step.atom.name for step in steps]) as sp:
             outputs = run_parallel(scans, max_workers=workers, stats=stats,
-                                   pool=self._dispatch_pool)
+                                   pool=self._dispatch_pool,
+                                   timeout=self._remaining())
             if sp is not None:
                 sp.set(rows=sum(len(rows) for rows in outputs))
         operator = current
@@ -429,29 +460,41 @@ class MixedQueryExecutor:
                       trace: ExecutionTrace) -> list[Row]:
         sources = self._resolve_runtime_sources(step, atom, bindings)
 
-        def call(source: DataSource) -> tuple[DataSource, list[Row], float]:
+        def call(source: DataSource):
             with _span("call", atom=atom.name, source=source.uri) as sp:
                 started = time.perf_counter()
-                fetched = atom.execute_on(source, bindings)
+                degraded = None
+                try:
+                    fetched = atom.execute_on(source, bindings)
+                except Exception as exc:
+                    fetched, degraded = self._handle_dispatch_error(
+                        exc, atom, source, [bindings])
+                    fetched = fetched[0]
+                    if sp is not None:
+                        sp.set(degraded=degraded)
                 if sp is not None:
                     sp.set(rows=len(fetched))
-            return source, fetched, time.perf_counter() - started
+            return source, fetched, time.perf_counter() - started, degraded
 
         # A free source variable fans out to every accepting source; those
         # calls are independent, so dispatch them like a parallel stage.
         workers = self.max_workers if self.options.parallel_stages else 1
         outcomes = run_tasks([lambda s=source: call(s) for source in sources],
-                             max_workers=workers, pool=self._task_pool)
+                             max_workers=workers, pool=self._task_pool,
+                             timeout=self._remaining())
         rows: list[Row] = []
-        for source, fetched, elapsed in outcomes:
+        for source, fetched, elapsed, degraded in outcomes:
             if atom.source_variable is not None:
                 for row in fetched:
                     row.setdefault(atom.source_variable, source.uri)
             trace.calls.append(SubQueryCall(
                 atom=atom.name, source_uri=source.uri,
                 bindings_in=len(bindings), rows_out=len(fetched), seconds=elapsed,
-                atom_key=id(atom),
+                atom_key=id(atom), degraded=degraded,
             ))
+            if degraded is not None:
+                trace.degraded = True
+                trace.degraded_atoms.append((atom.name, source.uri, degraded))
             rows.extend(fetched)
         return rows
 
@@ -481,17 +524,26 @@ class MixedQueryExecutor:
             with _span("call", atom=atom.name, source=source.uri,
                        bindings=len(batch), batched=True) as sp:
                 started = time.perf_counter()
-                per_binding = atom.execute_batch_on(source, batch)
+                degraded = None
+                try:
+                    per_binding = atom.execute_batch_on(source, batch)
+                except Exception as exc:
+                    per_binding, degraded = self._handle_dispatch_error(
+                        exc, atom, source, batch)
+                    if sp is not None:
+                        sp.set(degraded=degraded)
                 if sp is not None:
                     sp.set(rows=sum(len(rows) for rows in per_binding))
-            return source, indices, per_binding, time.perf_counter() - started
+            return (source, indices, per_binding,
+                    time.perf_counter() - started, degraded)
 
         workers = self.max_workers if self.options.parallel_stages else 1
         outcomes = run_tasks(
             [lambda s=source, idx=indices: call(s, idx)
              for source, indices in by_source.values()],
-            max_workers=workers, pool=self._task_pool)
-        for source, indices, per_binding, elapsed in outcomes:
+            max_workers=workers, pool=self._task_pool,
+            timeout=self._remaining())
+        for source, indices, per_binding, elapsed, degraded in outcomes:
             if len(per_binding) != len(indices):
                 raise MixedQueryError(
                     f"source {source.uri!r} answered {len(per_binding)} bindings "
@@ -507,9 +559,60 @@ class MixedQueryExecutor:
             trace.calls.append(SubQueryCall(
                 atom=atom.name, source_uri=source.uri,
                 bindings_in=len(indices), rows_out=total, seconds=elapsed,
-                batched=True, atom_key=id(atom),
+                batched=True, atom_key=id(atom), degraded=degraded,
             ))
+            if degraded is not None:
+                trace.degraded = True
+                trace.degraded_atoms.append((atom.name, source.uri, degraded))
         return results
+
+    def _handle_dispatch_error(self, exc: Exception, atom: SourceAtom,
+                               source: DataSource,
+                               batch: list[Row]) -> tuple[list[list[Row]], str]:
+        """Degrade or re-raise one failed dispatch.
+
+        A typed :class:`~repro.errors.RemoteError` (the source is down
+        past its retry budget) degrades gracefully when the options allow
+        it: each binding is answered from the latest *stale* cached rows
+        if any exist, else with no rows — and the call is flagged so the
+        trace / EXPLAIN ANALYZE report the query as degraded rather than
+        silently incomplete.  Any other repro error propagates unchanged;
+        an unexpected (non-repro) exception is wrapped so the failed
+        ticket carries the source URI and atom that caused it.
+        """
+        if isinstance(exc, RemoteError):
+            if not getattr(self.options, "graceful_degradation", True):
+                raise exc
+            per_binding: list[list[Row]] = []
+            stale_hits = 0
+            peek_stale = getattr(source, "peek_stale", None)
+            for bindings in batch:
+                rows = None
+                if peek_stale is not None:
+                    stale = peek_stale(atom.query, atom.formal_bindings(bindings))
+                    if stale is not None:
+                        rows = atom.translate_rows(stale)
+                if rows is None:
+                    per_binding.append([])
+                else:
+                    stale_hits += 1
+                    per_binding.append(rows)
+            reason = "stale_cache" if stale_hits == len(batch) else "partial"
+            logger.warning(
+                "degrading atom %s on %s after %s: %s (%d/%d binding(s) "
+                "served from stale cache)", atom.name, source.uri,
+                type(exc).__name__, exc, stale_hits, len(batch))
+            registry = (self._metrics if self._metrics is not None
+                        else get_registry())
+            registry.counter("executor_degraded_calls_total",
+                             source=source.uri, reason=reason).inc()
+            return per_binding, reason
+        if isinstance(exc, ReproError):
+            raise exc
+        raise SourceDispatchError(
+            f"source {source.uri!r} raised {type(exc).__name__} while "
+            f"evaluating atom {atom.name!r}: {exc}",
+            source_uri=source.uri, atom=atom.name) from exc
 
     def _resolve_runtime_sources(self, step: PlanStep, atom: SourceAtom,
                                  bindings: Row) -> list[DataSource]:

@@ -95,6 +95,24 @@ class MixedInstance:
         """Register a JSON document source queried with tree patterns."""
         return self.register(JSONSource(uri, store, description=description))
 
+    def register_remote(self, transport, uri: str | None = None,
+                        description: str = "", options=None, **kwargs):
+        """Register a source served over the network (or a fault harness).
+
+        ``transport`` is a :class:`repro.remote.Transport` already
+        pointed at a :class:`repro.remote.SourceServer` (use
+        ``TCPTransport(host, port)`` for a real server,
+        ``LocalTransport(handler)`` for in-process loopback, or wrap
+        either in a ``FaultyTransport`` for chaos testing).  The wrapper
+        announces the served source's model/uri via the protocol
+        handshake when not given explicitly.
+        """
+        from repro.remote import RemoteSource
+
+        return self.register(RemoteSource(transport, uri=uri,
+                                          description=description,
+                                          options=options, **kwargs))
+
     def source(self, uri: str) -> DataSource:
         """Return the source registered under ``uri`` (the glue graph included)."""
         if uri == GLUE_SOURCE:

@@ -83,24 +83,32 @@ class PlannerOptions:
     #: Disabling skips all span allocation — the observability off
     #: switch benchmarked by ``bench_observability_overhead``.
     tracing: bool = True
+    #: When a source fails with a typed RemoteError past its retry
+    #: budget, answer its bindings from stale cached rows (or with no
+    #: rows) and flag ``trace.degraded`` instead of failing the whole
+    #: CMQ.  False restores fail-fast semantics.
+    graceful_degradation: bool = True
 
 
 #: Atom count above which the DP enumerator falls back to greedy search.
 DP_ATOM_LIMIT = 10
 
 
-def auto_batch_size(estimate: float, cost_model: CostModel | None = None) -> int:
+def auto_batch_size(estimate: float, cost_model: CostModel | None = None,
+                    models: Sequence[str] = ()) -> int:
     """Pick a bind-join batch size from the step's cardinality estimate.
 
     Delegates to the cost model, which decreases the size monotonically
     with the estimated per-binding transfer cost: selective sub-queries
     batch maximally (the round-trip saving dominates), expensive or
     unbounded ones get the minimum so results start streaming (and
-    populating the bind-join cache) early.
+    populating the bind-join cache) early.  ``models`` carries the
+    target sources' cost kinds — network-far kinds (e.g. ``"remote"``)
+    decay more slowly, preferring fewer bigger batches per round trip.
     """
     from repro.stats.cost import DEFAULT_COST_MODEL
 
-    return (cost_model or DEFAULT_COST_MODEL).batch_size(estimate)
+    return (cost_model or DEFAULT_COST_MODEL).batch_size(estimate, models)
 
 
 @dataclass
@@ -464,7 +472,8 @@ class QueryPlanner:
             return est_full * cardinality / max(cardinality, distinct)
 
         def bind_step() -> tuple[float, float, float, int]:
-            batch = options.bind_batch_size or auto_batch_size(est_bound, cost_model)
+            batch = options.bind_batch_size or auto_batch_size(est_bound, cost_model,
+                                                               models)
             # Priced as batched regardless of the batching ablation flag:
             # ``batch_bind_joins=False`` must keep the same plan shape and
             # only change dispatch (one call per binding), or the ablation
@@ -549,12 +558,13 @@ class QueryPlanner:
             mode = "bind"
         else:
             mode = "materialize"
-        batch_size = 0
-        if mode == "bind" and options.batch_bind_joins:
-            batch_size = options.bind_batch_size or auto_batch_size(estimate)
         cost_model = self.statistics.cost_model
         models = [getattr(source, "cost_kind", source.model)
                   for source in sources]
+        batch_size = 0
+        if mode == "bind" and options.batch_bind_joins:
+            batch_size = options.bind_batch_size or auto_batch_size(
+                estimate, cost_model, models)
         if mode == "bind":
             cost = cost_model.bind_cost(models, cardinality, estimate,
                                         batch_size or 1,

@@ -95,6 +95,11 @@ class SubQueryCall:
     #: Identity of the dispatched atom object (disambiguates atoms that
     #: share a display name, e.g. a self-join on one relation).
     atom_key: int = 0
+    #: Why this call served degraded rows instead of fresh ones:
+    #: ``"stale_cache"`` (previous cached results, possibly outdated) or
+    #: ``"partial"`` (the source was down and nothing cached — the call
+    #: contributed no rows).  ``None`` for a healthy call.
+    degraded: str | None = None
 
 
 @dataclass
@@ -162,6 +167,11 @@ class ExecutionTrace:
     #: The :class:`repro.obs.spans.SpanTracer` of this execution (None
     #: when tracing was disabled); ``spans.render()`` draws the tree.
     spans: "object | None" = None
+    #: True when at least one source call served degraded (stale or
+    #: partial) rows because its source was down past its retry budget.
+    degraded: bool = False
+    #: ``(atom, source_uri, reason)`` per degraded call.
+    degraded_atoms: list[tuple[str, str, str]] = field(default_factory=list)
 
     def calls_to(self, source_uri: str) -> int:
         """Number of sub-query calls shipped to ``source_uri``."""
@@ -190,6 +200,10 @@ class ExecutionTrace:
                             f"{self.cache_misses} miss(es)")
         if self.plan_cached:
             lines.insert(1, "plan served from the plan cache")
+        if self.degraded:
+            detail = ", ".join(f"{atom}@{source} ({reason})"
+                               for atom, source, reason in self.degraded_atoms)
+            lines.insert(1, f"DEGRADED result: {detail}")
         if self.replanned:
             lines.insert(1, f"re-planned the remaining steps mid-flight "
                             f"{self.replans} time(s)")

@@ -27,10 +27,12 @@ import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.engine.iterators import Operator, Row
+from repro.errors import QueryTimeoutError
 from repro.obs.metrics import get_registry
 
 
@@ -107,16 +109,24 @@ class WorkPool:
             tasks.inc()
             busy.observe(time.perf_counter() - started)
 
-    def map(self, fn: Callable, items: Sequence) -> list:
+    def map(self, fn: Callable, items: Sequence,
+            timeout: Optional[float] = None) -> list:
         """Apply ``fn`` to every item concurrently, preserving order.
 
         Each item runs in a copy of the caller's contextvars context —
         one copy *per item*, because a single Context object cannot be
         entered by two threads at once.
+
+        ``timeout`` bounds the *total* wait in seconds: when it elapses
+        before every item finished, pending items are cancelled and
+        :class:`~repro.errors.QueryTimeoutError` is raised — a hung
+        item's thread cannot be interrupted, but the caller's deadline
+        is honoured instead of waiting forever.  A timeout always takes
+        the pool path (the inline shortcut cannot bound a hung call).
         """
         items = list(items)
         instruments = self._pool_instruments()
-        if self.max_workers <= 1 or len(items) <= 1:
+        if timeout is None and (self.max_workers <= 1 or len(items) <= 1):
             return [self._run_observed(fn, item, instruments) for item in items]
         executor = self._ensure()
         futures = [
@@ -124,7 +134,21 @@ class WorkPool:
                             self._run_observed, fn, item, instruments)
             for item in items
         ]
-        return [future.result() for future in futures]
+        if timeout is None:
+            return [future.result() for future in futures]
+        deadline = time.monotonic() + max(0.0, timeout)
+        results = []
+        try:
+            for future in futures:
+                remaining = deadline - time.monotonic()
+                results.append(future.result(timeout=max(0.0, remaining)))
+        except FuturesTimeoutError:
+            for future in futures:
+                future.cancel()
+            raise QueryTimeoutError(
+                f"parallel stage exceeded its {timeout:.3f}s deadline "
+                f"({len(results)}/{len(futures)} task(s) finished)") from None
+        return results
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the pool's threads (it restarts lazily if used again)."""
@@ -161,14 +185,16 @@ def shared_pool(role: str, max_workers: int) -> WorkPool:
 
 def run_parallel(operators: Sequence[Operator], max_workers: int = 4,
                  stats: ParallelStats | None = None,
-                 pool: WorkPool | None = None) -> list[list[Row]]:
+                 pool: WorkPool | None = None,
+                 timeout: Optional[float] = None) -> list[list[Row]]:
     """Materialise every operator, possibly concurrently.
 
     Results are returned in the order of ``operators`` regardless of
     completion order.  With ``max_workers=1`` the execution is sequential,
     which is how the ablation benchmark measures the benefit of parallel
     dispatch.  ``pool`` overrides the process-wide shared pool (the
-    mediator service passes its own).
+    mediator service passes its own).  ``timeout`` bounds the stage's
+    total wall-clock wait (see :meth:`WorkPool.map`).
     """
     if stats is not None:
         stats.tasks = len(operators)
@@ -179,11 +205,11 @@ def run_parallel(operators: Sequence[Operator], max_workers: int = 4,
         return rows, time.perf_counter() - start
 
     start = time.perf_counter()
-    if max_workers <= 1 or len(operators) <= 1:
+    if timeout is None and (max_workers <= 1 or len(operators) <= 1):
         outcomes = [timed_rows(op) for op in operators]
     else:
         pool = pool or shared_pool("dispatch", max_workers)
-        outcomes = pool.map(timed_rows, operators)
+        outcomes = pool.map(timed_rows, operators, timeout=timeout)
     wall = time.perf_counter() - start
     if stats is not None:
         stats.wall_clock_seconds = wall
@@ -192,9 +218,13 @@ def run_parallel(operators: Sequence[Operator], max_workers: int = 4,
 
 
 def run_tasks(tasks: Sequence[Callable[[], object]], max_workers: int = 4,
-              pool: WorkPool | None = None) -> list[object]:
-    """Run arbitrary callables, possibly concurrently, preserving order."""
-    if max_workers <= 1 or len(tasks) <= 1:
+              pool: WorkPool | None = None,
+              timeout: Optional[float] = None) -> list[object]:
+    """Run arbitrary callables, possibly concurrently, preserving order.
+
+    ``timeout`` bounds the total wall-clock wait (see :meth:`WorkPool.map`).
+    """
+    if timeout is None and (max_workers <= 1 or len(tasks) <= 1):
         return [task() for task in tasks]
     pool = pool or shared_pool("tasks", max_workers)
-    return pool.map(lambda task: task(), tasks)
+    return pool.map(lambda task: task(), tasks, timeout=timeout)

@@ -61,6 +61,45 @@ class MixedQueryError(ReproError):
     """Error raised while parsing, planning or evaluating a CMQ."""
 
 
+class SourceDispatchError(MixedQueryError):
+    """An unexpected exception escaped a wrapper during dispatch.
+
+    The executor wraps any non-:class:`ReproError` exception raised by a
+    wrapper's ``execute`` / ``execute_batch`` in this type, so a failed
+    ticket always carries the *source URI* and *atom* that caused it
+    (the original exception stays chained as ``__cause__``).
+    """
+
+    def __init__(self, message: str, source_uri: str = "", atom: str = ""):
+        super().__init__(message)
+        self.source_uri = source_uri
+        self.atom = atom
+
+
+class RemoteError(ReproError):
+    """Base class of errors raised by the remote-source federation layer."""
+
+
+class SourceUnavailableError(RemoteError):
+    """A remote source could not be reached (refused, reset, outage)."""
+
+
+class SourceTimeoutError(RemoteError):
+    """A remote call did not answer within its per-call timeout."""
+
+
+class RemoteProtocolError(RemoteError):
+    """A remote peer answered with a malformed or wrong-version message."""
+
+
+class CircuitOpenError(RemoteError):
+    """The per-source circuit breaker is open: calls fail fast.
+
+    Raised without touching the network while the breaker's reset window
+    has not elapsed; half-open probe traffic is admitted separately.
+    """
+
+
 class PlanningError(MixedQueryError):
     """The planner could not produce a valid evaluation order.
 

@@ -41,6 +41,9 @@ class ExplainStep:
     rows_fetched: int
     seconds: float
     replanned_after: bool = False
+    #: Degradation reason of this step's worst call ("stale_cache" /
+    #: "partial"), or None when every call answered fresh rows.
+    degraded: Optional[str] = None
 
 
 @dataclass
@@ -61,6 +64,11 @@ class ExplainReport:
     cache_misses: int = 0
     sieved_bindings: int = 0
     replans: int = 0
+    #: True when at least one call served stale or partial rows because
+    #: its source was down; ``degraded_atoms`` lists the affected
+    #: ``(atom, source_uri, reason)`` triples.
+    degraded: bool = False
+    degraded_atoms: list = field(default_factory=list)
     #: The backing :class:`~repro.obs.spans.SpanTracer` (None when off).
     span_tree: Optional[object] = None
 
@@ -83,6 +91,8 @@ class ExplainReport:
                 marks.append("batched")
             if step.replanned_after:
                 marks.append("replanned tail")
+            if step.degraded:
+                marks.append(f"DEGRADED: {step.degraded}")
             suffix = f"  [{', '.join(marks)}]" if marks else ""
             lines.append(
                 f"  {step.atom:<22} {step.mode:<12} {step.cost:>8.1f} "
@@ -98,6 +108,11 @@ class ExplainReport:
             timing.append(f"execute {self.execute_seconds * 1000.0:.2f} ms")
         timing.append(f"trace total {self.total_seconds * 1000.0:.2f} ms")
         lines.append("  timing: " + " | ".join(timing))
+        if self.degraded:
+            detail = ", ".join(f"{atom}@{source} ({reason})"
+                               for atom, source, reason in self.degraded_atoms)
+            lines.append(f"  DEGRADED result — sources down past their retry "
+                         f"budget: {detail}")
         lines.append(
             f"  cache: {self.cache_hits} hit(s) / {self.cache_misses} "
             f"miss(es) · sieve dropped {self.sieved_bindings} binding(s) · "
@@ -151,6 +166,8 @@ def explain_analyze(result) -> ExplainReport:
             rows_fetched=sum(c.rows_out for c in calls),
             seconds=sum(c.seconds for c in calls),
             replanned_after=observation.replanned_after,
+            degraded=next((c.degraded for c in calls
+                           if getattr(c, "degraded", None)), None),
         ))
     spans = getattr(trace, "spans", None)
     queue_seconds = _span_total(spans, "queue")
@@ -172,6 +189,8 @@ def explain_analyze(result) -> ExplainReport:
         cache_misses=trace.cache_misses,
         sieved_bindings=trace.sieved_bindings,
         replans=trace.replans,
+        degraded=getattr(trace, "degraded", False),
+        degraded_atoms=list(getattr(trace, "degraded_atoms", ())),
         span_tree=spans,
     )
 

@@ -1,0 +1,437 @@
+""":class:`RemoteSource` — a :class:`DataSource` speaking the wire protocol.
+
+The wrapper hides the network behind the exact mediator protocol the
+in-process wrappers implement (``execute`` / ``execute_batch`` /
+``estimate`` / ``version`` / ``pin``), so planner, executor, cache and
+service code need no remote-specific branches.  What *is* remote-specific
+lives in the resilience layer wrapped around every call:
+
+* a per-call network **timeout** (:attr:`RemoteOptions.timeout`);
+* **retries** with exponential backoff + deterministic jitter — calls
+  are idempotent reads, so a timed-out call may safely be re-issued;
+* **hedged requests**: when a call exceeds the p95 of recent latencies
+  (or an explicit ``hedge_delay``), a duplicate is raced against it and
+  the first response wins — tail latency without duplicated rows,
+  because both legs carry the identical read;
+* a per-source **circuit breaker** failing fast while a source is down,
+  with half-open probes (:class:`~repro.remote.resilience.CircuitBreaker`);
+* **snapshot pinning**: ``pin()`` pins a server-side snapshot and tags
+  every subsequent call with its version; a response from any other
+  version is rejected as a retryable protocol error.
+
+Failures escape only as typed :class:`~repro.errors.RemoteError`
+subclasses, which the executor turns into graceful degradation.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import random
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional, Sequence
+
+import repro.errors as errors
+from repro.core.sources import (
+    DataSource,
+    Row,
+    SourceQuery,
+    _instrumented_execute,
+    _instrumented_execute_batch,
+)
+from repro.errors import (
+    CircuitOpenError,
+    MixedQueryError,
+    RemoteError,
+    RemoteProtocolError,
+    ReproError,
+)
+from repro.obs import get_registry, span
+from repro.remote import protocol
+from repro.remote.resilience import CircuitBreaker, RemoteOptions
+from repro.remote.transport import Transport
+
+#: Recent latency observations kept per source for p95-derived hedging.
+LATENCY_WINDOW = 64
+
+
+class _SharedState:
+    """Call-path state shared by a live wrapper and its pinned clones.
+
+    A pinned clone answers from the same server over the same transport,
+    so breaker, latency window, hedge pool and counters must be one per
+    *source*, not one per wrapper.
+    """
+
+    def __init__(self, uri: str, transport: Transport, options: RemoteOptions,
+                 clock: Callable[[], float], seed: int):
+        self.transport = transport
+        self.options = options
+        self.lock = threading.Lock()
+        self.rng = random.Random(seed)
+        self.latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self.hedge_pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self.calls = 0
+        self.retries = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        registry = get_registry()
+        self.breaker = CircuitBreaker(
+            uri, failures=options.breaker_failures,
+            reset_after=options.breaker_reset, probes=options.breaker_probes,
+            clock=clock,
+            on_transition=lambda old, new: registry.counter(
+                "remote_breaker_transitions_total",
+                source=uri, to=new).inc())
+
+    def pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        with self.lock:
+            if self.hedge_pool is None:
+                self.hedge_pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=4, thread_name_prefix="remote-hedge")
+            return self.hedge_pool
+
+    def hedge_delay(self) -> Optional[float]:
+        """Seconds before hedging one call, or ``None`` to not hedge."""
+        options = self.options
+        if options.hedge_delay is not None:
+            return options.hedge_delay if options.hedge_delay > 0 else None
+        with self.lock:
+            if len(self.latencies) < options.hedge_min_samples:
+                return None
+            ordered = sorted(self.latencies)
+        return ordered[min(len(ordered) - 1, int(len(ordered) * 0.95))]
+
+    def jitter(self) -> float:
+        with self.lock:
+            return self.rng.random()
+
+
+class RemoteSource(DataSource):
+    """A mediator source wrapper answering over a network transport.
+
+    Parameters
+    ----------
+    transport:
+        The client transport (TCP, in-process loopback, or a
+        fault-injection proxy around either).
+    uri / model / name / size / description:
+        Source metadata.  When ``uri`` or ``model`` is omitted the
+        wrapper issues a ``hello`` at construction time to learn them
+        from the server; pass both to defer all network traffic.
+    options:
+        Resilience knobs (:class:`RemoteOptions`).
+    clock:
+        Injectable monotonic clock for the circuit breaker (tests).
+    seed:
+        Seed of the deterministic backoff jitter.
+    """
+
+    model = "remote"
+
+    # The catalog must not dig into this wrapper for digest statistics —
+    # estimates come from the remote peer.
+    trust_wrapper_estimate = True
+
+    def __init__(self, transport: Transport, uri: str | None = None,
+                 model: str | None = None, name: str | None = None,
+                 size: int | None = None, description: str = "",
+                 options: RemoteOptions | None = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 seed: int = 0,
+                 _shared: Optional[_SharedState] = None):
+        self.options = options or RemoteOptions()
+        hello: dict = {}
+        if _shared is None and (uri is None or model is None):
+            hello = transport.request({"op": "hello"},
+                                      timeout=self.options.timeout)
+            if not hello.get("ok"):
+                raise RemoteProtocolError(
+                    f"hello failed: {hello.get('error')}")
+        uri = uri or hello.get("uri") or "remote://source"
+        super().__init__(uri, name=name or hello.get("name"),
+                         description=description or hello.get("description", ""))
+        self.model = model or hello.get("model") or "remote"
+        self._size = size if size is not None else int(hello.get("size") or 0)
+        self._shared = _shared or _SharedState(
+            uri, transport, self.options, clock, seed)
+        self._estimate_memo: dict = {}
+        self._estimate_lock = threading.Lock()
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def cost_kind(self) -> str:
+        """Cost-model kind: network-RTT constants, not local-call ones."""
+        return "remote"
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        return self._shared.breaker
+
+    @property
+    def transport(self) -> Transport:
+        return self._shared.transport
+
+    def size(self) -> int:
+        return self._size
+
+    def close(self) -> None:
+        shared = self._shared
+        with shared.lock:
+            pool, shared.hedge_pool = shared.hedge_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+        shared.transport.close()
+
+    # -- DataSource protocol ----------------------------------------------
+
+    @_instrumented_execute
+    def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
+        request = {"op": "execute", "query": protocol.encode_query(query),
+                   "bindings": protocol.encode_row(bindings or {})}
+        response = self._call(request)
+        return [protocol.decode_row(row) for row in response.get("rows") or []]
+
+    @_instrumented_execute_batch
+    def execute_batch(self, query: SourceQuery,
+                      bindings_batch: Sequence[Row]) -> list[list[Row]]:
+        request = {"op": "execute_batch",
+                   "query": protocol.encode_query(query),
+                   "bindings_batch": [protocol.encode_row(b)
+                                      for b in bindings_batch]}
+        response = self._call(request)
+        groups = [[protocol.decode_row(row) for row in rows]
+                  for rows in response.get("groups") or []]
+        if len(groups) != len(bindings_batch):
+            raise RemoteProtocolError(
+                f"{self.uri} answered {len(groups)} groups for "
+                f"{len(bindings_batch)} bindings")
+        return groups
+
+    def estimate(self, query: SourceQuery,
+                 bound_variables: set[str] | None = None) -> float:
+        """Remote cardinality estimate; ``inf`` when the source is down.
+
+        Planning must never fail on a source fault — an unreachable
+        source simply looks maximally expensive, so the planner pushes
+        its atoms late (by which point the breaker may have recovered).
+        Estimates are memoised on *pinned* wrappers only, where the
+        content is immutable.
+        """
+        key = None
+        if self.pinned_at is not None:
+            key = (str(query), frozenset(bound_variables or ()))
+            with self._estimate_lock:
+                if key in self._estimate_memo:
+                    return self._estimate_memo[key]
+        try:
+            response = self._call({
+                "op": "estimate", "query": protocol.encode_query(query),
+                "bound_variables": sorted(bound_variables or ())})
+        except ReproError:
+            return float("inf")
+        estimate = protocol.decode_estimate(response.get("estimate"))
+        if key is not None:
+            with self._estimate_lock:
+                self._estimate_memo[key] = estimate
+        return estimate
+
+    def version(self) -> Optional[int]:
+        """The remote store version; ``None`` while the source is down.
+
+        Never cached on the live wrapper: a stale version paired with
+        mutated remote content would let the result cache serve wrong
+        rows.  ``None`` keeps the source uncacheable — slower, never
+        wrong.
+        """
+        if self.pinned_at is not None:
+            return self.pinned_at
+        try:
+            response = self._call({"op": "version"})
+        except RemoteError:
+            return None
+        version = response.get("version")
+        return version if isinstance(version, int) else None
+
+    def pin(self) -> DataSource:
+        """Pin a server-side snapshot and return a wrapper bound to it.
+
+        While the source is unreachable the live wrapper is returned
+        instead: the query forgoes snapshot isolation for this source
+        (exactly like a wrapper without snapshot support) rather than
+        failing admission outright.
+        """
+        try:
+            response = self._call({"op": "pin"})
+        except RemoteError:
+            return self
+        version = response.get("version")
+        if not isinstance(version, int):
+            return self
+        return self._memoized_pin(version, lambda: self._build_pinned(version))
+
+    def _build_pinned(self, version: int) -> "RemoteSource":
+        pinned = RemoteSource(
+            self._shared.transport, uri=self.uri, model=self.model,
+            name=self.name, size=self._size, description=self.description,
+            options=self.options, _shared=self._shared)
+        # pinned_at / cache_token are stamped by _memoized_pin; requests
+        # start carrying the version as soon as pinned_at is set.
+        return pinned
+
+    # -- resilient call path ----------------------------------------------
+
+    def _call(self, request: dict) -> dict:
+        """One logical remote call: breaker, timeout, retries, hedging."""
+        shared = self._shared
+        options = self.options
+        if self.pinned_at is not None:
+            request = dict(request)
+            request["version"] = self.pinned_at
+        # Only the execute ops must be answered from the pinned snapshot
+        # itself; estimates are advisory, so a (say) evicted-snapshot
+        # estimate answered live is not a failure.
+        verify_version = (request.get("version") is not None
+                          and request["op"] in ("execute", "execute_batch"))
+        registry = get_registry()
+        with span("remote.call", source=self.uri, op=request["op"]) as sp:
+            last_error: Optional[RemoteError] = None
+            attempts = 1 + max(0, options.retries)
+            for attempt in range(attempts):
+                if attempt:
+                    shared.retries += 1
+                    registry.counter("remote_retries_total",
+                                     source=self.uri).inc()
+                    time.sleep(options.backoff(attempt - 1, shared.jitter()))
+                try:
+                    if attempt == 0:
+                        response = self._attempt(request)
+                    else:
+                        with span("remote.retry", source=self.uri,
+                                  attempt=attempt):
+                            response = self._attempt(request)
+                except CircuitOpenError:
+                    registry.counter("remote_breaker_rejections_total",
+                                     source=self.uri).inc()
+                    raise
+                except RemoteError as exc:
+                    shared.breaker.record_failure()
+                    last_error = exc
+                    continue
+                if verify_version and \
+                        response.get("version") != request["version"]:
+                    shared.breaker.record_failure()
+                    last_error = RemoteProtocolError(
+                        f"{self.uri} answered from version "
+                        f"{response.get('version')} instead of pinned "
+                        f"{request['version']}")
+                    continue
+                shared.breaker.record_success()
+                if sp is not None and attempt:
+                    sp.set(attempts=attempt + 1)
+                if not response.get("ok"):
+                    self._raise_application_error(response)
+                return response
+            if sp is not None:
+                sp.set(attempts=attempts, failed=True)
+            assert last_error is not None
+            raise last_error
+
+    def _attempt(self, request: dict) -> dict:
+        """One attempt: breaker gate, then a possibly hedged exchange."""
+        shared = self._shared
+        shared.breaker.before_call()
+        with shared.lock:
+            shared.calls += 1
+        delay = shared.hedge_delay()
+        started = time.perf_counter()
+        try:
+            if delay is None:
+                response = shared.transport.request(
+                    request, timeout=self.options.timeout)
+            else:
+                response = self._hedged(request, delay)
+        finally:
+            elapsed = time.perf_counter() - started
+            with shared.lock:
+                shared.latencies.append(elapsed)
+            get_registry().histogram("remote_call_seconds",
+                                     source=self.uri).observe(elapsed)
+        return response
+
+    def _hedged(self, request: dict, delay: float) -> dict:
+        """Race a duplicate request against a slow primary.
+
+        Both legs carry the identical idempotent read, so whichever
+        answers first is *the* answer — a hedge can never duplicate rows
+        or side effects.  The loser is left to drain in the pool.
+        """
+        shared = self._shared
+        pool = shared.pool()
+        timeout = self.options.timeout
+        primary = pool.submit(shared.transport.request, request, timeout)
+        try:
+            return primary.result(timeout=delay)
+        except concurrent.futures.TimeoutError:
+            pass
+        with shared.lock:
+            shared.hedges += 1
+        get_registry().counter("remote_hedges_total", source=self.uri).inc()
+        with span("remote.hedge", source=self.uri, delay_s=round(delay, 4)):
+            secondary = pool.submit(shared.transport.request, request, timeout)
+            pending = {primary, secondary}
+            last_error: Optional[BaseException] = None
+            while pending:
+                done, pending = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED)
+                for future in done:
+                    error = future.exception()
+                    if error is None:
+                        if future is secondary:
+                            with shared.lock:
+                                shared.hedge_wins += 1
+                            get_registry().counter(
+                                "remote_hedge_wins_total",
+                                source=self.uri).inc()
+                        return future.result()
+                    last_error = error
+            assert last_error is not None
+            raise last_error
+
+    def _raise_application_error(self, response: dict) -> None:
+        """Re-raise a server-reported error as its typed local class."""
+        error = response.get("error") or {}
+        error_type = str(error.get("type") or "")
+        message = str(error.get("message") or "remote call failed")
+        cls = getattr(errors, error_type, None)
+        if isinstance(cls, type) and issubclass(cls, ReproError):
+            raise cls(f"{self.uri}: {message}")
+        raise MixedQueryError(
+            f"remote source {self.uri} failed: {error_type}: {message}")
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Resilience counters for ``MediatorService.stats()``."""
+        shared = self._shared
+        with shared.lock:
+            latencies = sorted(shared.latencies)
+            calls, retries = shared.calls, shared.retries
+            hedges, hedge_wins = shared.hedges, shared.hedge_wins
+        p95 = latencies[min(len(latencies) - 1,
+                            int(len(latencies) * 0.95))] if latencies else None
+        return {
+            "uri": self.uri,
+            "model": self.model,
+            "breaker": shared.breaker.state,
+            "breaker_transitions": len(shared.breaker.transitions),
+            "calls": calls,
+            "retries": retries,
+            "hedges": hedges,
+            "hedge_wins": hedge_wins,
+            "latency_p95_s": p95,
+            "connections_opened": getattr(
+                shared.transport, "connections_opened", None),
+        }

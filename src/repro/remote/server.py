@@ -1,0 +1,220 @@
+"""Reference servers exposing a :class:`DataSource` over the wire protocol.
+
+:class:`RemoteSourceHandler` is transport-agnostic — one request payload
+in, one response payload out — so the in-process loopback transport and
+the TCP server share every line of the serving logic.  The supported
+operations mirror the :class:`~repro.core.sources.DataSource` protocol:
+
+``hello``
+    Source metadata (model, name, uri, size, description, version).
+``version``
+    Current store version (``null`` for unversioned sources).
+``pin``
+    Pin a server-side snapshot; returns its version.  Subsequent
+    ``execute`` / ``execute_batch`` requests carrying that version are
+    answered from the snapshot, so a remote plan observes one consistent
+    state even while the live store is written.
+``execute`` / ``execute_batch``
+    Evaluate one sub-query (for one binding, or a whole batch).
+``estimate``
+    The wrapper's cardinality estimate (``null`` encodes ``inf``).
+
+Errors are reported as ``{"ok": false, "error": {"type", "message"}}``;
+the client re-raises registered :class:`~repro.errors.ReproError`
+subclasses by name.
+"""
+
+from __future__ import annotations
+
+import logging
+import socketserver
+import threading
+from typing import Optional
+
+from repro.core.sources import DataSource
+from repro.errors import RemoteProtocolError, ReproError
+from repro.remote import protocol
+
+logger = logging.getLogger(__name__)
+
+#: Server-side snapshots kept per source (latest versions win).
+MAX_PINNED_SNAPSHOTS = 8
+
+
+class RemoteSourceHandler:
+    """Serve one :class:`DataSource` to any transport.
+
+    Thread-safe: the TCP server dispatches concurrent connections into
+    one shared handler.  Pinned snapshots are memoised per version so
+    every remote query pinning an unchanged source shares one wrapper.
+    """
+
+    def __init__(self, source: DataSource):
+        self.source = source
+        self._lock = threading.Lock()
+        self._pinned: dict[int, DataSource] = {}
+        self._served = 0
+
+    @property
+    def requests_served(self) -> int:
+        with self._lock:
+            return self._served
+
+    def handle(self, request: dict) -> dict:
+        """Answer one request payload; never raises."""
+        with self._lock:
+            self._served += 1
+        try:
+            return self._dispatch(request)
+        except ReproError as exc:
+            return {"ok": False,
+                    "error": {"type": type(exc).__name__, "message": str(exc)}}
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("remote handler for %s failed", self.source.uri)
+            return {"ok": False,
+                    "error": {"type": type(exc).__name__, "message": str(exc)}}
+
+    # -- operations --------------------------------------------------------
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "hello":
+            source = self.source
+            return {"ok": True, "model": source.model, "name": source.name,
+                    "uri": source.uri, "size": source.size(),
+                    "description": source.description,
+                    "version": source.version()}
+        if op == "version":
+            return {"ok": True, "version": self.source.version()}
+        if op == "pin":
+            return {"ok": True, "version": self._pin()}
+        if op == "execute":
+            target = self._target(request.get("version"))
+            query = protocol.decode_query(request.get("query"))
+            bindings = protocol.decode_row(request.get("bindings") or {})
+            rows = target.execute(query, bindings)
+            return {"ok": True, "version": target.pinned_at,
+                    "rows": [protocol.encode_row(row) for row in rows]}
+        if op == "execute_batch":
+            target = self._target(request.get("version"))
+            query = protocol.decode_query(request.get("query"))
+            batch = [protocol.decode_row(b)
+                     for b in request.get("bindings_batch") or []]
+            groups = target.execute_batch(query, batch)
+            return {"ok": True, "version": target.pinned_at,
+                    "groups": [[protocol.encode_row(row) for row in rows]
+                               for rows in groups]}
+        if op == "estimate":
+            target = self._target(request.get("version"))
+            query = protocol.decode_query(request.get("query"))
+            bound = set(request.get("bound_variables") or ())
+            estimate = target.estimate(query, bound)
+            return {"ok": True, "version": target.pinned_at,
+                    "estimate": protocol.encode_estimate(estimate)}
+        if op == "size":
+            return {"ok": True, "size": self.source.size()}
+        raise RemoteProtocolError(f"unknown operation {op!r}")
+
+    def _pin(self) -> Optional[int]:
+        pinned = self.source.pin()
+        version = pinned.pinned_at
+        if version is None:
+            version = self.source.version()
+        if version is None:
+            return None
+        with self._lock:
+            self._pinned[version] = pinned
+            while len(self._pinned) > MAX_PINNED_SNAPSHOTS:
+                del self._pinned[min(self._pinned)]
+        return version
+
+    def _target(self, version: object) -> DataSource:
+        """The wrapper serving one execute request.
+
+        A request carrying a pin version is answered from that snapshot;
+        an unknown (evicted / never pinned) version falls back to the
+        live wrapper — the client detects the mismatch via the response's
+        ``version`` and treats it as a retryable protocol error.
+        """
+        if version is None:
+            return self.source
+        if not isinstance(version, int):
+            raise RemoteProtocolError(
+                f"pin version must be an integer, got {type(version).__name__}")
+        with self._lock:
+            pinned = self._pinned.get(version)
+        return pinned if pinned is not None else self.source
+
+
+class _Connection(socketserver.BaseRequestHandler):
+    """One keep-alive client connection: frames in, frames out, EOF ends."""
+
+    def handle(self) -> None:
+        handler: RemoteSourceHandler = self.server.source_handler
+        while True:
+            try:
+                request = protocol.recv_frame(self.request)
+            except (ConnectionError, OSError):
+                return
+            except RemoteProtocolError as exc:
+                try:
+                    protocol.send_frame(self.request, {
+                        "ok": False,
+                        "error": {"type": "RemoteProtocolError",
+                                  "message": str(exc)}})
+                except OSError:
+                    pass
+                return
+            if request is None:
+                return
+            response = handler.handle(request)
+            try:
+                protocol.send_frame(self.request, response)
+            except (ConnectionError, OSError):
+                return
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class SourceServer:
+    """A TCP server exposing one :class:`DataSource` on ``host:port``.
+
+    ``port=0`` (the default) binds an ephemeral port; read it back from
+    :attr:`address` after :meth:`start`.  Usable as a context manager.
+    """
+
+    def __init__(self, source: DataSource, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.handler = RemoteSourceHandler(source)
+        self._server = _Server((host, port), _Connection)
+        self._server.source_handler = self.handler
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    def start(self) -> "SourceServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name=f"source-server-{self.handler.source.name}", daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "SourceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -193,6 +193,17 @@ class QueryTicket:
         if self.deadline is not None and time.monotonic() > self.deadline:
             raise QueryTimeoutError(f"query {self.query.name!r} missed its deadline")
 
+    def _remaining(self) -> Optional[float]:
+        """Seconds left before the deadline (None when unbounded).
+
+        Handed to the executor as its ``deadline`` callable so every
+        parallel dispatch wait is bounded by the ticket's budget — a hung
+        source times the stage out mid-wait instead of after it.
+        """
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
     def _finish(self, status: str, result: MixedResult | None = None,
                 error: BaseException | None = None) -> None:
         with self._lock:
@@ -359,6 +370,18 @@ class MediatorService:
             "builds": accel_registry.counter("json.accel.builds").value,
             "probe_rows": accel_registry.counter("json.accel.probe_rows").value,
         }
+        # Remote wrappers expose their resilience state (circuit-breaker
+        # state, retry/hedge counters, latency p95) — surface it per URI
+        # so operators see *which* source is tripping from one snapshot.
+        remote: dict[str, object] = {}
+        for uri in self.instance.source_uris():
+            source = self.instance.source(uri)
+            if getattr(source, "cost_kind", None) == "remote":
+                stats_fn = getattr(source, "stats", None)
+                if callable(stats_fn):
+                    remote[uri] = stats_fn()
+        if remote:
+            out["remote"] = remote
         return out
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
@@ -432,7 +455,7 @@ class MediatorService:
                 max_workers=self.config.dispatch_workers,
                 cancel_check=ticket._cancel_check,
                 dispatch_pool=self.dispatch_pool, task_pool=self.task_pool,
-                metrics=self.metrics)
+                metrics=self.metrics, deadline=ticket._remaining)
             try:
                 result = executor.execute(ticket.query, distinct=ticket.distinct,
                                           limit=ticket.limit)

@@ -40,20 +40,23 @@ class PinnedCatalog:
                  options: PlannerOptions | None = None, max_workers: int = 4,
                  cache: bool = True, cancel_check=None,
                  dispatch_pool=None, task_pool=None,
-                 metrics=None) -> MixedQueryExecutor:
+                 metrics=None, deadline=None) -> MixedQueryExecutor:
         """An executor whose every dispatch hits the pinned snapshots.
 
         ``instance`` supplies the shared mediator cache and statistics
         catalog (``cache=False`` detaches this executor from the shared
         result/plan caches — the equivalence harness uses that to verify
         service answers independently).  ``metrics`` is the registry the
-        executor records into (the service hands its own down).
+        executor records into (the service hands its own down);
+        ``deadline`` is a callable returning the seconds remaining before
+        the ticket's deadline, bounding every dispatch wait.
         """
         return MixedQueryExecutor(
             self.sources, self.glue, options=options, max_workers=max_workers,
             cache=instance.cache if cache else None,
             statistics=instance.statistics(), cancel_check=cancel_check,
-            dispatch_pool=dispatch_pool, task_pool=task_pool, metrics=metrics)
+            dispatch_pool=dispatch_pool, task_pool=task_pool, metrics=metrics,
+            deadline=deadline)
 
     def execute(self, instance: "MixedInstance", query, *,
                 options: PlannerOptions | None = None, distinct: bool = True,

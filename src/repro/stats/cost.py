@@ -58,7 +58,18 @@ DEFAULT_SOURCE_COSTS: dict[str, SourceCosts] = {
     # through its ``cost_kind`` attribute).
     "json_accel": SourceCosts(call_setup=1.5, per_row=0.012, per_binding=0.01),
     "fulltext": SourceCosts(call_setup=5.0, per_row=0.03, per_binding=0.02),
+    # Sources reached over the network (RemoteSource wrappers): one call
+    # pays a full round trip, dwarfing any local dispatch overhead, while
+    # marginal per-row / per-binding transfer stays cheap once the
+    # connection is streaming.  The planner therefore prefers *fewer,
+    # bigger* batches to remote sources (see :meth:`CostModel.batch_size`).
+    "remote": SourceCosts(call_setup=40.0, per_row=0.05, per_binding=0.02),
 }
+
+#: Call-setup level above which a kind is priced as "network-far": batch
+#: sizes decay more slowly so round trips are amortised over more
+#: bindings.  Local kinds (setup 1–5) sit below it and are unaffected.
+NETWORK_SETUP_THRESHOLD = 8.0
 
 #: Used for wrapper models the table does not know (custom sources).
 FALLBACK_SOURCE_COSTS = SourceCosts(call_setup=3.0, per_row=0.02, per_binding=0.012)
@@ -125,7 +136,8 @@ class CostModel:
         return calls * setup + bindings * per_binding + rows_out * per_row
 
     # ------------------------------------------------------------------
-    def batch_size(self, rows_per_binding: float) -> int:
+    def batch_size(self, rows_per_binding: float,
+                   models: Sequence[str] = ()) -> int:
         """Bind-join batch size, monotonically decreasing in cost.
 
         Selective steps (few rows per binding) batch maximally — every
@@ -134,10 +146,21 @@ class CostModel:
         transfer cost grows (results should start streaming early), down
         to :data:`MIN_BIND_BATCH` for very expensive or unbounded
         (``inf``) estimates — there is no discontinuity at any estimate.
+
+        ``models`` carries the kinds of the step's target sources.  For
+        network-far kinds (call setup above
+        :data:`NETWORK_SETUP_THRESHOLD`, i.e. a round trip per call) the
+        decay slows proportionally: when one call costs a 25 ms RTT, it
+        is worth shipping a large batch even for a moderately expensive
+        sub-query.  Local kinds keep the historical curve exactly.
         """
         if math.isnan(rows_per_binding) or math.isinf(rows_per_binding):
             return MIN_BIND_BATCH
         decay = max(0.0, rows_per_binding - 1.0) / self.batch_row_scale
+        if models:
+            setup = max(self.costs_for(m).call_setup for m in models)
+            if setup > NETWORK_SETUP_THRESHOLD:
+                decay /= setup / NETWORK_SETUP_THRESHOLD
         size = int(MAX_BIND_BATCH / (1.0 + decay))
         return min(MAX_BIND_BATCH, max(MIN_BIND_BATCH, size))
 

@@ -30,6 +30,12 @@ def pytest_configure(config):
         "structural range joins, accelerator-vs-reference equivalence "
         "including hypothesis property tests); run in isolation with "
         "`pytest -m json_accel`.")
+    config.addinivalue_line(
+        "markers",
+        "remote: remote source federation suites (wire protocol, "
+        "retry/hedging/circuit-breaker resilience, graceful degradation "
+        "and the deterministic chaos harness); run in isolation with "
+        "`pytest -m remote`.")
 from repro.fulltext import tweet_store
 from repro.rdf import Graph, RDFSchema, triple, uri
 from repro.relational import Database

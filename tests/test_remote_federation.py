@@ -1,0 +1,617 @@
+"""Remote source federation: protocol fidelity, resilience, chaos.
+
+The suite covers the layers of :mod:`repro.remote` bottom-up:
+
+* wire-protocol codec round trips (values, rows, all four query kinds);
+* `RemoteSource` ≡ in-process wrapper equivalence, over real TCP and over
+  the in-process loopback (a hypothesis property across all four models);
+* the resilience mechanisms one by one — retries, hedged requests,
+  circuit-breaker state machine (scripted clock), graceful degradation
+  from the stale result cache;
+* the executor/service seams — ``SourceDispatchError`` attribution,
+  deadline-bounded dispatch waits on a hung source, breaker state in
+  ``MediatorService.stats()``;
+* a deterministic chaos run: every source behind a seeded
+  ``FaultyTransport`` (10% faults plus one scripted full outage), where
+  every query must retry to the correct answer, degrade with a flag, or
+  fail with a typed ``RemoteError`` — never return wrong rows.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import zlib
+from datetime import date, datetime
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CMQBuilder, MixedInstance, PlannerOptions
+from repro.core.cmq import GLUE_SOURCE
+from repro.core.executor import MixedQueryExecutor
+from repro.core.sources import DataSource
+from repro.errors import (
+    CircuitOpenError,
+    QueryTimeoutError,
+    RemoteError,
+    SourceDispatchError,
+    SourceUnavailableError,
+)
+from repro.fulltext.store import FieldConfig, FullTextStore
+from repro.json.store import JSONDocumentStore
+from repro.obs.explain import explain_analyze
+from repro.rdf import Graph, triple
+from repro.relational import Database
+from repro.remote import (
+    CircuitBreaker,
+    FaultyTransport,
+    LocalTransport,
+    RemoteOptions,
+    RemoteSource,
+    RemoteSourceHandler,
+    SourceServer,
+    TCPTransport,
+    Transport,
+)
+from repro.remote import protocol
+from repro.service import MediatorService, ServiceConfig
+from repro.stats.cost import MIN_BIND_BATCH, CostModel
+
+pytestmark = pytest.mark.remote
+
+HANDLES = [f"u{i}" for i in range(8)]
+TOPICS = ["politics", "sports", "culture"]
+
+#: Test-friendly resilience knobs: real retry/breaker semantics, but with
+#: millisecond backoffs and hedging off (hedging has its own test).
+FAST = RemoteOptions(timeout=2.0, retries=2, backoff_base=0.001,
+                     backoff_max=0.004, hedge_delay=0,
+                     breaker_failures=4, breaker_reset=0.05)
+
+
+def build_instance(name: str = "fed") -> MixedInstance:
+    """A four-model instance: glue RDF + RDF + relational + full-text + JSON."""
+    glue = Graph(f"{name}-glue")
+    people = Graph(f"{name}-people")
+    database = Database(f"{name}-profiles")
+    store = FullTextStore(f"{name}-posts", fields=[
+        FieldConfig("text", "text"),
+        FieldConfig("user.screen_name", "keyword"),
+    ], default_field="text")
+    documents = JSONDocumentStore(f"{name}-tweets")
+    for i, handle in enumerate(HANDLES):
+        glue.add(triple(f"ttn:P{i}", "ttn:twitterAccount", handle))
+        glue.add(triple(f"ttn:P{i}", "ttn:memberOf", f"ttn:PARTY{i % 3}"))
+        people.add(triple(f"ttn:P{i}", "ttn:account", handle))
+        people.add(triple(f"ttn:P{i}", "ttn:hometown", f"City{i % 3}"))
+    database.create_table_from_rows(
+        "profiles", [{"handle": handle, "followers": 100 * (i + 1)}
+                     for i, handle in enumerate(HANDLES)])
+    for i in range(24):
+        handle = HANDLES[i % len(HANDLES)]
+        topic = TOPICS[i % len(TOPICS)]
+        store.add({"id": i, "text": f"post about {topic} by {handle}",
+                   "user": {"screen_name": handle}})
+        documents.add({"id": i, "author": handle, "topic": topic,
+                       "likes": (i * 7) % 40})
+    instance = MixedInstance(graph=glue, name=name, entailment=False)
+    instance.register_rdf("rdf://people", people)
+    instance.register_relational("sql://profiles", database)
+    instance.register_fulltext("solr://posts", store)
+    instance.register_json("json://tweets", documents)
+    return instance
+
+
+def queries(instance: MixedInstance) -> list:
+    """CMQs spanning every model (all bind joins on ``id``)."""
+    out = []
+    builder = instance.builder("q_profiles")
+    builder.graph("SELECT ?id ?p WHERE { ?x ttn:twitterAccount ?id . "
+                  "?x ttn:memberOf ?p }")
+    builder.sql("prof", source="sql://profiles",
+                sql="SELECT handle AS id, followers AS f FROM profiles "
+                    "WHERE handle = {id}")
+    out.append(builder.build())
+    builder = instance.builder("q_home")
+    builder.graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+    builder.rdf("home", "SELECT ?id ?town WHERE { ?p ttn:account ?id . "
+                        "?p ttn:hometown ?town }", source="rdf://people")
+    out.append(builder.build())
+    builder = instance.builder("q_tweets")
+    builder.graph("SELECT ?id ?p WHERE { ?x ttn:twitterAccount ?id . "
+                  "?x ttn:memberOf ?p }")
+    builder.json("tweets", source="json://tweets",
+                 pattern='{ author: ?id, topic: "politics", likes: ?l }')
+    out.append(builder.build())
+    builder = instance.builder("q_posts")
+    builder.graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+    builder.fulltext("posts", source="solr://posts",
+                     query="user.screen_name:{id}",
+                     fields={"t": "text", "id": "user.screen_name"})
+    out.append(builder.build())
+    return out
+
+
+def atom_queries(instance: MixedInstance) -> dict:
+    """uri -> one representative SourceQuery per external source."""
+    out = {}
+    for cmq in queries(instance):
+        for atom in cmq.atoms:
+            if not atom.is_glue():
+                out[atom.source] = atom.query
+    return out
+
+
+def result_set(result):
+    return sorted(tuple(sorted((k, str(v)) for k, v in row.items()))
+                  for row in result.rows)
+
+
+def remote_wrap(base: MixedInstance, options: RemoteOptions = FAST,
+                fault=None):
+    """A parallel instance whose every source is remote over loopback.
+
+    ``fault(uri, transport)`` may wrap each loopback transport (chaos
+    tests pass a ``FaultyTransport`` factory).  Returns the instance and
+    the per-URI transports (the outermost layer).
+    """
+    inst = MixedInstance(graph=base.graph, name=base.name + "-remote",
+                         entailment=False)
+    transports = {}
+    for uri in base.source_uris():
+        source = base.source(uri)
+        transport: Transport = LocalTransport(RemoteSourceHandler(source).handle)
+        if fault is not None:
+            transport = fault(uri, transport)
+        transports[uri] = transport
+        inst.register_remote(transport, uri=uri, model=source.model,
+                             name=source.name, size=source.size(),
+                             options=options)
+    return inst, transports
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+
+def test_value_codec_roundtrip():
+    row = {
+        "n": 42, "f": 1.5, "s": "héllo", "none": None, "flag": True,
+        "tup": (1, "two", (3,)),
+        "day": date(2016, 3, 1),
+        "stamp": datetime(2016, 3, 1, 10, 30, 15),
+        "weird": {"$": "not-a-tag", "v": [1, 2]},
+        "nested": {"list": [1, {"k": (2, 3)}]},
+    }
+    over_the_wire = json.loads(json.dumps(protocol.encode_row(row)))
+    assert protocol.decode_row(over_the_wire) == row
+
+
+def test_estimate_codec_handles_infinity():
+    assert protocol.encode_estimate(float("inf")) is None
+    assert protocol.decode_estimate(None) == float("inf")
+    assert protocol.decode_estimate(protocol.encode_estimate(12.5)) == 12.5
+
+
+def test_query_codec_roundtrip_all_kinds():
+    base = build_instance("codec")
+    seen_kinds = set()
+    for cmq in queries(base):
+        for atom in cmq.atoms:
+            source = (base.glue_source if atom.is_glue()
+                      else base.source(atom.source))
+            wire = json.loads(json.dumps(protocol.encode_query(atom.query)))
+            seen_kinds.add(wire["kind"])
+            decoded = protocol.decode_query(wire)
+            bindings = {"id": HANDLES[3]}
+            assert (source.execute(decoded, bindings)
+                    == source.execute(atom.query, bindings))
+    assert seen_kinds == {"rdf", "sql", "fulltext", "json"}
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: remote wrappers answer exactly like in-process ones
+# ---------------------------------------------------------------------------
+
+def test_tcp_equivalence_and_keepalive():
+    base = build_instance("tcp")
+    servers = {uri: SourceServer(base.source(uri)).start()
+               for uri in base.source_uris()}
+    inst = MixedInstance(graph=base.graph, name="tcp-remote", entailment=False)
+    transports = []
+    try:
+        for uri, server in servers.items():
+            host, port = server.address
+            transport = TCPTransport(host, port)
+            transports.append(transport)
+            # No uri/model given: the wrapper learns both from `hello`.
+            remote = inst.register_remote(transport, options=FAST)
+            assert remote.uri == uri
+            assert remote.model == base.source(uri).model
+        for cmq in queries(base):
+            assert result_set(inst.execute(cmq)) == result_set(base.execute(cmq))
+        # Keep-alive: far fewer sockets than requests.
+        remote = inst.source("sql://profiles")
+        stats = remote.stats()
+        assert stats["calls"] > stats["connections_opened"] >= 1
+        assert stats["breaker"] == CircuitBreaker.CLOSED
+        # Pinning observes the same snapshot the live source serves.
+        pinned = inst.source("json://tweets").pin()
+        assert pinned.pinned_at == base.source("json://tweets").version()
+        query = atom_queries(base)["json://tweets"]
+        assert (pinned.execute(query, {"id": HANDLES[0]})
+                == base.source("json://tweets").execute(query, {"id": HANDLES[0]}))
+    finally:
+        for transport in transports:
+            transport.close()
+        for server in servers.values():
+            server.close()
+
+
+@pytest.fixture(scope="module")
+def loopback_pair():
+    base = build_instance("prop")
+    remote, _ = remote_wrap(base)
+    return base, remote, atom_queries(base)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_remote_equivalence_property(loopback_pair, data):
+    """RemoteSource ≡ in-process wrapper for every model and binding batch."""
+    base, remote, query_map = loopback_pair
+    uri = data.draw(st.sampled_from(sorted(query_map)))
+    query = query_map[uri]
+    batch = [{"id": handle}
+             for handle in data.draw(st.lists(st.sampled_from(HANDLES),
+                                              min_size=1, max_size=5))]
+    local, wrapped = base.source(uri), remote.source(uri)
+    assert (wrapped.execute_batch(query, batch)
+            == local.execute_batch(query, batch))
+    assert wrapped.execute(query, batch[0]) == local.execute(query, batch[0])
+    assert wrapped.estimate(query, {"id"}) == local.estimate(query, {"id"})
+
+
+# ---------------------------------------------------------------------------
+# Resilience mechanisms
+# ---------------------------------------------------------------------------
+
+class SteppedTransport(Transport):
+    """Loopback whose i-th physical request sleeps ``delays[i]`` seconds."""
+
+    def __init__(self, handler, delays):
+        self._inner = LocalTransport(handler.handle)
+        self.delays = delays
+        self._lock = threading.Lock()
+        self._index = 0
+
+    def request(self, payload, timeout=None):
+        with self._lock:
+            index = self._index
+            self._index += 1
+        time.sleep(self.delays[min(index, len(self.delays) - 1)])
+        return self._inner.request(payload, timeout=timeout)
+
+
+def test_hedged_request_cuts_tail_without_duplicating_rows():
+    base = build_instance("hedge")
+    source = base.source("sql://profiles")
+    handler = RemoteSourceHandler(source)
+    transport = SteppedTransport(handler, delays=[0.6, 0.0, 0.0])
+    remote = RemoteSource(
+        transport, uri=source.uri, model=source.model,
+        options=RemoteOptions(timeout=5.0, retries=0, hedge_delay=0.02))
+    query = atom_queries(base)["sql://profiles"]
+    started = time.perf_counter()
+    rows = remote.execute(query, {"id": HANDLES[1]})
+    elapsed = time.perf_counter() - started
+    # The hedge answered long before the 0.6s primary; the rows are the
+    # plain single answer — racing two identical reads duplicates nothing.
+    assert rows == source.execute(query, {"id": HANDLES[1]})
+    assert elapsed < 0.5
+    stats = remote.stats()
+    assert stats["hedges"] == 1 and stats["hedge_wins"] == 1
+    assert stats["retries"] == 0
+    assert transport._index == 2  # two physical legs, one logical call
+    remote.close()
+
+
+def test_retries_recover_from_transient_faults():
+    base = build_instance("retry")
+    handler = RemoteSourceHandler(base.source("sql://profiles"))
+    # seed=1, fault_rate=0.5: deterministic mix of injected timeouts /
+    # resets; retries must still land every call on the correct rows.
+    faulty = FaultyTransport(LocalTransport(handler.handle), seed=1,
+                             fault_rate=0.5)
+    remote = RemoteSource(
+        faulty, uri="sql://profiles", model="relational",
+        options=RemoteOptions(timeout=2.0, retries=4, backoff_base=0.001,
+                              backoff_max=0.002, hedge_delay=0,
+                              breaker_failures=50))
+    query = atom_queries(base)["sql://profiles"]
+    for handle in HANDLES:
+        assert (remote.execute(query, {"id": handle})
+                == base.source("sql://profiles").execute(query, {"id": handle}))
+    assert remote.stats()["retries"] > 0
+    assert faulty.injected["timeout"] + faulty.injected["reset"] > 0
+
+
+def test_circuit_breaker_state_machine_with_scripted_clock():
+    now = [0.0]
+    breaker = CircuitBreaker("src", failures=2, reset_after=5.0, probes=1,
+                             clock=lambda: now[0])
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    with pytest.raises(CircuitOpenError):
+        breaker.before_call()
+    now[0] = 5.5
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    breaker.before_call()  # the single admitted probe
+    with pytest.raises(CircuitOpenError):
+        breaker.before_call()  # second concurrent probe is rejected
+    breaker.record_failure()  # probe failed: straight back to open
+    assert breaker.state == CircuitBreaker.OPEN
+    now[0] = 11.0
+    breaker.before_call()
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.transitions == [
+        (CircuitBreaker.CLOSED, CircuitBreaker.OPEN),
+        (CircuitBreaker.OPEN, CircuitBreaker.HALF_OPEN),
+        (CircuitBreaker.HALF_OPEN, CircuitBreaker.OPEN),
+        (CircuitBreaker.OPEN, CircuitBreaker.HALF_OPEN),
+        (CircuitBreaker.HALF_OPEN, CircuitBreaker.CLOSED),
+    ]
+
+
+def test_breaker_trips_fails_fast_and_recovers_after_outage():
+    base = build_instance("breaker")
+    handler = RemoteSourceHandler(base.source("sql://profiles"))
+    faulty = FaultyTransport(LocalTransport(handler.handle),
+                             outages=((0, 10 ** 9),))
+    now = [0.0]
+    remote = RemoteSource(
+        faulty, uri="sql://profiles", model="relational",
+        options=RemoteOptions(timeout=1.0, retries=0, backoff_base=0.0,
+                              hedge_delay=0, breaker_failures=2,
+                              breaker_reset=5.0),
+        clock=lambda: now[0])
+    query = atom_queries(base)["sql://profiles"]
+    for _ in range(2):
+        with pytest.raises(SourceUnavailableError):
+            remote.execute(query, {"id": HANDLES[0]})
+    assert remote.breaker.state == CircuitBreaker.OPEN
+    reached_network = faulty.calls
+    with pytest.raises(CircuitOpenError):
+        remote.execute(query, {"id": HANDLES[0]})
+    assert faulty.calls == reached_network  # failed fast, no network touch
+    # The outage ends and the reset window elapses: one half-open probe
+    # succeeds and closes the circuit again.
+    faulty.outages = ()
+    now[0] = 6.0
+    assert (remote.execute(query, {"id": HANDLES[0]})
+            == base.source("sql://profiles").execute(query, {"id": HANDLES[0]}))
+    assert remote.breaker.state == CircuitBreaker.CLOSED
+    assert remote.breaker.transitions == [
+        (CircuitBreaker.CLOSED, CircuitBreaker.OPEN),
+        (CircuitBreaker.OPEN, CircuitBreaker.HALF_OPEN),
+        (CircuitBreaker.HALF_OPEN, CircuitBreaker.CLOSED),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation
+# ---------------------------------------------------------------------------
+
+def test_stale_cache_degradation_is_flagged_in_trace_and_explain():
+    base = build_instance("degrade")
+    remote, transports = remote_wrap(
+        base, fault=lambda uri, transport: FaultyTransport(transport))
+    cmq = queries(remote)[0]  # glue |> sql bind join
+    warm = remote.execute(cmq)
+    assert not warm.trace.degraded
+    expected = result_set(warm)
+    assert expected == result_set(base.execute(queries(base)[0]))
+    # Every remote source goes fully dark; the cached answers survive.
+    for transport in transports.values():
+        transport.outages = ((0, 10 ** 9),)
+    degraded = remote.execute(cmq)
+    assert result_set(degraded) == expected
+    assert degraded.trace.degraded
+    assert any(reason == "stale_cache" and source == "sql://profiles"
+               for _, source, reason in degraded.trace.degraded_atoms)
+    assert any(call.degraded for call in degraded.trace.calls)
+    assert "DEGRADED" in degraded.trace.summary()
+    report = explain_analyze(degraded)
+    assert report.degraded
+    rendered = report.render()
+    assert "DEGRADED result" in rendered and "stale_cache" in rendered
+
+
+def test_degradation_can_be_disabled():
+    base = build_instance("nodegrade")
+    remote, transports = remote_wrap(
+        base, fault=lambda uri, transport: FaultyTransport(transport))
+    cmq = queries(remote)[0]
+    remote.execute(cmq)  # warm
+    for transport in transports.values():
+        transport.outages = ((0, 10 ** 9),)
+    with pytest.raises(RemoteError):
+        remote.execute(cmq, options=PlannerOptions(graceful_degradation=False))
+
+
+# ---------------------------------------------------------------------------
+# Executor / service seams
+# ---------------------------------------------------------------------------
+
+class ExplodingSource(DataSource):
+    """A wrapper raising a *non-repro* error from its execute path."""
+
+    model = "fulltext"
+
+    def accepts(self, query) -> bool:
+        return True
+
+    def estimate(self, query, bound_variables=None) -> float:
+        return 1.0
+
+    def execute(self, query, bindings=None):
+        raise ValueError("boom")
+
+    def execute_batch(self, query, bindings_batch):
+        raise ValueError("boom")
+
+    def size(self) -> int:
+        return 1
+
+
+class HungSource(DataSource):
+    """A wrapper whose every dispatch blocks for ``delay`` seconds."""
+
+    model = "fulltext"
+
+    def __init__(self, uri: str, delay: float):
+        super().__init__(uri, name="hung")
+        self.delay = delay
+
+    def accepts(self, query) -> bool:
+        return True
+
+    def estimate(self, query, bound_variables=None) -> float:
+        return 1.0
+
+    def execute(self, query, bindings=None):
+        time.sleep(self.delay)
+        return []
+
+    def execute_batch(self, query, bindings_batch):
+        time.sleep(self.delay)
+        return [[] for _ in bindings_batch]
+
+    def size(self) -> int:
+        return 1
+
+
+def _one_atom_query(instance: MixedInstance, uri: str):
+    builder = instance.builder("q_seam")
+    builder.graph("SELECT ?id WHERE { ?x ttn:twitterAccount ?id }")
+    builder.fulltext("posts", source=uri, query="user.screen_name:{id}",
+                     fields={"t": "text", "id": "user.screen_name"})
+    return builder.build()
+
+
+def test_unexpected_wrapper_error_carries_source_and_atom():
+    glue = Graph("seam-glue")
+    for handle in HANDLES[:3]:
+        glue.add(triple("ttn:P0", "ttn:twitterAccount", handle))
+    instance = MixedInstance(graph=glue, name="seam", entailment=False)
+    instance.register(ExplodingSource("solr://boom"))
+    cmq = _one_atom_query(instance, "solr://boom")
+    with pytest.raises(SourceDispatchError) as err:
+        instance.execute(cmq)
+    assert err.value.source_uri == "solr://boom"
+    assert err.value.atom == "posts"
+    assert isinstance(err.value.__cause__, ValueError)
+
+
+def test_executor_deadline_times_out_mid_stage_on_hung_source():
+    glue = Graph("hung-glue")
+    for handle in HANDLES[:3]:
+        glue.add(triple("ttn:P0", "ttn:twitterAccount", handle))
+    instance = MixedInstance(graph=glue, name="hung", entailment=False)
+    hung = instance.register(HungSource("solr://hung", delay=3.0))
+    cmq = _one_atom_query(instance, "solr://hung")
+    started = time.monotonic()
+    executor = MixedQueryExecutor(
+        {hung.uri: hung}, instance.glue_source, max_workers=2,
+        deadline=lambda: 0.4 - (time.monotonic() - started))
+    with pytest.raises(QueryTimeoutError):
+        executor.execute(cmq)
+    assert time.monotonic() - started < 2.5  # not the 3s the source hangs
+
+
+def test_service_deadline_bounds_hung_dispatch():
+    glue = Graph("svc-hung-glue")
+    for handle in HANDLES[:3]:
+        glue.add(triple("ttn:P0", "ttn:twitterAccount", handle))
+    instance = MixedInstance(graph=glue, name="svc-hung", entailment=False)
+    instance.register(HungSource("solr://hung", delay=3.0))
+    cmq = _one_atom_query(instance, "solr://hung")
+    with MediatorService(instance, ServiceConfig(workers=1)) as service:
+        started = time.monotonic()
+        ticket = service.submit(cmq, deadline=0.4)
+        with pytest.raises(QueryTimeoutError):
+            ticket.result(timeout=10.0)
+        assert ticket.status == "timed_out"
+        assert time.monotonic() - started < 2.5
+
+
+def test_service_stats_expose_breaker_state_per_remote_source():
+    base = build_instance("svc-stats")
+    remote, _ = remote_wrap(base)
+    with MediatorService(remote, ServiceConfig(workers=1)) as service:
+        result = service.execute(queries(remote)[0], timeout=30.0)
+        assert result_set(result) == result_set(base.execute(queries(base)[0]))
+        stats = service.stats()
+    assert set(stats["remote"]) == set(base.source_uris())
+    for uri, snapshot in stats["remote"].items():
+        assert snapshot["breaker"] == CircuitBreaker.CLOSED
+        assert snapshot["uri"] == uri
+    assert stats["remote"]["sql://profiles"]["calls"] > 0
+
+
+def test_cost_model_prefers_bigger_batches_for_remote_sources():
+    model = CostModel()
+    assert model.batch_size(64.0, ("remote",)) > model.batch_size(64.0, ("fulltext",))
+    # Local kinds keep the historical curve exactly.
+    assert model.batch_size(64.0, ("rdf",)) == model.batch_size(64.0)
+    assert model.batch_size(float("inf"), ("remote",)) == MIN_BIND_BATCH
+
+
+# ---------------------------------------------------------------------------
+# Deterministic chaos
+# ---------------------------------------------------------------------------
+
+def test_chaos_faults_never_produce_wrong_rows():
+    base = build_instance("chaos")
+    workload = queries(base)
+    baselines = {cmq.name: result_set(base.execute(cmq)) for cmq in workload}
+    options = RemoteOptions(timeout=2.0, retries=3, backoff_base=0.001,
+                            backoff_max=0.004, hedge_delay=0,
+                            breaker_failures=4, breaker_reset=0.02)
+    remote, transports = remote_wrap(
+        base, options=options,
+        fault=lambda uri, transport: FaultyTransport(
+            transport, seed=zlib.crc32(uri.encode()), fault_rate=0.10,
+            latency_range=(0.0, 0.001)))
+    # One scripted full outage on the relational source mid-workload.
+    transports["sql://profiles"].outages = ((20, 60),)
+    outcomes = {"ok": 0, "degraded": 0, "typed_error": 0}
+    for _ in range(6):
+        for cmq in workload:
+            try:
+                result = remote.execute(cmq)
+            except RemoteError:
+                outcomes["typed_error"] += 1
+                continue
+            rows = result_set(result)
+            expected = baselines[cmq.name]
+            if result.trace.degraded:
+                outcomes["degraded"] += 1
+                # Stale/partial answers may miss rows, never invent them.
+                assert set(rows) <= set(expected)
+            else:
+                outcomes["ok"] += 1
+                assert rows == expected
+    assert outcomes["ok"] > 0
+    injected = {uri: dict(transport.injected)
+                for uri, transport in transports.items()}
+    assert sum(sum(counts.values()) for counts in injected.values()) > 0, injected
+    assert sum(remote.source(uri).stats()["retries"]
+               for uri in remote.source_uris()) > 0
