@@ -71,6 +71,27 @@ class CanonicalQuery:
             return None
         return key
 
+    def canonical_binding(self, bindings: Row) -> Row:
+        """The binding dict re-keyed by canonical variable names.
+
+        Unlike :meth:`binding_key` the values stay *raw* (no type
+        tagging): this form is executable — the multi-query fusion bus
+        carries bindings between isomorphic queries in it, and the
+        fused call's leader translates them back through its own
+        renaming via :meth:`original_binding`.
+        """
+        if not self.rename:
+            return dict(bindings)
+        return {self.rename.get(name, name): value
+                for name, value in bindings.items()}
+
+    def original_binding(self, bindings: Row) -> Row:
+        """A canonical binding dict re-keyed by this query's own names."""
+        if not self.rename:
+            return dict(bindings)
+        return {self.inverse.get(name, name): value
+                for name, value in bindings.items()}
+
     def canonical_rows(self, rows: list[Row]) -> list[Row]:
         """Rows re-keyed by canonical variable names (for storage)."""
         if not self.rename:

@@ -56,13 +56,27 @@ class LRUCache:
     ``max_entries`` is exceeded.  ``record_miss=False`` supports *peek*
     probes (e.g. the bind-join pre-probe) that should not inflate the
     miss counter of a binding that will be probed again at dispatch.
+
+    ``on_evict(key, value)`` is invoked for every entry leaving the
+    cache (LRU eviction, :meth:`remove`, :meth:`invalidate_where`,
+    :meth:`clear`) — but never for a :meth:`put` refreshing an existing
+    key.  Callbacks run *after* the internal lock is released, so they
+    may take other locks (the result cache uses this to keep its stale
+    degradation index pointing only at live entries).
     """
 
-    def __init__(self, max_entries: int = 1024):
+    def __init__(self, max_entries: int = 1024,
+                 on_evict: Callable[[Hashable, object], None] | None = None):
         self.max_entries = max(1, max_entries)
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self._lock = threading.RLock()
         self.stats = CacheStats()
+        self._on_evict = on_evict
+
+    def _notify(self, evicted: list[tuple[Hashable, object]]) -> None:
+        if self._on_evict is not None:
+            for key, value in evicted:
+                self._on_evict(key, value)
 
     def get(self, key: Hashable, record_miss: bool = True) -> Optional[object]:
         """The cached value, or ``None`` (values themselves are never None)."""
@@ -77,6 +91,7 @@ class LRUCache:
 
     def put(self, key: Hashable, value: object) -> None:
         """Insert (or refresh) an entry, evicting the oldest past capacity."""
+        evicted: list[tuple[Hashable, object]] = []
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -85,31 +100,38 @@ class LRUCache:
             self._entries[key] = value
             self.stats.insertions += 1
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted.append(self._entries.popitem(last=False))
                 self.stats.evictions += 1
+        self._notify(evicted)
 
     def remove(self, key: Hashable) -> bool:
         """Drop one entry; True when it was present."""
         with self._lock:
             if key in self._entries:
-                del self._entries[key]
+                value = self._entries.pop(key)
                 self.stats.invalidations += 1
-                return True
-            return False
+            else:
+                return False
+        self._notify([(key, value)])
+        return True
 
     def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose key satisfies ``predicate``."""
         with self._lock:
-            doomed = [key for key in self._entries if predicate(key)]
-            for key in doomed:
+            doomed = [(key, value) for key, value in self._entries.items()
+                      if predicate(key)]
+            for key, _ in doomed:
                 del self._entries[key]
             self.stats.invalidations += len(doomed)
-            return len(doomed)
+        self._notify(doomed)
+        return len(doomed)
 
     def clear(self) -> None:
         with self._lock:
-            self.stats.invalidations += len(self._entries)
+            dropped = list(self._entries.items())
+            self.stats.invalidations += len(dropped)
             self._entries.clear()
+        self._notify(dropped)
 
     def __len__(self) -> int:
         with self._lock:

@@ -31,6 +31,7 @@ unknown (``None``) are never cached.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.cache.keys import CanonicalQuery, canonical_query
@@ -38,24 +39,64 @@ from repro.cache.lru import CacheStats, LRUCache
 from repro.core.sources import DataSource, Row, SourceQuery
 from repro.errors import MixedQueryError
 
+#: Memo sentinel: ``canonical_query`` answered "uncacheable" (``None``
+#: cannot live in the LRU directly — a missing key also reads ``None``).
+_UNCACHEABLE = object()
+
+
+@dataclass
+class MQOStats:
+    """Per-executor multi-query-optimization counters.
+
+    Filled in by the :class:`CachedSource` proxies of one executor while
+    the service's MQO coordinator shares work across in-flight queries,
+    then mirrored into the execution trace (``trace.shared_subqueries``
+    / ``trace.fused_probes``).  Mutations happen under the executor's
+    shared stats lock (the same one guarding its :class:`CacheStats`).
+    """
+
+    #: Probes answered by a sub-plan evaluation another in-flight query
+    #: performed (single-flight: this executor waited instead of calling).
+    shared_subqueries: int = 0
+    #: Miss bindings this executor had evaluated by *riding* another
+    #: query's batched source call instead of issuing its own.
+    fused_probes: int = 0
+
+    def snapshot(self) -> "MQOStats":
+        return MQOStats(self.shared_subqueries, self.fused_probes)
+
 
 class SubQueryResultCache:
     """LRU of sub-query results shared by every executor of an instance."""
 
-    #: Bound on the canonical-form memo (cleared wholesale past it, so a
-    #: workload of ever-changing query texts cannot grow it unboundedly).
+    #: Bound on the canonical-form memo (an LRU of its own, so a workload
+    #: of ever-changing query texts evicts cold forms one by one instead
+    #: of periodically flushing every hot query's memoised form).
     MAX_CANONICAL_MEMO = 4096
 
     def __init__(self, max_entries: int = 4096):
-        self.entries = LRUCache(max_entries)
-        self._canonical: dict[SourceQuery, Optional[CanonicalQuery]] = {}
+        self.entries = LRUCache(max_entries, on_evict=self._entry_evicted)
+        self._canonical = LRUCache(self.MAX_CANONICAL_MEMO)
         self._lock = threading.RLock()
         # Version-independent index: logical probe (URI, token, query,
         # binding) -> the full key of the *latest* inserted entry.  It
         # powers graceful degradation — when a remote source is down its
         # current version is unknowable, yet the mediator can still find
-        # the freshest rows it ever cached for the probe.
+        # the freshest rows it ever cached for the probe.  Pointers are
+        # dropped by ``_entry_evicted`` when the LRU evicts their target,
+        # so the index never outgrows (or outlives) the entries map.
         self._stale: dict[tuple, tuple] = {}
+
+    def _entry_evicted(self, key: tuple, value: object) -> None:
+        """LRU eviction callback: drop the stale pointer of one entry.
+
+        Only when the pointer still targets the evicted key — a newer
+        version's insert may have redirected it already.
+        """
+        logical = self._logical(key)
+        with self._lock:
+            if self._stale.get(logical) == key:
+                del self._stale[logical]
 
     @staticmethod
     def _logical(key: tuple) -> tuple:
@@ -70,14 +111,12 @@ class SubQueryResultCache:
     def canonicalize(self, query: SourceQuery) -> Optional[CanonicalQuery]:
         """Memoised canonical form of ``query`` (None = uncacheable)."""
         try:
-            with self._lock:
-                if query in self._canonical:
-                    return self._canonical[query]
-                canon = canonical_query(query)
-                if len(self._canonical) >= self.MAX_CANONICAL_MEMO:
-                    self._canonical.clear()
-                self._canonical[query] = canon
-                return canon
+            memo = self._canonical.get(query, record_miss=False)
+            if memo is not None:
+                return None if memo is _UNCACHEABLE else memo
+            canon = canonical_query(query)
+            self._canonical.put(query, canon if canon is not None else _UNCACHEABLE)
+            return canon
         except TypeError:  # unhashable query object
             return None
 
@@ -109,10 +148,17 @@ class SubQueryResultCache:
         return canon.original_rows(stored)
 
     def insert(self, key: tuple, canon: CanonicalQuery, rows: list[Row]) -> None:
-        self.entries.put(key, canon.canonical_rows(rows))
+        self.insert_canonical(key, canon.canonical_rows(rows))
+
+    def insert_canonical(self, key: tuple, canonical_rows: list[Row]) -> None:
+        """Insert rows already in canonical variable names.
+
+        Used by the MQO fusion path, where the leader of a fused call
+        caches every participant's probe — the rows it holds are already
+        canonical, having crossed between differently-renamed queries.
+        """
+        self.entries.put(key, canonical_rows)
         with self._lock:
-            if len(self._stale) >= 2 * self.entries.max_entries:
-                self._stale.clear()
             self._stale[self._logical(key)] = key
 
     def fetch_stale(self, source, query: SourceQuery,
@@ -150,8 +196,8 @@ class SubQueryResultCache:
 
     def clear(self) -> None:
         self.entries.clear()
+        self._canonical.clear()
         with self._lock:
-            self._canonical.clear()
             self._stale.clear()
 
     def __len__(self) -> int:
@@ -170,14 +216,25 @@ class CachedSource(DataSource):
     this proxy's hit/miss counts, so an execution's trace reports its
     own probes rather than a delta of the instance-wide counters (which
     other concurrent executions would pollute).
+
+    ``mqo`` is an optional multi-query coordinator (duck-typed —
+    :class:`repro.service.mqo.MQOCoordinator`): cache misses are then
+    routed through its single-flight / probe-fusion bus, so a sub-plan
+    another in-flight query is already evaluating is waited for instead
+    of recomputed, and compatible miss batches from different queries
+    fuse into one ``execute_batch`` source call.  ``mqo_stats`` collects
+    this executor's share of that cross-query work for its trace.
     """
 
     def __init__(self, inner: DataSource, cache: SubQueryResultCache,
                  stats: CacheStats | None = None,
-                 stats_lock: threading.Lock | None = None):
+                 stats_lock: threading.Lock | None = None,
+                 mqo=None, mqo_stats: MQOStats | None = None):
         self.inner = inner
         self.cache = cache
         self.local_stats = stats
+        self.mqo = mqo
+        self.mqo_stats = mqo_stats
         # The stats object is shared by every proxy of one executor and
         # bumped from parallel dispatch threads; the (equally shared)
         # lock keeps the counters exact.
@@ -191,6 +248,13 @@ class CachedSource(DataSource):
                 self.local_stats.hits += 1
             else:
                 self.local_stats.misses += 1
+
+    def _record_mqo(self, shared: int, fused: int) -> None:
+        if self.mqo_stats is None or not (shared or fused):
+            return
+        with self._stats_lock:
+            self.mqo_stats.shared_subqueries += shared
+            self.mqo_stats.fused_probes += fused
 
     # -- delegation ---------------------------------------------------------
     @property
@@ -213,6 +277,33 @@ class CachedSource(DataSource):
     def cache_token(self):  # type: ignore[override]
         return self.inner.cache_token
 
+    @property
+    def cost_kind(self) -> str:
+        """The wrapped source's cost-model kind.
+
+        Without this delegation a remote source seen through the proxy
+        would fall back to ``model``-keyed (local-call) pricing and lose
+        the network-aware batch sizing its ``"remote"`` kind buys.
+        """
+        return getattr(self.inner, "cost_kind", self.inner.model)
+
+    @property
+    def trust_wrapper_estimate(self) -> bool:  # type: ignore[override]
+        return self.inner.trust_wrapper_estimate
+
+    def pin(self) -> "CachedSource":
+        """A proxy over the pinned inner source (same cache, same stats)."""
+        pinned = self.inner.pin()
+        if pinned is self.inner:
+            return self
+        return CachedSource(pinned, self.cache, stats=self.local_stats,
+                            stats_lock=self._stats_lock, mqo=self.mqo,
+                            mqo_stats=self.mqo_stats)
+
+    @property
+    def pinned_at(self) -> Optional[int]:  # type: ignore[override]
+        return self.inner.pinned_at
+
     def version(self) -> Optional[int]:
         return self.inner.version()
 
@@ -224,6 +315,50 @@ class CachedSource(DataSource):
 
     def size(self) -> int:
         return self.inner.size()
+
+    # -- MQO fusion bus -----------------------------------------------------
+    def _fusion_runner(self, query: SourceQuery, canon: CanonicalQuery):
+        """Leader-side evaluator handed to the MQO coordinator.
+
+        Receives the union probe list of one fused slot — possibly
+        containing probes contributed by *other* queries' executors, in
+        canonical binding names — translates the bindings into this
+        query's own variable names, ships ONE source call, and caches
+        every answer under its (fully canonical) key so concurrent and
+        later probes hit without a call of their own.
+        """
+
+        def run(probes: list[tuple[tuple, Row]]) -> list[list[Row]]:
+            originals = [canon.original_binding(binding) for _, binding in probes]
+            if len(originals) == 1:
+                fetched = [self.inner.execute(query, originals[0])]
+            else:
+                fetched = self.inner.execute_batch(query, originals)
+            if len(fetched) != len(probes):
+                raise MixedQueryError(
+                    f"source {self.inner.uri!r} answered {len(fetched)} bindings "
+                    f"of a {len(probes)}-binding fused batch"
+                )
+            out: list[list[Row]] = []
+            for (full_key, _), rows in zip(probes, fetched):
+                canonical = canon.canonical_rows(rows)
+                self.cache.insert_canonical(full_key, canonical)
+                out.append(canonical)
+            return out
+
+        return run
+
+    def _fusion_key(self, version: int, canon: CanonicalQuery,
+                    canonical_binding: Row) -> tuple:
+        """The bus key grouping probes that may share one source call.
+
+        The sorted canonical binding-variable *schema* is part of the
+        key: wrappers push a batch down natively (IN-lists, disjunctive
+        templates) assuming a uniform binding shape, so probes binding
+        different variable sets must never ride one call.
+        """
+        return (self.inner.uri, self.inner.cache_token, version, canon.key,
+                tuple(sorted(canonical_binding)))
 
     # -- cached protocol ----------------------------------------------------
     def execute(self, query: SourceQuery, bindings: Row | None = None) -> list[Row]:
@@ -240,6 +375,14 @@ class CachedSource(DataSource):
             self._record(hit=True)
             return rows
         self._record(hit=False)
+        if self.mqo is not None:
+            canonical = canon.canonical_binding(bindings)
+            fetched, shared, fused = self.mqo.fuse(
+                self._fusion_key(version, canon, canonical),
+                [(key, canonical)], self._fusion_runner(query, canon),
+                batched=False)
+            self._record_mqo(shared, fused)
+            return canon.original_rows(fetched[0])
         rows = self.inner.execute(query, bindings)
         self.cache.insert(key, canon, rows)
         return rows
@@ -264,7 +407,10 @@ class CachedSource(DataSource):
                 self._record(hit=False)
             miss_indices.append(index)
             miss_keys.append(keyed)
-        if miss_indices:
+        if self.mqo is not None and any(k is not None for k in miss_keys):
+            self._execute_misses_fused(query, version, batch, miss_indices,
+                                       miss_keys, results)
+        elif miss_indices:
             fetched = self.inner.execute_batch(query, [batch[i] for i in miss_indices])
             if len(fetched) != len(miss_indices):
                 raise MixedQueryError(
@@ -276,6 +422,49 @@ class CachedSource(DataSource):
                 if keyed is not None:
                     self.cache.insert(keyed[0], keyed[1], rows)
         return [rows if rows is not None else [] for rows in results]
+
+    def _execute_misses_fused(self, query: SourceQuery, version: int,
+                              batch: list[Row], miss_indices: list[int],
+                              miss_keys: list, results: list) -> None:
+        """Route a batch's cache misses through the MQO fusion bus.
+
+        Keyed misses are grouped by binding schema (one bus slot per
+        shape) so compatible probes from concurrent queries fuse into
+        one source call; unkeyed (uncacheable) bindings ship directly.
+        """
+        direct: list[int] = []
+        groups: dict[tuple, list[tuple[int, tuple, Row]]] = {}
+        canon: Optional[CanonicalQuery] = None
+        for index, keyed in zip(miss_indices, miss_keys):
+            if keyed is None:
+                direct.append(index)
+                continue
+            key, canon = keyed  # one query => one memoised canonical form
+            canonical = canon.canonical_binding(batch[index])
+            fusion_key = self._fusion_key(version, canon, canonical)
+            groups.setdefault(fusion_key, []).append((index, key, canonical))
+        if groups:
+            assert canon is not None
+            runner = self._fusion_runner(query, canon)
+            shared = fused = 0
+            for fusion_key, members in groups.items():
+                fetched, s, f = self.mqo.fuse(
+                    fusion_key, [(key, binding) for _, key, binding in members],
+                    runner, batched=True)
+                shared += s
+                fused += f
+                for (index, _, _), canonical_rows in zip(members, fetched):
+                    results[index] = canon.original_rows(canonical_rows)
+            self._record_mqo(shared, fused)
+        if direct:
+            fetched = self.inner.execute_batch(query, [batch[i] for i in direct])
+            if len(fetched) != len(direct):
+                raise MixedQueryError(
+                    f"source {self.inner.uri!r} answered {len(fetched)} bindings "
+                    f"of a {len(direct)}-binding batch"
+                )
+            for index, rows in zip(direct, fetched):
+                results[index] = rows
 
     def peek(self, query: SourceQuery, bindings: Row) -> Optional[list[Row]]:
         """Cache-only probe (no source call, no miss recorded).

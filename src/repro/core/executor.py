@@ -35,7 +35,7 @@ import threading
 import time
 
 from repro.cache.lru import CacheStats
-from repro.cache.results import CachedSource
+from repro.cache.results import CachedSource, MQOStats
 from repro.core.cmq import ConjunctiveMixedQuery, SourceAtom
 from repro.core.planner import PlannerOptions, PlanStep, QueryPlan, QueryPlanner
 from repro.core.results import ExecutionTrace, MixedResult, StepObservation, SubQueryCall
@@ -86,7 +86,7 @@ class MixedQueryExecutor:
                  options: PlannerOptions | None = None, max_workers: int = 4,
                  digests=None, cache=None, statistics=None,
                  cancel_check=None, dispatch_pool=None, task_pool=None,
-                 metrics=None, deadline=None):
+                 metrics=None, deadline=None, mqo=None):
         self._sources = dict(sources)
         self._glue = glue
         self.options = options or PlannerOptions()
@@ -123,19 +123,28 @@ class MixedQueryExecutor:
         # shared with other executors).
         self._result_cache = None
         self._cache_stats = None
+        #: This executor's share of cross-query MQO work (``mqo`` is the
+        #: service's fusion coordinator, duck-typed — the core layer
+        #: never imports :mod:`repro.service`).
+        self._mqo_stats = None
         self._dispatch: dict[str, DataSource] = self._sources
         self._dispatch_glue: DataSource = glue
         if cache is not None and self.options.result_cache:
             self._result_cache = cache.results
             self._cache_stats = CacheStats()
+            self._mqo_stats = MQOStats() if mqo is not None else None
             stats_lock = threading.Lock()
             self._dispatch = {uri: CachedSource(source, cache.results,
                                                 stats=self._cache_stats,
-                                                stats_lock=stats_lock)
+                                                stats_lock=stats_lock,
+                                                mqo=mqo,
+                                                mqo_stats=self._mqo_stats)
                               for uri, source in self._sources.items()}
             self._dispatch_glue = CachedSource(glue, cache.results,
                                                stats=self._cache_stats,
-                                               stats_lock=stats_lock)
+                                               stats_lock=stats_lock,
+                                               mqo=mqo,
+                                               mqo_stats=self._mqo_stats)
 
     # ------------------------------------------------------------------
     def execute(self, query: ConjunctiveMixedQuery, plan: QueryPlan | None = None,
@@ -178,6 +187,8 @@ class MixedQueryExecutor:
         start = time.perf_counter()
         cache_stats = (self._cache_stats.snapshot()
                        if self._cache_stats is not None else None)
+        mqo_stats = (self._mqo_stats.snapshot()
+                     if self._mqo_stats is not None else None)
         plan = plan or self.planner.plan(query)
         trace = ExecutionTrace(atom_order=plan.atom_order(), plan_text=plan.explain(),
                                stages=[[plan.steps[i].atom.name for i in stage]
@@ -281,6 +292,11 @@ class MixedQueryExecutor:
             trace.cache_hits = (now.hits - cache_stats.hits
                                 + sum(join.cache_hits for join in batch_joins))
             trace.cache_misses = now.misses - cache_stats.misses
+        if mqo_stats is not None:
+            current_mqo = self._mqo_stats
+            trace.shared_subqueries = (current_mqo.shared_subqueries
+                                       - mqo_stats.shared_subqueries)
+            trace.fused_probes = current_mqo.fused_probes - mqo_stats.fused_probes
         return MixedResult(variables=output, rows=rows, trace=trace)
 
     # ------------------------------------------------------------------
@@ -402,9 +418,21 @@ class MixedQueryExecutor:
         def binding_of(row: Row) -> Row:
             return {v: row[v] for v in relevant if v in row}
 
+        join_cell: list[BatchBindJoin] = []
+
         def fetch_batch(bindings: list[Row]) -> list[list[Row]]:
             with _span(f"bind:{atom.name}", bindings=len(bindings)) as sp:
+                before = (self._mqo_stats.snapshot()
+                          if self._mqo_stats is not None else None)
                 per_binding = self._execute_atom_batch(step, atom, bindings, trace)
+                if before is not None and join_cell:
+                    # Attribute this batch's cross-query sharing to the
+                    # join (stages run one bind step at a time, so the
+                    # delta belongs to exactly this operator).
+                    join_cell[0].shared_results += (
+                        self._mqo_stats.shared_subqueries - before.shared_subqueries)
+                    join_cell[0].fused_probes += (
+                        self._mqo_stats.fused_probes - before.fused_probes)
                 if sp is not None:
                     sp.set(rows=sum(len(rows) for rows in per_binding))
                 return per_binding
@@ -417,6 +445,7 @@ class MixedQueryExecutor:
                              batch_size=step.batch_size or DEFAULT_BATCH_SIZE,
                              sieve=sieve, probe=self._cache_probe(step, atom),
                              name=f"bind:{atom.name}")
+        join_cell.append(join)
         batch_joins.append(join)
         return join
 

@@ -426,6 +426,11 @@ class BatchBindJoin(Operator):
         self.bindings_shipped = 0
         self.sieved_out = 0
         self.cache_hits = 0
+        #: Cross-query MQO sharing attributed to this join by the
+        #: executor: miss bindings that rode another in-flight query's
+        #: fused source call / were answered by its single-flight slot.
+        self.fused_probes = 0
+        self.shared_results = 0
         self._key_orders: dict[frozenset, tuple[str, ...]] = {}
 
     def _default_key(self, row: Row) -> tuple:

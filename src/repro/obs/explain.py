@@ -64,6 +64,10 @@ class ExplainReport:
     cache_misses: int = 0
     sieved_bindings: int = 0
     replans: int = 0
+    #: MQO sharing: probes answered by another in-flight query's
+    #: evaluation / bindings that rode another query's fused call.
+    shared_subqueries: int = 0
+    fused_probes: int = 0
     #: True when at least one call served stale or partial rows because
     #: its source was down; ``degraded_atoms`` lists the affected
     #: ``(atom, source_uri, reason)`` triples.
@@ -118,6 +122,10 @@ class ExplainReport:
             f"miss(es) · sieve dropped {self.sieved_bindings} binding(s) · "
             f"replans {self.replans} · plan "
             + ("cached" if self.plan_cached else "built"))
+        if self.shared_subqueries or self.fused_probes:
+            lines.append(
+                f"  mqo: {self.shared_subqueries} shared sub-query(ies) · "
+                f"{self.fused_probes} fused probe(s)")
         if include_plan and self.plan_text:
             lines.append("  plan:")
             lines.extend("    " + line for line in self.plan_text.splitlines())
@@ -189,6 +197,8 @@ def explain_analyze(result) -> ExplainReport:
         cache_misses=trace.cache_misses,
         sieved_bindings=trace.sieved_bindings,
         replans=trace.replans,
+        shared_subqueries=getattr(trace, "shared_subqueries", 0),
+        fused_probes=getattr(trace, "fused_probes", 0),
         degraded=getattr(trace, "degraded", False),
         degraded_atoms=list(getattr(trace, "degraded_atoms", ())),
         span_tree=spans,

@@ -7,7 +7,10 @@ Public entry points:
 * :class:`ServiceConfig` — the scheduler's knobs;
 * :class:`QueryTicket` — the future-like handle ``submit`` returns;
 * :class:`PinnedCatalog` / :func:`pin_instance` — the snapshot vector a
-  query observes (also reachable as ``MixedInstance.pin()``).
+  query observes (also reachable as ``MixedInstance.pin()``);
+* :class:`MQOCoordinator` / :class:`QueryGroup` — the multi-query
+  fusion bus (single-flight shared sub-plans, cross-query probe
+  fusion) and the batch-admission groups feeding it.
 """
 
 from repro.errors import (
@@ -27,6 +30,7 @@ from repro.service.mediator import (
     ServiceConfig,
     TIMED_OUT,
 )
+from repro.service.mqo import MQOCoordinator, QueryGroup
 from repro.service.snapshots import PinnedCatalog, pin_instance
 
 __all__ = [
@@ -34,10 +38,12 @@ __all__ = [
     "CANCELLED",
     "DONE",
     "FAILED",
+    "MQOCoordinator",
     "MediatorService",
     "PENDING",
     "PinnedCatalog",
     "QueryCancelledError",
+    "QueryGroup",
     "QueryTicket",
     "QueryTimeoutError",
     "RUNNING",

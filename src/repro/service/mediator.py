@@ -43,6 +43,7 @@ from repro.errors import (
 )
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.spans import SpanTracer, attach, detach
+from repro.service.mqo import MQOCoordinator, QueryGroup
 from repro.service.snapshots import PinnedCatalog, pin_instance
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -74,6 +75,17 @@ class ServiceConfig:
         wait, planning, execution stages, source calls) exposed as
         :attr:`QueryTicket.span_tree`.  Turning it off skips all span
         allocation for served queries.
+    ``mqo``
+        Multi-query optimization: a worker dequeuing a ticket scoops up
+        to ``mqo_group_size - 1`` further pending tickets into a group
+        sharing ONE pinned snapshot vector, and every executor's cache
+        misses flow through the service's fusion bus
+        (:class:`~repro.service.mqo.MQOCoordinator`) — identical
+        in-flight sub-queries evaluate once (single-flight) and
+        compatible bind-join probes from different queries fuse into
+        one batched source call.  ``mqo_fusion_window`` is how long a
+        batched call is held open for riders (seconds; only while more
+        than one ticket is in flight).
     """
 
     workers: int = 4
@@ -84,6 +96,9 @@ class ServiceConfig:
     dispatch_workers: int = 4
     task_workers: int = 4
     tracing: bool = True
+    mqo: bool = True
+    mqo_group_size: int = 8
+    mqo_fusion_window: float = 0.002
 
 
 #: Ticket life cycle states.
@@ -113,6 +128,10 @@ class QueryTicket:
         self.error: Optional[BaseException] = None
         #: The snapshot vector the query pinned (set when it starts).
         self.pinned: Optional[PinnedCatalog] = None
+        #: The admission group this ticket was batched into (None when
+        #: MQO is off or no compatible tickets were pending); members
+        #: share the group's pinned snapshot vector.
+        self.group: Optional[QueryGroup] = None
         self.submitted_at = time.monotonic()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -265,6 +284,10 @@ class MediatorService:
         }
         if getattr(instance, "cache", None) is not None:
             instance.cache.register_metrics(self.metrics)
+        #: The multi-query fusion bus every executor's misses flow
+        #: through (None when ``config.mqo`` is off).
+        self.mqo = (MQOCoordinator(window=self.config.mqo_fusion_window)
+                    if self.config.mqo else None)
         self.dispatch_pool = WorkPool(self.config.dispatch_workers,
                                       name="mediator-dispatch")
         self.task_pool = WorkPool(self.config.task_workers,
@@ -382,6 +405,8 @@ class MediatorService:
                     remote[uri] = stats_fn()
         if remote:
             out["remote"] = remote
+        if self.mqo is not None:
+            out["mqo"] = self.mqo.stats()
         return out
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
@@ -427,7 +452,46 @@ class MediatorService:
             with self._lock:
                 self._queued -= 1
                 self._queue_depth_gauge.set(self._queued)
+            if self.mqo is not None and item.ticket.group is None:
+                self._form_group(item.ticket)
             self._run_ticket(item.ticket)
+
+    def _form_group(self, ticket: QueryTicket) -> None:
+        """Group admission: batch pending tickets under ONE snapshot.
+
+        The dequeuing worker scoops up to ``mqo_group_size - 1`` further
+        pending tickets, pins one snapshot vector for the whole group
+        and puts the scooped members straight back (same priority and
+        sequence, so their order is preserved) — they only gained the
+        group tag, other workers still run them in parallel.  Sharing
+        the pinned versions makes every member's canonical sub-query
+        keys line up exactly, so the fusion bus can share work across
+        the group without ever mixing snapshot versions.
+        """
+        members: list[_QueueItem] = []
+        while len(members) + 1 < self.config.mqo_group_size:
+            try:
+                extra = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if extra.ticket is None:
+                # A shutdown sentinel sorts after every real ticket —
+                # nothing worth scooping can be behind it.  Put it back
+                # for the workers and stop.
+                self._queue.put(extra)
+                break
+            members.append(extra)
+        group = QueryGroup(pinned=pin_instance(self.instance),
+                           size=len(members) + 1)
+        ticket.group = group
+        for item in members:
+            item.ticket.group = group
+            # Not a new submission: ``_queued`` was never decremented
+            # for a scooped item, so re-enqueueing keeps the gauge
+            # balanced (it is decremented when a worker dequeues it).
+            self._queue.put(item)
+        if members:
+            self.mqo.group_formed(group.size)
 
     def _run_ticket(self, ticket: QueryTicket) -> None:
         if ticket.queue_span is not None:
@@ -447,15 +511,23 @@ class MediatorService:
                 return
             ticket.status = RUNNING
             ticket.started_at = time.monotonic()
-            # Pin the snapshot vector *at execution start*: the query
-            # reflects the freshest state available when it got a worker.
-            ticket.pinned = pin_instance(self.instance)
+            # The group's shared snapshot vector when batch admission
+            # grouped this ticket; otherwise pin *at execution start*,
+            # reflecting the freshest state available when it got a
+            # worker.
+            if ticket.group is not None:
+                ticket.pinned = ticket.group.pinned
+            else:
+                ticket.pinned = pin_instance(self.instance)
             executor = ticket.pinned.executor(
                 self.instance, options=ticket.options,
                 max_workers=self.config.dispatch_workers,
                 cancel_check=ticket._cancel_check,
                 dispatch_pool=self.dispatch_pool, task_pool=self.task_pool,
-                metrics=self.metrics, deadline=ticket._remaining)
+                metrics=self.metrics, deadline=ticket._remaining,
+                mqo=self.mqo)
+            if self.mqo is not None:
+                self.mqo.ticket_started()
             try:
                 result = executor.execute(ticket.query, distinct=ticket.distinct,
                                           limit=ticket.limit)
@@ -471,6 +543,9 @@ class MediatorService:
             else:
                 self._account(DONE, ticket)
                 ticket._finish(DONE, result=result)
+            finally:
+                if self.mqo is not None:
+                    self.mqo.ticket_finished()
         finally:
             if token is not None:
                 detach(token)

@@ -40,7 +40,7 @@ class PinnedCatalog:
                  options: PlannerOptions | None = None, max_workers: int = 4,
                  cache: bool = True, cancel_check=None,
                  dispatch_pool=None, task_pool=None,
-                 metrics=None, deadline=None) -> MixedQueryExecutor:
+                 metrics=None, deadline=None, mqo=None) -> MixedQueryExecutor:
         """An executor whose every dispatch hits the pinned snapshots.
 
         ``instance`` supplies the shared mediator cache and statistics
@@ -49,14 +49,16 @@ class PinnedCatalog:
         service answers independently).  ``metrics`` is the registry the
         executor records into (the service hands its own down);
         ``deadline`` is a callable returning the seconds remaining before
-        the ticket's deadline, bounding every dispatch wait.
+        the ticket's deadline, bounding every dispatch wait; ``mqo`` is
+        the service's :class:`~repro.service.mqo.MQOCoordinator` so the
+        executor's cache misses share work with other in-flight queries.
         """
         return MixedQueryExecutor(
             self.sources, self.glue, options=options, max_workers=max_workers,
             cache=instance.cache if cache else None,
             statistics=instance.statistics(), cancel_check=cancel_check,
             dispatch_pool=dispatch_pool, task_pool=task_pool, metrics=metrics,
-            deadline=deadline)
+            deadline=deadline, mqo=mqo)
 
     def execute(self, instance: "MixedInstance", query, *,
                 options: PlannerOptions | None = None, distinct: bool = True,

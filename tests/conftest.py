@@ -36,6 +36,12 @@ def pytest_configure(config):
         "retry/hedging/circuit-breaker resilience, graceful degradation "
         "and the deterministic chaos harness); run in isolation with "
         "`pytest -m remote`.")
+    config.addinivalue_line(
+        "markers",
+        "mqo: multi-query optimization suites (group admission, "
+        "single-flight shared sub-plans, cross-query probe fusion, "
+        "group-vs-per-query equivalence including hypothesis property "
+        "tests); run in isolation with `pytest -m mqo`.")
 from repro.fulltext import tweet_store
 from repro.rdf import Graph, RDFSchema, triple, uri
 from repro.relational import Database
