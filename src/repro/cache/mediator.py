@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.cache.plans import PlanCache
+from repro.cache.repair import RepairEngine
 from repro.cache.results import SubQueryResultCache
 
 
@@ -17,6 +18,10 @@ class MediatorCache:
     def __init__(self, result_entries: int = 4096, plan_entries: int = 256):
         self.results = SubQueryResultCache(result_entries)
         self.plans = PlanCache(plan_entries)
+        # Delta-join repair of version-orphaned result entries; shared by
+        # every CachedSource proxy so a streaming write repairs each
+        # affected entry once, instance-wide.
+        self.repair = RepairEngine(self.results)
 
     def clear(self) -> None:
         """Drop every cached result and plan."""
@@ -29,7 +34,8 @@ class MediatorCache:
         results["entries"] = len(self.results)
         plans = self.plans.stats.as_dict()
         plans["entries"] = len(self.plans)
-        return {"results": results, "plans": plans}
+        return {"results": results, "plans": plans,
+                "repair": self.repair.stats.as_dict()}
 
     def register_metrics(self, registry=None) -> None:
         """Surface both caches in a metrics registry as lazy gauges.
@@ -57,6 +63,13 @@ class MediatorCache:
                                        cache=label)
             registry.register_callback("cache_entries",
                                        lambda c=cache: len(c), cache=label)
+        repair = self.repair.stats
+        registry.register_callback("cache_repair_attempts",
+                                   lambda s=repair: s.attempts)
+        registry.register_callback("cache_repair_repaired",
+                                   lambda s=repair: s.repaired)
+        registry.register_callback("cache_repair_rows_appended",
+                                   lambda s=repair: s.rows_appended)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"MediatorCache(results={len(self.results)}, "

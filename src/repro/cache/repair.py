@@ -1,0 +1,445 @@
+"""Incremental delta-join repair of cached sub-query results.
+
+Without repair, every source mutation bumps the source version and
+orphans *all* of that source's cached sub-query results at once — a
+streaming ingest turns the result cache into a pure miss machine.  This
+module closes the loop between the stores' typed delta journals
+(:mod:`repro.core.deltas`) and the :class:`SubQueryResultCache`: on a
+cache miss whose probe has an entry cached under an *older* version, the
+:class:`RepairEngine` fetches the unbroken delta chain between the two
+versions and, for repair-sound query shapes, evaluates the query **over
+the delta alone**, appends the delta's contribution to the old rows, and
+re-stamps the entry under the new version — the hot path then hits
+without ever re-dispatching to the source.
+
+Soundness is per model and deliberately conservative; anything outside
+the gates falls back to plain invalidation (a recorded miss), never to a
+wrong answer:
+
+relational
+    single-table SELECT without joins, aggregates, GROUP BY, HAVING,
+    ORDER BY, LIMIT or DISTINCT.  Insert-only deltas *scoped to the
+    queried table* are evaluated by running the very same SQL against a
+    one-table delta database (reusing the wrapper's placeholder and
+    post-filter semantics); deltas scoped to other tables re-stamp the
+    entry verbatim — the database-wide version moved, the rows did not.
+full-text
+    queries without ``limit``, ``sort_by`` or a ``_score`` output (those
+    depend on global corpus statistics / ranking, which every insert
+    perturbs).  Insert-only deltas run against a delta store sharing the
+    live store's field configs and analyzer.
+json
+    tree patterns without ``limit``.  Insert-only deltas run against a
+    delta document store; document *upserts* are journalled as a
+    distinct kind and fall back (the old copy's rows may be anywhere in
+    the cached list).
+rdf
+    BGPs on non-entailment sources with a non-empty head.  Repair is a
+    seeded semi-naive step: each delta triple is unified against each
+    triple pattern and the full BGP re-evaluated over the *current*
+    graph from that seed (plus the probe's own bindings), so joins
+    between new and pre-existing triples are found; results are
+    deduplicated against the cached rows (BGP results are distinct).
+
+Merged rows equal a cold re-execution as a *multiset*; for relational
+and JSON shapes even the order matches (inserts append).  Full-text hit
+order may differ (cold results interleave by score) — cached rows are
+consumed as sets by the bind joins, so this is observable only to
+callers that already must not rely on order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Optional
+
+from repro.cache.keys import CanonicalQuery
+from repro.cache.lru import LRUCache
+from repro.core.deltas import INSERT, DeltaRecord
+from repro.core.sources import (
+    FullTextQuery,
+    FullTextSource,
+    JSONQuery,
+    JSONSource,
+    RDFQuery,
+    RelationalSource,
+    Row,
+    SourceQuery,
+    SQLQuery,
+    _binding_term_variants,
+    _PLACEHOLDER_RE,
+    _to_python,
+)
+from repro.fulltext.store import FullTextStore
+from repro.json.store import JSONDocumentStore
+from repro.obs.metrics import get_registry
+from repro.rdf.bgp import evaluate_bgp
+from repro.rdf.terms import Variable
+from repro.relational.ast import SelectStatement
+from repro.relational.database import Database
+from repro.relational.parser import parse_sql
+
+
+class RepairStats:
+    """Thread-safe counters of the engine's outcomes."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.attempts = 0      # misses with a prior-version entry to repair
+        self.repaired = 0      # entries re-stamped after delta evaluation
+        self.restamped = 0     # of which: pure re-stamps (delta elsewhere)
+        self.rows_appended = 0
+        self.fallbacks: dict[str, int] = {}
+
+    def attempt(self) -> None:
+        with self._lock:
+            self.attempts += 1
+
+    def success(self, appended: int, pure_restamp: bool) -> None:
+        with self._lock:
+            self.repaired += 1
+            self.rows_appended += appended
+            if pure_restamp:
+                self.restamped += 1
+
+    def fallback(self, reason: str) -> None:
+        with self._lock:
+            self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+
+    def as_dict(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "attempts": self.attempts,
+                "repaired": self.repaired,
+                "restamped": self.restamped,
+                "rows_appended": self.rows_appended,
+                "fallbacks": dict(self.fallbacks),
+            }
+
+
+class RepairEngine:
+    """Applies insert-only delta chains to cached sub-query results.
+
+    One engine serves one :class:`SubQueryResultCache`; it is probed by
+    every :class:`CachedSource` proxy on a cache miss.  All evaluation is
+    local (delta stores built from journalled items, seeded BGP steps on
+    the already-held graph) — the engine never calls a source.
+    """
+
+    #: Bound on memoised delta sources (one per (source, version span)).
+    MAX_DELTA_SOURCES = 64
+    #: A chain this large is cheaper to re-execute than to repair; it
+    #: also bounds the seeded-BGP work (seeds x patterns).
+    MAX_DELTA_ITEMS = 4096
+
+    def __init__(self, cache) -> None:
+        self.cache = cache
+        self.stats = RepairStats()
+        # (uri, token, pre, post) -> delta DataSource wrapper.  Shared
+        # across probes and queries: one ingest batch is repaired against
+        # one delta store no matter how many cached entries it touches.
+        self._delta_sources = LRUCache(self.MAX_DELTA_SOURCES)
+        self._delta_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def repair(self, source, version: int, query: SourceQuery, key: tuple,
+               canon: CanonicalQuery, bindings: Row) -> Optional[list[Row]]:
+        """Repair the probe's latest prior entry up to ``version``.
+
+        On success the merged rows are inserted under ``key`` (stamping
+        the entry at the current version) and returned in *canonical*
+        variable names; ``None`` means "fall back to a plain miss".
+        Never raises: any evaluation error is a counted fallback.
+        """
+        prior = self.cache.prior_entry(key)
+        if prior is None:
+            return None
+        prior_key, stored = prior
+        pre = prior_key[2]
+        if not isinstance(pre, int) or not isinstance(version, int) \
+                or pre >= version:
+            return None
+        self.stats.attempt()
+        records = source.deltas_since(pre, version)
+        if records is None:
+            self.stats.fallback("no_journal")
+            return None
+        try:
+            merged = self._apply(source, query, canon, bindings, stored,
+                                 records)
+        except Exception:  # noqa: BLE001 - repair must never break reads
+            self.stats.fallback("error")
+            return None
+        if merged is None:
+            return None
+        self.cache.insert_canonical(key, merged)
+        appended = len(merged) - len(stored)
+        self.stats.success(appended, pure_restamp=merged is stored)
+        registry = get_registry()
+        registry.counter("cache_repairs_total").inc()
+        registry.counter("cache_repair_rows_total").inc(appended)
+        return merged
+
+    # ------------------------------------------------------------------
+    def _apply(self, source, query: SourceQuery, canon: CanonicalQuery,
+               bindings: Row, stored: list[Row],
+               records: list[DeltaRecord]) -> Optional[list[Row]]:
+        """Dispatch on the query model; returns merged canonical rows.
+
+        Returning ``stored`` itself signals a pure re-stamp.
+        """
+        if sum(len(r.items) for r in records) > self.MAX_DELTA_ITEMS:
+            self.stats.fallback("delta_too_large")
+            return None
+        if isinstance(query, SQLQuery):
+            return self._apply_sql(source, query, canon, bindings, stored,
+                                   records)
+        if isinstance(query, FullTextQuery):
+            return self._apply_fulltext(source, query, canon, bindings,
+                                        stored, records)
+        if isinstance(query, JSONQuery):
+            return self._apply_json(source, query, canon, bindings, stored,
+                                    records)
+        if isinstance(query, RDFQuery):
+            return self._apply_rdf(source, query, canon, bindings, stored,
+                                   records)
+        self.stats.fallback("shape")
+        return None
+
+    # -- relational ----------------------------------------------------------
+    def _apply_sql(self, source, query: SQLQuery, canon: CanonicalQuery,
+                   bindings: Row, stored: list[Row],
+                   records: list[DeltaRecord]) -> Optional[list[Row]]:
+        statement = _simple_select(query.sql)
+        if statement is None:
+            self.stats.fallback("shape")
+            return None
+        table = statement.table.name.lower()
+        relevant = [r for r in records if r.scope is None or r.scope == table]
+        if not relevant:
+            # The database version moved, the queried table did not:
+            # yesterday's rows are today's rows.
+            return stored
+        if any(r.kind != INSERT for r in relevant):
+            self.stats.fallback("removals")
+            return None
+        delta = self._delta_source(
+            source, records[0].pre_version, records[-1].post_version,
+            lambda: _sql_delta_source(source, records))
+        rows = delta.execute(query, bindings)
+        # Inserts append in the base table too, so stored + delta rows
+        # reproduces a cold re-execution's order exactly.
+        return stored + canon.canonical_rows(rows)
+
+    # -- full-text -----------------------------------------------------------
+    def _apply_fulltext(self, source, query: FullTextQuery,
+                        canon: CanonicalQuery, bindings: Row,
+                        stored: list[Row],
+                        records: list[DeltaRecord]) -> Optional[list[Row]]:
+        if query.limit is not None or query.sort_by is not None \
+                or "_score" in query.fields().values():
+            # Ranking, truncation and scores depend on corpus-global
+            # statistics every insert perturbs.
+            self.stats.fallback("shape")
+            return None
+        if any(r.kind != INSERT for r in records):
+            self.stats.fallback("removals")
+            return None
+        delta = self._delta_source(
+            source, records[0].pre_version, records[-1].post_version,
+            lambda: _fulltext_delta_source(source, records))
+        rows = delta.execute(query, bindings)
+        return stored + canon.canonical_rows(rows)
+
+    # -- json ----------------------------------------------------------------
+    def _apply_json(self, source, query: JSONQuery, canon: CanonicalQuery,
+                    bindings: Row, stored: list[Row],
+                    records: list[DeltaRecord]) -> Optional[list[Row]]:
+        if query.limit is not None:
+            self.stats.fallback("shape")
+            return None
+        if any(r.kind != INSERT for r in records):
+            # Removals and upserts may change or reorder old rows.
+            self.stats.fallback("removals")
+            return None
+        delta = self._delta_source(
+            source, records[0].pre_version, records[-1].post_version,
+            lambda: _json_delta_source(source, records))
+        rows = delta.execute(query, bindings)
+        # New documents carry higher insertion ranks, so appending keeps
+        # the matcher's rank order — identical to a cold re-execution.
+        return stored + canon.canonical_rows(rows)
+
+    # -- rdf -----------------------------------------------------------------
+    def _apply_rdf(self, source, query: RDFQuery, canon: CanonicalQuery,
+                   bindings: Row, stored: list[Row],
+                   records: list[DeltaRecord]) -> Optional[list[Row]]:
+        if getattr(source, "entailment", False) or not query.bgp.head:
+            # Entailment: one explicit triple can derive unbounded new
+            # facts; head-less (ASK-style) shapes are not row streams.
+            self.stats.fallback("shape")
+            return None
+        if any(r.kind != INSERT for r in records):
+            self.stats.fallback("removals")
+            return None
+        graph = source.graph
+        bgp = query.bgp
+        delta_triples = [t for r in records for t in r.items]
+        if len(delta_triples) * max(1, len(bgp.patterns)) > self.MAX_DELTA_ITEMS:
+            self.stats.fallback("delta_too_large")
+            return None
+        # Mirror RDFSource.execute: probe every numeric/CURIE spelling of
+        # the probe's bindings.
+        bound = [(variable, _binding_term_variants(bindings[variable.name]))
+                 for variable in bgp.variables() if variable.name in bindings]
+        combos = list(itertools.product(*(terms for _, terms in bound))) \
+            if bound else [()]
+        seen = {frozenset(row.items()) for row in stored}
+        merged = list(stored)
+        rename = canon.rename
+        for triple in delta_triples:
+            for pattern in bgp.patterns:
+                seed = _unify(pattern, triple)
+                if seed is None:
+                    continue
+                for combo in combos:
+                    initial = dict(seed)
+                    compatible = True
+                    for (variable, _), term in zip(bound, combo):
+                        held = initial.get(variable, term)
+                        if held != term:
+                            compatible = False
+                            break
+                        initial[variable] = term
+                    if not compatible:
+                        continue
+                    for result in evaluate_bgp(bgp, graph,
+                                               initial_binding=initial):
+                        row = {rename.get(v.name, v.name): _to_python(t)
+                               for v, t in result.items()}
+                        fingerprint = frozenset(row.items())
+                        if fingerprint in seen:
+                            continue
+                        seen.add(fingerprint)
+                        merged.append(row)
+        if len(merged) == len(stored):
+            return stored
+        return merged
+
+    # ------------------------------------------------------------------
+    def _delta_source(self, source, pre: int, post: int, build):
+        """Memoised delta wrapper for one (source, version-span) pair."""
+        key = (source.uri, source.cache_token, pre, post)
+        with self._delta_lock:
+            cached = self._delta_sources.get(key, record_miss=False)
+            if cached is not None:
+                return cached
+        built = build()
+        with self._delta_lock:
+            cached = self._delta_sources.get(key, record_miss=False)
+            if cached is not None:
+                return cached
+            self._delta_sources.put(key, built)
+        return built
+
+
+# ---------------------------------------------------------------------------
+# Delta-store construction (one per version span, memoised by the engine)
+# ---------------------------------------------------------------------------
+
+def _sql_delta_source(source: RelationalSource,
+                      records: list[DeltaRecord]) -> RelationalSource:
+    """A one-off database holding only the chain's inserted rows.
+
+    Every table with journalled inserts is created under the live
+    schema, so any simple single-table SELECT of the workload can run
+    against it unmodified.
+    """
+    delta_db = Database(f"{source.database.name}+delta")
+    for record in records:
+        if record.kind != INSERT or record.scope is None or not record.items:
+            continue
+        if not delta_db.has_table(record.scope):
+            delta_db.create_table(source.database.table(record.scope).schema)
+        delta_db.table(record.scope).insert_many(record.items)
+    return RelationalSource(source.uri, delta_db, name=source.name)
+
+
+def _fulltext_delta_source(source: FullTextSource,
+                           records: list[DeltaRecord]) -> FullTextSource:
+    store = source.store
+    delta_store = FullTextStore(f"{store.name}+delta",
+                                fields=store.field_configs(),
+                                default_field=store.default_field,
+                                id_field=store.id_field,
+                                analyzer=store.analyzer)
+    delta_store.add_all([doc for r in records for doc in r.items])
+    return FullTextSource(source.uri, delta_store, name=source.name)
+
+
+def _json_delta_source(source: JSONSource,
+                       records: list[DeltaRecord]) -> JSONSource:
+    store = source.store
+    delta_store = JSONDocumentStore(f"{store.name}+delta",
+                                    id_field=store.id_field,
+                                    text_path=store.text_path)
+    delta_store.add_all([doc for r in records for doc in r.items])
+    return JSONSource(source.uri, delta_store, name=source.name)
+
+
+# ---------------------------------------------------------------------------
+# Shape gates and helpers
+# ---------------------------------------------------------------------------
+
+#: Memo of parsed placeholder-neutralised SQL shapes (text -> statement
+#: or False for "not repair-simple").
+_SQL_SHAPE_MEMO = LRUCache(256)
+
+
+def _simple_select(sql: str) -> Optional[SelectStatement]:
+    """Parse ``sql`` and return it only when repair-appendable.
+
+    Placeholders are neutralised to ``NULL`` first — the *structure*
+    (joins, aggregates, grouping, ordering, truncation) does not depend
+    on the bound values.
+    """
+    memo = _SQL_SHAPE_MEMO.get(sql, record_miss=False)
+    if memo is not None:
+        return memo or None
+    statement = _parse_simple_select(sql)
+    _SQL_SHAPE_MEMO.put(sql, statement if statement is not None else False)
+    return statement
+
+
+def _parse_simple_select(sql: str) -> Optional[SelectStatement]:
+    try:
+        statement = parse_sql(_PLACEHOLDER_RE.sub("NULL", sql))
+    except Exception:  # noqa: BLE001 - unparsable => not repairable
+        return None
+    if not isinstance(statement, SelectStatement) or statement.table is None:
+        return None
+    if statement.joins or statement.group_by or statement.having is not None \
+            or statement.order_by or statement.limit is not None \
+            or statement.distinct:
+        return None
+    for item in statement.items:
+        if not item.star and item.expression.aggregates():
+            return None
+    return statement
+
+
+def _unify(pattern, triple) -> Optional[dict]:
+    """Bind a triple pattern against one concrete triple (None = no match)."""
+    binding: dict = {}
+    for term, value in ((pattern.subject, triple.subject),
+                        (pattern.predicate, triple.predicate),
+                        (pattern.obj, triple.obj)):
+        if isinstance(term, Variable):
+            held = binding.get(term, value)
+            if held != value:
+                return None
+            binding[term] = value
+        elif term != value:
+            return None
+    return binding

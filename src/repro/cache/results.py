@@ -161,6 +161,26 @@ class SubQueryResultCache:
         with self._lock:
             self._stale[self._logical(key)] = key
 
+    def prior_entry(self, key: tuple) -> Optional[tuple[tuple, list[Row]]]:
+        """The latest surviving entry of this probe under an older version.
+
+        Input is the full key of a probe that just *missed*; the stale
+        index locates the newest entry ever inserted for the same
+        logical probe.  Returns ``(prior_key, stored_rows)`` with the
+        rows still in canonical names (they are the repair engine's
+        merge base, not an answer), or ``None`` when the probe was never
+        cached or its entry has aged out of the LRU.
+        """
+        logical = self._logical(key)
+        with self._lock:
+            prior_key = self._stale.get(logical)
+        if prior_key is None or prior_key == key:
+            return None
+        stored = self.entries.get(prior_key, record_miss=False)
+        if stored is None:
+            return None
+        return prior_key, stored
+
     def fetch_stale(self, source, query: SourceQuery,
                     bindings: Row) -> Optional[list[Row]]:
         """The latest rows ever cached for this probe, any version.
@@ -229,12 +249,19 @@ class CachedSource(DataSource):
     def __init__(self, inner: DataSource, cache: SubQueryResultCache,
                  stats: CacheStats | None = None,
                  stats_lock: threading.Lock | None = None,
-                 mqo=None, mqo_stats: MQOStats | None = None):
+                 mqo=None, mqo_stats: MQOStats | None = None,
+                 repair=None):
         self.inner = inner
         self.cache = cache
         self.local_stats = stats
         self.mqo = mqo
         self.mqo_stats = mqo_stats
+        # Optional delta-join repair engine (duck-typed —
+        # :class:`repro.cache.repair.RepairEngine`): a miss whose probe
+        # has an entry under an older source version is first offered
+        # for repair; success re-stamps the entry and counts as a hit,
+        # since no source call happened.
+        self.repair = repair
         # The stats object is shared by every proxy of one executor and
         # bumped from parallel dispatch threads; the (equally shared)
         # lock keeps the counters exact.
@@ -298,7 +325,7 @@ class CachedSource(DataSource):
             return self
         return CachedSource(pinned, self.cache, stats=self.local_stats,
                             stats_lock=self._stats_lock, mqo=self.mqo,
-                            mqo_stats=self.mqo_stats)
+                            mqo_stats=self.mqo_stats, repair=self.repair)
 
     @property
     def pinned_at(self) -> Optional[int]:  # type: ignore[override]
@@ -315,6 +342,20 @@ class CachedSource(DataSource):
 
     def size(self) -> int:
         return self.inner.size()
+
+    def _try_repair(self, version: int, query: SourceQuery, key: tuple,
+                    canon: CanonicalQuery,
+                    bindings: Row) -> Optional[list[Row]]:
+        """Offer a missed probe to the repair engine.
+
+        Returns the repaired rows in *canonical* names (the engine's
+        merge output), or ``None`` — no engine, no prior entry, or a
+        shape/delta the engine declined.
+        """
+        if self.repair is None:
+            return None
+        return self.repair.repair(self.inner, version, query, key, canon,
+                                  bindings)
 
     # -- MQO fusion bus -----------------------------------------------------
     def _fusion_runner(self, query: SourceQuery, canon: CanonicalQuery):
@@ -374,6 +415,12 @@ class CachedSource(DataSource):
         if rows is not None:
             self._record(hit=True)
             return rows
+        repaired = self._try_repair(version, query, key, canon, bindings)
+        if repaired is not None:
+            # The answer was rebuilt locally from the delta journal — no
+            # source call happened, so the probe counts as a hit.
+            self._record(hit=True)
+            return canon.original_rows(repaired)
         self._record(hit=False)
         if self.mqo is not None:
             canonical = canon.canonical_binding(bindings)
@@ -403,6 +450,12 @@ class CachedSource(DataSource):
                 if rows is not None:
                     self._record(hit=True)
                     results[index] = rows
+                    continue
+                repaired = self._try_repair(version, query, keyed[0],
+                                            keyed[1], bindings)
+                if repaired is not None:
+                    self._record(hit=True)
+                    results[index] = keyed[1].original_rows(repaired)
                     continue
                 self._record(hit=False)
             miss_indices.append(index)
@@ -478,7 +531,16 @@ class CachedSource(DataSource):
         keyed = self.cache.key_for(self.inner, version, query, bindings)
         if keyed is None:
             return None
-        return self.cache.fetch(keyed[0], keyed[1], record_miss=False)
+        rows = self.cache.fetch(keyed[0], keyed[1], record_miss=False)
+        if rows is not None:
+            return rows
+        # A peek is the bind join's pre-probe: repairing here means the
+        # dispatch that follows sees a plain hit.
+        repaired = self._try_repair(version, query, keyed[0], keyed[1],
+                                    bindings)
+        if repaired is None:
+            return None
+        return keyed[1].original_rows(repaired)
 
     def peek_stale(self, query: SourceQuery, bindings: Row) -> Optional[list[Row]]:
         """Version-independent cache probe for graceful degradation.

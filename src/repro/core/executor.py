@@ -134,17 +134,20 @@ class MixedQueryExecutor:
             self._cache_stats = CacheStats()
             self._mqo_stats = MQOStats() if mqo is not None else None
             stats_lock = threading.Lock()
+            repair = getattr(cache, "repair", None)
             self._dispatch = {uri: CachedSource(source, cache.results,
                                                 stats=self._cache_stats,
                                                 stats_lock=stats_lock,
                                                 mqo=mqo,
-                                                mqo_stats=self._mqo_stats)
+                                                mqo_stats=self._mqo_stats,
+                                                repair=repair)
                               for uri, source in self._sources.items()}
             self._dispatch_glue = CachedSource(glue, cache.results,
                                                stats=self._cache_stats,
                                                stats_lock=stats_lock,
                                                mqo=mqo,
-                                               mqo_stats=self._mqo_stats)
+                                               mqo_stats=self._mqo_stats,
+                                               repair=repair)
 
     # ------------------------------------------------------------------
     def execute(self, query: ConjunctiveMixedQuery, plan: QueryPlan | None = None,

@@ -319,6 +319,48 @@ class DataSource:
         """
         return None
 
+    def journal(self):
+        """The underlying store's :class:`~repro.core.deltas.DeltaJournal`.
+
+        ``None`` (the base default) means the wrapper emits no typed
+        deltas: cache repair and standing-query notification degrade to
+        plain invalidation / polling for this source.
+        """
+        return None
+
+    def deltas_since(self, version: int, upto: int | None = None):
+        """The unbroken delta chain ``version -> upto`` (None on a gap).
+
+        ``upto`` defaults to the wrapper's current version.  A ``None``
+        return (no journal, unknown version, or a transition the journal
+        did not see) tells the caller to fall back to invalidation.
+        """
+        journal = self.journal()
+        if journal is None:
+            return None
+        target = self.version() if upto is None else upto
+        if target is None:
+            return None
+        return journal.since(version, target)
+
+    def add_change_listener(self, listener) -> bool:
+        """Subscribe ``listener(record)`` to committed mutation batches.
+
+        Returns False when the wrapper has no journal (no notifications
+        will ever fire).  Listeners run on the writer's thread, outside
+        the store's write lock, and must never raise.
+        """
+        journal = self.journal()
+        if journal is None:
+            return False
+        journal.subscribe(listener)
+        return True
+
+    def remove_change_listener(self, listener) -> None:
+        journal = self.journal()
+        if journal is not None:
+            journal.unsubscribe(listener)
+
     def accepts(self, query: SourceQuery) -> bool:
         """True when this source can evaluate ``query``."""
         return self.model in query.compatible_models()
@@ -425,6 +467,9 @@ class RDFSource(DataSource):
     def version(self) -> int:
         return self.graph.version
 
+    def journal(self):
+        return self.graph.journal
+
     def _graph_state(self) -> tuple[int, int]:
         return (self.graph.additions, self.graph.removals)
 
@@ -483,18 +528,19 @@ class RDFSource(DataSource):
             state = self._graph_state()
             in_sync = (self.entailment and self._saturated is not None
                        and state == self._saturated_state)
-            with self.graph.rwlock.write_locked():
-                # One write section for the whole delta: a concurrent
-                # snapshot pins all of it or none of it.
-                fresh = [t for t in triples if self.graph.add(t)]
+            # One write section (inside add_batch) for the whole delta: a
+            # concurrent snapshot pins all of it or none of it, and the
+            # whole batch is ONE version bump and one journal record.
+            fresh = self.graph.add_batch(triples)
             if in_sync:
                 if fresh:
                     saturate_delta(self._saturated, fresh, schema=self._saturated_schema)
-                # Stamp only *our own* contribution: a concurrent direct
-                # graph.add by another thread then leaves the stamp behind
-                # the counters, and the next query absorbs it by
-                # set-difference instead of silently missing it.
-                self._saturated_state = (state[0] + len(fresh), state[1])
+                # Stamp only *our own* contribution (one batch = one
+                # counter tick): a concurrent direct graph.add by another
+                # thread then leaves the stamp behind the counters, and
+                # the next query absorbs it by set-difference instead of
+                # silently missing it.
+                self._saturated_state = (state[0] + (1 if fresh else 0), state[1])
             return len(fresh)
 
     def invalidate(self) -> None:
@@ -683,6 +729,9 @@ class RelationalSource(DataSource):
     def version(self) -> int:
         return self.database.version
 
+    def journal(self):
+        return self.database.journal
+
     def pin(self) -> "RelationalSource":
         """A read-only wrapper over a consistent snapshot of the database."""
         if self.pinned_at is not None:
@@ -818,6 +867,9 @@ class FullTextSource(DataSource):
 
     def version(self) -> int:
         return self.store.version
+
+    def journal(self):
+        return self.store.journal
 
     def pin(self) -> "FullTextSource":
         """A read-only wrapper over a snapshot of the full-text store."""
@@ -988,6 +1040,9 @@ class JSONSource(DataSource):
 
     def version(self) -> int:
         return self.store.version
+
+    def journal(self):
+        return self.store.journal
 
     def pin(self) -> "JSONSource":
         """A read-only wrapper over a snapshot of the document store."""

@@ -50,6 +50,7 @@ class ValueSetSummary:
     def __init__(self, values: Sequence[object], bloom_bits_per_value: int = 16,
                  histogram_buckets: int = 16, exact_limit: int = EXACT_SET_LIMIT,
                  top_k: int = 20, keyword_aliases: Sequence[object] | None = None):
+        self._exact_limit = exact_limit
         cleaned = [v for v in values if v is not None]
         normalized = [_normalize(v) for v in cleaned]
         self.total_values = len(cleaned)
@@ -80,6 +81,82 @@ class ValueSetSummary:
         self.numeric = bool(numeric_values) and len(numeric_values) == len(cleaned)
         self.histogram = EquiWidthHistogram(numeric_values, buckets=histogram_buckets) if self.numeric else None
         self.top_k = TopKSummary(normalized, k=top_k)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def absorb(self, values: Iterable[object]) -> None:
+        """Fold an insert-only delta into the summary, in place.
+
+        Built for streaming ingestion: instead of re-scanning a column
+        after every batch, the statistics catalog feeds just the inserted
+        values here.  Membership stays free of false negatives (Bloom
+        filters only gain bits; the exact set degrades to Bloom-only past
+        its limit), while the histogram absorbs out-of-range values by
+        clamping into the edge buckets and the top-k counts drift toward
+        an approximation — all uses are selectivity *estimates*, where
+        monotone approximation is acceptable and absence-proofs must stay
+        exact.  Removals cannot be absorbed; the caller rebuilds instead.
+        """
+        cleaned = [v for v in values if v is not None]
+        if not cleaned:
+            return
+        normalized = [_normalize(v) for v in cleaned]
+        self.total_values += len(cleaned)
+        fresh = sorted(set(normalized))
+        if self.exact is not None:
+            self.exact.update(fresh)
+            self.distinct_values = len(self.exact)
+            if len(self.exact) > self._exact_limit:
+                self.exact = None
+        else:
+            self.distinct_values += sum(
+                1 for v in fresh if not self.bloom.might_contain(v))
+        self.bloom.add_all(fresh)
+        tokens: set[str] = set()
+        for value in fresh:
+            tokens.update(_tokens(value))
+        self.token_bloom.add_all(tokens)
+        numeric_values = [v for v in cleaned
+                          if isinstance(v, (int, float)) and not isinstance(v, bool)]
+        if self.numeric:
+            if len(numeric_values) != len(cleaned):
+                self.numeric = False
+                self.histogram = None
+            elif self.histogram is not None:
+                self._absorb_histogram(numeric_values)
+        self._absorb_top_k(normalized)
+
+    def _absorb_histogram(self, values: Sequence[float]) -> None:
+        histogram = self.histogram
+        if not histogram.buckets:
+            self.histogram = EquiWidthHistogram(values,
+                                                buckets=len(histogram.buckets) or 16)
+            return
+        span = histogram.high - histogram.low
+        width = (span / len(histogram.buckets)) or 1.0
+        for value in values:
+            v = float(value)
+            index = min(max(int((v - histogram.low) / width), 0),
+                        len(histogram.buckets) - 1)
+            histogram.buckets[index].count += 1
+        histogram.total += len(values)
+
+    def _absorb_top_k(self, normalized: Sequence[str]) -> None:
+        top_k = self.top_k
+        counts: dict[str, int] = {}
+        for value in normalized:
+            counts[value] = counts.get(value, 0) + 1
+        entries = dict(top_k.entries)
+        for value, count in counts.items():
+            # A value absent from the tracked entries re-enters with just
+            # its delta count (its pre-eviction history is lost) — a
+            # space-time-style approximation that still lets a newly hot
+            # value displace stale singletons.
+            entries[value] = entries.get(value, 0) + count
+        top_k.total += len(normalized)
+        top_k.distinct = max(top_k.distinct, self.distinct_values)
+        top_k.entries = sorted(entries.items(), key=lambda kv: -kv[1])[:top_k.k]
 
     # ------------------------------------------------------------------
     # Membership

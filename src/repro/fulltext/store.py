@@ -23,6 +23,7 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.core.deltas import DeltaJournal, INSERT, REMOVE, UPSERT
 from repro.errors import FullTextError
 from repro.fulltext.analysis import Analyzer
 from repro.locks import RWLock
@@ -105,6 +106,8 @@ class FullTextStore:
             f.name: defaultdict(set) for f in fields if f.field_type == "keyword"
         }
         self._version = 0
+        #: Typed mutation log (shared with snapshots).
+        self._journal = DeltaJournal()
         #: field -> (version, average df); see average_document_frequency.
         self._average_df_cache: dict[str, tuple[int, float | None]] = {}
         self._rwlock = RWLock()
@@ -116,51 +119,101 @@ class FullTextStore:
         """Monotonic mutation counter (used for cache invalidation)."""
         return self._version
 
+    @property
+    def journal(self) -> DeltaJournal:
+        """The store's typed mutation log (shared with snapshots)."""
+        return self._journal
+
+    def deltas_since(self, version: int, upto: int | None = None):
+        """The unbroken delta chain ``version -> upto`` (None on a gap)."""
+        target = self._version if upto is None else upto
+        return self._journal.since(version, target)
+
+    def field_configs(self) -> list[FieldConfig]:
+        """The declared field configurations (delta-store construction)."""
+        return list(self._fields.values())
+
     # ------------------------------------------------------------------
     # Indexing
     # ------------------------------------------------------------------
     def add(self, source: dict[str, Any] | Document) -> Document:
-        """Index one document (raw JSON object or :class:`Document`)."""
+        """Index one document (raw JSON object or :class:`Document`).
+
+        Re-adding an existing ``doc_id`` is an upsert: the old copy is
+        de-indexed in place and the version bumps exactly once.
+        """
         doc = source if isinstance(source, Document) else make_document(source, self.id_field)
         with self._rwlock.write_locked():
-            if doc.doc_id in self._documents:
-                self.remove(doc.doc_id)
-            self._documents[doc.doc_id] = doc
-            for field_name, config in self._fields.items():
-                value = doc.get(field_name)
-                if value is None:
-                    continue
-                if config.field_type == "text":
-                    terms = self.analyzer.stems(self._stringify(value))
-                    self._text_indexes[field_name].add(doc.doc_id, terms)
-                elif config.field_type == "keyword":
-                    for keyword in self._keyword_values(value):
-                        self._keyword_indexes[field_name][keyword].add(doc.doc_id)
+            replaced = self._deindex_unlocked(doc.doc_id)
+            self._index_unlocked(doc)
+            pre = self._version
             self._version += 1
-            return doc
+            entry = self._journal.record(pre, pre + 1,
+                                         UPSERT if replaced else INSERT, (doc,))
+        self._journal.notify(entry)
+        return doc
 
     def add_all(self, sources: Iterable[dict[str, Any] | Document]) -> int:
         """Index every document of ``sources``; return how many were added.
 
         The write lock is held across the whole batch, so a concurrent
-        snapshot sees all of it or none of it.
+        snapshot sees all of it or none of it — and the whole batch is
+        ONE version bump (one ingest = one invalidation).
         """
+        entry = None
         with self._rwlock.write_locked():
-            return sum(1 for _ in map(self.add, sources))
+            added: list[Document] = []
+            replaced = False
+            for source in sources:
+                doc = source if isinstance(source, Document) \
+                    else make_document(source, self.id_field)
+                replaced = self._deindex_unlocked(doc.doc_id) or replaced
+                self._index_unlocked(doc)
+                added.append(doc)
+            if added:
+                pre = self._version
+                self._version += 1
+                entry = self._journal.record(pre, pre + 1,
+                                             UPSERT if replaced else INSERT,
+                                             added)
+        if entry is not None:
+            self._journal.notify(entry)
+        return len(added)
+
+    def _index_unlocked(self, doc: Document) -> None:
+        self._documents[doc.doc_id] = doc
+        for field_name, config in self._fields.items():
+            value = doc.get(field_name)
+            if value is None:
+                continue
+            if config.field_type == "text":
+                terms = self.analyzer.stems(self._stringify(value))
+                self._text_indexes[field_name].add(doc.doc_id, terms)
+            elif config.field_type == "keyword":
+                for keyword in self._keyword_values(value):
+                    self._keyword_indexes[field_name][keyword].add(doc.doc_id)
+
+    def _deindex_unlocked(self, doc_id: str) -> bool:
+        doc = self._documents.pop(doc_id, None)
+        if doc is None:
+            return False
+        for index in self._text_indexes.values():
+            index.remove(doc_id)
+        for keyword_index in self._keyword_indexes.values():
+            for doc_ids in keyword_index.values():
+                doc_ids.discard(doc_id)
+        return True
 
     def remove(self, doc_id: str) -> bool:
         """Remove a document from the store and all its indexes."""
         with self._rwlock.write_locked():
-            doc = self._documents.pop(doc_id, None)
-            if doc is None:
+            if not self._deindex_unlocked(doc_id):
                 return False
-            for index in self._text_indexes.values():
-                index.remove(doc_id)
-            for keyword_index in self._keyword_indexes.values():
-                for doc_ids in keyword_index.values():
-                    doc_ids.discard(doc_id)
+            pre = self._version
             self._version += 1
-            return True
+            entry = self._journal.record(pre, pre + 1, REMOVE, (doc_id,))
+        self._journal.notify(entry)
+        return True
 
     # ------------------------------------------------------------------
     # Snapshot isolation
@@ -192,6 +245,7 @@ class FullTextStore:
                     name: defaultdict(set, {k: set(v) for k, v in buckets.items()})
                     for name, buckets in self._keyword_indexes.items()}
                 frozen._version = self._version
+                frozen._journal = self._journal
                 frozen._average_df_cache = dict(self._average_df_cache)
                 frozen._rwlock = RWLock()
                 frozen._snapshot_state = (frozen._version, frozen)

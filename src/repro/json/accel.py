@@ -143,12 +143,23 @@ class StoreEncoding:
     # Construction
     # ------------------------------------------------------------------
     def extend(self, items: Iterable[tuple[str, dict]]) -> int:
-        """Append every not-yet-encoded ``(doc_id, document)``; count added."""
+        """Append every ``(doc_id, document)`` not already encoded.
+
+        "Already encoded" means encoded *as that exact object*: an upsert
+        replaces the stored document wholesale, so an id whose encoded
+        root raw is a different object is re-appended and its ordinal
+        repointed at the fresh copy.  The old copy becomes a dead
+        interval no ordinal reaches (views created before the repoint
+        clamp it out by watermark or by the identity check in
+        :meth:`EncodingView.ordinal`).
+        """
         added = 0
         with self._lock:
             with span("json.accel.encode") as sp:
                 for doc_id, document in items:
-                    if doc_id in self.ordinals:
+                    ordinal = self.ordinals.get(doc_id)
+                    if ordinal is not None and \
+                            self.raws[self.doc_starts[ordinal]] is document:
                         continue
                     self._encode(doc_id, document)
                     added += 1
@@ -337,10 +348,21 @@ class EncodingView:
         self.node_limit = node_limit
 
     # ------------------------------------------------------------------
-    def ordinal(self, doc_id: str) -> Optional[int]:
-        """The document's ordinal, or None when outside this view."""
+    def ordinal(self, doc_id: str,
+                document: Optional[dict] = None) -> Optional[int]:
+        """The document's ordinal, or None when outside this view.
+
+        When the caller passes the store's current ``document`` object,
+        the encoded copy must be that exact object: after an upsert the
+        shared ordinal may point at a copy this store never held (for
+        example when a snapshot and the live store diverged), and the
+        caller must fall back to the reference tree-walk.
+        """
         ordinal = self.encoding.ordinals.get(doc_id)
         if ordinal is None or ordinal >= self.doc_limit:
+            return None
+        if document is not None and \
+                self.encoding.raws[self.encoding.doc_starts[ordinal]] is not document:
             return None
         return ordinal
 

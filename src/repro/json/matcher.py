@@ -279,10 +279,11 @@ class TreePatternMatcher:
                   candidates=len(doc_ids)) as sp:
             matched = [0] * len(pattern.leaves) if sp is not None else None
             for doc_id in doc_ids:
-                ordinal = view.ordinal(doc_id)
+                document = self.store.get(doc_id)
+                ordinal = view.ordinal(doc_id, document)
                 if ordinal is None:
-                    # Outside the pinned view (defensive): walk the tree.
-                    document = self.store.get(doc_id)
+                    # Outside the pinned view (or an upsert repointed the
+                    # shared ordinal past our watermark): walk the tree.
                     if document is None:  # pragma: no cover - defensive
                         continue
                     doc_rows = match_document(pattern, document,

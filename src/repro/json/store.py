@@ -12,6 +12,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Iterable, TYPE_CHECKING
 
+from repro.core.deltas import INSERT, REMOVE, UPSERT, DeltaJournal
 from repro.errors import JSONError
 from repro.fulltext.document import Document
 from repro.json.accel import EncodingView, StoreEncoding
@@ -40,24 +41,112 @@ class JSONDocumentStore:
         self._next_rank = 0
         self._dataguide: JSONDataguide | None = None
         self._version = 0
+        self._journal = DeltaJournal()
         self._rwlock = RWLock()
         self._snapshot_state: tuple[int, "JSONDocumentStore"] | None = None
         self._snapshot_lock = threading.Lock()
         #: Columnar XPath-accelerator replica (built lazily; appended on
-        #: insert, dropped — full rebuild — on removal).
+        #: insert and upsert, dropped — full rebuild — on removal).
         self._accel: StoreEncoding | None = None
         self._accel_lock = threading.Lock()
+        #: Documents written since the encoding last synced, and the
+        #: number of encoded documents this store's views cover.
+        self._accel_pending: dict[str, dict[str, Any]] = {}
+        self._accel_limit = 0
 
     @property
     def version(self) -> int:
         """Monotonic mutation counter (used for cache invalidation)."""
         return self._version
 
+    @property
+    def journal(self) -> DeltaJournal:
+        """The store's typed mutation log (shared with snapshots)."""
+        return self._journal
+
+    def deltas_since(self, version: int, upto: int | None = None):
+        """The unbroken delta chain ``version -> upto`` (None on a gap)."""
+        target = self._version if upto is None else upto
+        return self._journal.since(version, target)
+
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def add(self, document: dict[str, Any]) -> str:
-        """Store (or replace) one document; returns its id."""
+        """Store (or replace) one document; returns its id.
+
+        Replacement is append-friendly: the old copy is de-indexed, the
+        new one indexed and queued for the accelerator encoding — the
+        encoding is kept, not discarded — and the version is bumped
+        exactly once.
+        """
+        doc_id, stored = self._prepare(document)
+        with self._rwlock.write_locked():
+            replaced = self._deindex_unlocked(doc_id)
+            self._index_unlocked(doc_id, stored)
+            self._dataguide = None
+            pre = self._version
+            self._version += 1
+            entry = self._journal.record(pre, pre + 1,
+                                         UPSERT if replaced else INSERT,
+                                         (stored,))
+        self._journal.notify(entry)
+        return doc_id
+
+    def add_all(self, documents: Iterable[dict[str, Any]]) -> int:
+        """Store many documents; returns how many were added.
+
+        The write lock is held across the whole batch, so a concurrent
+        snapshot sees all of it or none of it — and the whole batch is
+        ONE version bump, so one ingest invalidates derived state once,
+        not once per document.
+        """
+        entry = None
+        with self._rwlock.write_locked():
+            added: list[dict[str, Any]] = []
+            replaced = False
+            pre = self._version
+            try:
+                for document in documents:
+                    doc_id, stored = self._prepare(document)
+                    replaced = self._deindex_unlocked(doc_id) or replaced
+                    self._index_unlocked(doc_id, stored)
+                    added.append(stored)
+            finally:
+                # Even a partially applied batch (a malformed document
+                # mid-way) must advance the version exactly once: some
+                # documents landed, so version equality has to keep
+                # meaning "unchanged".
+                if added:
+                    self._dataguide = None
+                    self._version += 1
+                    entry = self._journal.record(
+                        pre, pre + 1, UPSERT if replaced else INSERT, added)
+        if entry is not None:
+            self._journal.notify(entry)
+        return len(added)
+
+    def remove(self, doc_id: str) -> bool:
+        """Drop a document (and its index entries); True when it existed."""
+        with self._rwlock.write_locked():
+            if not self._deindex_unlocked(doc_id):
+                return False
+            self._dataguide = None
+            # The encoding is append-only; a removal invalidates it and
+            # the next accelerated query rebuilds from scratch.  Shared
+            # snapshot views keep their own (old) encoding object.
+            self._accel = None
+            self._accel_pending = {}
+            self._accel_limit = 0
+            pre = self._version
+            self._version += 1
+            entry = self._journal.record(pre, pre + 1, REMOVE, (doc_id,))
+        self._journal.notify(entry)
+        return True
+
+    # ------------------------------------------------------------------
+    def _prepare(self, document: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+        """Validate one incoming document; returns ``(doc_id, copy)``."""
         if not isinstance(document, dict):
             raise JSONError(f"JSON store {self.name!r} only stores objects, "
                             f"got {type(document).__name__}")
@@ -67,58 +156,37 @@ class JSONDocumentStore:
             raise JSONError(
                 f"document is missing its id field {self.id_field!r}: {document}"
             )
-        doc_id = str(raw_id)
-        with self._rwlock.write_locked():
-            if doc_id in self._documents:
-                self.remove(doc_id)
-            leaves = list(Document(doc_id=doc_id, fields=stored).flat_fields())
-            self._documents[doc_id] = stored
-            self._leaves[doc_id] = leaves
-            self._ranks[doc_id] = self._next_rank
-            self._next_rank += 1
-            for path, value in leaves:
-                index = self._indexes.get(path)
-                if index is None:
-                    index = PathIndex(path)
-                    self._indexes[path] = index
-                index.add(doc_id, value)
-            self._dataguide = None
-            self._version += 1
-            return doc_id
+        return str(raw_id), stored
 
-    def add_all(self, documents: Iterable[dict[str, Any]]) -> int:
-        """Store many documents; returns how many were added.
+    def _deindex_unlocked(self, doc_id: str) -> bool:
+        """Drop a document's entries everywhere; True when it existed."""
+        if doc_id not in self._documents:
+            return False
+        for path, value in self._leaves.pop(doc_id, []):
+            index = self._indexes.get(path)
+            if index is not None:
+                index.remove(doc_id, value)
+                if not index.presence:
+                    del self._indexes[path]
+        del self._documents[doc_id]
+        del self._ranks[doc_id]
+        return True
 
-        The write lock is held across the whole batch, so a concurrent
-        snapshot sees all of it or none of it.
-        """
-        with self._rwlock.write_locked():
-            count = 0
-            for document in documents:
-                self.add(document)
-                count += 1
-            return count
-
-    def remove(self, doc_id: str) -> bool:
-        """Drop a document (and its index entries); True when it existed."""
-        with self._rwlock.write_locked():
-            if doc_id not in self._documents:
-                return False
-            for path, value in self._leaves.pop(doc_id, []):
-                index = self._indexes.get(path)
-                if index is not None:
-                    index.remove(doc_id, value)
-                    if not index.presence:
-                        del self._indexes[path]
-            del self._documents[doc_id]
-            del self._ranks[doc_id]
-            self._dataguide = None
-            # The encoding is append-only; a removal invalidates it and
-            # the next accelerated query rebuilds from scratch.  Shared
-            # snapshot views keep their own (old) encoding object.
-            self._accel = None
-            self._version += 1
-            return True
+    def _index_unlocked(self, doc_id: str, stored: dict[str, Any]) -> None:
+        """Store and index one (validated, copied) document."""
+        leaves = list(Document(doc_id=doc_id, fields=stored).flat_fields())
+        self._documents[doc_id] = stored
+        self._leaves[doc_id] = leaves
+        self._ranks[doc_id] = self._next_rank
+        self._next_rank += 1
+        for path, value in leaves:
+            index = self._indexes.get(path)
+            if index is None:
+                index = PathIndex(path)
+                self._indexes[path] = index
+            index.add(doc_id, value)
+        if self._accel is not None:
+            self._accel_pending[doc_id] = stored
 
     # ------------------------------------------------------------------
     # Snapshot isolation
@@ -150,14 +218,22 @@ class JSONDocumentStore:
                 frozen._next_rank = self._next_rank
                 frozen._dataguide = self._dataguide
                 frozen._version = self._version
+                # Shared journal: a frozen copy never writes, it only
+                # replays history up to its own (frozen) version.
+                frozen._journal = self._journal
                 frozen._rwlock = RWLock()
                 frozen._snapshot_state = (frozen._version, frozen)
                 frozen._snapshot_lock = threading.Lock()
                 # The encoding is shared, not re-derived: it only ever
                 # appends, and the snapshot clamps its views at its own
-                # document count, so later writes stay invisible to it.
+                # watermark, so later writes stay invisible to it.  The
+                # pending set is copied: the snapshot syncs (or skips,
+                # when the live store encoded the very same objects
+                # first) its own backlog on first view.
                 frozen._accel = self._accel
                 frozen._accel_lock = threading.Lock()
+                frozen._accel_pending = dict(self._accel_pending)
+                frozen._accel_limit = self._accel_limit
                 self._snapshot_state = (self._version, frozen)
                 return frozen
 
@@ -167,33 +243,40 @@ class JSONDocumentStore:
     def encoding_view(self) -> EncodingView:
         """A consistent columnar view over exactly this store's documents.
 
-        Built lazily at first use; inserts since the last view are
-        *appended* to the shared encoding (incremental repair), while a
-        removal dropped it entirely (see :meth:`remove`).  The returned
-        view is clamped at this store's document count, so a snapshot
-        sharing the live store's encoding never sees post-pin writes.
+        Built lazily at first use; inserts *and upserts* since the last
+        view are appended to the shared encoding (an upsert repoints the
+        document's ordinal at its fresh copy, leaving the old interval
+        dead), while a removal dropped it entirely (see :meth:`remove`).
+        The returned view is clamped at this store's own watermark, so a
+        snapshot sharing the live store's encoding never sees post-pin
+        writes — and an ordinal repointed *past* a view's watermark makes
+        the matcher fall back to the reference tree-walk for that
+        document, never read a stale copy.
         """
         with self._rwlock.read_locked():
-            encoding = self._accel
-            if encoding is None:
-                with self._accel_lock:
-                    encoding = self._accel
-                    if encoding is None:
+            with self._accel_lock:
+                encoding = self._accel
+                count = len(self._documents)
+                if encoding is None:
+                    encoding = StoreEncoding()
+                    encoding.extend(self._documents.items())
+                    self._accel = encoding
+                    self._accel_pending = {}
+                    self._accel_limit = encoding.doc_count
+                elif self._accel_pending:
+                    pending = self._accel_pending
+                    self._accel_pending = {}
+                    if encoding.doc_count + len(pending) > 2 * count + 64:
+                        # Dead upsert copies dominate the shared arrays:
+                        # compact by rebuilding privately (snapshots keep
+                        # the old encoding object).
                         encoding = StoreEncoding()
+                        encoding.extend(self._documents.items())
                         self._accel = encoding
-            count = len(self._documents)
-            if encoding.doc_count < count:
-                encoding.extend(self._documents.items())
-            view = encoding.view_for(count)
-            if count and encoding.doc_ids[count - 1] != next(reversed(self._documents)):
-                # The shared encoding diverged from this store's history
-                # (defensive; cannot happen through the public API since
-                # removals drop the encoding).  Rebuild privately.
-                encoding = StoreEncoding()
-                encoding.extend(self._documents.items())
-                self._accel = encoding
-                view = encoding.view_for(count)
-            return view
+                    else:
+                        encoding.extend(pending.items())
+                    self._accel_limit = encoding.doc_count
+                return encoding.view_for(self._accel_limit)
 
     # ------------------------------------------------------------------
     # Access

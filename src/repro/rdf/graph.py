@@ -12,6 +12,7 @@ import threading
 from collections import defaultdict
 from typing import Iterable, Iterator
 
+from repro.core.deltas import DeltaJournal, INSERT, REMOVE, RESET
 from repro.errors import RDFError
 from repro.locks import RWLock
 from repro.rdf.terms import (
@@ -47,6 +48,9 @@ class Graph:
         self._osp: dict[Term, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
         self._additions = 0
         self._removals = 0
+        #: Typed mutation log: one record per committed batch, shared
+        #: with snapshots so pinned wrappers can replay the same history.
+        self._journal = DeltaJournal()
         self._rwlock = RWLock()
         #: (version, frozen copy) — the copy-on-write snapshot memo; the
         #: mutex keeps concurrent readers from each copying on a miss.
@@ -68,24 +72,47 @@ class Graph:
         else:
             t = make_triple(subject, predicate, obj)
         with self._rwlock.write_locked():
-            if t in self._triples:
+            if not self._add_unlocked(t):
                 return False
-            self._triples.add(t)
-            s, p, o = t.subject, t.predicate, t.obj
-            self._spo[s][p].add(o)
-            self._pos[p][o].add(s)
-            self._osp[o][s].add(p)
+            pre = self._additions + self._removals
             self._additions += 1
-            return True
+            entry = self._journal.record(pre, pre + 1, INSERT, (t,))
+        self._journal.notify(entry)
+        return True
+
+    def _add_unlocked(self, t: Triple) -> bool:
+        if t in self._triples:
+            return False
+        self._triples.add(t)
+        s, p, o = t.subject, t.predicate, t.obj
+        self._spo[s][p].add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Add every triple of ``triples``; return how many were new.
 
         The write lock is held across the whole batch, so a concurrent
-        snapshot sees all of it or none of it.
+        snapshot sees all of it or none of it.  One effective batch is
+        one version bump — a thousand-triple ingest invalidates derived
+        state once, not a thousand times.
         """
+        return len(self.add_batch(triples))
+
+    def add_batch(self, triples: Iterable[Triple]) -> list[Triple]:
+        """Like :meth:`add_all`, but returns the triples actually new
+        (callers maintaining derived state — saturation — need the exact
+        delta, not just its size)."""
         with self._rwlock.write_locked():
-            return sum(1 for t in triples if self.add(t))
+            fresh = [t for t in triples if self._add_unlocked(t)]
+            if not fresh:
+                return []
+            pre = self._additions + self._removals
+            self._additions += 1
+            entry = self._journal.record(pre, pre + 1, INSERT, fresh)
+        self._journal.notify(entry)
+        return fresh
 
     def remove(self, t: Triple) -> bool:
         """Remove a triple; returns True if it was present.
@@ -94,33 +121,54 @@ class Graph:
         not grow the permutation indexes without bound.
         """
         with self._rwlock.write_locked():
-            if t not in self._triples:
+            if not self._remove_unlocked(t):
                 return False
-            self._triples.discard(t)
-            s, p, o = t.subject, t.predicate, t.obj
-            _discard_pruning(self._spo, s, p, o)
-            _discard_pruning(self._pos, p, o, s)
-            _discard_pruning(self._osp, o, s, p)
+            pre = self._additions + self._removals
             self._removals += 1
-            return True
+            entry = self._journal.record(pre, pre + 1, REMOVE, (t,))
+        self._journal.notify(entry)
+        return True
+
+    def _remove_unlocked(self, t: Triple) -> bool:
+        if t not in self._triples:
+            return False
+        self._triples.discard(t)
+        s, p, o = t.subject, t.predicate, t.obj
+        _discard_pruning(self._spo, s, p, o)
+        _discard_pruning(self._pos, p, o, s)
+        _discard_pruning(self._osp, o, s, p)
+        return True
 
     def remove_all(self, triples: Iterable[Triple]) -> int:
         """Remove every triple of ``triples``; return how many were present.
 
-        Like :meth:`add_all`, atomic with respect to snapshots.
+        Like :meth:`add_all`, atomic with respect to snapshots and a
+        single version bump per effective batch.
         """
         with self._rwlock.write_locked():
-            return sum(1 for t in triples if self.remove(t))
+            gone = [t for t in triples if self._remove_unlocked(t)]
+            if not gone:
+                return 0
+            pre = self._additions + self._removals
+            self._removals += 1
+            entry = self._journal.record(pre, pre + 1, REMOVE, gone)
+        self._journal.notify(entry)
+        return len(gone)
 
     def clear(self) -> None:
         """Remove every triple."""
+        entry = None
         with self._rwlock.write_locked():
             if self._triples:
+                pre = self._additions + self._removals
                 self._removals += 1
+                entry = self._journal.record(pre, pre + 1, RESET)
             self._triples.clear()
             self._spo.clear()
             self._pos.clear()
             self._osp.clear()
+        if entry is not None:
+            self._journal.notify(entry)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -144,6 +192,16 @@ class Graph:
         see a removal paired with an addition.
         """
         return self._additions + self._removals
+
+    @property
+    def journal(self) -> DeltaJournal:
+        """The store's typed mutation log (shared with snapshots)."""
+        return self._journal
+
+    def deltas_since(self, version: int, upto: int | None = None):
+        """The unbroken delta chain ``version -> upto`` (None on a gap)."""
+        target = self.version if upto is None else upto
+        return self._journal.since(version, target)
 
     @property
     def additions(self) -> int:
@@ -207,6 +265,10 @@ class Graph:
         frozen._osp = _copy_index(self._osp)
         frozen._additions = self._additions
         frozen._removals = self._removals
+        # Shared on purpose: records are immutable and appends locked,
+        # so a pinned snapshot replays the same history up to its own
+        # version via ``deltas_since``.
+        frozen._journal = self._journal
         frozen._rwlock = RWLock()
         frozen._snapshot_lock = threading.Lock()
         # A snapshot of a snapshot is itself.

@@ -10,6 +10,7 @@ from __future__ import annotations
 import threading
 from typing import Iterable
 
+from repro.core.deltas import DeltaJournal, RESET
 from repro.errors import RelationalError, SchemaError
 from repro.locks import RWLock
 from repro.relational.ast import CreateTableStatement, InsertStatement, SelectStatement
@@ -27,6 +28,10 @@ class Database:
         self.name = name
         self._tables: dict[str, Table] = {}
         self._catalog_version = 0
+        #: One typed mutation log for the whole database: table inserts
+        #: record into it (scoped by table name) under the *database*
+        #: version scale, catalog changes as non-repairable resets.
+        self._journal = DeltaJournal()
         # One lock for the catalog and every table, so a snapshot is a
         # consistent cut of the whole database.
         self._rwlock = RWLock()
@@ -38,6 +43,16 @@ class Database:
         """Monotonic mutation counter over the catalog and every table."""
         return self._catalog_version + sum(t.version for t in self._tables.values())
 
+    @property
+    def journal(self) -> DeltaJournal:
+        """The database-wide typed mutation log (shared with snapshots)."""
+        return self._journal
+
+    def deltas_since(self, version: int, upto: int | None = None):
+        """The unbroken delta chain ``version -> upto`` (None on a gap)."""
+        target = self.version if upto is None else upto
+        return self._journal.since(version, target)
+
     # ------------------------------------------------------------------
     # Catalog
     # ------------------------------------------------------------------
@@ -47,9 +62,12 @@ class Database:
         with self._rwlock.write_locked():
             if key in self._tables:
                 raise SchemaError(f"table {schema.name!r} already exists in {self.name!r}")
-            table = Table(schema, lock=self._rwlock)
+            pre = self.version
+            table = Table(schema, lock=self._rwlock, journal=self._journal,
+                          version_of=lambda: self.version)
             self._tables[key] = table
             self._catalog_version += 1
+            self._journal.record(pre, pre + 1, RESET, scope=key)
             return table
 
     def create_table_from_rows(self, name: str, rows: Iterable[dict[str, object]],
@@ -107,8 +125,10 @@ class Database:
                 raise RelationalError(f"database {self.name!r} has no table {name!r}")
             # Absorb the dropped table's mutation count so the database
             # version stays monotonic (it must never revisit an old value).
+            pre = self.version
             self._catalog_version += 1 + self._tables[name.lower()].version
             del self._tables[name.lower()]
+            self._journal.record(pre, pre + 1, RESET, scope=name.lower())
 
     # ------------------------------------------------------------------
     # Snapshot isolation
@@ -133,6 +153,7 @@ class Database:
                 frozen = Database.__new__(Database)
                 frozen.name = self.name
                 frozen._catalog_version = self._catalog_version
+                frozen._journal = self._journal
                 frozen._rwlock = RWLock()
                 frozen._tables = {
                     key: table._copy_unlocked(lock=frozen._rwlock)
@@ -191,14 +212,13 @@ class Database:
 
     def _execute_insert(self, statement: InsertStatement) -> int:
         table = self.table(statement.table)
-        count = 0
-        for row in statement.rows:
-            if statement.columns:
-                table.insert(dict(zip(statement.columns, row)))
-            else:
-                table.insert(row)
-            count += 1
-        return count
+        if statement.columns:
+            rows: list = [dict(zip(statement.columns, row))
+                          for row in statement.rows]
+        else:
+            rows = list(statement.rows)
+        # One statement = one batch = one version bump (insert_many).
+        return table.insert_many(rows)
 
     def statistics(self) -> dict[str, dict[str, object]]:
         """Per-table statistics, used by digests and the planner."""

@@ -6,6 +6,7 @@ import threading
 from collections import defaultdict
 from typing import Callable, Iterable, Iterator
 
+from repro.core.deltas import DeltaJournal, INSERT
 from repro.errors import SchemaError
 from repro.locks import RWLock
 from repro.relational.schema import TableSchema
@@ -48,11 +49,20 @@ class Table:
     on any column (the primary key is indexed automatically).
     """
 
-    def __init__(self, schema: TableSchema, lock: RWLock | None = None):
+    def __init__(self, schema: TableSchema, lock: RWLock | None = None,
+                 journal: DeltaJournal | None = None,
+                 version_of: Callable[[], int] | None = None):
         self.schema = schema
         self.rows: list[tuple] = []
         self._indexes: dict[str, Index] = {}
         self._version = 0
+        # A table created inside a Database records into the database's
+        # journal under the *database* version scale (its version is the
+        # catalog version plus every table's counter), scoped by table
+        # name; a standalone table journals under its own counter.
+        self._journal = journal if journal is not None else DeltaJournal()
+        self._version_of = version_of if version_of is not None \
+            else (lambda: self._version)
         # A table created inside a Database shares the database's lock,
         # so a database snapshot is one consistent cut across its tables.
         self._rwlock = lock or RWLock()
@@ -73,9 +83,17 @@ class Table:
         """Insert a row (dict or positional) and return the stored tuple."""
         row = self.schema.coerce_row(values)
         with self._rwlock.write_locked():
-            return self._insert_unlocked(row)
+            pre = self._version_of()
+            stored = self._insert_unlocked(row, bump=False)
+            self._version += 1
+            entry = self._journal.record(
+                pre, pre + 1, INSERT,
+                (dict(zip(self.schema.column_names(), stored)),),
+                scope=self.name.lower())
+        self._journal.notify(entry)
+        return stored
 
-    def _insert_unlocked(self, row: tuple) -> tuple:
+    def _insert_unlocked(self, row: tuple, bump: bool = True) -> tuple:
         if self.schema.primary_key:
             pk_index = self.schema.column_index(self.schema.primary_key)
             pk_value = row[pk_index]
@@ -91,17 +109,40 @@ class Table:
         self.rows.append(row)
         for column, index in self._indexes.items():
             index.add(row[self.schema.column_index(column)], row_id)
-        self._version += 1
+        if bump:
+            self._version += 1
         return row
 
     def insert_many(self, rows: Iterable[dict[str, object] | list[object] | tuple]) -> int:
         """Insert every row of ``rows``; return how many were inserted.
 
         The write lock is held across the whole batch, so a concurrent
-        snapshot sees all of it or none of it.
+        snapshot sees all of it or none of it — and the whole batch is
+        ONE version bump, so one ingest invalidates derived state once,
+        not once per row.
         """
+        names = self.schema.column_names()
+        entry = None
         with self._rwlock.write_locked():
-            return sum(1 for _ in map(self.insert, rows))
+            pre = self._version_of()
+            inserted: list[dict[str, object]] = []
+            try:
+                for values in rows:
+                    row = self.schema.coerce_row(values)
+                    stored = self._insert_unlocked(row, bump=False)
+                    inserted.append(dict(zip(names, stored)))
+            finally:
+                # Even a partially applied batch (a constraint error
+                # mid-way) must advance the version: rows landed, so
+                # version equality has to keep meaning "unchanged".
+                if inserted:
+                    self._version += 1
+                    entry = self._journal.record(pre, pre + 1, INSERT,
+                                                 inserted,
+                                                 scope=self.name.lower())
+        if entry is not None:
+            self._journal.notify(entry)
+        return len(inserted)
 
     def create_index(self, column: str) -> Index:
         """Create (or return the existing) hash index on ``column``."""
@@ -142,6 +183,10 @@ class Table:
         frozen.rows = list(self.rows)
         frozen._indexes = {key: index._copy() for key, index in self._indexes.items()}
         frozen._version = self._version
+        # Shared journal: a frozen copy never writes, it only replays
+        # history up to its own (frozen) version.
+        frozen._journal = self._journal
+        frozen._version_of = lambda: frozen._version
         frozen._rwlock = lock or RWLock()
         frozen._snapshot_state = (frozen._version, frozen)
         frozen._snapshot_lock = threading.Lock()

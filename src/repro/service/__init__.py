@@ -32,6 +32,11 @@ from repro.service.mediator import (
 )
 from repro.service.mqo import MQOCoordinator, QueryGroup
 from repro.service.snapshots import PinnedCatalog, pin_instance
+from repro.service.standing import (
+    StandingDelta,
+    StandingQueryRegistry,
+    StandingSubscription,
+)
 
 __all__ = [
     "AdmissionError",
@@ -49,6 +54,9 @@ __all__ = [
     "RUNNING",
     "ServiceConfig",
     "ServiceError",
+    "StandingDelta",
+    "StandingQueryRegistry",
+    "StandingSubscription",
     "TIMED_OUT",
     "pin_instance",
 ]

@@ -49,6 +49,7 @@ from repro.service.snapshots import PinnedCatalog, pin_instance
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cmq import ConjunctiveMixedQuery
     from repro.core.instance import MixedInstance
+    from repro.service.standing import StandingSubscription
 
 logger = logging.getLogger("repro.service.mediator")
 
@@ -292,6 +293,11 @@ class MediatorService:
                                       name="mediator-dispatch")
         self.task_pool = WorkPool(self.config.task_workers,
                                   name="mediator-tasks")
+        #: Standing-query registry, created on first ``register_standing``
+        #: (it owns a refresh thread and journal listeners — services
+        #: that never register a standing CMQ pay nothing).
+        self._standing = None
+        self._standing_lock = threading.Lock()
         self._workers = [
             threading.Thread(target=self._worker_loop,
                              name=f"mediator-worker-{i}", daemon=True)
@@ -365,6 +371,27 @@ class MediatorService:
                              options=options, distinct=distinct, limit=limit)
         return ticket.result(timeout=timeout)
 
+    def register_standing(self, query: "ConjunctiveMixedQuery | str",
+                          callback) -> "StandingSubscription":
+        """Keep ``query`` evaluated as the stores mutate.
+
+        The query is evaluated once, synchronously, as the baseline;
+        afterwards every ingest that moves a source version triggers a
+        journal-driven re-evaluation, and ``callback`` receives a
+        :class:`~repro.service.standing.StandingDelta` for each refresh
+        whose result actually changed.  Returns the subscription handle
+        (``.rows`` is the current result, ``.cancel()`` stops it).
+        """
+        from repro.service.standing import StandingQueryRegistry
+
+        if isinstance(query, str):
+            query = self.instance.parse(query)
+        with self._standing_lock:
+            if self._standing is None:
+                self._standing = StandingQueryRegistry(self)
+            registry = self._standing
+        return registry.register(query, callback)
+
     def statistics(self) -> dict[str, object]:
         """Service counters plus current queue state."""
         with self._lock:
@@ -407,6 +434,14 @@ class MediatorService:
             out["remote"] = remote
         if self.mqo is not None:
             out["mqo"] = self.mqo.stats()
+        if getattr(self.instance, "cache", None) is not None:
+            # The streaming ingest story in one block: how many misses
+            # were answered by delta-join repair instead of re-dispatch.
+            out["repair"] = self.instance.cache.repair.stats.as_dict()
+        with self._standing_lock:
+            standing = self._standing
+        if standing is not None:
+            out["standing"] = standing.stats()
         return out
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
@@ -421,6 +456,11 @@ class MediatorService:
             if self._stopping:
                 return
             self._stopping = True
+        with self._standing_lock:
+            standing = self._standing
+            self._standing = None
+        if standing is not None:
+            standing.close()
         if cancel_pending:
             # Workers still drain the queue; the cancel flag makes each
             # dequeued ticket finish immediately as cancelled.

@@ -25,6 +25,7 @@ import threading
 from typing import Optional
 
 from repro.cache.keys import canonical_query
+from repro.core.deltas import INSERT
 from repro.core.sources import (
     DataSource,
     FullTextQuery,
@@ -54,6 +55,10 @@ class StatisticsCatalog:
         self._lock = threading.Lock()
         #: (source token, source version, table, column) -> summary.
         self._column_summaries: dict[tuple, Optional[ValueSetSummary]] = {}
+        #: Streaming maintenance counters: full column scans vs. prior
+        #: summaries carried forward by absorbing insert-only deltas.
+        self.summaries_built = 0
+        self.summaries_absorbed = 0
 
     # ------------------------------------------------------------------
     @property
@@ -158,7 +163,15 @@ class StatisticsCatalog:
     # ------------------------------------------------------------------
     def column_summary(self, source: RelationalSource, table: str,
                        column: str) -> Optional[ValueSetSummary]:
-        """Value-set summary of one column, cached per source version."""
+        """Value-set summary of one column, cached per source version.
+
+        Under streaming ingestion a version bump no longer forces a full
+        column re-scan: when the delta journal shows only inserts between
+        the cached summary's version and the current one, the inserted
+        values are absorbed into the prior summary in place
+        (:meth:`~repro.digest.valueset.ValueSetSummary.absorb`) and the
+        summary is re-keyed under the new version.
+        """
         version = source.version()
         if version is None:
             return None
@@ -172,9 +185,13 @@ class StatisticsCatalog:
             actual = next((c.name for c in table_obj.schema.columns
                            if c.name.lower() == column.lower()), None)
             if actual is not None:
-                summary = ValueSetSummary(
-                    table_obj.column_values(actual),
-                    histogram_buckets=self.histogram_buckets)
+                summary = self._absorb_column_delta(source, key, actual)
+                if summary is None:
+                    summary = ValueSetSummary(
+                        table_obj.column_values(actual),
+                        histogram_buckets=self.histogram_buckets)
+                    with self._lock:
+                        self.summaries_built += 1
         with self._lock:
             self._column_summaries[key] = summary
             # Drop summaries of superseded versions of the same column.
@@ -182,6 +199,35 @@ class StatisticsCatalog:
                      if k[0] == key[0] and k[2:] == key[2:] and k[1] != version]
             for k in stale:
                 del self._column_summaries[k]
+        return summary
+
+    def _absorb_column_delta(self, source: RelationalSource, key: tuple,
+                             column: str) -> Optional[ValueSetSummary]:
+        """Carry a prior-version summary forward over insert-only deltas.
+
+        ``None`` means "rebuild from a full scan": no prior summary, a
+        gap in the journal, or deltas that are not pure inserts for the
+        summarised table.
+        """
+        table = key[2]
+        with self._lock:
+            prior = [(k, s) for k, s in self._column_summaries.items()
+                     if k[0] == key[0] and k[2:] == key[2:]
+                     and isinstance(k[1], int) and k[1] < key[1]
+                     and s is not None]
+        if not prior:
+            return None
+        prior_key, summary = max(prior, key=lambda pair: pair[0][1])
+        records = source.deltas_since(prior_key[1], key[1])
+        if records is None:
+            return None
+        relevant = [r for r in records if r.scope is None or r.scope == table]
+        if any(r.kind != INSERT for r in relevant):
+            return None
+        summary.absorb([row.get(column)
+                        for record in relevant for row in record.items])
+        with self._lock:
+            self.summaries_absorbed += 1
         return summary
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -42,6 +42,12 @@ def pytest_configure(config):
         "single-flight shared sub-plans, cross-query probe fusion, "
         "group-vs-per-query equivalence including hypothesis property "
         "tests); run in isolation with `pytest -m mqo`.")
+    config.addinivalue_line(
+        "markers",
+        "streaming: streaming-ingestion suites (delta journals, "
+        "batch version bumps, delta-join cache repair vs cold "
+        "re-execution including hypothesis property tests, standing "
+        "queries); run in isolation with `pytest -m streaming`.")
 from repro.fulltext import tweet_store
 from repro.rdf import Graph, RDFSchema, triple, uri
 from repro.relational import Database
